@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the §4 pipeline: sampling, super-group
+//! aggregation, and full Multiple-Coverage runs.
+
+use coverage_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset_sim::multi_group_dataset;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_aggregate(c: &mut Criterion) {
+    // A labeled store of 100 samples over six groups.
+    let mut store = LabeledStore::new();
+    let spec = [40usize, 30, 15, 8, 4, 3];
+    let mut id = 0u32;
+    for (v, k) in spec.iter().enumerate() {
+        for _ in 0..*k {
+            store.add(ObjectId(id), Labels::single(v as u8));
+            id += 1;
+        }
+    }
+    let groups: Vec<Pattern> = (0..6).map(|v| Pattern::single(1, 0, v as u8)).collect();
+    c.bench_function("aggregate/6_groups", |b| {
+        b.iter(|| aggregate(&store, 10_000, 50, &groups, false))
+    });
+}
+
+fn bench_multiple_coverage(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let data = multi_group_dataset(&[9955, 15, 15, 15], &mut rng);
+    let pool = data.all_ids();
+    let groups: Vec<Pattern> = (0..4).map(|v| Pattern::single(1, 0, v as u8)).collect();
+    let cfg = MultipleConfig::default();
+    c.bench_function("multiple_coverage/effective1_10k", |b| {
+        b.iter(|| {
+            let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+            let mut rng = SmallRng::seed_from_u64(11);
+            multiple_coverage(&mut engine, &pool, &groups, &cfg, &mut rng)
+        })
+    });
+}
+
+fn bench_intersectional(c: &mut Criterion) {
+    let schema = AttributeSchema::new(vec![
+        Attribute::binary("a", "0", "1").unwrap(),
+        Attribute::binary("b", "0", "1").unwrap(),
+        Attribute::binary("c", "0", "1").unwrap(),
+    ])
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let counts = [8456usize, 500, 12, 12, 500, 500, 10, 10];
+    let mut spec: Vec<usize> = counts.to_vec();
+    // Build via DatasetBuilder through dataset-sim.
+    let data = dataset_sim::DatasetBuilder::new(schema.clone())
+        .counts(&spec)
+        .build(&mut rng);
+    spec.clear();
+    let pool = data.all_ids();
+    let cfg = MultipleConfig::default();
+    c.bench_function("intersectional_coverage/2x2x2_10k", |b| {
+        b.iter(|| {
+            let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+            let mut rng = SmallRng::seed_from_u64(11);
+            intersectional_coverage(&mut engine, &pool, &schema, &cfg, &mut rng)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aggregate, bench_multiple_coverage, bench_intersectional
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for Classifier-Coverage: partition vs label
+//! elimination on high- and low-precision predictors.
+
+use classifier_sim::NoisyBinaryPredictor;
+use coverage_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset_sim::{binary_dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_partition_vs_label(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier_coverage");
+    let target = Target::group(Pattern::parse("1").unwrap());
+    for (name, acc, prec, females, males) in [
+        ("high_precision_feret", 0.7957, 0.995, 403usize, 591usize),
+        ("low_precision_utk20", 0.9653, 0.08, 20, 2980),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = binary_dataset(females + males, females, Placement::Shuffled, &mut rng);
+        let pool = data.all_ids();
+        let rates = classifier_sim::BinaryRates::from_accuracy_precision(acc, prec, females, males)
+            .unwrap();
+        let predictor = NoisyBinaryPredictor::new(target.clone(), rates);
+        let predicted = predictor.predict_pool_exact(&data, &pool, &mut rng);
+        let cfg = ClassifierConfig::default();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+                let mut rng = SmallRng::seed_from_u64(9);
+                classifier_coverage(&mut engine, &pool, &predicted, &target, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_partition_vs_label
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the Group-Coverage core (Algorithm 1):
+//! τ / n / N sweeps plus the BFS-vs-DFS traversal ablation.
+
+use coverage_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset_sim::{binary_dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_varying_n_total(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_coverage/n_total");
+    for n_total in [1_000usize, 10_000, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let data = binary_dataset(n_total, 50, Placement::Shuffled, &mut rng);
+        let pool = data.all_ids();
+        let target = Target::group(Pattern::parse("1").unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(n_total), &n_total, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new(PerfectSource::new(&data));
+                group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_varying_tau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_coverage/tau");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let data = binary_dataset(50_000, 100, Placement::Shuffled, &mut rng);
+    let pool = data.all_ids();
+    let target = Target::group(Pattern::parse("1").unwrap());
+    for tau in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let mut engine = Engine::new(PerfectSource::new(&data));
+                group_coverage(&mut engine, &pool, &target, tau, 50, &DncConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_coverage/traversal");
+    let mut rng = SmallRng::seed_from_u64(11);
+    let data = binary_dataset(50_000, 49, Placement::UniformSpread, &mut rng);
+    let pool = data.all_ids();
+    let target = Target::group(Pattern::parse("1").unwrap());
+    for (name, traversal) in [("bfs", Traversal::Bfs), ("dfs", Traversal::Dfs)] {
+        let cfg = DncConfig {
+            traversal,
+            collect_witnesses: false,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = Engine::new(PerfectSource::new(&data));
+                group_coverage(&mut engine, &pool, &target, 50, 50, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_base_coverage(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let data = binary_dataset(10_000, 50, Placement::Shuffled, &mut rng);
+    let pool = data.all_ids();
+    let target = Target::group(Pattern::parse("1").unwrap());
+    c.bench_function("base_coverage/10k_uncovered", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(PerfectSource::new(&data));
+            base_coverage(&mut engine, &pool, &target, 51)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_varying_n_total, bench_varying_tau, bench_traversal_ablation, bench_base_coverage
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for MUP discovery (the Pattern-Combiner
+//! dependency).
+
+use coverage_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset_sim::DatasetBuilder;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_mups_from_labels(c: &mut Criterion) {
+    let schema = AttributeSchema::new(vec![
+        Attribute::binary("gender", "m", "f").unwrap(),
+        Attribute::new("race", ["w", "b", "h", "a"]).unwrap(),
+        Attribute::new("age", ["c", "ad", "s"]).unwrap(),
+    ])
+    .unwrap();
+    let m = schema.num_full_groups();
+    let counts: Vec<usize> = (0..m).map(|i| if i % 5 == 0 { 10 } else { 400 }).collect();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let data = DatasetBuilder::new(schema.clone())
+        .counts(&counts)
+        .build(&mut rng);
+    c.bench_function("mup/from_labels_2x4x3", |b| {
+        b.iter(|| mups_from_labels(data.labels(), &schema, 50))
+    });
+}
+
+fn bench_pattern_count(c: &mut Criterion) {
+    let schema = AttributeSchema::new(vec![
+        Attribute::binary("gender", "m", "f").unwrap(),
+        Attribute::new("race", ["w", "b", "h", "a"]).unwrap(),
+    ])
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let data = DatasetBuilder::new(schema.clone())
+        .counts(&[100, 200, 300, 400, 10, 20, 30, 40])
+        .build(&mut rng);
+    let counts = coverage_core::mup::count_full_groups(data.labels(), &schema);
+    let graph = PatternGraph::new(&schema);
+    let p = Pattern::parse("1X").unwrap();
+    c.bench_function("mup/pattern_count", |b| {
+        b.iter(|| coverage_core::mup::pattern_count(&graph, &counts, &p))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mups_from_labels, bench_pattern_count
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for pattern-lattice primitives.
+
+use coverage_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn big_schema() -> AttributeSchema {
+    AttributeSchema::new(vec![
+        Attribute::binary("gender", "m", "f").unwrap(),
+        Attribute::new("race", ["w", "b", "h", "a", "o"]).unwrap(),
+        Attribute::new("age", ["child", "adult", "senior"]).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn bench_matches(c: &mut Criterion) {
+    let p = Pattern::parse("X4X").unwrap();
+    let labels = Labels::new(&[1, 4, 2]);
+    c.bench_function("pattern/matches", |b| {
+        b.iter(|| std::hint::black_box(p.matches(std::hint::black_box(&labels))))
+    });
+}
+
+fn bench_children(c: &mut Criterion) {
+    let schema = big_schema();
+    let root = Pattern::all_unspecified(3);
+    c.bench_function("pattern/children", |b| b.iter(|| root.children(&schema)));
+}
+
+fn bench_lattice_enumeration(c: &mut Criterion) {
+    let schema = big_schema();
+    c.bench_function("pattern_graph/enumerate_3x6x4", |b| {
+        b.iter(|| PatternGraph::new(&schema).len())
+    });
+}
+
+fn bench_full_descendants(c: &mut Criterion) {
+    let schema = big_schema();
+    let graph = PatternGraph::new(&schema);
+    let p = Pattern::parse("1XX").unwrap();
+    c.bench_function("pattern_graph/full_descendants", |b| {
+        b.iter(|| graph.full_descendants(&p).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_matches, bench_children, bench_lattice_enumeration, bench_full_descendants
+}
+criterion_main!(benches);

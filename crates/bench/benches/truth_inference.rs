@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for truth inference: majority vote vs
+//! Dawid–Skene EM.
+
+use coverage_core::schema::Labels;
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_sim::truth::{majority_label, majority_vote, DawidSkene};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_majority_vote(c: &mut Criterion) {
+    let votes = [true, false, true];
+    c.bench_function("truth/majority_vote_3", |b| {
+        b.iter(|| majority_vote(std::hint::black_box(&votes)))
+    });
+}
+
+fn bench_majority_label(c: &mut Criterion) {
+    let votes = vec![
+        Labels::new(&[1, 2]),
+        Labels::new(&[1, 0]),
+        Labels::new(&[0, 2]),
+    ];
+    c.bench_function("truth/majority_label_3x2attr", |b| {
+        b.iter(|| majority_label(std::hint::black_box(&votes)))
+    });
+}
+
+fn bench_dawid_skene(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let num_tasks = 200;
+    let num_workers = 20;
+    let mut answers = Vec::new();
+    for t in 0..num_tasks {
+        let truth = rng.gen_bool(0.5);
+        for w in 0..num_workers {
+            let correct = rng.gen_bool(0.8);
+            answers.push((t, w, if correct { truth } else { !truth }));
+        }
+    }
+    c.bench_function("truth/dawid_skene_200x20x20iters", |b| {
+        b.iter(|| DawidSkene::fit(num_tasks, num_workers, &answers, 20))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_majority_vote, bench_majority_label, bench_dawid_skene
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runs every table/figure binary in sequence — the one-shot
+//! reproduction driver behind EXPERIMENTS.md.
+//!
+//! Equivalent to:
+//! `table1 && table2 && fig6 && fig7 && fig7_multi` with results CSVs
+//! written under `results/`.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> bool {
+    // The sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin dir");
+    let path = dir.join(bin);
+    let status = Command::new(&path)
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+    status.success()
+}
+
+fn main() {
+    let plan: [(&str, &[&str]); 6] = [
+        ("table1", &[]),
+        ("table2", &[]),
+        ("fig6", &[]),
+        ("fig7", &[]),
+        ("fig7_multi", &[]),
+        ("ablations", &[]),
+    ];
+    let mut failures = Vec::new();
+    for (bin, args) in plan {
+        println!("\n########## {bin} ##########");
+        if !run(bin, args) {
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs under results/");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,157 @@
+//! **Figures 7a–7d** — Group-Coverage performance sweeps (§6.5.1).
+//!
+//! * 7a: #tasks vs number of females `f ∈ [0, 2τ]` (N = 100 K, τ = 50):
+//!   cost peaks near `f = τ`.
+//! * 7b: #tasks vs threshold `τ ∈ [1, 100]` with `f = τ`: linear in τ,
+//!   close to the upper bound.
+//! * 7c: #tasks vs subset size `n ∈ [1, 400]`: a jump around n ≈ 10–20,
+//!   then flat (the logarithmic regime).
+//! * 7d: #tasks vs dataset size `N ∈ [1 K, 1 M]`: linear, ≤ 6 % of N.
+//!
+//! Every point averages several shuffled datasets; series printed:
+//! Group-Coverage, Base-Coverage, UpperBound (the paper's log10 constant).
+//!
+//! Usage: `fig7 [a|b|c|d]...` (default: all).
+
+use coverage_core::prelude::*;
+use cvg_bench::TablePrinter;
+use dataset_sim::{binary_dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const REPETITIONS: u64 = 5;
+
+struct Avg {
+    gc: f64,
+    base: f64,
+}
+
+fn run_point(n_total: usize, females: usize, tau: usize, n: usize, seed0: u64) -> Avg {
+    let female = Target::group(Pattern::parse("1").unwrap());
+    let mut gc = 0u64;
+    let mut base = 0u64;
+    for seed in 0..REPETITIONS {
+        let mut rng = SmallRng::seed_from_u64(seed0 + seed);
+        let data = binary_dataset(n_total, females, Placement::Shuffled, &mut rng);
+        let pool = data.all_ids();
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), n.max(1));
+        group_coverage(&mut engine, &pool, &female, tau, n, &DncConfig::default());
+        gc += engine.ledger().total_tasks();
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), n.max(1));
+        base_coverage(&mut engine, &pool, &female, tau);
+        base += engine.ledger().total_tasks();
+    }
+    Avg {
+        gc: gc as f64 / REPETITIONS as f64,
+        base: base as f64 / REPETITIONS as f64,
+    }
+}
+
+fn headers() -> [&'static str; 4] {
+    ["x", "Group-Coverage", "Base-Coverage", "UpperBound"]
+}
+
+fn fig7a() {
+    let (n_total, tau, n) = (100_000usize, 50usize, 50usize);
+    let mut t = TablePrinter::new(
+        "Figure 7a: avg #tasks vs number of females f in [0, 2*tau] (N=100K, tau=50, n=50)",
+        &headers(),
+    );
+    let bound = group_coverage_upper_bound(n_total, n, tau, LogBase::Ten);
+    for f in (0..=2 * tau).step_by(10) {
+        let avg = run_point(n_total, f, tau, n, 70_001);
+        t.row(vec![
+            f.to_string(),
+            format!("{:.1}", avg.gc),
+            format!("{:.1}", avg.base),
+            format!("{bound:.0}"),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7a");
+}
+
+fn fig7b() {
+    let (n_total, n) = (100_000usize, 50usize);
+    let mut t = TablePrinter::new(
+        "Figure 7b: avg #tasks vs coverage threshold tau (f = tau, N=100K, n=50)",
+        &headers(),
+    );
+    for tau in [1usize, 10, 25, 50, 75, 100] {
+        let avg = run_point(n_total, tau, tau, n, 70_101);
+        let bound = group_coverage_upper_bound(n_total, n, tau, LogBase::Ten);
+        t.row(vec![
+            tau.to_string(),
+            format!("{:.1}", avg.gc),
+            format!("{:.1}", avg.base),
+            format!("{bound:.0}"),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7b");
+}
+
+fn fig7c() {
+    let (n_total, tau) = (100_000usize, 50usize);
+    let mut t = TablePrinter::new(
+        "Figure 7c: avg #tasks vs subset size upper bound n (N=100K, tau=f=50)",
+        &headers(),
+    );
+    for n in [1usize, 5, 10, 20, 50, 100, 200, 400] {
+        let avg = run_point(n_total, tau, tau, n, 70_201);
+        let bound = group_coverage_upper_bound(n_total, n, tau, LogBase::Ten);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.1}", avg.gc),
+            format!("{:.1}", avg.base),
+            format!("{bound:.0}"),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7c");
+}
+
+fn fig7d() {
+    let (tau, n) = (50usize, 50usize);
+    let mut t = TablePrinter::new(
+        "Figure 7d: avg #tasks vs dataset size N (tau=f=50, n=50)",
+        &[
+            "N",
+            "Group-Coverage",
+            "Base-Coverage",
+            "UpperBound",
+            "GC % of N",
+        ],
+    );
+    for n_total in [1_000usize, 10_000, 100_000, 400_000, 1_000_000] {
+        let avg = run_point(n_total, tau, tau, n, 70_301);
+        let bound = group_coverage_upper_bound(n_total, n, tau, LogBase::Ten);
+        t.row(vec![
+            n_total.to_string(),
+            format!("{:.1}", avg.gc),
+            format!("{:.1}", avg.base),
+            format!("{bound:.0}"),
+            format!("{:.2}%", 100.0 * avg.gc / n_total as f64),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7d");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+    if want("a") {
+        fig7a();
+    }
+    if want("b") {
+        fig7b();
+    }
+    if want("c") {
+        fig7c();
+    }
+    if want("d") {
+        fig7d();
+    }
+}

@@ -1,0 +1,227 @@
+//! **Figures 7e–7h** — the multi-group optimizations vs brute force
+//! (§6.5.2, settings of Table 3).
+//!
+//! * 7e: Multiple-Coverage vs per-group Group-Coverage, σ = 4, four
+//!   Table 3 settings;
+//! * 7f: Intersectional-Coverage vs per-subgroup Group-Coverage, three
+//!   binary attributes, same settings;
+//! * 7g: Multiple-Coverage vs brute force for σ = 3, 4, 5, 6;
+//! * 7h: Intersectional-Coverage for (σ1, σ2) = (2, 4) vs
+//!   (σ1, σ2, σ3) = (2, 2, 2) — only the product of cardinalities matters.
+//!
+//! Usage: `fig7_multi [e|f|g|h]...` (default: all).
+
+use coverage_core::prelude::*;
+use cvg_bench::scenarios::{
+    intersectional_scenario_2x4, intersectional_scenarios_2x2x2, table3_scenarios,
+    varying_cardinality_scenario, Scenario,
+};
+use cvg_bench::TablePrinter;
+use dataset_sim::{multi_group_dataset, Dataset, DatasetBuilder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const TAU: usize = 50;
+const N_SUBSET: usize = 50;
+const REPETITIONS: u64 = 20;
+
+fn config() -> MultipleConfig {
+    MultipleConfig {
+        tau: TAU,
+        n: N_SUBSET,
+        ..MultipleConfig::default()
+    }
+}
+
+/// Brute force: one Group-Coverage run per group over the whole pool.
+fn brute_force_tasks(data: &Dataset, groups: &[Pattern]) -> u64 {
+    let pool = data.all_ids();
+    let mut engine = Engine::with_point_batch(PerfectSource::new(data), N_SUBSET);
+    for g in groups {
+        group_coverage(
+            &mut engine,
+            &pool,
+            &Target::group(*g),
+            TAU,
+            N_SUBSET,
+            &DncConfig::default(),
+        );
+    }
+    engine.ledger().total_tasks()
+}
+
+fn run_multi_scenario(scenario: &Scenario) -> (f64, f64) {
+    let sigma = scenario.counts.len();
+    let groups: Vec<Pattern> = (0..sigma).map(|v| Pattern::single(1, 0, v as u8)).collect();
+    let mut multi = 0u64;
+    let mut brute = 0u64;
+    for seed in 0..REPETITIONS {
+        let mut rng = SmallRng::seed_from_u64(9_000 + seed);
+        let data = multi_group_dataset(&scenario.counts, &mut rng);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), N_SUBSET);
+        multiple_coverage(&mut engine, &data.all_ids(), &groups, &config(), &mut rng);
+        multi += engine.ledger().total_tasks();
+        brute += brute_force_tasks(&data, &groups);
+    }
+    (
+        multi as f64 / REPETITIONS as f64,
+        brute as f64 / REPETITIONS as f64,
+    )
+}
+
+fn intersectional_schema(cards: &[usize]) -> AttributeSchema {
+    let attrs: Vec<Attribute> = cards
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let values: Vec<String> = (0..*c).map(|v| format!("v{v}")).collect();
+            Attribute::new(format!("x{i}"), values).expect("attribute")
+        })
+        .collect();
+    AttributeSchema::new(attrs).expect("schema")
+}
+
+fn run_intersectional_scenario(cards: &[usize], counts: &[usize]) -> (f64, f64) {
+    let schema = intersectional_schema(cards);
+    let groups = schema.full_groups();
+    let mut inter = 0u64;
+    let mut brute = 0u64;
+    for seed in 0..REPETITIONS {
+        let mut rng = SmallRng::seed_from_u64(11_000 + seed);
+        let data = DatasetBuilder::new(schema.clone())
+            .counts(counts)
+            .build(&mut rng);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), N_SUBSET);
+        intersectional_coverage(&mut engine, &data.all_ids(), &schema, &config(), &mut rng);
+        inter += engine.ledger().total_tasks();
+        brute += brute_force_tasks(&data, &groups);
+    }
+    (
+        inter as f64 / REPETITIONS as f64,
+        brute as f64 / REPETITIONS as f64,
+    )
+}
+
+fn fig7e() {
+    let mut t = TablePrinter::new(
+        "Figure 7e: multiple non-intersectional groups (sigma=4) vs Group-Coverage",
+        &[
+            "setting",
+            "Multi-Coverage",
+            "Group-Coverage (brute)",
+            "description",
+        ],
+    );
+    for s in table3_scenarios() {
+        let (multi, brute) = run_multi_scenario(&s);
+        t.row(vec![
+            s.name.to_owned(),
+            format!("{multi:.1}"),
+            format!("{brute:.1}"),
+            s.description.to_owned(),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7e");
+}
+
+fn fig7f() {
+    let mut t = TablePrinter::new(
+        "Figure 7f: intersectional groups (2x2x2) vs Group-Coverage",
+        &[
+            "setting",
+            "Intersectional-Coverage",
+            "Group-Coverage (brute)",
+            "description",
+        ],
+    );
+    for s in intersectional_scenarios_2x2x2() {
+        let (inter, brute) = run_intersectional_scenario(&[2, 2, 2], &s.counts);
+        t.row(vec![
+            s.name.to_owned(),
+            format!("{inter:.1}"),
+            format!("{brute:.1}"),
+            s.description.to_owned(),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7f");
+}
+
+fn fig7g() {
+    let mut t = TablePrinter::new(
+        "Figure 7g: multiple groups in one attribute, sigma = 3..6 (effective setting)",
+        &["sigma", "Multi-Coverage", "Group-Coverage (brute)"],
+    );
+    for sigma in 3..=6 {
+        let s = varying_cardinality_scenario(sigma);
+        let (multi, brute) = run_multi_scenario(&s);
+        t.row(vec![
+            sigma.to_string(),
+            format!("{multi:.1}"),
+            format!("{brute:.1}"),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("fig7g");
+}
+
+fn fig7h() {
+    let mut t = TablePrinter::new(
+        "Figure 7h: intersectional groups, (2,4) vs (2,2,2) — cardinality product is what matters",
+        &[
+            "attributes",
+            "Intersectional-Coverage",
+            "Group-Coverage (brute)",
+        ],
+    );
+    let s222 = &intersectional_scenarios_2x2x2()[0];
+    let (inter, brute) = run_intersectional_scenario(&[2, 2, 2], &s222.counts);
+    t.row(vec![
+        "s1=2, s2=2, s3=2".to_owned(),
+        format!("{inter:.1}"),
+        format!("{brute:.1}"),
+    ]);
+    let s24 = intersectional_scenario_2x4();
+    let (inter, brute) = run_intersectional_scenario(&[2, 4], &s24.counts);
+    t.row(vec![
+        "s1=2, s2=4".to_owned(),
+        format!("{inter:.1}"),
+        format!("{brute:.1}"),
+    ]);
+    t.print();
+    let _ = t.write_csv("fig7h");
+}
+
+fn main() {
+    // Print Table 3 (the settings) for reference.
+    let mut t3 = TablePrinter::new(
+        "Table 3: experiment settings for multiple groups",
+        &["setting", "description", "counts (majority first)"],
+    );
+    for s in table3_scenarios() {
+        t3.row(vec![
+            s.name.to_owned(),
+            s.description.to_owned(),
+            format!("{:?}", s.counts),
+        ]);
+    }
+    t3.print();
+    let _ = t3.write_csv("table3");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+    if want("e") {
+        fig7e();
+    }
+    if want("f") {
+        fig7f();
+    }
+    if want("g") {
+        fig7g();
+    }
+    if want("h") {
+        fig7h();
+    }
+}

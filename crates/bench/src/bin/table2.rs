@@ -1,0 +1,130 @@
+//! **Table 2** — female-coverage detection on gender-classified datasets.
+//!
+//! For each of the paper's nine classifier × dataset rows: calibrate a
+//! noisy predictor to the published (accuracy, precision), generate its
+//! predicted-female set, run `Classifier-Coverage`, and compare against a
+//! standalone `Group-Coverage` run. Reports the chosen false-positive
+//! elimination strategy and #HITs side by side with the paper's numbers.
+
+use classifier_sim::{table2_presets, NoisyBinaryPredictor};
+use coverage_core::prelude::*;
+use cvg_bench::TablePrinter;
+use dataset_sim::{binary_dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const TAU: usize = 50;
+const N_SUBSET: usize = 50;
+const REPETITIONS: u64 = 10;
+
+fn main() {
+    let female = Target::group(Pattern::parse("1").unwrap());
+    let mut table = TablePrinter::new(
+        "Table 2: female coverage detection on gender-classified datasets (tau=50, n=50)",
+        &[
+            "dataset",
+            "classifier",
+            "acc",
+            "prec(F)",
+            "strategy",
+            "paper",
+            "CC #HITs",
+            "paper",
+            "GC #HITs",
+            "paper",
+            "verdict",
+        ],
+    );
+
+    for preset in table2_presets() {
+        let rates = preset.rates().expect("calibratable row");
+        let mut cc_hits = 0u64;
+        let mut gc_hits = 0u64;
+        let mut strategy = None;
+        let mut covered_votes = 0u64;
+        let mut measured_acc = 0.0;
+        let mut measured_prec = 0.0;
+
+        for seed in 0..REPETITIONS {
+            let mut rng = SmallRng::seed_from_u64(31 * seed + 5);
+            let data = binary_dataset(
+                preset.total(),
+                preset.females,
+                Placement::Shuffled,
+                &mut rng,
+            );
+            let pool = data.all_ids();
+            let predictor = NoisyBinaryPredictor::new(female.clone(), rates);
+            let predicted = predictor.predict_pool_exact(&data, &pool, &mut rng);
+            let confusion = predictor.evaluate(&data, &pool, &predicted);
+            measured_acc += confusion.accuracy();
+            measured_prec += confusion.precision();
+
+            // Classifier-Coverage.
+            let mut engine = Engine::with_point_batch(PerfectSource::new(&data), N_SUBSET);
+            let out = classifier_coverage(
+                &mut engine,
+                &pool,
+                &predicted,
+                &female,
+                &ClassifierConfig {
+                    tau: TAU,
+                    n: N_SUBSET,
+                    ..ClassifierConfig::default()
+                },
+                &mut rng,
+            );
+            cc_hits += out.tasks.total_tasks();
+            strategy = Some(out.strategy);
+            if out.covered {
+                covered_votes += 1;
+            }
+
+            // Standalone Group-Coverage.
+            let mut engine = Engine::with_point_batch(PerfectSource::new(&data), N_SUBSET);
+            group_coverage(
+                &mut engine,
+                &pool,
+                &female,
+                TAU,
+                N_SUBSET,
+                &DncConfig::default(),
+            );
+            gc_hits += engine.ledger().total_tasks();
+        }
+
+        let truth_covered = preset.females >= TAU;
+        let verdict_ok = if truth_covered {
+            covered_votes == REPETITIONS
+        } else {
+            covered_votes == 0
+        };
+        table.row(vec![
+            preset.dataset.to_owned(),
+            preset.classifier.to_owned(),
+            format!("{:.2}", 100.0 * measured_acc / REPETITIONS as f64),
+            format!("{:.2}", 100.0 * measured_prec / REPETITIONS as f64),
+            format!("{:?}", strategy.expect("at least one repetition")),
+            preset.paper_strategy.to_owned(),
+            format!("{:.1}", cc_hits as f64 / REPETITIONS as f64),
+            preset.paper_cc_hits.to_string(),
+            format!("{:.1}", gc_hits as f64 / REPETITIONS as f64),
+            preset.paper_gc_hits.to_string(),
+            format!(
+                "{}{}",
+                if truth_covered {
+                    "covered"
+                } else {
+                    "uncovered"
+                },
+                if verdict_ok { " ✓" } else { " ✗" }
+            ),
+        ]);
+    }
+
+    table.print();
+    match table.write_csv("table2") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

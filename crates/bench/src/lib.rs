@@ -1,0 +1,12 @@
+//! # cvg-bench
+//!
+//! Experiment harness for the EDBT 2024 coverage reproduction: one binary
+//! per table/figure of the paper (see DESIGN.md §3 for the index), plus
+//! Criterion micro-benchmarks under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod scenarios;
+pub mod table;
+
+pub use table::TablePrinter;

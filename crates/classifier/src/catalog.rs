@@ -1,0 +1,225 @@
+//! Presets reproducing every classifier × dataset cell of the paper's
+//! Table 2.
+//!
+//! Each preset records the dataset composition and the classifier's
+//! published (accuracy, precision-on-female); [`ClassifierPreset::rates`]
+//! solves for the implied operating point (see [`crate::rates`]).
+
+use crate::rates::{BinaryRates, CalibrationError};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 2: a classifier evaluated on a dataset slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierPreset {
+    /// Dataset label as printed in the paper.
+    pub dataset: &'static str,
+    /// Classifier label as printed in the paper.
+    pub classifier: &'static str,
+    /// Females in the slice.
+    pub females: usize,
+    /// Males in the slice.
+    pub males: usize,
+    /// Published accuracy (fraction).
+    pub accuracy: f64,
+    /// Published precision on the female group (fraction).
+    pub precision: f64,
+    /// The paper's reported Classifier-Coverage HIT count (for
+    /// EXPERIMENTS.md comparison).
+    pub paper_cc_hits: u64,
+    /// The paper's reported standalone Group-Coverage HIT count.
+    pub paper_gc_hits: u64,
+    /// The strategy the paper's heuristic picked.
+    pub paper_strategy: &'static str,
+}
+
+impl ClassifierPreset {
+    /// The calibrated operating point for this row.
+    pub fn rates(&self) -> Result<BinaryRates, CalibrationError> {
+        BinaryRates::from_accuracy_precision(
+            self.accuracy,
+            self.precision,
+            self.females,
+            self.males,
+        )
+    }
+
+    /// Total slice size.
+    pub fn total(&self) -> usize {
+        self.females + self.males
+    }
+}
+
+/// All nine rows of Table 2.
+pub fn table2_presets() -> Vec<ClassifierPreset> {
+    vec![
+        ClassifierPreset {
+            dataset: "FERET (F=403, M=591)",
+            classifier: "DeepFace (opencv)",
+            females: 403,
+            males: 591,
+            accuracy: 0.7957,
+            precision: 0.995,
+            paper_cc_hits: 14,
+            paper_gc_hits: 80,
+            paper_strategy: "Partition",
+        },
+        ClassifierPreset {
+            dataset: "FERET (F=403, M=591)",
+            classifier: "DeepFace (retinaface)",
+            females: 403,
+            males: 591,
+            accuracy: 0.841,
+            precision: 1.0,
+            paper_cc_hits: 17,
+            paper_gc_hits: 80,
+            paper_strategy: "Partition",
+        },
+        ClassifierPreset {
+            dataset: "FERET (F=403, M=591)",
+            classifier: "BaseCNN",
+            females: 403,
+            males: 591,
+            accuracy: 0.6448,
+            precision: 0.5919,
+            paper_cc_hits: 84,
+            paper_gc_hits: 80,
+            paper_strategy: "Label",
+        },
+        ClassifierPreset {
+            dataset: "UTKFace (F=200, M=2800)",
+            classifier: "DeepFace (opencv)",
+            females: 200,
+            males: 2800,
+            accuracy: 0.9356,
+            precision: 0.5202,
+            paper_cc_hits: 97,
+            paper_gc_hits: 51,
+            paper_strategy: "Label",
+        },
+        ClassifierPreset {
+            dataset: "UTKFace (F=200, M=2800)",
+            classifier: "DeepFace (retinaface)",
+            females: 200,
+            males: 2800,
+            accuracy: 0.9416,
+            precision: 0.5615,
+            paper_cc_hits: 89,
+            paper_gc_hits: 51,
+            paper_strategy: "Label",
+        },
+        ClassifierPreset {
+            dataset: "UTKFace (F=200, M=2800)",
+            classifier: "BaseCNN",
+            females: 200,
+            males: 2800,
+            accuracy: 0.976,
+            precision: 0.748,
+            paper_cc_hits: 69,
+            paper_gc_hits: 51,
+            paper_strategy: "Label",
+        },
+        ClassifierPreset {
+            dataset: "UTKFace (F=20, M=2980)",
+            classifier: "DeepFace (opencv)",
+            females: 20,
+            males: 2980,
+            accuracy: 0.9653,
+            precision: 0.08,
+            paper_cc_hits: 134,
+            paper_gc_hits: 221,
+            paper_strategy: "Label",
+        },
+        ClassifierPreset {
+            dataset: "UTKFace (F=20, M=2980)",
+            classifier: "DeepFace (retinaface)",
+            females: 20,
+            males: 2980,
+            accuracy: 0.9643,
+            precision: 0.1009,
+            paper_cc_hits: 143,
+            paper_gc_hits: 221,
+            paper_strategy: "Label",
+        },
+        ClassifierPreset {
+            dataset: "UTKFace (F=20, M=2980)",
+            classifier: "BaseCNN",
+            females: 20,
+            males: 2980,
+            accuracy: 0.976,
+            precision: 0.2159,
+            paper_cc_hits: 122,
+            paper_gc_hits: 221,
+            paper_strategy: "Label",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_rows_present() {
+        let rows = table2_presets();
+        assert_eq!(rows.len(), 9);
+        let feret = rows
+            .iter()
+            .filter(|r| r.dataset.starts_with("FERET"))
+            .count();
+        assert_eq!(feret, 3);
+    }
+
+    #[test]
+    fn every_row_calibrates() {
+        for row in table2_presets() {
+            let rates = row
+                .rates()
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", row.dataset, row.classifier));
+            // Round-trip within float noise.
+            let acc = rates.expected_accuracy(row.females, row.males);
+            let prec = rates.expected_precision(row.females, row.males);
+            assert!(
+                (acc - row.accuracy).abs() < 1e-6,
+                "{}: accuracy {acc} vs {}",
+                row.classifier,
+                row.accuracy
+            );
+            assert!(
+                (prec - row.precision).abs() < 1e-6,
+                "{}: precision {prec} vs {}",
+                row.classifier,
+                row.precision
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_follow_precision_threshold() {
+        // The paper's decisions are reproduced by the 0.75 threshold.
+        for row in table2_presets() {
+            let expected = if row.precision >= 0.75 {
+                "Partition"
+            } else {
+                "Label"
+            };
+            assert_eq!(
+                row.paper_strategy, expected,
+                "{} / {}",
+                row.dataset, row.classifier
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_set_sizes_are_sane() {
+        for row in table2_presets() {
+            let rates = row.rates().unwrap();
+            let g = rates.expected_predicted_positives(row.females, row.males);
+            assert!(
+                g > 0.0 && g < row.total() as f64,
+                "{}: |G|={g}",
+                row.classifier
+            );
+        }
+    }
+}

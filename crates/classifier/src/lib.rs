@@ -1,0 +1,31 @@
+//! # classifier-sim
+//!
+//! Pre-trained-model substrate for the EDBT 2024 coverage reproduction.
+//!
+//! * [`metrics`] — confusion counts, accuracy/precision/recall, log loss;
+//! * [`rates`] — derive a (TPR, FPR) operating point from a reported
+//!   (accuracy, precision) on a known composition — the calibration that
+//!   lets a simulated predictor reproduce each row of the paper's Table 2;
+//! * [`predictor`] — the calibrated noisy binary predictor
+//!   (stands in for DeepFace / BaseCNN);
+//! * [`catalog`] — presets for every classifier × dataset cell of Table 2;
+//! * [`linear`] — from-scratch logistic regression (SGD) and a nearest
+//!   centroid baseline for the §6.4 downstream-task experiments;
+//! * [`downstream`] — the train/evaluate disparity harness behind Figure 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod downstream;
+pub mod linear;
+pub mod metrics;
+pub mod predictor;
+pub mod rates;
+
+pub use catalog::{table2_presets, ClassifierPreset};
+pub use downstream::{run_disparity_experiment, DisparityPoint};
+pub use linear::{LogisticRegression, NearestCentroid, TrainConfig};
+pub use metrics::BinaryConfusion;
+pub use predictor::NoisyBinaryPredictor;
+pub use rates::BinaryRates;

@@ -1,0 +1,300 @@
+//! From-scratch trainable models over feature vectors: logistic regression
+//! (SGD) and a nearest-centroid baseline.
+//!
+//! These stand in for the CNNs of §6.4 — the downstream experiments only
+//! need *a* learner whose per-group accuracy reflects the training
+//! composition.
+
+use crate::metrics::{log_loss, BinaryConfusion};
+use dataset_sim::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 12,
+            learning_rate: 0.05,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// Binary logistic regression trained with SGD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LogisticRegression {
+    /// Trains on a dataset with attached features; the label is
+    /// `class_attr`'s value (must be binary: value 1 = positive).
+    ///
+    /// # Panics
+    /// Panics when the dataset has no features or is empty.
+    pub fn train<R: Rng + ?Sized>(
+        data: &Dataset,
+        class_attr: usize,
+        cfg: &TrainConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(
+            !data.features().is_empty(),
+            "dataset has no feature vectors attached"
+        );
+        let dim = data.features().dim();
+        let mut model = Self {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        };
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let x = data.features().row(i);
+                let y = f32::from(data.labels()[i].get(class_attr) == 1);
+                let p = model.predict_proba(x);
+                let err = p - y;
+                for (w, xi) in model.weights.iter_mut().zip(x) {
+                    *w -= cfg.learning_rate * (err * xi + cfg.l2 * *w);
+                }
+                model.bias -= cfg.learning_rate * err;
+            }
+        }
+        model
+    }
+
+    /// P(class = 1 | x).
+    pub fn predict_proba(&self, x: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        let z: f32 = self
+            .weights
+            .iter()
+            .zip(x)
+            .map(|(w, xi)| w * xi)
+            .sum::<f32>()
+            + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Hard decision at 0.5.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Accuracy and log loss over a dataset.
+    pub fn evaluate(&self, data: &Dataset, class_attr: usize) -> ModelEval {
+        evaluate_model(data, class_attr, |x| f64::from(self.predict_proba(x)))
+    }
+}
+
+/// Nearest-centroid classifier: predicts the class whose feature centroid
+/// is closer. A sanity baseline for the downstream experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NearestCentroid {
+    centroid_neg: Vec<f32>,
+    centroid_pos: Vec<f32>,
+}
+
+impl NearestCentroid {
+    /// Fits centroids on a dataset with attached features.
+    ///
+    /// # Panics
+    /// Panics when either class is absent or no features are attached.
+    pub fn train(data: &Dataset, class_attr: usize) -> Self {
+        assert!(
+            !data.features().is_empty(),
+            "dataset has no feature vectors attached"
+        );
+        let dim = data.features().dim();
+        let mut sums = [vec![0.0f64; dim], vec![0.0f64; dim]];
+        let mut counts = [0usize; 2];
+        for i in 0..data.len() {
+            let c = usize::from(data.labels()[i].get(class_attr) == 1);
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(data.features().row(i)) {
+                *s += f64::from(*x);
+            }
+        }
+        assert!(
+            counts[0] > 0 && counts[1] > 0,
+            "both classes must be present to fit centroids"
+        );
+        let centroid = |sum: &[f64], n: usize| -> Vec<f32> {
+            sum.iter().map(|s| (*s / n as f64) as f32).collect()
+        };
+        Self {
+            centroid_neg: centroid(&sums[0], counts[0]),
+            centroid_pos: centroid(&sums[1], counts[1]),
+        }
+    }
+
+    /// Hard decision by centroid distance.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        let d = |c: &[f32]| -> f32 { c.iter().zip(x).map(|(ci, xi)| (ci - xi) * (ci - xi)).sum() };
+        d(&self.centroid_pos) <= d(&self.centroid_neg)
+    }
+
+    /// Accuracy and (hard-decision) log loss over a dataset.
+    pub fn evaluate(&self, data: &Dataset, class_attr: usize) -> ModelEval {
+        evaluate_model(
+            data,
+            class_attr,
+            |x| {
+                if self.predict(x) {
+                    0.99
+                } else {
+                    0.01
+                }
+            },
+        )
+    }
+}
+
+/// Evaluation summary of a model on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelEval {
+    /// Fraction of correct hard decisions.
+    pub accuracy: f64,
+    /// Binary cross-entropy.
+    pub log_loss: f64,
+    /// Confusion counts.
+    pub confusion: BinaryConfusion,
+}
+
+fn evaluate_model<F: Fn(&[f32]) -> f64>(data: &Dataset, class_attr: usize, proba: F) -> ModelEval {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let mut truths = Vec::with_capacity(data.len());
+    let mut probs = Vec::with_capacity(data.len());
+    let mut confusion = BinaryConfusion::default();
+    for i in 0..data.len() {
+        let t = data.labels()[i].get(class_attr) == 1;
+        let p = proba(data.features().row(i));
+        confusion.record(t, p >= 0.5);
+        truths.push(t);
+        probs.push(p);
+    }
+    ModelEval {
+        accuracy: confusion.accuracy(),
+        log_loss: log_loss(&truths, &probs),
+        confusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::pattern::Pattern;
+    use dataset_sim::synth::DatasetBuilder;
+    use dataset_sim::ShiftedFeatureModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Balanced two-class dataset with unshifted separable features.
+    fn separable(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = DatasetBuilder::one_attribute("class", &["neg", "pos"])
+            .counts(&[n_per_class, n_per_class])
+            .build(&mut rng);
+        let mut model = ShiftedFeatureModel::new(
+            0,
+            Pattern::parse("9").unwrap_or_else(|_| {
+                // group that never matches: value 9 is out of domain, so build
+                // a never-matching pattern from an unused value of a 1-attr
+                // schema by using rotation 0 instead.
+                Pattern::all_unspecified(1)
+            }),
+        );
+        // No shifted subgroup: rotation 0 on everything.
+        model.rotation = 0.0;
+        model.separation = 2.5;
+        model.attach(d, &mut rng)
+    }
+
+    #[test]
+    fn logistic_learns_separable_data() {
+        let train = separable(400, 1);
+        let test = separable(400, 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = LogisticRegression::train(&train, 0, &TrainConfig::default(), &mut rng);
+        let eval = m.evaluate(&test, 0);
+        assert!(eval.accuracy > 0.85, "accuracy {}", eval.accuracy);
+        assert!(eval.log_loss < 0.5, "loss {}", eval.log_loss);
+    }
+
+    #[test]
+    fn centroid_learns_separable_data() {
+        let train = separable(400, 4);
+        let test = separable(400, 5);
+        let m = NearestCentroid::train(&train, 0);
+        let eval = m.evaluate(&test, 0);
+        assert!(eval.accuracy > 0.85, "accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn logistic_weights_concentrate_on_signal_dims() {
+        let train = separable(600, 6);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = LogisticRegression::train(&train, 0, &TrainConfig::default(), &mut rng);
+        let w = m.weights();
+        let signal = w[0].abs();
+        let max_noise = w[2..].iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+        assert!(
+            signal > max_noise,
+            "signal weight {signal} vs noise {max_noise}"
+        );
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let train = separable(100, 8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let m = LogisticRegression::train(&train, 0, &TrainConfig::default(), &mut rng);
+        for i in 0..train.len() {
+            let p = m.predict_proba(train.features().row(i));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no feature vectors")]
+    fn training_without_features_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = DatasetBuilder::one_attribute("class", &["a", "b"])
+            .counts(&[5, 5])
+            .build(&mut rng);
+        LogisticRegression::train(&d, 0, &TrainConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn centroid_needs_both_classes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = DatasetBuilder::one_attribute("class", &["a", "b"])
+            .counts(&[10, 0])
+            .build(&mut rng);
+        let mut model = ShiftedFeatureModel::new(0, Pattern::all_unspecified(1));
+        model.rotation = 0.0;
+        let d = model.attach(d, &mut rng);
+        NearestCentroid::train(&d, 0);
+    }
+}

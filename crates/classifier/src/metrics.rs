@@ -1,0 +1,169 @@
+//! Binary classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for a binary task (positive = the group of interest,
+/// e.g. *female*).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl BinaryConfusion {
+    /// Records one prediction.
+    pub fn record(&mut self, truth: bool, predicted: bool) {
+        match (truth, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Builds a confusion matrix from paired truths/predictions.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn from_pairs(truths: &[bool], predictions: &[bool]) -> Self {
+        assert_eq!(truths.len(), predictions.len(), "length mismatch");
+        let mut c = Self::default();
+        for (t, p) in truths.iter().zip(predictions) {
+            c.record(*t, *p);
+        }
+        c
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(TP + TN) / total`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// `TP / (TP + FP)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `TP / (TP + FN)` (sensitivity); 0 when no positives exist.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// `FP / (FP + TN)`; 0 when no negatives exist.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tn) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when either is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Binary cross-entropy of probabilistic predictions, clamped for stability.
+///
+/// # Panics
+/// Panics when lengths differ or inputs are empty.
+pub fn log_loss(truths: &[bool], probabilities: &[f64]) -> f64 {
+    assert_eq!(truths.len(), probabilities.len(), "length mismatch");
+    assert!(!truths.is_empty(), "log loss of nothing is undefined");
+    let eps = 1e-12;
+    let mut sum = 0.0;
+    for (t, p) in truths.iter().zip(probabilities) {
+        let p = p.clamp(eps, 1.0 - eps);
+        sum -= if *t { p.ln() } else { (1.0 - p).ln() };
+    }
+    sum / truths.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let c = BinaryConfusion::from_pairs(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // TP=2 FP=1 TN=3 FN=2.
+        let c = BinaryConfusion {
+            tp: 2,
+            fp: 1,
+            tn: 3,
+            fn_: 2,
+        };
+        assert!((c.accuracy() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero() {
+        let empty = BinaryConfusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    fn log_loss_of_confident_truths_is_small() {
+        let loss = log_loss(&[true, false], &[0.99, 0.01]);
+        assert!(loss < 0.02);
+        let bad = log_loss(&[true, false], &[0.01, 0.99]);
+        assert!(bad > 4.0);
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        let loss = log_loss(&[true], &[0.0]); // would be inf unclamped
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_pairs_panic() {
+        BinaryConfusion::from_pairs(&[true], &[true, false]);
+    }
+}

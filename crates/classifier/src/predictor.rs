@@ -1,0 +1,190 @@
+//! The calibrated noisy binary predictor — the stand-in for DeepFace /
+//! BaseCNN in the Table 2 experiments.
+
+use crate::metrics::BinaryConfusion;
+use crate::rates::BinaryRates;
+use coverage_core::engine::{GroundTruth, ObjectId};
+use coverage_core::target::Target;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A binary group predictor operating at a fixed (TPR, FPR) point.
+#[derive(Debug, Clone)]
+pub struct NoisyBinaryPredictor {
+    target: Target,
+    rates: BinaryRates,
+}
+
+impl NoisyBinaryPredictor {
+    /// Creates a predictor for `target` at the given operating point.
+    pub fn new(target: Target, rates: BinaryRates) -> Self {
+        Self { target, rates }
+    }
+
+    /// The group this predictor recognizes.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The operating point.
+    pub fn rates(&self) -> BinaryRates {
+        self.rates
+    }
+
+    /// Bernoulli prediction for one object.
+    pub fn predict_one<G: GroundTruth, R: Rng + ?Sized>(
+        &self,
+        truth: &G,
+        id: ObjectId,
+        rng: &mut R,
+    ) -> bool {
+        let positive = self.target.matches(&truth.labels_of(id));
+        if positive {
+            rng.gen_bool(self.rates.tpr)
+        } else {
+            rng.gen_bool(self.rates.fpr)
+        }
+    }
+
+    /// Predicts the whole pool object-by-object (Bernoulli draws).
+    /// Returns the predicted-positive ids in pool order.
+    pub fn predict_pool<G: GroundTruth, R: Rng + ?Sized>(
+        &self,
+        truth: &G,
+        pool: &[ObjectId],
+        rng: &mut R,
+    ) -> Vec<ObjectId> {
+        pool.iter()
+            .filter(|id| self.predict_one(truth, **id, rng))
+            .copied()
+            .collect()
+    }
+
+    /// Predicts with *exact* expected counts: picks exactly
+    /// `round(tpr·|positives|)` true members and `round(fpr·|negatives|)`
+    /// non-members, uniformly at random. This removes sampling noise from
+    /// the Table 2 reproduction so each run matches the paper's reported
+    /// confusion structure.
+    pub fn predict_pool_exact<G: GroundTruth, R: Rng + ?Sized>(
+        &self,
+        truth: &G,
+        pool: &[ObjectId],
+        rng: &mut R,
+    ) -> Vec<ObjectId> {
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        for id in pool {
+            if self.target.matches(&truth.labels_of(*id)) {
+                positives.push(*id);
+            } else {
+                negatives.push(*id);
+            }
+        }
+        let tp = ((self.rates.tpr * positives.len() as f64).round() as usize).min(positives.len());
+        let fp = ((self.rates.fpr * negatives.len() as f64).round() as usize).min(negatives.len());
+        positives.shuffle(rng);
+        negatives.shuffle(rng);
+        let mut predicted: Vec<ObjectId> = positives[..tp]
+            .iter()
+            .chain(negatives[..fp].iter())
+            .copied()
+            .collect();
+        // Present the predicted set in pool order, as a real pipeline would.
+        let index: std::collections::HashMap<ObjectId, usize> =
+            pool.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        predicted.sort_by_key(|id| index[id]);
+        predicted
+    }
+
+    /// Evaluates a predicted-positive set against ground truth.
+    pub fn evaluate<G: GroundTruth>(
+        &self,
+        truth: &G,
+        pool: &[ObjectId],
+        predicted: &[ObjectId],
+    ) -> BinaryConfusion {
+        let predicted_set: std::collections::HashSet<ObjectId> =
+            predicted.iter().copied().collect();
+        let mut c = BinaryConfusion::default();
+        for id in pool {
+            let t = self.target.matches(&truth.labels_of(*id));
+            c.record(t, predicted_set.contains(id));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::engine::VecGroundTruth;
+    use coverage_core::pattern::Pattern;
+    use coverage_core::schema::Labels;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn truth(n: usize, positives: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < positives)))
+                .collect(),
+        )
+    }
+
+    fn female() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    #[test]
+    fn exact_prediction_hits_expected_counts() {
+        let t = truth(3000, 20);
+        let rates = BinaryRates::from_accuracy_precision(0.9653, 0.08, 20, 2980).unwrap();
+        let p = NoisyBinaryPredictor::new(female(), rates);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let predicted = p.predict_pool_exact(&t, &t.all_ids(), &mut rng);
+        let c = p.evaluate(&t, &t.all_ids(), &predicted);
+        assert_eq!(c.tp, 8);
+        assert_eq!(c.fp, 92);
+        assert!((c.accuracy() - 0.9653).abs() < 0.002);
+        assert!((c.precision() - 0.08).abs() < 0.01);
+    }
+
+    #[test]
+    fn exact_prediction_preserves_pool_order() {
+        let t = truth(100, 50);
+        let p = NoisyBinaryPredictor::new(female(), BinaryRates::perfect());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let predicted = p.predict_pool_exact(&t, &t.all_ids(), &mut rng);
+        let mut sorted = predicted.clone();
+        sorted.sort();
+        assert_eq!(predicted, sorted, "pool order is ascending ids here");
+        assert_eq!(predicted.len(), 50);
+    }
+
+    #[test]
+    fn bernoulli_prediction_approximates_rates() {
+        let t = truth(5000, 1000);
+        let rates = BinaryRates::new(0.8, 0.1).unwrap();
+        let p = NoisyBinaryPredictor::new(female(), rates);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let predicted = p.predict_pool(&t, &t.all_ids(), &mut rng);
+        let c = p.evaluate(&t, &t.all_ids(), &predicted);
+        assert!((c.recall() - 0.8).abs() < 0.05, "tpr {}", c.recall());
+        assert!(
+            (c.false_positive_rate() - 0.1).abs() < 0.02,
+            "fpr {}",
+            c.false_positive_rate()
+        );
+    }
+
+    #[test]
+    fn perfect_predictor_is_exact() {
+        let t = truth(500, 77);
+        let p = NoisyBinaryPredictor::new(female(), BinaryRates::perfect());
+        let mut rng = SmallRng::seed_from_u64(4);
+        let predicted = p.predict_pool(&t, &t.all_ids(), &mut rng);
+        let c = p.evaluate(&t, &t.all_ids(), &predicted);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(predicted.len(), 77);
+    }
+}

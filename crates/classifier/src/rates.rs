@@ -1,0 +1,223 @@
+//! Deriving an operating point from published metrics.
+//!
+//! The paper's Table 2 characterizes each classifier on each dataset by
+//! (accuracy, precision-on-female). Given the known composition
+//! (`n_pos` females, `n_neg` males), those two numbers pin down the
+//! confusion matrix — and hence the (TPR, FPR) a simulated predictor must
+//! have to reproduce the row:
+//!
+//! ```text
+//! TP + TN = accuracy · (n_pos + n_neg)
+//! TP / (TP + FP) = precision         ⇒ FP = TP · (1 − precision)/precision
+//! TN = n_neg − FP
+//! ⇒ TP · (1 − (1 − precision)/precision) ... solved linearly below.
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// True-positive and false-positive rates of a binary predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryRates {
+    /// P(predict positive | positive).
+    pub tpr: f64,
+    /// P(predict positive | negative).
+    pub fpr: f64,
+}
+
+/// Why a published (accuracy, precision) pair cannot be realized on a
+/// composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrationError {
+    /// Inputs outside `[0, 1]` or an empty composition.
+    InvalidInput(String),
+    /// The implied confusion matrix has a negative or oversized cell.
+    Infeasible {
+        /// Implied true positives.
+        tp: f64,
+        /// Implied false positives.
+        fp: f64,
+    },
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidInput(m) => write!(f, "invalid calibration input: {m}"),
+            Self::Infeasible { tp, fp } => write!(
+                f,
+                "metrics are infeasible on this composition (implied TP={tp:.2}, FP={fp:.2})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+impl BinaryRates {
+    /// A flawless predictor.
+    pub fn perfect() -> Self {
+        Self { tpr: 1.0, fpr: 0.0 }
+    }
+
+    /// Creates rates, validating the ranges.
+    pub fn new(tpr: f64, fpr: f64) -> Result<Self, CalibrationError> {
+        if !(0.0..=1.0).contains(&tpr) || !(0.0..=1.0).contains(&fpr) {
+            return Err(CalibrationError::InvalidInput(format!(
+                "rates must lie in [0,1], got tpr={tpr}, fpr={fpr}"
+            )));
+        }
+        Ok(Self { tpr, fpr })
+    }
+
+    /// Solves for the (TPR, FPR) that realize the published
+    /// `(accuracy, precision)` on a composition of `n_pos` positives and
+    /// `n_neg` negatives.
+    ///
+    /// Precision 1.0 means zero false positives; precision 0.0 is rejected
+    /// (no TP at all ⇒ accuracy alone cannot place the operating point).
+    pub fn from_accuracy_precision(
+        accuracy: f64,
+        precision: f64,
+        n_pos: usize,
+        n_neg: usize,
+    ) -> Result<Self, CalibrationError> {
+        if !(0.0..=1.0).contains(&accuracy) || !(0.0..=1.0).contains(&precision) {
+            return Err(CalibrationError::InvalidInput(format!(
+                "accuracy={accuracy}, precision={precision} must lie in [0,1]"
+            )));
+        }
+        if precision == 0.0 {
+            return Err(CalibrationError::InvalidInput(
+                "precision 0 leaves the operating point undetermined".into(),
+            ));
+        }
+        if n_pos == 0 || n_neg == 0 {
+            return Err(CalibrationError::InvalidInput(
+                "composition needs both positives and negatives".into(),
+            ));
+        }
+        let total = (n_pos + n_neg) as f64;
+        // correct = TP + TN, TN = n_neg − FP, FP = r·TP with
+        // r = (1 − precision)/precision:
+        //   accuracy·total = TP + n_neg − r·TP  ⇒  TP = (accuracy·total − n_neg)/(1 − r)
+        let r = (1.0 - precision) / precision;
+        let denom = 1.0 - r;
+        if denom.abs() < 1e-12 {
+            return Err(CalibrationError::InvalidInput(
+                "precision 0.5 makes TP cancel out; composition cannot be solved".into(),
+            ));
+        }
+        let tp = (accuracy * total - n_neg as f64) / denom;
+        let fp = r * tp;
+        if tp < -1e-9 || fp < -1e-9 || tp > n_pos as f64 + 1e-9 || fp > n_neg as f64 + 1e-9 {
+            return Err(CalibrationError::Infeasible { tp, fp });
+        }
+        Self::new(
+            (tp / n_pos as f64).clamp(0.0, 1.0),
+            (fp / n_neg as f64).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Expected accuracy of these rates on a composition.
+    pub fn expected_accuracy(&self, n_pos: usize, n_neg: usize) -> f64 {
+        let total = (n_pos + n_neg) as f64;
+        (self.tpr * n_pos as f64 + (1.0 - self.fpr) * n_neg as f64) / total
+    }
+
+    /// Expected precision of these rates on a composition (0 when nothing
+    /// is predicted positive).
+    pub fn expected_precision(&self, n_pos: usize, n_neg: usize) -> f64 {
+        let tp = self.tpr * n_pos as f64;
+        let fp = self.fpr * n_neg as f64;
+        if tp + fp == 0.0 {
+            0.0
+        } else {
+            tp / (tp + fp)
+        }
+    }
+
+    /// Expected size of the predicted-positive set.
+    pub fn expected_predicted_positives(&self, n_pos: usize, n_neg: usize) -> f64 {
+        self.tpr * n_pos as f64 + self.fpr * n_neg as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's FERET row: DeepFace (opencv), accuracy 79.57 %,
+    /// precision 99.5 % on 403 F / 591 M.
+    #[test]
+    fn feret_deepface_opencv_row() {
+        let r = BinaryRates::from_accuracy_precision(0.7957, 0.995, 403, 591).unwrap();
+        // Implied TP ≈ 201, FP ≈ 1.
+        assert!((r.tpr * 403.0 - 201.0).abs() < 3.0, "tp {}", r.tpr * 403.0);
+        assert!(r.fpr * 591.0 < 2.5, "fp {}", r.fpr * 591.0);
+        // Round-trip.
+        assert!((r.expected_accuracy(403, 591) - 0.7957).abs() < 1e-6);
+        assert!((r.expected_precision(403, 591) - 0.995).abs() < 1e-6);
+    }
+
+    /// The paper's hardest row: UTKFace 20 F / 2980 M, accuracy 96.53 %,
+    /// precision 8 % ⇒ predicted set ≈ 100 with only 8 real females.
+    #[test]
+    fn utkface_20_2980_low_precision_row() {
+        let r = BinaryRates::from_accuracy_precision(0.9653, 0.08, 20, 2980).unwrap();
+        let predicted = r.expected_predicted_positives(20, 2980);
+        assert!((90.0..115.0).contains(&predicted), "predicted {predicted}");
+        assert!((r.expected_precision(20, 2980) - 0.08).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_precision_means_zero_fp() {
+        let r = BinaryRates::from_accuracy_precision(0.841, 1.0, 403, 591).unwrap();
+        assert_eq!(r.fpr, 0.0);
+        assert!((r.expected_accuracy(403, 591) - 0.841).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_combination_rejected() {
+        // Accuracy 10% with precision 99% on a 50/50 split is impossible.
+        let e = BinaryRates::from_accuracy_precision(0.10, 0.99, 500, 500);
+        assert!(matches!(e, Err(CalibrationError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(BinaryRates::from_accuracy_precision(1.2, 0.9, 10, 10).is_err());
+        assert!(BinaryRates::from_accuracy_precision(0.9, 0.0, 10, 10).is_err());
+        assert!(BinaryRates::from_accuracy_precision(0.9, 0.9, 0, 10).is_err());
+        assert!(BinaryRates::new(1.5, 0.0).is_err());
+        let e = BinaryRates::from_accuracy_precision(0.9, 0.5, 10, 10);
+        assert!(e.is_err(), "precision 0.5 is singular: {e:?}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CalibrationError::Infeasible { tp: -3.0, fp: 1.0 };
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    proptest! {
+        /// Calibration round-trips: feasible (acc, prec) pairs reproduce
+        /// themselves in expectation.
+        #[test]
+        fn prop_roundtrip(
+            tpr in 0.05f64..1.0,
+            fpr in 0.0f64..0.95,
+            n_pos in 10usize..2000,
+            n_neg in 10usize..2000,
+        ) {
+            let r0 = BinaryRates::new(tpr, fpr).unwrap();
+            let acc = r0.expected_accuracy(n_pos, n_neg);
+            let prec = r0.expected_precision(n_pos, n_neg);
+            prop_assume!(prec > 0.01 && (prec - 0.5).abs() > 0.01);
+            let r1 = BinaryRates::from_accuracy_precision(acc, prec, n_pos, n_neg).unwrap();
+            prop_assert!((r1.expected_accuracy(n_pos, n_neg) - acc).abs() < 1e-6);
+            prop_assert!((r1.expected_precision(n_pos, n_neg) - prec).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Coverage *resolution*: turning an audit into an acquisition plan.
+//!
+//! Detecting MUPs says where the dataset is thin; the companion problem
+//! (studied for tabular data in the paper's reference \[4\]) is deciding
+//! **what to acquire** so the uncovered patterns become covered. Because a
+//! dataset can only contain fully-specified objects, a plan assigns
+//! additional object counts to fully-specified subgroups; an object
+//! acquired for cell `c` counts toward *every* pattern that generalizes
+//! `c`, so a well-placed cell can repair several MUPs at once.
+//!
+//! [`acquisition_plan`] runs a greedy set-cover-flavoured heuristic: while
+//! any target pattern is still short, add the needed objects to the
+//! *thinnest* descendant cell of the pattern with the largest deficit,
+//! preferring cells that appear under many deficient targets. Greedy is
+//! not optimal in general (min-cost resolution is NP-hard for arbitrary
+//! targets, per \[4\]), but it is exact for a single target and sound for
+//! all: the returned plan always repairs every target.
+
+use crate::mup::{pattern_count, FullGroupCounts};
+use crate::pattern::Pattern;
+use crate::pattern_graph::PatternGraph;
+use crate::schema::AttributeSchema;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How many objects of each fully-specified subgroup to acquire.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcquisitionPlan {
+    /// Additional objects per fully-specified subgroup.
+    pub additions: HashMap<Pattern, usize>,
+}
+
+impl AcquisitionPlan {
+    /// Total objects to acquire.
+    pub fn total(&self) -> usize {
+        self.additions.values().sum()
+    }
+
+    /// Post-acquisition count of an arbitrary pattern.
+    pub fn resolved_count(
+        &self,
+        graph: &PatternGraph,
+        counts: &FullGroupCounts,
+        p: &Pattern,
+    ) -> usize {
+        let base = pattern_count(graph, counts, p);
+        let added: usize = graph
+            .full_descendants(p)
+            .iter()
+            .map(|fg| self.additions.get(fg).copied().unwrap_or(0))
+            .sum();
+        base + added
+    }
+
+    /// Renders the plan with value names, largest additions first.
+    pub fn describe(&self, schema: &AttributeSchema) -> String {
+        let mut rows: Vec<(String, usize)> = self
+            .additions
+            .iter()
+            .filter(|(_, k)| **k > 0)
+            .map(|(p, k)| (schema.pattern_display(p), *k))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.iter()
+            .map(|(name, k)| format!("+{k} {name}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Computes an acquisition plan that covers every pattern in `targets`
+/// at threshold `tau`, given current fully-specified counts.
+///
+/// Typical usage: pass the MUPs from an
+/// [`IntersectionalReport`](crate::intersectional::IntersectionalReport) —
+/// covering each MUP also covers all of its (less deficient) ancestors.
+///
+/// # Panics
+/// Panics when a target's arity does not match the schema.
+///
+/// # Example
+///
+/// ```
+/// use coverage_core::prelude::*;
+/// use coverage_core::mup::FullGroupCounts;
+///
+/// let schema = AttributeSchema::new(vec![
+///     Attribute::binary("gender", "male", "female").unwrap(),
+///     Attribute::binary("skin", "light", "dark").unwrap(),
+/// ]).unwrap();
+/// let mut counts = FullGroupCounts::new();
+/// counts.insert(Pattern::parse("00").unwrap(), 500); // male-light
+/// counts.insert(Pattern::parse("10").unwrap(), 400); // female-light
+/// counts.insert(Pattern::parse("01").unwrap(), 30);  // male-dark
+/// counts.insert(Pattern::parse("11").unwrap(), 12);  // female-dark
+///
+/// // X-dark has 42 members; 8 more make it covered at τ = 50.
+/// let x_dark = schema.pattern(&[("skin", "dark")]).unwrap();
+/// let plan = acquisition_plan(&schema, &counts, 50, &[x_dark]);
+/// assert_eq!(plan.total(), 8);
+/// ```
+pub fn acquisition_plan(
+    schema: &AttributeSchema,
+    counts: &FullGroupCounts,
+    tau: usize,
+    targets: &[Pattern],
+) -> AcquisitionPlan {
+    for t in targets {
+        assert_eq!(t.d(), schema.d(), "target arity must match the schema");
+    }
+    let graph = PatternGraph::new(schema);
+    let mut plan = AcquisitionPlan::default();
+
+    loop {
+        // Deficits under the current plan.
+        let mut deficits: Vec<(Pattern, usize)> = targets
+            .iter()
+            .filter_map(|t| {
+                let have = plan.resolved_count(&graph, counts, t);
+                (have < tau).then(|| (*t, tau - have))
+            })
+            .collect();
+        if deficits.is_empty() {
+            return plan;
+        }
+        // Repair the largest deficit first.
+        deficits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.to_string().cmp(&b.0.to_string())));
+        let (target, deficit) = deficits[0];
+
+        // Pick the descendant cell that appears under the most deficient
+        // targets (ties: thinnest cell, then lexicographic for
+        // determinism).
+        let deficient: Vec<Pattern> = deficits.iter().map(|(p, _)| *p).collect();
+        let cell = graph
+            .full_descendants(&target)
+            .into_iter()
+            .max_by(|a, b| {
+                let synergy = |c: &Pattern| deficient.iter().filter(|t| t.generalizes(c)).count();
+                let thin = |c: &Pattern| std::cmp::Reverse(plan.resolved_count(&graph, counts, c));
+                synergy(a)
+                    .cmp(&synergy(b))
+                    .then(thin(a).cmp(&thin(b)))
+                    .then(b.to_string().cmp(&a.to_string()))
+            })
+            .expect("every pattern has at least one full descendant");
+        *plan.additions.entry(cell).or_insert(0) += deficit;
+    }
+}
+
+/// Computes a plan after which **no pattern at all** is uncovered — i.e.
+/// re-deriving MUPs on the repaired counts returns nothing.
+///
+/// Repairing only the MUPs is not enough for that: once a MUP is covered,
+/// its previously-shadowed uncovered children surface as new MUPs. This
+/// helper simply targets every uncovered pattern in the lattice, bottom
+/// level included, so the greedy routing can still share acquisitions
+/// between a parent and its children.
+pub fn full_repair_plan(
+    schema: &AttributeSchema,
+    counts: &FullGroupCounts,
+    tau: usize,
+) -> AcquisitionPlan {
+    let graph = PatternGraph::new(schema);
+    let uncovered: Vec<Pattern> = graph
+        .iter()
+        .filter(|p| pattern_count(&graph, counts, p) < tau)
+        .copied()
+        .collect();
+    acquisition_plan(schema, counts, tau, &uncovered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mup::{count_full_groups, mups_from_counts};
+    use crate::schema::{Attribute, Labels};
+
+    fn schema_2x2() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::binary("skin", "light", "dark").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn counts_from(cells: &[([u8; 2], usize)]) -> FullGroupCounts {
+        let mut labels = Vec::new();
+        for (vals, k) in cells {
+            labels.extend(std::iter::repeat(Labels::new(vals)).take(*k));
+        }
+        count_full_groups(&labels, &schema_2x2())
+    }
+
+    #[test]
+    fn single_uncovered_cell_gets_exact_deficit() {
+        let schema = schema_2x2();
+        let counts = counts_from(&[([0, 0], 100), ([0, 1], 100), ([1, 0], 100), ([1, 1], 12)]);
+        let target = Pattern::parse("11").unwrap();
+        let plan = acquisition_plan(&schema, &counts, 50, &[target]);
+        assert_eq!(plan.total(), 38);
+        assert_eq!(plan.additions[&target], 38);
+    }
+
+    #[test]
+    fn plan_repairs_every_mup() {
+        let schema = schema_2x2();
+        let counts = counts_from(&[([0, 0], 500), ([1, 0], 400), ([0, 1], 20), ([1, 1], 5)]);
+        let tau = 50;
+        let mups = mups_from_counts(&schema, &counts, tau);
+        assert!(!mups.is_empty());
+        let plan = acquisition_plan(&schema, &counts, tau, &mups);
+        let graph = PatternGraph::new(&schema);
+        for m in &mups {
+            assert!(
+                plan.resolved_count(&graph, &counts, m) >= tau,
+                "{m} still uncovered after plan {plan:?}"
+            );
+        }
+        // After applying the plan, re-deriving MUPs finds nothing new under
+        // the old uncovered region.
+        let mut resolved = counts.clone();
+        for (cell, k) in &plan.additions {
+            *resolved.entry(*cell).or_insert(0) += k;
+        }
+        let still = mups_from_counts(&schema, &resolved, tau);
+        for m in &mups {
+            assert!(!still.contains(m), "{m} still a MUP");
+        }
+    }
+
+    #[test]
+    fn shared_cell_repairs_two_parents_at_once() {
+        // X-dark and female-X both uncovered; female-dark lies under both,
+        // so greedy should route additions through it rather than paying
+        // twice.
+        let schema = schema_2x2();
+        let counts = counts_from(&[([0, 0], 500), ([1, 0], 30), ([0, 1], 30), ([1, 1], 0)]);
+        let tau = 50;
+        let x_dark = Pattern::parse("X1").unwrap(); // count 30
+        let female_x = Pattern::parse("1X").unwrap(); // count 30
+        let plan = acquisition_plan(&schema, &counts, tau, &[x_dark, female_x]);
+        // 20 female-dark objects repair both; disjoint repairs would cost 40.
+        assert_eq!(plan.total(), 20, "plan: {}", plan.describe(&schema));
+        assert_eq!(plan.additions[&Pattern::parse("11").unwrap()], 20);
+    }
+
+    #[test]
+    fn already_covered_targets_cost_nothing() {
+        let schema = schema_2x2();
+        let counts = counts_from(&[([0, 0], 100), ([1, 1], 100)]);
+        let plan = acquisition_plan(&schema, &counts, 50, &[Pattern::parse("XX").unwrap()]);
+        assert_eq!(plan.total(), 0);
+        assert!(plan.describe(&schema).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_root_target() {
+        let schema = schema_2x2();
+        let counts = FullGroupCounts::new();
+        let plan = acquisition_plan(&schema, &counts, 10, &[Pattern::parse("XX").unwrap()]);
+        assert_eq!(plan.total(), 10);
+    }
+
+    #[test]
+    fn describe_sorts_by_size() {
+        let schema = schema_2x2();
+        let mut plan = AcquisitionPlan::default();
+        plan.additions.insert(Pattern::parse("11").unwrap(), 3);
+        plan.additions.insert(Pattern::parse("01").unwrap(), 9);
+        let s = plan.describe(&schema);
+        assert_eq!(s, "+9 male-dark, +3 female-dark");
+    }
+
+    #[test]
+    fn full_repair_leaves_no_mups() {
+        let schema = schema_2x2();
+        let counts = counts_from(&[([0, 0], 500), ([1, 0], 400), ([0, 1], 30), ([1, 1], 18)]);
+        let tau = 50;
+        let plan = full_repair_plan(&schema, &counts, tau);
+        let mut resolved = counts.clone();
+        for (cell, k) in &plan.additions {
+            *resolved.entry(*cell).or_insert(0) += k;
+        }
+        assert!(
+            mups_from_counts(&schema, &resolved, tau).is_empty(),
+            "plan {plan:?} leaves MUPs"
+        );
+        // Every cell is brought to exactly τ, no more: 20 + 32 here.
+        assert_eq!(plan.total(), 52);
+    }
+
+    #[test]
+    fn mup_only_repair_exposes_children() {
+        // The documented contrast: covering just the MUP X-dark surfaces
+        // its uncovered children as new MUPs.
+        let schema = schema_2x2();
+        let counts = counts_from(&[([0, 0], 500), ([1, 0], 400), ([0, 1], 30), ([1, 1], 18)]);
+        let tau = 50;
+        let mups = mups_from_counts(&schema, &counts, tau);
+        assert_eq!(mups, vec![Pattern::parse("X1").unwrap()]);
+        let plan = acquisition_plan(&schema, &counts, tau, &mups);
+        let mut resolved = counts.clone();
+        for (cell, k) in &plan.additions {
+            *resolved.entry(*cell).or_insert(0) += k;
+        }
+        let exposed = mups_from_counts(&schema, &resolved, tau);
+        assert!(!exposed.is_empty(), "children should surface as MUPs");
+        assert!(exposed.iter().all(|m| m.is_fully_specified()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_target_panics() {
+        let schema = schema_2x2();
+        acquisition_plan(
+            &schema,
+            &FullGroupCounts::new(),
+            5,
+            &[Pattern::parse("1").unwrap()],
+        );
+    }
+}

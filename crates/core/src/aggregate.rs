@@ -1,0 +1,284 @@
+//! Super-group aggregation (§4, `Aggregate` of Algorithm 6).
+//!
+//! When several groups are *all* expected to be tiny, one Group-Coverage run
+//! over their union (an OR set query) can certify them all uncovered at
+//! once. The heuristic estimates each group's population from the labeled
+//! sample (`E[|g|] = N·count(g)/|L|`), sorts groups by sample count
+//! ascending (so minorities sit together), and greedily merges consecutive
+//! groups while the running expected total stays below `τ`.
+//!
+//! In the intersectional case (`multi = true`) only *sibling* subgroups —
+//! fully-specified patterns that differ on exactly one attribute, i.e.
+//! share a parent — may be merged, so that an uncovered super-group count
+//! remains attributable to a single parent pattern.
+
+use crate::pattern::Pattern;
+use crate::sampling::LabeledStore;
+use crate::target::Target;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly singleton) set of groups searched together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperGroup {
+    /// The member groups, in ascending order of sample count.
+    pub members: Vec<Pattern>,
+    /// Expected total population of the members, from the sample.
+    pub expected_total: f64,
+}
+
+impl SuperGroup {
+    /// The OR target over the member groups.
+    pub fn target(&self) -> Target {
+        if self.members.len() == 1 {
+            Target::group(self.members[0])
+        } else {
+            Target::super_group(self.members.clone())
+        }
+    }
+
+    /// True for a one-group "super-group".
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// Can `candidate` join a super-group whose members so far are `members`,
+/// under the sibling restriction? True when `members` is empty, or when
+/// every current member shares a parent with the candidate **and** the
+/// whole merged set still shares a common parent (all patterns identical
+/// except on a single attribute).
+fn sibling_compatible(members: &[Pattern], candidate: &Pattern) -> bool {
+    let Some(first) = members.first() else {
+        return true;
+    };
+    // The differing attribute is fixed by the first two members.
+    let Some(parent) = first.common_parent(candidate) else {
+        return members.iter().all(|m| m == candidate);
+    };
+    members.iter().all(|m| parent.generalizes(m))
+}
+
+/// `Aggregate` (Algorithm 6, lines 6-14).
+///
+/// * `labeled` — the sample `L` produced by
+///   [`label_samples`](crate::sampling::label_samples).
+/// * `n_total` — the original dataset size `N` (pool + sample).
+/// * `tau` — the coverage threshold.
+/// * `groups` — the groups to organize (all values of one attribute, or all
+///   fully-specified subgroups for the intersectional case).
+/// * `multi` — restrict merges to sibling subgroups (intersectional mode).
+///
+/// Returns the partition of `groups` into super-groups. Groups the sample
+/// expects to be large come out as singletons; expected-tiny groups are
+/// merged while their expected sum stays below `tau`.
+pub fn aggregate(
+    labeled: &LabeledStore,
+    n_total: usize,
+    tau: usize,
+    groups: &[Pattern],
+    multi: bool,
+) -> Vec<SuperGroup> {
+    assert!(!groups.is_empty(), "aggregate needs at least one group");
+    let sample_size = labeled.len();
+
+    // Sort groups by sample count ascending (minorities first).
+    let mut with_counts: Vec<(Pattern, usize)> = groups
+        .iter()
+        .map(|g| (*g, labeled.count(&Target::group(*g))))
+        .collect();
+    with_counts.sort_by_key(|(_, c)| *c);
+
+    let expected = |count: usize| -> f64 {
+        if sample_size == 0 {
+            // No sample information: treat every group as potentially tiny.
+            0.0
+        } else {
+            count as f64 / sample_size as f64 * n_total as f64
+        }
+    };
+
+    let mut out: Vec<SuperGroup> = Vec::new();
+    let mut current: Vec<Pattern> = Vec::new();
+    let mut sum = 0.0f64;
+    for (g, c) in with_counts {
+        let e = expected(c);
+        let fits = sum + e < tau as f64;
+        let compatible = !multi || sibling_compatible(&current, &g);
+        if current.is_empty() || (fits && compatible) {
+            current.push(g);
+            sum += e;
+        } else {
+            out.push(SuperGroup {
+                members: std::mem::take(&mut current),
+                expected_total: sum,
+            });
+            current.push(g);
+            sum = e;
+        }
+    }
+    if !current.is_empty() {
+        out.push(SuperGroup {
+            members: current,
+            expected_total: sum,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ObjectId;
+    use crate::schema::Labels;
+
+    /// A labeled store over a single attribute with the given per-value counts.
+    fn store_1d(counts: &[usize]) -> LabeledStore {
+        let mut store = LabeledStore::new();
+        let mut id = 0u32;
+        for (v, c) in counts.iter().enumerate() {
+            for _ in 0..*c {
+                store.add(ObjectId(id), Labels::single(v as u8));
+                id += 1;
+            }
+        }
+        store
+    }
+
+    fn groups_1d(card: usize) -> Vec<Pattern> {
+        (0..card).map(|v| Pattern::single(1, 0, v as u8)).collect()
+    }
+
+    #[test]
+    fn minorities_merge_majority_stays_alone() {
+        // N = 1000, τ = 50, sample of 100: group counts 90, 6, 4 ⇒ expected
+        // 900, 60, 40. Groups 2 (exp 40) alone is below τ; adding group 1
+        // (exp 60) overshoots, so it opens a new super-group; group 0 is huge.
+        let store = store_1d(&[90, 6, 4]);
+        let groups = groups_1d(3);
+        let sgs = aggregate(&store, 1000, 50, &groups, false);
+        assert_eq!(sgs.len(), 3);
+        assert!(sgs.iter().all(SuperGroup::is_singleton));
+    }
+
+    #[test]
+    fn three_tiny_groups_become_one_super_group() {
+        // Expected sizes 10, 10, 10 with τ = 50 ⇒ merged; majority separate.
+        let store = store_1d(&[97, 1, 1, 1]);
+        let groups = groups_1d(4);
+        let sgs = aggregate(&store, 1000, 50, &groups, false);
+        assert_eq!(sgs.len(), 2);
+        let merged = &sgs[0];
+        assert_eq!(merged.members.len(), 3);
+        assert!((merged.expected_total - 30.0).abs() < 1e-9);
+        assert!(sgs[1].is_singleton());
+    }
+
+    #[test]
+    fn zero_count_groups_merge_freely() {
+        // Groups absent from the sample have expected size 0.
+        let store = store_1d(&[100, 0, 0, 0]);
+        let groups = groups_1d(4);
+        let sgs = aggregate(&store, 10_000, 50, &groups, false);
+        assert_eq!(sgs.len(), 2);
+        assert_eq!(sgs[0].members.len(), 3);
+        assert_eq!(sgs[0].expected_total, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_merges_everything() {
+        let store = LabeledStore::new();
+        let groups = groups_1d(4);
+        let sgs = aggregate(&store, 1000, 50, &groups, false);
+        assert_eq!(sgs.len(), 1);
+        assert_eq!(sgs[0].members.len(), 4);
+    }
+
+    #[test]
+    fn aggregation_is_a_partition() {
+        let store = store_1d(&[50, 30, 10, 5, 3, 2]);
+        let groups = groups_1d(6);
+        let sgs = aggregate(&store, 2000, 50, &groups, false);
+        let mut all: Vec<Pattern> = sgs.iter().flat_map(|s| s.members.clone()).collect();
+        all.sort_by_key(|p| format!("{p}"));
+        let mut want = groups.clone();
+        want.sort_by_key(|p| format!("{p}"));
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn multi_mode_merges_only_siblings() {
+        // Two binary attributes ⇒ four fully-specified subgroups.
+        // Make 00 and 11 tiny: they do NOT share a parent (differ on both
+        // attributes), so multi mode must keep them apart even though the
+        // expected sums would allow a merge.
+        let mut store = LabeledStore::new();
+        let mut id = 0u32;
+        let mut push = |vals: [u8; 2], c: usize, store: &mut LabeledStore| {
+            for _ in 0..c {
+                store.add(ObjectId(id), Labels::new(&vals));
+                id += 1;
+            }
+        };
+        push([0, 0], 1, &mut store);
+        push([1, 1], 1, &mut store);
+        push([0, 1], 49, &mut store);
+        push([1, 0], 49, &mut store);
+        let groups = vec![
+            Pattern::parse("00").unwrap(),
+            Pattern::parse("01").unwrap(),
+            Pattern::parse("10").unwrap(),
+            Pattern::parse("11").unwrap(),
+        ];
+        let sgs = aggregate(&store, 100, 50, &groups, true);
+        // 00 and 11 each expected size 1 — mergeable by size, but not siblings.
+        for sg in &sgs {
+            if sg.members.len() > 1 {
+                let parent = sg.members[0].common_parent(&sg.members[1]);
+                assert!(parent.is_some(), "non-sibling merge: {:?}", sg.members);
+            }
+        }
+        let tiny_together = sgs.iter().any(|s| {
+            s.members.contains(&Pattern::parse("00").unwrap())
+                && s.members.contains(&Pattern::parse("11").unwrap())
+        });
+        assert!(!tiny_together, "00 and 11 must not merge in multi mode");
+    }
+
+    #[test]
+    fn multi_mode_merges_actual_siblings() {
+        // Attribute 2 has three values; 0-0, 0-1, 0-2 are siblings via 0-X.
+        let mut store = LabeledStore::new();
+        store.add(ObjectId(0), Labels::new(&[1, 0]));
+        let groups = vec![
+            Pattern::parse("00").unwrap(),
+            Pattern::parse("01").unwrap(),
+            Pattern::parse("02").unwrap(),
+        ];
+        let sgs = aggregate(&store, 100, 50, &groups, true);
+        assert_eq!(sgs.len(), 1, "siblings with zero counts should merge");
+        assert_eq!(sgs[0].members.len(), 3);
+    }
+
+    #[test]
+    fn super_group_target_is_or() {
+        let sg = SuperGroup {
+            members: vec![Pattern::parse("0X").unwrap(), Pattern::parse("1X").unwrap()],
+            expected_total: 3.0,
+        };
+        let t = sg.target();
+        assert!(t.matches(&Labels::new(&[0, 1])));
+        assert!(t.matches(&Labels::new(&[1, 0])));
+        let singleton = SuperGroup {
+            members: vec![Pattern::parse("0X").unwrap()],
+            expected_total: 3.0,
+        };
+        assert!(singleton.is_singleton());
+        assert!(singleton.target().is_single_group());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_groups_panics() {
+        aggregate(&LabeledStore::new(), 10, 5, &[], false);
+    }
+}

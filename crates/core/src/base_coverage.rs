@@ -1,0 +1,147 @@
+//! **Base-Coverage** — the brute-force baseline (Algorithm 7).
+//!
+//! One yes/no point query per object ("does this image show a member of
+//! g?"), scanning the pool until `τ` members are found or the pool is
+//! exhausted. Every task contains a single object *by definition* — this is
+//! the two-step baseline the paper argues is too expensive.
+
+use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::group_coverage::GroupCoverageOutcome;
+use crate::target::Target;
+
+/// Runs **Base-Coverage** over `pool` for `target` with threshold `tau`.
+///
+/// Returns the same outcome type as
+/// [`group_coverage`](crate::group_coverage::group_coverage); the
+/// `set_queries` field is zero — the cost shows up in the engine ledger's
+/// point tasks (one per object scanned).
+pub fn base_coverage<S: AnswerSource>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    target: &Target,
+    tau: usize,
+) -> GroupCoverageOutcome {
+    let mut cnt = 0usize;
+    let mut witnesses = Vec::new();
+    if tau == 0 {
+        return GroupCoverageOutcome {
+            covered: true,
+            count: 0,
+            set_queries: 0,
+            witnesses,
+        };
+    }
+    for &t in pool {
+        if engine.ask_membership_single(t, target) {
+            cnt += 1;
+            witnesses.push(t);
+            if cnt >= tau {
+                return GroupCoverageOutcome {
+                    covered: true,
+                    count: cnt,
+                    set_queries: 0,
+                    witnesses,
+                };
+            }
+        }
+    }
+    GroupCoverageOutcome {
+        covered: false,
+        count: cnt,
+        set_queries: 0,
+        witnesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GroundTruth;
+    use crate::engine::{PerfectSource, VecGroundTruth};
+    use crate::pattern::Pattern;
+    use crate::schema::Labels;
+
+    fn truth_with_minority(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    fn minority() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    #[test]
+    fn covered_stops_at_tau() {
+        let truth = truth_with_minority(1000, 100);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50);
+        assert!(out.covered);
+        assert_eq!(out.count, 50);
+        // Minority is at the front: exactly 50 point tasks.
+        assert_eq!(engine.ledger().point_tasks(), 50);
+        assert_eq!(out.witnesses.len(), 50);
+    }
+
+    #[test]
+    fn uncovered_scans_everything() {
+        let truth = truth_with_minority(200, 10);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50);
+        assert!(!out.covered);
+        assert_eq!(out.count, 10);
+        assert_eq!(engine.ledger().point_tasks(), 200);
+        assert_eq!(engine.ledger().total_tasks(), 200);
+    }
+
+    #[test]
+    fn each_object_is_one_task_never_batched() {
+        // Even with a large engine batch configured, Base-Coverage charges
+        // one task per object — the paper defines it that way.
+        let truth = truth_with_minority(30, 0);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+        base_coverage(&mut engine, &truth.all_ids(), &minority(), 5);
+        assert_eq!(engine.ledger().point_tasks(), 30);
+    }
+
+    #[test]
+    fn tau_zero_trivially_covered() {
+        let truth = truth_with_minority(5, 0);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 0);
+        assert!(out.covered);
+        assert_eq!(engine.ledger().total_tasks(), 0);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let truth = truth_with_minority(0, 0);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let out = base_coverage(&mut engine, &[], &minority(), 3);
+        assert!(!out.covered);
+        assert_eq!(out.count, 0);
+    }
+
+    #[test]
+    fn expected_cost_shape_matches_paper() {
+        // Table 1 shape: 215 females in 1522 images, τ = 50 — roughly
+        // 50·(N+1)/(f+1) ≈ 352 tasks when shuffled. With the females at
+        // uniform positions the deterministic scan gives the same order.
+        let n = 1522usize;
+        let f = 215usize;
+        let labels: Vec<Labels> = (0..n)
+            .map(|i| Labels::single(u8::from(i % (n / f) == 0 && i / (n / f) < f)))
+            .collect();
+        let truth = VecGroundTruth::new(labels);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50);
+        assert!(out.covered);
+        let tasks = engine.ledger().total_tasks();
+        assert!(
+            (250..=450).contains(&tasks),
+            "expected ≈350 tasks, got {tasks}"
+        );
+    }
+}

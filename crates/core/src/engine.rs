@@ -1,0 +1,332 @@
+//! The query engine: how algorithms talk to the crowd (§2.3).
+//!
+//! Algorithms never see ground truth. They pose questions through an
+//! [`Engine`], which meters every question in a [`TaskLedger`] and forwards
+//! it to an [`AnswerSource`] — a perfect oracle for synthetic experiments, or
+//! a full crowdsourcing simulation (see the `crowd-sim` crate).
+//!
+//! Two HIT shapes exist (paper Figures 1 and 2):
+//!
+//! * **point query** — "what are the attribute values of this object?", or
+//!   the yes/no variant "does this object belong to g?";
+//! * **set query** — "does this *set* contain at least one object of g?".
+
+use crate::ledger::{batched_tasks, TaskLedger};
+use crate::schema::Labels;
+use crate::target::Target;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an object (image) in a dataset: a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Access to the latent labels of a dataset. Implemented by dataset
+/// substrates; **never handed to algorithms directly** — only to answer
+/// sources, which may distort it (worker errors, classifier noise).
+pub trait GroundTruth {
+    /// Number of objects `N`.
+    fn num_objects(&self) -> usize;
+
+    /// Latent labels of one object.
+    ///
+    /// # Panics
+    /// Implementations panic when `id` is out of range.
+    fn labels_of(&self, id: ObjectId) -> Labels;
+
+    /// All object ids `t0..tN`, in dataset order.
+    fn all_ids(&self) -> Vec<ObjectId> {
+        (0..self.num_objects() as u32).map(ObjectId).collect()
+    }
+
+    /// Exact number of objects matching a target (evaluation only).
+    fn count_matching(&self, target: &Target) -> usize {
+        (0..self.num_objects() as u32)
+            .filter(|i| target.matches(&self.labels_of(ObjectId(*i))))
+            .count()
+    }
+}
+
+/// The simplest [`GroundTruth`]: a vector of label vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecGroundTruth {
+    labels: Vec<Labels>,
+}
+
+impl VecGroundTruth {
+    /// Wraps a vector of per-object labels.
+    pub fn new(labels: Vec<Labels>) -> Self {
+        Self { labels }
+    }
+
+    /// The underlying labels.
+    pub fn labels(&self) -> &[Labels] {
+        &self.labels
+    }
+}
+
+impl GroundTruth for VecGroundTruth {
+    fn num_objects(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn labels_of(&self, id: ObjectId) -> Labels {
+        self.labels[id.index()]
+    }
+}
+
+/// Something that can answer crowd questions. Answers may be wrong —
+/// that is the point of the abstraction.
+pub trait AnswerSource {
+    /// Answer a set query: does `objects` contain at least one member of
+    /// `target`?
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool;
+
+    /// Answer a point query: the attribute values of `object`.
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels;
+
+    /// Answer a yes/no point query: does `object` belong to `target`?
+    ///
+    /// The default derives the answer from a label request; sources with a
+    /// distinct yes/no error process should override.
+    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+        let labels = self.answer_point_labels(object);
+        target.matches(&labels)
+    }
+}
+
+/// An error-free answer source backed by ground truth. This is the model
+/// used by the paper's synthetic experiments (§6.5), which "simulate the
+/// behavior of the crowdworkers in answering queries".
+#[derive(Debug, Clone)]
+pub struct PerfectSource<'a, G: GroundTruth> {
+    truth: &'a G,
+}
+
+impl<'a, G: GroundTruth> PerfectSource<'a, G> {
+    /// Wraps a ground truth.
+    pub fn new(truth: &'a G) -> Self {
+        Self { truth }
+    }
+}
+
+impl<G: GroundTruth> AnswerSource for PerfectSource<'_, G> {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        objects
+            .iter()
+            .any(|o| target.matches(&self.truth.labels_of(*o)))
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        self.truth.labels_of(object)
+    }
+}
+
+/// Default number of images per point-query HIT, matching the paper's
+/// HIT layout (`n = 50` images per HIT).
+pub const DEFAULT_POINT_BATCH: usize = 50;
+
+/// Meters questions to an [`AnswerSource`] through a [`TaskLedger`].
+#[derive(Debug, Clone)]
+pub struct Engine<S> {
+    source: S,
+    ledger: TaskLedger,
+    point_batch: usize,
+}
+
+impl<S: AnswerSource> Engine<S> {
+    /// Wraps an answer source with the default point-query batch size.
+    pub fn new(source: S) -> Self {
+        Self::with_point_batch(source, DEFAULT_POINT_BATCH)
+    }
+
+    /// Wraps an answer source, batching up to `point_batch` point queries
+    /// per charged task.
+    ///
+    /// # Panics
+    /// Panics when `point_batch == 0`.
+    pub fn with_point_batch(source: S, point_batch: usize) -> Self {
+        assert!(point_batch > 0, "point batch size must be positive");
+        Self {
+            source,
+            ledger: TaskLedger::new(),
+            point_batch,
+        }
+    }
+
+    /// Issues a set query (one task).
+    pub fn ask_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        self.ledger.record_set_query();
+        self.source.answer_set(objects, target)
+    }
+
+    /// Labels a single object as its own task (used by `Base-Coverage`-style
+    /// single-object HITs).
+    pub fn ask_point_labels_single(&mut self, object: ObjectId) -> Labels {
+        self.ledger.record_point_work(1, 1);
+        self.source.answer_point_labels(object)
+    }
+
+    /// Yes/no membership question about a single object (one task).
+    pub fn ask_membership_single(&mut self, object: ObjectId, target: &Target) -> bool {
+        self.ledger.record_point_work(1, 1);
+        self.source.answer_membership(object, target)
+    }
+
+    /// Labels a batch of objects, charged as `ceil(len / point_batch)` tasks
+    /// — the paper's many-images-per-HIT layout.
+    pub fn ask_point_labels_batched(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+        self.ledger.record_point_work(
+            objects.len() as u64,
+            batched_tasks(objects.len(), self.point_batch),
+        );
+        objects
+            .iter()
+            .map(|o| self.source.answer_point_labels(*o))
+            .collect()
+    }
+
+    /// The configured point-query batch size.
+    pub fn point_batch(&self) -> usize {
+        self.point_batch
+    }
+
+    /// Read access to the running ledger.
+    pub fn ledger(&self) -> &TaskLedger {
+        &self.ledger
+    }
+
+    /// Snapshot of the ledger (for `since` deltas around an algorithm call).
+    pub fn ledger_snapshot(&self) -> TaskLedger {
+        self.ledger
+    }
+
+    /// Resets the ledger to zero, e.g. between experiment repetitions.
+    pub fn reset_ledger(&mut self) {
+        self.ledger = TaskLedger::new();
+    }
+
+    /// Read access to the wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Mutable access to the wrapped source (e.g. to reseed a simulator).
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+
+    /// Unwraps the engine into its source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn truth_with_minority(n: usize, minority: usize) -> VecGroundTruth {
+        let labels = (0..n)
+            .map(|i| Labels::single(u8::from(i < minority)))
+            .collect();
+        VecGroundTruth::new(labels)
+    }
+
+    #[test]
+    fn perfect_source_set_query() {
+        let truth = truth_with_minority(10, 3);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let all: Vec<ObjectId> = truth.all_ids();
+        assert!(engine.ask_set(&all[..5], &target));
+        assert!(!engine.ask_set(&all[5..], &target));
+        assert_eq!(engine.ledger().set_queries(), 2);
+        assert_eq!(engine.ledger().total_tasks(), 2);
+    }
+
+    #[test]
+    fn perfect_source_point_queries() {
+        let truth = truth_with_minority(4, 2);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        assert!(engine.ask_membership_single(ObjectId(0), &target));
+        assert!(!engine.ask_membership_single(ObjectId(3), &target));
+        assert_eq!(
+            engine.ask_point_labels_single(ObjectId(1)),
+            Labels::single(1)
+        );
+        assert_eq!(engine.ledger().point_tasks(), 3);
+        assert_eq!(engine.ledger().point_labels(), 3);
+    }
+
+    #[test]
+    fn batched_labels_charge_ceil() {
+        let truth = truth_with_minority(120, 0);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+        let ids = truth.all_ids();
+        let labels = engine.ask_point_labels_batched(&ids);
+        assert_eq!(labels.len(), 120);
+        assert_eq!(engine.ledger().point_tasks(), 3); // ceil(120/50)
+        assert_eq!(engine.ledger().point_labels(), 120);
+    }
+
+    #[test]
+    fn empty_batch_charges_nothing() {
+        let truth = truth_with_minority(1, 0);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let labels = engine.ask_point_labels_batched(&[]);
+        assert!(labels.is_empty());
+        assert_eq!(engine.ledger().total_tasks(), 0);
+    }
+
+    #[test]
+    fn ledger_snapshot_delta() {
+        let truth = truth_with_minority(10, 5);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let ids = truth.all_ids();
+        engine.ask_set(&ids, &target);
+        let snap = engine.ledger_snapshot();
+        engine.ask_set(&ids, &target);
+        assert_eq!(engine.ledger().since(&snap).set_queries(), 1);
+    }
+
+    #[test]
+    fn ground_truth_count_matching() {
+        let truth = truth_with_minority(10, 4);
+        let t1 = Target::group(Pattern::parse("1").unwrap());
+        assert_eq!(truth.count_matching(&t1), 4);
+        assert_eq!(truth.count_matching(&t1.negated()), 6);
+    }
+
+    #[test]
+    fn reset_ledger_zeroes() {
+        let truth = truth_with_minority(2, 1);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        engine.ask_point_labels_single(ObjectId(0));
+        engine.reset_ledger();
+        assert_eq!(engine.ledger().total_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_point_batch_panics() {
+        let truth = truth_with_minority(1, 0);
+        Engine::with_point_batch(PerfectSource::new(&truth), 0);
+    }
+}

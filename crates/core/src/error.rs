@@ -1,0 +1,149 @@
+//! Error type for schema and pattern construction.
+
+use std::fmt;
+
+/// Errors raised while building schemas, labels, or patterns.
+///
+/// Algorithmic entry points use typed panics (`assert!`) for programmer
+/// errors such as `n = 0`; `CoverageError` is reserved for data-dependent
+/// construction failures that a caller can reasonably handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageError {
+    /// An attribute was declared with fewer than two values.
+    AttributeTooNarrow {
+        /// Name of the offending attribute.
+        name: String,
+    },
+    /// An attribute was declared with more values than a `u8` index can hold.
+    AttributeTooWide {
+        /// Name of the offending attribute.
+        name: String,
+        /// Declared cardinality.
+        cardinality: usize,
+    },
+    /// Two values of one attribute share the same name.
+    DuplicateValue {
+        /// Attribute name.
+        attribute: String,
+        /// The repeated value.
+        value: String,
+    },
+    /// Two attributes in one schema share the same name.
+    DuplicateAttribute {
+        /// The repeated name.
+        name: String,
+    },
+    /// A schema was declared with more attributes than [`crate::schema::MAX_ATTRS`].
+    TooManyAttributes {
+        /// Number of attributes requested.
+        requested: usize,
+    },
+    /// A schema was declared with zero attributes.
+    EmptySchema,
+    /// Lookup of an attribute name failed.
+    UnknownAttribute {
+        /// The name that was not found.
+        name: String,
+    },
+    /// Lookup of a value name failed.
+    UnknownValue {
+        /// Attribute searched.
+        attribute: String,
+        /// The value that was not found.
+        value: String,
+    },
+    /// A pattern string could not be parsed.
+    PatternParse {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A label vector or pattern has the wrong number of attributes for the schema.
+    ArityMismatch {
+        /// What the schema expects.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+    /// A value index is out of range for its attribute.
+    ValueOutOfRange {
+        /// Attribute position.
+        attribute: usize,
+        /// Supplied value index.
+        value: u8,
+        /// Attribute cardinality.
+        cardinality: usize,
+    },
+}
+
+impl fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AttributeTooNarrow { name } => {
+                write!(f, "attribute `{name}` needs at least two values")
+            }
+            Self::AttributeTooWide { name, cardinality } => write!(
+                f,
+                "attribute `{name}` has cardinality {cardinality}, max supported is 254"
+            ),
+            Self::DuplicateValue { attribute, value } => {
+                write!(f, "attribute `{attribute}` declares value `{value}` twice")
+            }
+            Self::DuplicateAttribute { name } => {
+                write!(f, "schema declares attribute `{name}` twice")
+            }
+            Self::TooManyAttributes { requested } => write!(
+                f,
+                "schema declares {requested} attributes, max supported is {}",
+                crate::schema::MAX_ATTRS
+            ),
+            Self::EmptySchema => write!(f, "schema must declare at least one attribute"),
+            Self::UnknownAttribute { name } => write!(f, "unknown attribute `{name}`"),
+            Self::UnknownValue { attribute, value } => {
+                write!(f, "attribute `{attribute}` has no value `{value}`")
+            }
+            Self::PatternParse { input, reason } => {
+                write!(f, "cannot parse pattern `{input}`: {reason}")
+            }
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} attribute values, got {got}")
+            }
+            Self::ValueOutOfRange {
+                attribute,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value index {value} out of range for attribute #{attribute} (cardinality {cardinality})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoverageError::UnknownValue {
+            attribute: "race".into(),
+            value: "martian".into(),
+        };
+        assert_eq!(e.to_string(), "attribute `race` has no value `martian`");
+        let e = CoverageError::ArityMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoverageError::EmptySchema);
+    }
+}

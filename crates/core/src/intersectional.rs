@@ -1,0 +1,321 @@
+//! **Intersectional-Coverage** — MUP discovery over multiple attributes
+//! (Algorithm 3, §4).
+//!
+//! The problem reduces to the fully-specified subgroups at the bottom of the
+//! pattern graph (Figure 5): run [`multiple_coverage`] over them (with the
+//! sibling-only aggregation mode), then propagate coverage *up* the lattice
+//! — a parent's population is the sum of its children's, so exact counts
+//! for uncovered subgroups plus "covered" flags for the rest decide every
+//! ancestor without further crowd work. The uncovered region is reported as
+//! maximal uncovered patterns (MUPs).
+
+use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::ledger::TaskLedger;
+use crate::multiple::{multiple_coverage, GroupResult, MultipleConfig};
+use crate::pattern::Pattern;
+use crate::pattern_graph::PatternGraph;
+use crate::schema::AttributeSchema;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Coverage verdict for one pattern of the lattice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternCoverage {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Is the pattern covered?
+    pub covered: bool,
+    /// Known population: exact when `exact`, otherwise a lower bound.
+    pub count: usize,
+    /// True when `count` is exact.
+    pub exact: bool,
+}
+
+/// Output of [`intersectional_coverage`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntersectionalReport {
+    /// Verdicts for the fully-specified subgroups (the crowd-searched level).
+    pub full_groups: Vec<GroupResult>,
+    /// Verdicts for every pattern of the lattice, root first.
+    pub patterns: Vec<PatternCoverage>,
+    /// The maximal uncovered patterns.
+    pub mups: Vec<Pattern>,
+    /// Crowd work consumed.
+    pub tasks: TaskLedger,
+}
+
+impl IntersectionalReport {
+    /// The verdict for one pattern, if present.
+    pub fn coverage_of(&self, p: &Pattern) -> Option<&PatternCoverage> {
+        self.patterns.iter().find(|c| &c.pattern == p)
+    }
+}
+
+/// Runs **Intersectional-Coverage** (Algorithm 3) over `pool` for every
+/// individual and intersectional subgroup of `schema`.
+///
+/// `cfg.multi` is forced on (the aggregation must only merge sibling
+/// subgroups). For sound upward propagation the default also forces
+/// `resolve_supergroup_members` on: without it, members of an uncovered
+/// super-group only carry lower-bound counts and an ancestor built from
+/// them could be misjudged; the paper's Algorithm 3 glosses over this —
+/// see DESIGN.md §5.
+///
+/// # Panics
+/// Panics when `cfg.n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use coverage_core::prelude::*;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let schema = AttributeSchema::new(vec![
+///     Attribute::binary("gender", "male", "female").unwrap(),
+///     Attribute::binary("skin", "light", "dark").unwrap(),
+/// ]).unwrap();
+/// // Plenty of light-skinned faces of both genders; 40 dark-skinned males,
+/// // 5 dark-skinned females.
+/// let mut labels = Vec::new();
+/// for i in 0..1600u32 {
+///     labels.push(Labels::new(&[(i % 2) as u8, 0]));
+/// }
+/// labels.extend(std::iter::repeat(Labels::new(&[0, 1])).take(40));
+/// labels.extend(std::iter::repeat(Labels::new(&[1, 1])).take(5));
+/// let truth = VecGroundTruth::new(labels);
+///
+/// let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let report = intersectional_coverage(
+///     &mut engine, &truth.all_ids(), &schema,
+///     &MultipleConfig { tau: 50, ..MultipleConfig::default() }, &mut rng,
+/// );
+/// // 40 + 5 = 45 < 50: the whole dark-skinned group is the MUP.
+/// let x_dark = schema.pattern(&[("skin", "dark")]).unwrap();
+/// assert_eq!(report.mups, vec![x_dark]);
+/// ```
+pub fn intersectional_coverage<S: AnswerSource, R: Rng + ?Sized>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    schema: &AttributeSchema,
+    cfg: &MultipleConfig,
+    rng: &mut R,
+) -> IntersectionalReport {
+    let mut cfg = cfg.clone();
+    cfg.multi = true;
+    cfg.resolve_supergroup_members = true;
+
+    let graph = PatternGraph::new(schema);
+    let full_groups: Vec<Pattern> = graph.full_groups().to_vec();
+    let report = multiple_coverage(engine, pool, &full_groups, &cfg, rng);
+
+    let by_group: HashMap<Pattern, &GroupResult> =
+        report.results.iter().map(|r| (r.group, r)).collect();
+
+    // Upward propagation: a pattern's population is the disjoint sum of its
+    // fully-specified descendants'.
+    let mut patterns = Vec::with_capacity(graph.len());
+    for p in graph.iter() {
+        let descendants = graph.full_descendants(p);
+        let mut any_covered = false;
+        let mut all_exact = true;
+        let mut sum = 0usize;
+        for fg in &descendants {
+            let r = by_group[fg];
+            any_covered |= r.covered;
+            all_exact &= r.count_exact;
+            sum += r.count;
+        }
+        let covered = any_covered || sum >= cfg.tau;
+        patterns.push(PatternCoverage {
+            pattern: *p,
+            covered,
+            count: sum,
+            // A covered descendant's count is a stopped lower bound.
+            exact: all_exact && !any_covered,
+        });
+    }
+
+    // MUPs: uncovered with every parent covered (the root qualifies when
+    // the dataset itself is below τ).
+    let covered_map: HashMap<Pattern, bool> =
+        patterns.iter().map(|c| (c.pattern, c.covered)).collect();
+    let mups: Vec<Pattern> = patterns
+        .iter()
+        .filter(|c| !c.covered && c.pattern.parents().iter().all(|p| covered_map[p]))
+        .map(|c| c.pattern)
+        .collect();
+
+    IntersectionalReport {
+        full_groups: report.results,
+        patterns,
+        mups,
+        tasks: report.tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GroundTruth;
+    use crate::engine::{PerfectSource, VecGroundTruth};
+    use crate::mup::mups_from_labels;
+    use crate::schema::{Attribute, Labels};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn schema_2x2() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::binary("skin", "light", "dark").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// Interleaved dataset over 2 attributes from (labels, count) specs.
+    fn truth_2d(spec: &[([u8; 2], usize)]) -> VecGroundTruth {
+        let mut remaining: Vec<([u8; 2], usize)> =
+            spec.iter().copied().filter(|(_, c)| *c > 0).collect();
+        let mut labels = Vec::new();
+        while !remaining.is_empty() {
+            for (vals, c) in &mut remaining {
+                labels.push(Labels::new(vals));
+                *c -= 1;
+            }
+            remaining.retain(|(_, c)| *c > 0);
+        }
+        VecGroundTruth::new(labels)
+    }
+
+    fn run(
+        truth: &VecGroundTruth,
+        schema: &AttributeSchema,
+        tau: usize,
+        seed: u64,
+    ) -> IntersectionalReport {
+        let mut engine = Engine::with_point_batch(PerfectSource::new(truth), 50);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = MultipleConfig {
+            tau,
+            ..MultipleConfig::default()
+        };
+        intersectional_coverage(&mut engine, &truth.all_ids(), schema, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn mups_match_offline_ground_truth() {
+        // dark females nearly absent; dark males small; light plentiful.
+        let schema = schema_2x2();
+        let truth = truth_2d(&[([0, 0], 800), ([1, 0], 700), ([0, 1], 30), ([1, 1], 5)]);
+        for seed in 0..5 {
+            let report = run(&truth, &schema, 50, seed);
+            let mut got = report.mups.clone();
+            let mut want = mups_from_labels(truth.labels(), &schema, 50);
+            got.sort_by_key(|p| p.to_string());
+            want.sort_by_key(|p| p.to_string());
+            assert_eq!(got, want, "seed {seed}");
+            // X-dark has 35 < 50 members and covered parents ⇒ the MUP.
+            let x_dark = schema.pattern(&[("skin", "dark")]).unwrap();
+            assert!(report.mups.contains(&x_dark));
+        }
+    }
+
+    #[test]
+    fn paper_asian_style_propagation() {
+        // Two uncovered children summing past τ ⇒ parent covered without
+        // extra crowd work (the paper's 28+32 Asian example, on skin=dark).
+        let schema = schema_2x2();
+        let truth = truth_2d(&[([0, 0], 800), ([1, 0], 700), ([0, 1], 32), ([1, 1], 28)]);
+        let report = run(&truth, &schema, 50, 3);
+        let x_dark = schema.pattern(&[("skin", "dark")]).unwrap();
+        let cov = report.coverage_of(&x_dark).unwrap();
+        assert!(cov.covered, "28+32 = 60 ≥ 50 must cover X-dark");
+        assert_eq!(cov.count, 60);
+        assert!(cov.exact);
+        // The children themselves are the MUPs.
+        let male_dark = schema
+            .pattern(&[("gender", "male"), ("skin", "dark")])
+            .unwrap();
+        assert!(report.mups.contains(&male_dark));
+    }
+
+    #[test]
+    fn fully_covered_dataset_yields_no_mups() {
+        let schema = schema_2x2();
+        let truth = truth_2d(&[([0, 0], 100), ([1, 0], 100), ([0, 1], 100), ([1, 1], 100)]);
+        let report = run(&truth, &schema, 50, 1);
+        assert!(report.mups.is_empty());
+        for p in &report.patterns {
+            assert!(p.covered, "{} should be covered", p.pattern);
+        }
+    }
+
+    #[test]
+    fn root_is_mup_for_tiny_dataset() {
+        let schema = schema_2x2();
+        let truth = truth_2d(&[([0, 0], 3), ([1, 1], 4)]);
+        let report = run(&truth, &schema, 50, 1);
+        assert_eq!(report.mups, vec![Pattern::all_unspecified(2)]);
+    }
+
+    #[test]
+    fn three_binary_attributes_match_offline() {
+        let schema = AttributeSchema::new(vec![
+            Attribute::binary("a", "0", "1").unwrap(),
+            Attribute::binary("b", "0", "1").unwrap(),
+            Attribute::binary("c", "0", "1").unwrap(),
+        ])
+        .unwrap();
+        // Mixed composition: some cells huge, some tiny, some empty.
+        let spec: Vec<([u8; 3], usize)> = vec![
+            ([0, 0, 0], 300),
+            ([0, 0, 1], 280),
+            ([0, 1, 0], 260),
+            ([0, 1, 1], 10),
+            ([1, 0, 0], 240),
+            ([1, 0, 1], 8),
+            ([1, 1, 0], 0),
+            ([1, 1, 1], 30),
+        ];
+        let mut remaining: Vec<([u8; 3], usize)> =
+            spec.iter().copied().filter(|(_, c)| *c > 0).collect();
+        let mut labels = Vec::new();
+        while !remaining.is_empty() {
+            for (vals, c) in &mut remaining {
+                labels.push(Labels::new(vals));
+                *c -= 1;
+            }
+            remaining.retain(|(_, c)| *c > 0);
+        }
+        let truth = VecGroundTruth::new(labels);
+        for seed in 0..3 {
+            let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let cfg = MultipleConfig {
+                tau: 50,
+                ..MultipleConfig::default()
+            };
+            let report =
+                intersectional_coverage(&mut engine, &truth.all_ids(), &schema, &cfg, &mut rng);
+            let mut got = report.mups.clone();
+            let mut want = mups_from_labels(truth.labels(), &schema, 50);
+            got.sort_by_key(|p| p.to_string());
+            want.sort_by_key(|p| p.to_string());
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counts_for_uncovered_patterns_are_exact() {
+        let schema = schema_2x2();
+        let truth = truth_2d(&[([0, 0], 900), ([1, 0], 900), ([0, 1], 12), ([1, 1], 7)]);
+        let report = run(&truth, &schema, 50, 7);
+        let x_dark = schema.pattern(&[("skin", "dark")]).unwrap();
+        let cov = report.coverage_of(&x_dark).unwrap();
+        assert!(!cov.covered);
+        assert!(cov.exact);
+        assert_eq!(cov.count, 19);
+    }
+}

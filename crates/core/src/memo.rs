@@ -1,0 +1,181 @@
+//! Answer memoization: never pay for the same question twice.
+//!
+//! §4 of the paper motivates its heuristics by noting that independent
+//! Group-Coverage runs "miss the opportunity to reuse the information
+//! collected during each run". The aggregation heuristic reuses *labels*;
+//! [`MemoizedSource`] generalizes the idea to *whole answers*: it wraps any
+//! [`crate::engine::AnswerSource`] and caches set-query and
+//! point-query results keyed by (objects, target), answering repeats from
+//! the cache. Combined with an [`crate::engine::Engine`] the repeat
+//! is still *metered* — the cache models a requester who stores previous
+//! crowd answers, so wrap the source and compare ledgers to quantify the
+//! savings (see the `memoization_savings` test).
+//!
+//! Point labels are additionally reusable *across* targets: once an object
+//! is labeled, every future set query that contains it could in principle
+//! be narrowed. That deeper reuse is the paper's open direction; here the
+//! cache is exact-match only, which is already enough to de-duplicate the
+//! brute-force multi-group baseline's repeated root queries.
+
+use crate::engine::{AnswerSource, ObjectId};
+use crate::schema::Labels;
+use crate::target::Target;
+use std::collections::HashMap;
+
+/// A caching wrapper around an answer source.
+#[derive(Debug, Clone)]
+pub struct MemoizedSource<S> {
+    inner: S,
+    set_cache: HashMap<(Vec<ObjectId>, Target), bool>,
+    label_cache: HashMap<ObjectId, Labels>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<S> MemoizedSource<S> {
+    /// Wraps a source with empty caches.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            set_cache: HashMap::new(),
+            label_cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Questions answered from cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Questions forwarded to the inner source.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps into the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: AnswerSource> AnswerSource for MemoizedSource<S> {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        let key = (objects.to_vec(), target.clone());
+        if let Some(ans) = self.set_cache.get(&key) {
+            self.hits += 1;
+            return *ans;
+        }
+        self.misses += 1;
+        let ans = self.inner.answer_set(objects, target);
+        self.set_cache.insert(key, ans);
+        ans
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        if let Some(l) = self.label_cache.get(&object) {
+            self.hits += 1;
+            return *l;
+        }
+        self.misses += 1;
+        let l = self.inner.answer_point_labels(object);
+        self.label_cache.insert(object, l);
+        l
+    }
+
+    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+        // Route through the label cache: a cached label answers any
+        // membership question about the object for free.
+        let labels = self.answer_point_labels(object);
+        target.matches(&labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, GroundTruth, PerfectSource, VecGroundTruth};
+    use crate::group_coverage::{group_coverage, DncConfig};
+    use crate::pattern::Pattern;
+
+    fn truth(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn repeated_set_queries_hit_cache() {
+        let t = truth(100, 10);
+        let mut src = MemoizedSource::new(PerfectSource::new(&t));
+        let ids = t.all_ids();
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let a = src.answer_set(&ids[..50], &target);
+        let b = src.answer_set(&ids[..50], &target);
+        assert_eq!(a, b);
+        assert_eq!(src.cache_hits(), 1);
+        assert_eq!(src.cache_misses(), 1);
+        // Different range or different target: miss.
+        src.answer_set(&ids[50..], &target);
+        src.answer_set(&ids[..50], &target.negated());
+        assert_eq!(src.cache_misses(), 3);
+    }
+
+    #[test]
+    fn labels_cached_across_membership_questions() {
+        let t = truth(10, 5);
+        let mut src = MemoizedSource::new(PerfectSource::new(&t));
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let male = female.negated();
+        assert!(src.answer_membership(ObjectId(0), &female));
+        // The second question about the same object is free.
+        assert!(!src.answer_membership(ObjectId(0), &male));
+        assert_eq!(src.cache_hits(), 1);
+        assert_eq!(src.cache_misses(), 1);
+    }
+
+    /// Running the identical Group-Coverage twice: the second run is fully
+    /// answered from cache — quantifying what a requester saves by storing
+    /// crowd answers.
+    #[test]
+    fn memoization_savings() {
+        let t = truth(2000, 30);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let mut engine = Engine::with_point_batch(MemoizedSource::new(PerfectSource::new(&t)), 50);
+        let pool = t.all_ids();
+        let first = group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default());
+        let after_first = engine.source().cache_misses();
+        let second = group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default());
+        assert_eq!(first.covered, second.covered);
+        assert_eq!(first.count, second.count);
+        assert_eq!(
+            engine.source().cache_misses(),
+            after_first,
+            "the repeat run must not reach the crowd at all"
+        );
+        assert!(engine.source().cache_hits() >= after_first);
+    }
+
+    /// Memoized and raw sources agree on every answer.
+    #[test]
+    fn transparent_semantics() {
+        let t = truth(500, 77);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let pool = t.all_ids();
+        let mut raw = Engine::with_point_batch(PerfectSource::new(&t), 50);
+        let mut memo = Engine::with_point_batch(MemoizedSource::new(PerfectSource::new(&t)), 50);
+        let a = group_coverage(&mut raw, &pool, &target, 50, 50, &DncConfig::default());
+        let b = group_coverage(&mut memo, &pool, &target, 50, 50, &DncConfig::default());
+        assert_eq!(a.covered, b.covered);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.set_queries, b.set_queries);
+    }
+}

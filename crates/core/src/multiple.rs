@@ -1,0 +1,434 @@
+//! **Multiple-Coverage** — coverage of many non-intersectional groups with
+//! super-group aggregation (Algorithm 2, §4).
+//!
+//! Running Group-Coverage once per group wastes the information collected in
+//! each run. Instead: (1) label a random sample of `c·τ` objects, which
+//! usually certifies majority groups outright; (2) merge expected-tiny
+//! groups into super-groups; (3) one Group-Coverage run per super-group —
+//! an uncovered super-group certifies *all* its members uncovered at once,
+//! while a covered super-group pays a penalty (each member must be re-run
+//! individually, §4's "drawback").
+
+use crate::aggregate::{aggregate, SuperGroup};
+use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::group_coverage::{group_coverage, DncConfig};
+use crate::ledger::TaskLedger;
+use crate::pattern::Pattern;
+use crate::sampling::{label_samples, LabeledStore};
+use crate::target::Target;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Parameters for [`multiple_coverage`] (and, via the intersectional
+/// wrapper, Algorithm 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultipleConfig {
+    /// Coverage threshold `τ`.
+    pub tau: usize,
+    /// Subset-size upper bound `n` for set queries.
+    pub n: usize,
+    /// Sample-size factor `c`: the initial point-query sample labels `c·τ`
+    /// objects. The paper found `c = 2` a good choice.
+    pub sample_factor: usize,
+    /// Restrict super-group merges to sibling subgroups (the intersectional
+    /// mode of the aggregation function).
+    pub multi: bool,
+    /// After an uncovered super-group run, point-label the isolated
+    /// witnesses (batched) to attribute exact counts to individual members.
+    /// Costs `⌈count/batch⌉` extra tasks per uncovered super-group; required
+    /// for sound MUP propagation in Algorithm 3.
+    pub resolve_supergroup_members: bool,
+    /// Divide-and-conquer knobs passed to every Group-Coverage run.
+    pub dnc: DncConfig,
+}
+
+impl Default for MultipleConfig {
+    fn default() -> Self {
+        Self {
+            tau: 50,
+            n: 50,
+            sample_factor: 2,
+            multi: false,
+            resolve_supergroup_members: false,
+            dnc: DncConfig::default(),
+        }
+    }
+}
+
+/// Verdict for one group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupResult {
+    /// The group.
+    pub group: Pattern,
+    /// Is the group covered (≥ τ members)?
+    pub covered: bool,
+    /// Known member count: exact when `count_exact`, otherwise a lower bound.
+    pub count: usize,
+    /// True when `count` is the exact population of the group.
+    pub count_exact: bool,
+}
+
+/// Output of [`multiple_coverage`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultipleReport {
+    /// Per-group verdicts, in the order the groups were supplied.
+    pub results: Vec<GroupResult>,
+    /// The super-groups the aggregation heuristic formed.
+    pub super_groups: Vec<SuperGroup>,
+    /// Crowd work consumed by this call.
+    pub tasks: TaskLedger,
+}
+
+impl MultipleReport {
+    /// The verdict for `group`, if it was part of the call.
+    pub fn result_for(&self, group: &Pattern) -> Option<&GroupResult> {
+        self.results.iter().find(|r| &r.group == group)
+    }
+
+    /// Groups found uncovered.
+    pub fn uncovered(&self) -> Vec<&GroupResult> {
+        self.results.iter().filter(|r| !r.covered).collect()
+    }
+}
+
+/// Runs **Multiple-Coverage** (Algorithm 2) over `pool` for `groups`
+/// (mutually disjoint subgroups, e.g. all values of one attribute).
+///
+/// # Panics
+/// Panics when `groups` is empty or `cfg.n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use coverage_core::prelude::*;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// // One 4-valued race attribute; group 3 has only 12 members.
+/// let mut labels = Vec::new();
+/// for i in 0..2000u32 {
+///     labels.push(Labels::single(match i % 100 {
+///         0..=84 => 0,
+///         85..=94 => 1,
+///         _ => 2,
+///     }));
+/// }
+/// labels.extend(std::iter::repeat(Labels::single(3)).take(12));
+/// let truth = VecGroundTruth::new(labels);
+/// let groups: Vec<Pattern> = (0..4).map(|v| Pattern::single(1, 0, v)).collect();
+///
+/// let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let report = multiple_coverage(
+///     &mut engine, &truth.all_ids(), &groups,
+///     &MultipleConfig { tau: 50, ..MultipleConfig::default() }, &mut rng,
+/// );
+/// assert!(report.results[0].covered);                 // the 85% majority
+/// assert!(!report.result_for(&groups[3]).unwrap().covered); // 12 < 50
+/// ```
+pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    groups: &[Pattern],
+    cfg: &MultipleConfig,
+    rng: &mut R,
+) -> MultipleReport {
+    assert!(!groups.is_empty(), "need at least one group");
+    let before = engine.ledger_snapshot();
+    let n_total = pool.len();
+    let mut pool: Vec<ObjectId> = pool.to_vec();
+
+    // Line 1: obtain c·τ random labels.
+    let mut labeled = label_samples(engine, &mut pool, cfg.sample_factor * cfg.tau, rng);
+
+    // Line 2: form the super-groups.
+    let super_groups = aggregate(&labeled, n_total, cfg.tau, groups, cfg.multi);
+
+    let mut results: Vec<GroupResult> = Vec::with_capacity(groups.len());
+    for sg in &super_groups {
+        if sg.is_singleton() {
+            let g = sg.members[0];
+            results.push(check_single_group(engine, &pool, &labeled, &g, cfg));
+            continue;
+        }
+
+        // Lines 5-6: search the union with the residual threshold.
+        let sample_total: usize = sg
+            .members
+            .iter()
+            .map(|g| labeled.count(&Target::group(*g)))
+            .sum();
+        let tau_prime = cfg.tau.saturating_sub(sample_total);
+        let mut dnc = cfg.dnc.clone();
+        dnc.collect_witnesses = cfg.resolve_supergroup_members;
+        let out = group_coverage(engine, &pool, &sg.target(), tau_prime, cfg.n, &dnc);
+
+        if out.covered {
+            // Lines 8-12: penalty — the union is covered, so nothing is
+            // known about individual members; re-run each one.
+            for g in &sg.members {
+                results.push(check_single_group(engine, &pool, &labeled, g, cfg));
+            }
+        } else {
+            // Line 13: the union is uncovered ⇒ every member is uncovered.
+            if cfg.resolve_supergroup_members && !out.witnesses.is_empty() {
+                // Attribute exact counts: the witnesses are *all* union
+                // members remaining in the pool; one batched point pass
+                // labels them and moves them into `L`.
+                let labels = engine.ask_point_labels_batched(&out.witnesses);
+                let witness_set: HashSet<ObjectId> = out.witnesses.iter().copied().collect();
+                for (id, l) in out.witnesses.iter().zip(labels) {
+                    labeled.add(*id, l);
+                }
+                pool.retain(|id| !witness_set.contains(id));
+            }
+            for g in &sg.members {
+                let known = labeled.count(&Target::group(*g));
+                results.push(GroupResult {
+                    group: *g,
+                    covered: false,
+                    count: known,
+                    count_exact: cfg.resolve_supergroup_members,
+                });
+            }
+        }
+    }
+
+    // Report results in the caller's group order.
+    let order: Vec<Pattern> = groups.to_vec();
+    results.sort_by_key(|r| {
+        order
+            .iter()
+            .position(|g| g == &r.group)
+            .unwrap_or(usize::MAX)
+    });
+
+    MultipleReport {
+        results,
+        super_groups,
+        tasks: engine.ledger().since(&before),
+    }
+}
+
+/// Lines 7 / 10-12 of Algorithm 2: decide one group, crediting the sample.
+fn check_single_group<S: AnswerSource>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    labeled: &LabeledStore,
+    group: &Pattern,
+    cfg: &MultipleConfig,
+) -> GroupResult {
+    let target = Target::group(*group);
+    let sample_count = labeled.count(&target);
+    let tau_prime = cfg.tau.saturating_sub(sample_count);
+    if tau_prime == 0 {
+        return GroupResult {
+            group: *group,
+            covered: true,
+            count: sample_count,
+            count_exact: false,
+        };
+    }
+    let out = group_coverage(engine, pool, &target, tau_prime, cfg.n, &cfg.dnc);
+    GroupResult {
+        group: *group,
+        covered: out.covered,
+        count: sample_count + out.count,
+        count_exact: !out.covered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GroundTruth;
+    use crate::engine::{PerfectSource, VecGroundTruth};
+    use crate::schema::Labels;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Dataset over one attribute with `counts[v]` objects of value `v`,
+    /// deterministically interleaved.
+    fn truth_1d(counts: &[usize]) -> VecGroundTruth {
+        let total: usize = counts.iter().sum();
+        let mut remaining: Vec<usize> = counts.to_vec();
+        let mut labels = Vec::with_capacity(total);
+        // Round-robin interleave so groups are spread through the pool.
+        loop {
+            let mut progressed = false;
+            for (v, r) in remaining.iter_mut().enumerate() {
+                if *r > 0 {
+                    labels.push(Labels::single(v as u8));
+                    *r -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        VecGroundTruth::new(labels)
+    }
+
+    fn groups_1d(card: usize) -> Vec<Pattern> {
+        (0..card).map(|v| Pattern::single(1, 0, v as u8)).collect()
+    }
+
+    fn run(
+        truth: &VecGroundTruth,
+        card: usize,
+        cfg: &MultipleConfig,
+        seed: u64,
+    ) -> (MultipleReport, u64) {
+        let mut engine = Engine::with_point_batch(PerfectSource::new(truth), cfg.n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let report = multiple_coverage(
+            &mut engine,
+            &truth.all_ids(),
+            &groups_1d(card),
+            cfg,
+            &mut rng,
+        );
+        let total = engine.ledger().total_tasks();
+        (report, total)
+    }
+
+    #[test]
+    fn verdicts_match_ground_truth() {
+        // τ = 50: groups of sizes 900, 60, 30, 10 ⇒ covered, covered,
+        // uncovered, uncovered.
+        let truth = truth_1d(&[900, 60, 30, 10]);
+        let cfg = MultipleConfig::default();
+        for seed in 0..5 {
+            let (report, _) = run(&truth, 4, &cfg, seed);
+            let covered: Vec<bool> = report.results.iter().map(|r| r.covered).collect();
+            assert_eq!(covered, vec![true, true, false, false], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uncovered_counts_without_resolution_are_lower_bounds() {
+        let truth = truth_1d(&[900, 30, 10]);
+        let cfg = MultipleConfig::default();
+        let (report, _) = run(&truth, 3, &cfg, 3);
+        for r in report.uncovered() {
+            assert!(!r.count_exact || r.count <= 40);
+        }
+    }
+
+    #[test]
+    fn resolution_gives_exact_member_counts() {
+        let truth = truth_1d(&[950, 20, 12]);
+        let cfg = MultipleConfig {
+            resolve_supergroup_members: true,
+            ..MultipleConfig::default()
+        };
+        for seed in 0..5 {
+            let (report, _) = run(&truth, 3, &cfg, seed);
+            let r1 = report.result_for(&Pattern::single(1, 0, 1)).unwrap();
+            let r2 = report.result_for(&Pattern::single(1, 0, 2)).unwrap();
+            assert!(!r1.covered && !r2.covered);
+            assert!(r1.count_exact && r2.count_exact, "seed {seed}");
+            assert_eq!(r1.count, 20, "seed {seed}");
+            assert_eq!(r2.count, 12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn effective_case_beats_brute_force() {
+        // Table 3 "effective 1": three tiny uncovered minorities whose union
+        // is still uncovered ⇒ one shared run replaces three scans.
+        let truth = truth_1d(&[9960, 15, 15, 10]);
+        let cfg = MultipleConfig::default();
+        let (report, multi_tasks) = run(&truth, 4, &cfg, 11);
+        assert!(report.results[0].covered);
+        assert!(!report.results[1].covered);
+
+        // Brute force: Group-Coverage per group on the full pool.
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+        for g in groups_1d(4) {
+            group_coverage(
+                &mut engine,
+                &truth.all_ids(),
+                &Target::group(g),
+                50,
+                50,
+                &DncConfig::default(),
+            );
+        }
+        let brute_tasks = engine.ledger().total_tasks();
+        assert!(
+            multi_tasks < brute_tasks,
+            "aggregated {multi_tasks} should beat brute {brute_tasks}"
+        );
+    }
+
+    #[test]
+    fn adversarial_case_pays_penalty_but_stays_correct() {
+        // Table 3 "adversarial": three uncovered minorities whose union IS
+        // covered ⇒ the super-group run certifies nothing and each member
+        // re-runs. Verdicts must still be right.
+        let truth = truth_1d(&[9880, 40, 40, 40]);
+        let cfg = MultipleConfig::default();
+        let (report, _) = run(&truth, 4, &cfg, 5);
+        let covered: Vec<bool> = report.results.iter().map(|r| r.covered).collect();
+        assert_eq!(covered, vec![true, false, false, false]);
+        for r in report.uncovered() {
+            assert_eq!(r.count, 40);
+            assert!(r.count_exact);
+        }
+    }
+
+    #[test]
+    fn sample_alone_can_certify_majorities() {
+        // With c·τ = 100 samples over a 99%-majority dataset, the majority
+        // group should usually be certified by the sample credit alone
+        // (τ' = 0 ⇒ no extra Group-Coverage work for it).
+        let truth = truth_1d(&[5000, 8]);
+        let cfg = MultipleConfig::default();
+        let (report, _) = run(&truth, 2, &cfg, 2);
+        let maj = report.result_for(&Pattern::single(1, 0, 0)).unwrap();
+        assert!(maj.covered);
+    }
+
+    #[test]
+    fn small_pool_smaller_than_sample() {
+        let truth = truth_1d(&[30, 5]);
+        let cfg = MultipleConfig {
+            tau: 10,
+            ..MultipleConfig::default()
+        };
+        let (report, _) = run(&truth, 2, &cfg, 9);
+        assert!(report.results[0].covered);
+        assert!(!report.results[1].covered);
+        assert_eq!(report.results[1].count, 5);
+    }
+
+    #[test]
+    fn report_preserves_group_order() {
+        let truth = truth_1d(&[100, 200, 300]);
+        let cfg = MultipleConfig {
+            tau: 50,
+            ..MultipleConfig::default()
+        };
+        let (report, _) = run(&truth, 3, &cfg, 1);
+        let order: Vec<Pattern> = report.results.iter().map(|r| r.group).collect();
+        assert_eq!(order, groups_1d(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_groups_panics() {
+        let truth = truth_1d(&[10, 10]);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let mut rng = SmallRng::seed_from_u64(0);
+        multiple_coverage(
+            &mut engine,
+            &truth.all_ids(),
+            &[],
+            &MultipleConfig::default(),
+            &mut rng,
+        );
+    }
+}

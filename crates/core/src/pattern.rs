@@ -1,0 +1,426 @@
+//! Patterns: subgroup descriptions over the attributes of interest (§2.2).
+//!
+//! A pattern `P` is a string of `d` cells where `P[i]` is either a value of
+//! attribute `xi` or *unspecified* (`X`). `P = X01` describes every object
+//! with `x2 = 0 AND x3 = 1`. Patterns form a lattice: `P` is a **parent** of
+//! `P'` when they differ on exactly one attribute which `P` leaves
+//! unspecified — the parent is strictly more general.
+
+use crate::error::CoverageError;
+use crate::schema::{AttributeSchema, Labels, MAX_ATTRS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sentinel cell value meaning "unspecified" (`X`).
+const UNSPEC: u8 = u8::MAX;
+
+/// A pattern over `d` attributes. `Copy`, allocation-free.
+///
+/// ```
+/// use coverage_core::pattern::Pattern;
+/// use coverage_core::schema::Labels;
+///
+/// let p = Pattern::parse("X01").unwrap();
+/// assert_eq!(p.level(), 2);
+/// assert!(p.matches(&Labels::new(&[7, 0, 1])));
+/// assert!(!p.matches(&Labels::new(&[7, 1, 1])));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    len: u8,
+    cells: [u8; MAX_ATTRS],
+}
+
+impl Pattern {
+    /// The root pattern with every attribute unspecified (`XX…X`).
+    pub fn all_unspecified(d: usize) -> Self {
+        assert!(
+            (1..=MAX_ATTRS).contains(&d),
+            "pattern arity must be in 1..={MAX_ATTRS}, got {d}"
+        );
+        Self {
+            len: d as u8,
+            cells: [UNSPEC; MAX_ATTRS],
+        }
+    }
+
+    /// A fully-specified pattern from explicit value indices.
+    pub fn from_values(values: &[u8]) -> Self {
+        assert!(
+            !values.is_empty() && values.len() <= MAX_ATTRS,
+            "pattern arity must be in 1..={MAX_ATTRS}, got {}",
+            values.len()
+        );
+        assert!(
+            values.iter().all(|v| *v != UNSPEC),
+            "value {UNSPEC} is reserved for the unspecified cell"
+        );
+        let mut cells = [UNSPEC; MAX_ATTRS];
+        cells[..values.len()].copy_from_slice(values);
+        Self {
+            len: values.len() as u8,
+            cells,
+        }
+    }
+
+    /// A pattern from optional cells (`None` = unspecified).
+    pub fn from_cells(cells: &[Option<u8>]) -> Self {
+        let mut p = Self::all_unspecified(cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            p = p.with(i, *c);
+        }
+        p
+    }
+
+    /// The fully-specified pattern matching exactly the given labels.
+    pub fn fully_specified(labels: &Labels) -> Self {
+        Self::from_values(labels.as_slice())
+    }
+
+    /// A single-attribute group: attribute `attr` has value `value`,
+    /// everything else unspecified.
+    pub fn single(d: usize, attr: usize, value: u8) -> Self {
+        assert!(attr < d, "attribute {attr} out of range for arity {d}");
+        Self::all_unspecified(d).with(attr, Some(value))
+    }
+
+    /// Parses the compact string form used throughout the paper: one
+    /// character per attribute, `X` (or `x`) for unspecified, a digit for a
+    /// value index below ten.
+    pub fn parse(s: &str) -> Result<Self, CoverageError> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() || chars.len() > MAX_ATTRS {
+            return Err(CoverageError::PatternParse {
+                input: s.to_owned(),
+                reason: format!("arity must be in 1..={MAX_ATTRS}"),
+            });
+        }
+        let mut p = Self::all_unspecified(chars.len());
+        for (i, c) in chars.iter().enumerate() {
+            match c {
+                'X' | 'x' => {}
+                d if d.is_ascii_digit() => {
+                    p = p.with(i, Some(*d as u8 - b'0'));
+                }
+                other => {
+                    return Err(CoverageError::PatternParse {
+                        input: s.to_owned(),
+                        reason: format!("unexpected character `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Cell `i`: `None` when unspecified.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> Option<u8> {
+        assert!(i < self.d(), "attribute index {i} out of range");
+        match self.cells[i] {
+            UNSPEC => None,
+            v => Some(v),
+        }
+    }
+
+    /// Returns a copy with cell `i` replaced.
+    #[must_use]
+    pub fn with(&self, i: usize, cell: Option<u8>) -> Self {
+        assert!(i < self.d(), "attribute index {i} out of range");
+        let v = cell.unwrap_or(UNSPEC);
+        assert!(
+            cell.is_none() || v != UNSPEC,
+            "value {UNSPEC} is reserved for the unspecified cell"
+        );
+        let mut out = *self;
+        out.cells[i] = v;
+        out
+    }
+
+    /// The pattern's level: number of specified cells. Level 0 is the root
+    /// `XX…X`; level `d` patterns are fully specified.
+    pub fn level(&self) -> usize {
+        self.cells[..self.d()]
+            .iter()
+            .filter(|c| **c != UNSPEC)
+            .count()
+    }
+
+    /// True when every cell is specified.
+    pub fn is_fully_specified(&self) -> bool {
+        self.level() == self.d()
+    }
+
+    /// Does an object with these labels belong to the subgroup?
+    pub fn matches(&self, labels: &Labels) -> bool {
+        debug_assert_eq!(labels.len(), self.d(), "label arity mismatch");
+        self.cells[..self.d()]
+            .iter()
+            .zip(labels.as_slice())
+            .all(|(c, v)| *c == UNSPEC || c == v)
+    }
+
+    /// `self` *generalizes* `other`: every object matching `other` also
+    /// matches `self` (cell-wise: `self[i]` is `X` or equals `other[i]`).
+    pub fn generalizes(&self, other: &Self) -> bool {
+        if self.d() != other.d() {
+            return false;
+        }
+        (0..self.d()).all(|i| match self.get(i) {
+            None => true,
+            Some(v) => other.get(i) == Some(v),
+        })
+    }
+
+    /// Is `self` a parent of `other` in the pattern graph (differs on exactly
+    /// one attribute, which `self` leaves unspecified)?
+    pub fn is_parent_of(&self, other: &Self) -> bool {
+        if self.d() != other.d() {
+            return false;
+        }
+        let mut diffs = 0usize;
+        for i in 0..self.d() {
+            match (self.get(i), other.get(i)) {
+                (a, b) if a == b => {}
+                (None, Some(_)) => diffs += 1,
+                _ => return false,
+            }
+        }
+        diffs == 1
+    }
+
+    /// All parents of this pattern (one per specified cell).
+    pub fn parents(&self) -> Vec<Pattern> {
+        let mut out = Vec::with_capacity(self.level());
+        for i in 0..self.d() {
+            if self.get(i).is_some() {
+                out.push(self.with(i, None));
+            }
+        }
+        out
+    }
+
+    /// All children of this pattern under `schema` (one per unspecified cell
+    /// × value of that attribute).
+    pub fn children(&self, schema: &AttributeSchema) -> Vec<Pattern> {
+        assert_eq!(
+            schema.d(),
+            self.d(),
+            "schema arity {} does not match pattern arity {}",
+            schema.d(),
+            self.d()
+        );
+        let mut out = Vec::new();
+        for i in 0..self.d() {
+            if self.get(i).is_none() {
+                for v in 0..schema.attr(i).cardinality() {
+                    out.push(self.with(i, Some(v as u8)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Do two fully-specified patterns share a parent? Equivalent to:
+    /// they differ on exactly one attribute. Returns that common parent.
+    ///
+    /// Used by the `multi = true` mode of the aggregation heuristic (§4),
+    /// which only merges sibling subgroups.
+    pub fn common_parent(&self, other: &Self) -> Option<Pattern> {
+        if self.d() != other.d() {
+            return None;
+        }
+        let mut diff = None;
+        for i in 0..self.d() {
+            if self.get(i) != other.get(i) {
+                if diff.is_some() {
+                    return None;
+                }
+                diff = Some(i);
+            }
+        }
+        diff.map(|i| self.with(i, None))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.d() {
+            match self.get(i) {
+                None => write!(f, "X")?,
+                Some(v) if v < 10 => write!(f, "{v}")?,
+                Some(v) => write!(f, "<{v}>")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use proptest::prelude::*;
+
+    fn schema_223() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("a", "a0", "a1").unwrap(),
+            Attribute::binary("b", "b0", "b1").unwrap(),
+            Attribute::new("c", ["c0", "c1", "c2"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["X01", "XXX", "012", "1X0"] {
+            assert_eq!(Pattern::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Pattern::parse("").is_err());
+        assert!(Pattern::parse("0a1").is_err());
+        assert!(Pattern::parse("012345678").is_err()); // arity 9 > MAX_ATTRS
+    }
+
+    #[test]
+    fn level_and_full_specification() {
+        assert_eq!(Pattern::parse("XXX").unwrap().level(), 0);
+        assert_eq!(Pattern::parse("X0X").unwrap().level(), 1);
+        assert_eq!(Pattern::parse("101").unwrap().level(), 3);
+        assert!(Pattern::parse("101").unwrap().is_fully_specified());
+        assert!(!Pattern::parse("10X").unwrap().is_fully_specified());
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        // Paper §2.2: P = X01 specifies all tuples with x2=0 and x3=1.
+        let p = Pattern::parse("X01").unwrap();
+        assert!(p.matches(&Labels::new(&[0, 0, 1])));
+        assert!(p.matches(&Labels::new(&[1, 0, 1])));
+        assert!(!p.matches(&Labels::new(&[0, 1, 1])));
+        assert!(!p.matches(&Labels::new(&[0, 0, 0])));
+    }
+
+    #[test]
+    fn parenthood() {
+        let child = Pattern::parse("X01").unwrap();
+        let p1 = Pattern::parse("XX1").unwrap();
+        let p2 = Pattern::parse("X0X").unwrap();
+        let not_parent = Pattern::parse("XXX").unwrap(); // grandparent
+        assert!(p1.is_parent_of(&child));
+        assert!(p2.is_parent_of(&child));
+        assert!(!not_parent.is_parent_of(&child));
+        assert!(!child.is_parent_of(&p1));
+        let parents = child.parents();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.contains(&p1) && parents.contains(&p2));
+        // Root has no parents.
+        assert!(Pattern::parse("XXX").unwrap().parents().is_empty());
+    }
+
+    #[test]
+    fn children_enumeration() {
+        let s = schema_223();
+        let root = Pattern::all_unspecified(3);
+        let kids = root.children(&s);
+        // 2 + 2 + 3 children.
+        assert_eq!(kids.len(), 7);
+        for k in &kids {
+            assert_eq!(k.level(), 1);
+            assert!(root.is_parent_of(k));
+        }
+        // Fully-specified patterns have no children.
+        assert!(Pattern::parse("012").unwrap().children(&s).is_empty());
+    }
+
+    #[test]
+    fn generalizes_is_reflexive_and_respects_lattice() {
+        let a = Pattern::parse("X0X").unwrap();
+        let b = Pattern::parse("100").unwrap();
+        assert!(a.generalizes(&a));
+        assert!(a.generalizes(&b));
+        assert!(!b.generalizes(&a));
+        assert!(Pattern::parse("XXX").unwrap().generalizes(&b));
+    }
+
+    #[test]
+    fn common_parent_of_siblings() {
+        let a = Pattern::parse("00").unwrap();
+        let b = Pattern::parse("01").unwrap();
+        let c = Pattern::parse("11").unwrap();
+        assert_eq!(a.common_parent(&b), Some(Pattern::parse("0X").unwrap()));
+        assert_eq!(a.common_parent(&c), None); // differ on two attributes
+        assert_eq!(a.common_parent(&a), None); // no differing attribute
+    }
+
+    #[test]
+    fn single_constructor() {
+        let p = Pattern::single(3, 1, 2);
+        assert_eq!(p.to_string(), "X2X");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range_panics() {
+        Pattern::single(2, 2, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Pattern::parse("X01").unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Pattern = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    proptest! {
+        /// Every child generated by `children` is matched-implied by its parent:
+        /// objects matching the child match the parent.
+        #[test]
+        fn prop_children_specialize(vals in proptest::collection::vec(0u8..2, 3)) {
+            let s = schema_223();
+            let labels = Labels::new(&vals);
+            let root = Pattern::all_unspecified(3);
+            for child in root.children(&s) {
+                if child.matches(&labels) {
+                    prop_assert!(root.matches(&labels));
+                }
+                prop_assert!(root.generalizes(&child));
+            }
+        }
+
+        /// parents() and is_parent_of agree.
+        #[test]
+        fn prop_parents_consistent(cells in proptest::collection::vec(proptest::option::of(0u8..3), 1..4)) {
+            let p = Pattern::from_cells(&cells);
+            for parent in p.parents() {
+                prop_assert!(parent.is_parent_of(&p));
+                prop_assert!(parent.generalizes(&p));
+                prop_assert_eq!(parent.level() + 1, p.level());
+            }
+        }
+
+        /// A fully-specified pattern matches exactly its own label vector.
+        #[test]
+        fn prop_fully_specified_matches_self(vals in proptest::collection::vec(0u8..4, 1..5),
+                                             other in proptest::collection::vec(0u8..4, 1..5)) {
+            let p = Pattern::from_values(&vals);
+            prop_assert!(p.matches(&Labels::new(&vals)));
+            if other.len() == vals.len() && other != vals {
+                prop_assert!(!p.matches(&Labels::new(&other)));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The pattern graph (paper Figure 5): every pattern over a schema,
+//! organized by level.
+//!
+//! For a schema with cardinalities `c1..cd` there are `Π (ci + 1)` patterns
+//! (each cell is a value or `X`). Level `ℓ` holds the patterns with exactly
+//! `ℓ` specified cells; level 0 is the root `XX…X`, level `d` the
+//! fully-specified subgroups.
+
+use crate::pattern::Pattern;
+use crate::schema::AttributeSchema;
+
+/// Materialized pattern lattice for one schema.
+#[derive(Debug, Clone)]
+pub struct PatternGraph {
+    d: usize,
+    by_level: Vec<Vec<Pattern>>,
+}
+
+impl PatternGraph {
+    /// Enumerates every pattern over `schema`.
+    pub fn new(schema: &AttributeSchema) -> Self {
+        let d = schema.d();
+        let cards = schema.cardinalities();
+        let mut by_level: Vec<Vec<Pattern>> = vec![Vec::new(); d + 1];
+        // Odometer over (card + 1) symbols per cell; the extra symbol is X.
+        let mut cells = vec![0usize; d];
+        loop {
+            let mut p = Pattern::all_unspecified(d);
+            for (i, &c) in cells.iter().enumerate() {
+                if c < cards[i] {
+                    p = p.with(i, Some(c as u8));
+                }
+            }
+            by_level[p.level()].push(p);
+            let mut i = d;
+            loop {
+                if i == 0 {
+                    return Self { d, by_level };
+                }
+                i -= 1;
+                cells[i] += 1;
+                if cells[i] <= cards[i] {
+                    break;
+                }
+                cells[i] = 0;
+            }
+        }
+    }
+
+    /// Arity `d` of the underlying schema.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Total number of patterns.
+    pub fn len(&self) -> usize {
+        self.by_level.iter().map(Vec::len).sum()
+    }
+
+    /// True when the graph holds no patterns (never, for valid schemas).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Patterns with exactly `level` specified cells.
+    pub fn at_level(&self, level: usize) -> &[Pattern] {
+        &self.by_level[level]
+    }
+
+    /// Every pattern, root first, level by level.
+    pub fn iter(&self) -> impl Iterator<Item = &Pattern> {
+        self.by_level.iter().flatten()
+    }
+
+    /// The fully-specified subgroups (bottom level).
+    pub fn full_groups(&self) -> &[Pattern] {
+        &self.by_level[self.d]
+    }
+
+    /// The fully-specified descendants of `p` (every full group that `p`
+    /// generalizes). For a fully-specified `p` this is `[p]` itself.
+    pub fn full_descendants(&self, p: &Pattern) -> Vec<Pattern> {
+        self.full_groups()
+            .iter()
+            .filter(|fg| p.generalizes(fg))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema_gender_race() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::new("race", ["white", "black", "hispanic", "asian"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure5_lattice_shape() {
+        // Paper Figure 5: gender × race. Level 0: X-X. Level 1: 2 gender
+        // patterns + 4 race patterns. Level 2: 8 fully-specified subgroups.
+        let g = PatternGraph::new(&schema_gender_race());
+        assert_eq!(g.at_level(0).len(), 1);
+        assert_eq!(g.at_level(1).len(), 6);
+        assert_eq!(g.at_level(2).len(), 8);
+        assert_eq!(g.len(), 15); // (2+1)·(4+1)
+        assert_eq!(g.full_groups().len(), 8);
+    }
+
+    #[test]
+    fn levels_partition_all_patterns() {
+        let g = PatternGraph::new(&schema_gender_race());
+        let mut seen = std::collections::HashSet::new();
+        for p in g.iter() {
+            assert!(seen.insert(*p), "duplicate pattern {p}");
+        }
+        assert_eq!(seen.len(), g.len());
+        for level in 0..=g.d() {
+            for p in g.at_level(level) {
+                assert_eq!(p.level(), level);
+            }
+        }
+    }
+
+    #[test]
+    fn full_descendants_of_level1() {
+        let schema = schema_gender_race();
+        let g = PatternGraph::new(&schema);
+        let female_x = schema.pattern(&[("gender", "female")]).unwrap();
+        let desc = g.full_descendants(&female_x);
+        assert_eq!(desc.len(), 4); // female-{white,black,hispanic,asian}
+        for d in &desc {
+            assert!(female_x.generalizes(d));
+            assert!(d.is_fully_specified());
+        }
+        // Root generalizes everything.
+        let root = Pattern::all_unspecified(2);
+        assert_eq!(g.full_descendants(&root).len(), 8);
+        // A full group's only full descendant is itself.
+        let fg = g.full_groups()[0];
+        assert_eq!(g.full_descendants(&fg), vec![fg]);
+    }
+
+    #[test]
+    fn three_binary_attributes() {
+        let schema = AttributeSchema::new(vec![
+            Attribute::binary("a", "0", "1").unwrap(),
+            Attribute::binary("b", "0", "1").unwrap(),
+            Attribute::binary("c", "0", "1").unwrap(),
+        ])
+        .unwrap();
+        let g = PatternGraph::new(&schema);
+        assert_eq!(g.len(), 27); // 3^3
+        assert_eq!(g.full_groups().len(), 8);
+        assert_eq!(g.at_level(1).len(), 6);
+        assert_eq!(g.at_level(2).len(), 12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Aggregate, serializable study reports.
+//!
+//! A [`CoverageReport`] bundles everything an audit produces — per-group
+//! verdicts, MUPs, task totals, and dollar cost — into one serde-friendly
+//! value that the benchmark harness writes as JSON.
+
+use crate::intersectional::PatternCoverage;
+use crate::ledger::{PricingModel, TaskLedger};
+use crate::multiple::GroupResult;
+use crate::pattern::Pattern;
+use crate::schema::AttributeSchema;
+use serde::{Deserialize, Serialize};
+
+/// The final artifact of a coverage study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Human-readable study name.
+    pub study: String,
+    /// The attributes of interest.
+    pub schema: AttributeSchema,
+    /// Coverage threshold used.
+    pub tau: usize,
+    /// Dataset size audited.
+    pub dataset_size: usize,
+    /// Per-group verdicts (fully-specified subgroups or single-attribute
+    /// groups, depending on the study).
+    pub groups: Vec<GroupResult>,
+    /// Lattice-wide verdicts, when an intersectional study ran.
+    pub patterns: Vec<PatternCoverage>,
+    /// Maximal uncovered patterns.
+    pub mups: Vec<Pattern>,
+    /// Total crowd work.
+    pub tasks: TaskLedger,
+    /// Dollar cost under the study's pricing model.
+    pub dollars: f64,
+}
+
+impl CoverageReport {
+    /// Builds a report, pricing the ledger with `pricing`.
+    pub fn new(
+        study: impl Into<String>,
+        schema: AttributeSchema,
+        tau: usize,
+        dataset_size: usize,
+        tasks: TaskLedger,
+        pricing: &PricingModel,
+    ) -> Self {
+        let dollars = pricing.total_cost(&tasks);
+        Self {
+            study: study.into(),
+            schema,
+            tau,
+            dataset_size,
+            groups: Vec::new(),
+            patterns: Vec::new(),
+            mups: Vec::new(),
+            tasks,
+            dollars,
+        }
+    }
+
+    /// Attaches per-group verdicts.
+    #[must_use]
+    pub fn with_groups(mut self, groups: Vec<GroupResult>) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Attaches lattice verdicts and MUPs.
+    #[must_use]
+    pub fn with_patterns(mut self, patterns: Vec<PatternCoverage>, mups: Vec<Pattern>) -> Self {
+        self.patterns = patterns;
+        self.mups = mups;
+        self
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let uncovered: Vec<String> = self
+            .groups
+            .iter()
+            .filter(|g| !g.covered)
+            .map(|g| self.schema.pattern_display(&g.group))
+            .collect();
+        format!(
+            "{}: {} tasks (${:.2}); uncovered groups: [{}]; MUPs: [{}]",
+            self.study,
+            self.tasks.total_tasks(),
+            self.dollars,
+            uncovered.join(", "),
+            self.mups
+                .iter()
+                .map(|m| self.schema.pattern_display(m))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn report() -> CoverageReport {
+        let schema =
+            AttributeSchema::new(vec![Attribute::binary("gender", "male", "female").unwrap()])
+                .unwrap();
+        let mut tasks = TaskLedger::new();
+        for _ in 0..10 {
+            tasks.record_set_query();
+        }
+        CoverageReport::new(
+            "demo",
+            schema,
+            50,
+            1000,
+            tasks,
+            &PricingModel::amt_ten_cents(),
+        )
+        .with_groups(vec![GroupResult {
+            group: Pattern::parse("1").unwrap(),
+            covered: false,
+            count: 12,
+            count_exact: true,
+        }])
+        .with_patterns(Vec::new(), vec![Pattern::parse("1").unwrap()])
+    }
+
+    #[test]
+    fn pricing_applied() {
+        let r = report();
+        // 10 tasks × $0.10 × 3 assignments × 1.2 fees = $3.60.
+        assert!((r.dollars - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_names_uncovered_groups() {
+        let s = report().summary();
+        assert!(s.contains("female"), "{s}");
+        assert!(s.contains("10 tasks"), "{s}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: CoverageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.study, "demo");
+        assert_eq!(back.mups.len(), 1);
+        assert_eq!(back.tasks.total_tasks(), 10);
+    }
+}

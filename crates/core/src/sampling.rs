@@ -1,0 +1,222 @@
+//! The sampling phase of §4 (`LabelSamples`, Algorithm 6) and the labeled
+//! store `L`.
+//!
+//! Before running per-group searches, the multi-group algorithms label a
+//! small random subset (`c·τ` objects, `c = 2` by default) with point
+//! queries. The sample serves two purposes: it usually certifies the
+//! majority group(s) almost for free, and its group frequencies drive the
+//! super-group aggregation heuristic.
+
+use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::schema::Labels;
+use crate::target::Target;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The labeled set `L`: objects whose attribute values the crowd has
+/// provided, moved out of the unlabeled pool so they are never asked about
+/// twice.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledStore {
+    map: HashMap<ObjectId, Labels>,
+}
+
+impl LabeledStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the labels of one object. Returns the previous labels when
+    /// the object was already present.
+    pub fn add(&mut self, id: ObjectId, labels: Labels) -> Option<Labels> {
+        self.map.insert(id, labels)
+    }
+
+    /// Number of labeled objects `|L|`.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been labeled.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The labels of `id`, if known.
+    pub fn labels_of(&self, id: ObjectId) -> Option<&Labels> {
+        self.map.get(&id)
+    }
+
+    /// Is the object already labeled?
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// `L.count(g)`: labeled objects matching a target.
+    pub fn count(&self, target: &Target) -> usize {
+        self.map.values().filter(|l| target.matches(l)).count()
+    }
+
+    /// Iterates over `(id, labels)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &Labels)> {
+        self.map.iter()
+    }
+
+    /// Ids of labeled objects matching a target.
+    pub fn members(&self, target: &Target) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self
+            .map
+            .iter()
+            .filter(|(_, l)| target.matches(l))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// `LabelSamples` (Algorithm 6, lines 1-5): draws `k` objects uniformly at
+/// random from `pool`, labels them with (batched) point queries, removes
+/// them from `pool`, and returns them in a fresh [`LabeledStore`].
+///
+/// Pool order of the remaining objects is preserved (the d&c algorithm's
+/// set queries are formed from contiguous runs of the pool, and reshuffling
+/// between phases would change nothing statistically but would make runs
+/// harder to reproduce).
+pub fn label_samples<S: AnswerSource, R: Rng + ?Sized>(
+    engine: &mut Engine<S>,
+    pool: &mut Vec<ObjectId>,
+    k: usize,
+    rng: &mut R,
+) -> LabeledStore {
+    let mut store = LabeledStore::new();
+    let k = k.min(pool.len());
+    if k == 0 {
+        return store;
+    }
+    // Partial Fisher–Yates: move k random picks to the tail, then split.
+    let len = pool.len();
+    for i in 0..k {
+        let j = rng.gen_range(0..len - i);
+        pool.swap(j, len - 1 - i);
+    }
+    let picked: Vec<ObjectId> = pool.split_off(len - k);
+    let labels = engine.ask_point_labels_batched(&picked);
+    for (id, l) in picked.into_iter().zip(labels) {
+        store.add(id, l);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GroundTruth;
+    use crate::engine::{PerfectSource, VecGroundTruth};
+    use crate::pattern::Pattern;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn truth_with_minority(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn samples_move_from_pool_to_store() {
+        let truth = truth_with_minority(100, 20);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
+        let mut pool = truth.all_ids();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let store = label_samples(&mut engine, &mut pool, 30, &mut rng);
+        assert_eq!(store.len(), 30);
+        assert_eq!(pool.len(), 70);
+        for (id, _) in store.iter() {
+            assert!(!pool.contains(id), "{id} still in pool");
+        }
+        // 30 labels at batch 50 ⇒ one charged task.
+        assert_eq!(engine.ledger().point_tasks(), 1);
+        assert_eq!(engine.ledger().point_labels(), 30);
+    }
+
+    #[test]
+    fn sample_counts_reflect_composition() {
+        let truth = truth_with_minority(1000, 300);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let mut pool = truth.all_ids();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let store = label_samples(&mut engine, &mut pool, 200, &mut rng);
+        let minority = Target::group(Pattern::parse("1").unwrap());
+        let frac = store.count(&minority) as f64 / store.len() as f64;
+        assert!(
+            (frac - 0.3).abs() < 0.12,
+            "sample fraction {frac} far from 0.3"
+        );
+    }
+
+    #[test]
+    fn oversized_request_clamps_to_pool() {
+        let truth = truth_with_minority(10, 2);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let mut pool = truth.all_ids();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let store = label_samples(&mut engine, &mut pool, 50, &mut rng);
+        assert_eq!(store.len(), 10);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn zero_request_is_free() {
+        let truth = truth_with_minority(10, 2);
+        let mut engine = Engine::new(PerfectSource::new(&truth));
+        let mut pool = truth.all_ids();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let store = label_samples(&mut engine, &mut pool, 0, &mut rng);
+        assert!(store.is_empty());
+        assert_eq!(pool.len(), 10);
+        assert_eq!(engine.ledger().total_tasks(), 0);
+    }
+
+    #[test]
+    fn store_membership_queries() {
+        let mut store = LabeledStore::new();
+        store.add(ObjectId(3), Labels::single(1));
+        store.add(ObjectId(5), Labels::single(0));
+        store.add(ObjectId(9), Labels::single(1));
+        let minority = Target::group(Pattern::parse("1").unwrap());
+        assert_eq!(store.count(&minority), 2);
+        assert_eq!(store.members(&minority), vec![ObjectId(3), ObjectId(9)]);
+        assert!(store.contains(ObjectId(5)));
+        assert_eq!(store.labels_of(ObjectId(5)), Some(&Labels::single(0)));
+        assert_eq!(store.labels_of(ObjectId(4)), None);
+        // Re-adding returns the old labels.
+        assert_eq!(
+            store.add(ObjectId(3), Labels::single(0)),
+            Some(Labels::single(1))
+        );
+    }
+
+    #[test]
+    fn sampling_is_uniform_ish() {
+        // Each object should be picked roughly k/N of the time.
+        let truth = truth_with_minority(50, 0);
+        let mut hits = [0u32; 50];
+        for seed in 0..400 {
+            let mut engine = Engine::new(PerfectSource::new(&truth));
+            let mut pool = truth.all_ids();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let store = label_samples(&mut engine, &mut pool, 10, &mut rng);
+            for (id, _) in store.iter() {
+                hits[id.index()] += 1;
+            }
+        }
+        // Expected 80 hits each; allow generous slack.
+        for (i, h) in hits.iter().enumerate() {
+            assert!((30..=150).contains(h), "object {i} picked {h} times");
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Attributes of interest and per-object label vectors.
+//!
+//! The paper's data model (§2.1): a dataset is a collection of `N` objects
+//! (images) with **no explicit attribute values**. Objects are associated
+//! with `d` latent categorical *attributes of interest* `x = {x1..xd}` such
+//! as `gender` or `race`; each value of an attribute identifies a
+//! non-overlapping demographic group.
+
+use crate::error::CoverageError;
+use crate::pattern::Pattern;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of attributes of interest supported by the inline
+/// [`Labels`] / [`crate::pattern::Pattern`] representations.
+///
+/// Sensitive attributes are few (the paper uses at most three), so a small
+/// fixed capacity lets labels be `Copy` and allocation-free.
+pub const MAX_ATTRS: usize = 8;
+
+/// A single categorical attribute of interest (e.g. `gender`) together with
+/// its named values (e.g. `male`, `female`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates an attribute from a name and at least two distinct values.
+    pub fn new<S, I, V>(name: S, values: I) -> Result<Self, CoverageError>
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = V>,
+        V: Into<String>,
+    {
+        let name = name.into();
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        if values.len() < 2 {
+            return Err(CoverageError::AttributeTooNarrow { name });
+        }
+        // The pattern representation reserves u8::MAX for "unspecified".
+        if values.len() > 254 {
+            return Err(CoverageError::AttributeTooWide {
+                cardinality: values.len(),
+                name,
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            if values[..i].contains(v) {
+                return Err(CoverageError::DuplicateValue {
+                    attribute: name,
+                    value: v.clone(),
+                });
+            }
+        }
+        Ok(Self { name, values })
+    }
+
+    /// Convenience constructor for a binary attribute.
+    pub fn binary<S: Into<String>>(
+        name: S,
+        first: &str,
+        second: &str,
+    ) -> Result<Self, CoverageError> {
+        Self::new(name, [first, second])
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values (demographic groups) of this attribute.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The named values, in index order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Name of the value with index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn value_name(&self, i: u8) -> &str {
+        &self.values[usize::from(i)]
+    }
+
+    /// Index of the value named `value`, if any.
+    pub fn value_index(&self, value: &str) -> Option<u8> {
+        self.values.iter().position(|v| v == value).map(|i| i as u8)
+    }
+}
+
+/// A per-object vector of attribute-value indices — the latent ground truth
+/// (or a crowd-provided estimate) for one object.
+///
+/// `Labels` is `Copy` and stores its values inline (at most [`MAX_ATTRS`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Labels {
+    len: u8,
+    vals: [u8; MAX_ATTRS],
+}
+
+impl Labels {
+    /// Creates a label vector from value indices, one per attribute.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_ATTRS`] values are supplied.
+    pub fn new(values: &[u8]) -> Self {
+        assert!(
+            values.len() <= MAX_ATTRS,
+            "at most {MAX_ATTRS} attributes supported, got {}",
+            values.len()
+        );
+        let mut vals = [0u8; MAX_ATTRS];
+        vals[..values.len()].copy_from_slice(values);
+        Self {
+            len: values.len() as u8,
+            vals,
+        }
+    }
+
+    /// A single-attribute label.
+    pub fn single(value: u8) -> Self {
+        Self::new(&[value])
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when the label vector has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value index of attribute `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len(), "attribute index {i} out of range");
+        self.vals[i]
+    }
+
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.vals[..self.len()]
+    }
+}
+
+impl fmt::Debug for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Labels{:?}", self.as_slice())
+    }
+}
+
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in self.as_slice() {
+            if *v < 10 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "<{v}>")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The full set of attributes of interest for a study.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeSchema {
+    attrs: Vec<Attribute>,
+}
+
+impl AttributeSchema {
+    /// Creates a schema from a non-empty list of attributes with distinct names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self, CoverageError> {
+        if attrs.is_empty() {
+            return Err(CoverageError::EmptySchema);
+        }
+        if attrs.len() > MAX_ATTRS {
+            return Err(CoverageError::TooManyAttributes {
+                requested: attrs.len(),
+            });
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(CoverageError::DuplicateAttribute {
+                    name: a.name().to_owned(),
+                });
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Shorthand for the common one-binary-attribute case.
+    pub fn single_binary(name: &str, first: &str, second: &str) -> Self {
+        Self::new(vec![Attribute::binary(name, first, second).expect("binary")])
+            .expect("single attribute")
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// All attributes in order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Cardinality of each attribute, in order.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.attrs.iter().map(Attribute::cardinality).collect()
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name() == name)
+    }
+
+    /// The number of fully-specified subgroups `m = c1 × … × cd`.
+    pub fn num_full_groups(&self) -> usize {
+        self.attrs.iter().map(Attribute::cardinality).product()
+    }
+
+    /// All fully-specified subgroups (level-`d` patterns), in lexicographic
+    /// order of value indices. These are the leaves of the pattern graph
+    /// (e.g. `female-asian` in the paper's Figure 5).
+    pub fn full_groups(&self) -> Vec<Pattern> {
+        let d = self.d();
+        let cards = self.cardinalities();
+        let mut out = Vec::with_capacity(self.num_full_groups());
+        let mut current = vec![0u8; d];
+        loop {
+            out.push(Pattern::from_values(&current));
+            // Odometer increment.
+            let mut i = d;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                current[i] += 1;
+                if usize::from(current[i]) < cards[i] {
+                    break;
+                }
+                current[i] = 0;
+            }
+        }
+    }
+
+    /// Validates a label vector against the schema.
+    pub fn validate_labels(&self, labels: &Labels) -> Result<(), CoverageError> {
+        if labels.len() != self.d() {
+            return Err(CoverageError::ArityMismatch {
+                expected: self.d(),
+                got: labels.len(),
+            });
+        }
+        for (i, v) in labels.as_slice().iter().enumerate() {
+            if usize::from(*v) >= self.attrs[i].cardinality() {
+                return Err(CoverageError::ValueOutOfRange {
+                    attribute: i,
+                    value: *v,
+                    cardinality: self.attrs[i].cardinality(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a label vector from `(attribute, value)` name pairs.
+    /// Every attribute of the schema must appear exactly once.
+    pub fn labels(&self, pairs: &[(&str, &str)]) -> Result<Labels, CoverageError> {
+        if pairs.len() != self.d() {
+            return Err(CoverageError::ArityMismatch {
+                expected: self.d(),
+                got: pairs.len(),
+            });
+        }
+        let mut vals = vec![u8::MAX; self.d()];
+        for (attr, value) in pairs {
+            let i = self
+                .attr_index(attr)
+                .ok_or_else(|| CoverageError::UnknownAttribute {
+                    name: (*attr).to_owned(),
+                })?;
+            let v =
+                self.attrs[i]
+                    .value_index(value)
+                    .ok_or_else(|| CoverageError::UnknownValue {
+                        attribute: (*attr).to_owned(),
+                        value: (*value).to_owned(),
+                    })?;
+            vals[i] = v;
+        }
+        if vals.contains(&u8::MAX) {
+            return Err(CoverageError::ArityMismatch {
+                expected: self.d(),
+                got: pairs.len(),
+            });
+        }
+        Ok(Labels::new(&vals))
+    }
+
+    /// Builds a [`Pattern`] from `(attribute, value)` name pairs; attributes
+    /// not mentioned stay *unspecified* (`X`).
+    pub fn pattern(&self, pairs: &[(&str, &str)]) -> Result<Pattern, CoverageError> {
+        let mut p = Pattern::all_unspecified(self.d());
+        for (attr, value) in pairs {
+            let i = self
+                .attr_index(attr)
+                .ok_or_else(|| CoverageError::UnknownAttribute {
+                    name: (*attr).to_owned(),
+                })?;
+            let v =
+                self.attrs[i]
+                    .value_index(value)
+                    .ok_or_else(|| CoverageError::UnknownValue {
+                        attribute: (*attr).to_owned(),
+                        value: (*value).to_owned(),
+                    })?;
+            p = p.with(i, Some(v));
+        }
+        Ok(p)
+    }
+
+    /// Renders a pattern using the schema's value names, e.g. `female-X`
+    /// (the notation of the paper's Figure 5).
+    pub fn pattern_display(&self, p: &Pattern) -> String {
+        let mut parts = Vec::with_capacity(self.d());
+        for i in 0..p.d() {
+            match p.get(i) {
+                None => parts.push("X".to_owned()),
+                Some(v) => parts.push(self.attrs[i].value_name(v).to_owned()),
+            }
+        }
+        parts.join("-")
+    }
+
+    /// Renders a label vector using the schema's value names.
+    pub fn labels_display(&self, l: &Labels) -> String {
+        let mut parts = Vec::with_capacity(self.d());
+        for (i, v) in l.as_slice().iter().enumerate() {
+            parts.push(self.attrs[i].value_name(*v).to_owned());
+        }
+        parts.join("-")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gender_race() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::new("race", ["white", "black", "hispanic", "asian"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn attribute_rejects_single_value() {
+        assert!(matches!(
+            Attribute::new("g", ["only"]),
+            Err(CoverageError::AttributeTooNarrow { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_rejects_duplicates() {
+        assert!(matches!(
+            Attribute::new("g", ["a", "b", "a"]),
+            Err(CoverageError::DuplicateValue { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_rejects_oversized_domain() {
+        let values: Vec<String> = (0..300).map(|i| format!("v{i}")).collect();
+        assert!(matches!(
+            Attribute::new("g", values),
+            Err(CoverageError::AttributeTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_value_lookup() {
+        let a = Attribute::new("race", ["white", "black"]).unwrap();
+        assert_eq!(a.value_index("black"), Some(1));
+        assert_eq!(a.value_index("martian"), None);
+        assert_eq!(a.value_name(0), "white");
+        assert_eq!(a.cardinality(), 2);
+    }
+
+    #[test]
+    fn schema_rejects_empty_and_duplicate() {
+        assert!(matches!(
+            AttributeSchema::new(vec![]),
+            Err(CoverageError::EmptySchema)
+        ));
+        let a = Attribute::binary("g", "a", "b").unwrap();
+        assert!(matches!(
+            AttributeSchema::new(vec![a.clone(), a]),
+            Err(CoverageError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_rejects_too_many_attributes() {
+        let attrs: Vec<Attribute> = (0..MAX_ATTRS + 1)
+            .map(|i| Attribute::binary(format!("a{i}"), "x", "y").unwrap())
+            .collect();
+        assert!(matches!(
+            AttributeSchema::new(attrs),
+            Err(CoverageError::TooManyAttributes { .. })
+        ));
+    }
+
+    #[test]
+    fn full_groups_enumerates_cartesian_product() {
+        let s = gender_race();
+        let groups = s.full_groups();
+        assert_eq!(groups.len(), 8);
+        assert_eq!(s.num_full_groups(), 8);
+        // First and last in lexicographic order.
+        assert_eq!(s.pattern_display(&groups[0]), "male-white");
+        assert_eq!(s.pattern_display(&groups[7]), "female-asian");
+        // All distinct and fully specified.
+        for g in &groups {
+            assert!(g.is_fully_specified());
+        }
+        let mut uniq = groups.clone();
+        uniq.sort_by_key(|p| format!("{p}"));
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+    }
+
+    #[test]
+    fn labels_roundtrip_and_validation() {
+        let s = gender_race();
+        let l = s
+            .labels(&[("race", "asian"), ("gender", "female")])
+            .unwrap();
+        assert_eq!(l.as_slice(), &[1, 3]);
+        assert_eq!(s.labels_display(&l), "female-asian");
+        s.validate_labels(&l).unwrap();
+        assert!(matches!(
+            s.validate_labels(&Labels::new(&[1])),
+            Err(CoverageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_labels(&Labels::new(&[1, 9])),
+            Err(CoverageError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_errors_on_unknown_names() {
+        let s = gender_race();
+        assert!(matches!(
+            s.labels(&[("sex", "female"), ("race", "asian")]),
+            Err(CoverageError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            s.labels(&[("gender", "nope"), ("race", "asian")]),
+            Err(CoverageError::UnknownValue { .. })
+        ));
+        // Repeated attribute leaves another unset.
+        assert!(s
+            .labels(&[("gender", "male"), ("gender", "female")])
+            .is_err());
+    }
+
+    #[test]
+    fn pattern_builder_leaves_unspecified() {
+        let s = gender_race();
+        let p = s.pattern(&[("race", "black")]).unwrap();
+        assert_eq!(s.pattern_display(&p), "X-black");
+        assert_eq!(p.level(), 1);
+    }
+
+    #[test]
+    fn labels_inline_storage() {
+        let l = Labels::new(&[1, 2, 3]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.get(2), 3);
+        assert_eq!(format!("{l}"), "123");
+        assert_eq!(format!("{l:?}"), "Labels[1, 2, 3]");
+        let wide = Labels::new(&[12]);
+        assert_eq!(format!("{wide}"), "<12>");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn labels_get_out_of_range_panics() {
+        Labels::new(&[0]).get(1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = gender_race();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: AttributeSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        let l = Labels::new(&[1, 3]);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Labels = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

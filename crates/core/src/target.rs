@@ -1,0 +1,195 @@
+//! Query targets: what a crowd task asks about.
+//!
+//! A [`Target`] uniformly encodes the three kinds of group predicates used by
+//! the paper's algorithms:
+//!
+//! * a **single group** (a pattern, possibly partial, e.g. `female-X`),
+//! * a **super-group** — the OR of several groups, used by the aggregation
+//!   heuristic of §4 ("does the set contain any Native American, Asian OR
+//!   Middle Eastern individual?"),
+//! * a **negated group** — the reverse question of `Classifier-Coverage`
+//!   (§5: "is there any individual in this set that is NOT female?").
+
+use crate::pattern::Pattern;
+use crate::schema::{AttributeSchema, Labels};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A membership predicate over label vectors.
+///
+/// An object with labels `l` matches the target when
+/// `(∃ p ∈ patterns: p.matches(l)) XOR negated`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Target {
+    patterns: Vec<Pattern>,
+    negated: bool,
+}
+
+impl Target {
+    /// A single (sub)group.
+    pub fn group(pattern: Pattern) -> Self {
+        Self {
+            patterns: vec![pattern],
+            negated: false,
+        }
+    }
+
+    /// A super-group: the union (OR) of several disjoint groups.
+    ///
+    /// # Panics
+    /// Panics when `patterns` is empty or the patterns disagree on arity.
+    pub fn super_group(patterns: Vec<Pattern>) -> Self {
+        assert!(
+            !patterns.is_empty(),
+            "a super-group needs at least one group"
+        );
+        let d = patterns[0].d();
+        assert!(
+            patterns.iter().all(|p| p.d() == d),
+            "all patterns of a super-group must share the arity"
+        );
+        Self {
+            patterns,
+            negated: false,
+        }
+    }
+
+    /// The complement of a single group (the §5 "NOT g" reverse question).
+    pub fn negation(pattern: Pattern) -> Self {
+        Self {
+            patterns: vec![pattern],
+            negated: true,
+        }
+    }
+
+    /// Returns this target with the polarity flipped.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        Self {
+            patterns: self.patterns.clone(),
+            negated: !self.negated,
+        }
+    }
+
+    /// Does an object with the given labels match?
+    pub fn matches(&self, labels: &Labels) -> bool {
+        self.patterns.iter().any(|p| p.matches(labels)) ^ self.negated
+    }
+
+    /// The underlying pattern(s).
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// True when this is a complement predicate.
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// True when the target is a single, non-negated group.
+    pub fn is_single_group(&self) -> bool {
+        self.patterns.len() == 1 && !self.negated
+    }
+
+    /// Human-readable description using the schema's value names, suitable
+    /// for a HIT title (e.g. `any of {female-X}?` / `any NOT male-X?`).
+    pub fn describe(&self, schema: &AttributeSchema) -> String {
+        let names: Vec<String> = self
+            .patterns
+            .iter()
+            .map(|p| schema.pattern_display(p))
+            .collect();
+        if self.negated {
+            format!("any NOT {}?", names.join(" | "))
+        } else {
+            format!("any of {{{}}}?", names.join(", "))
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬")?;
+        }
+        let strs: Vec<String> = self.patterns.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}", strs.join("|"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, AttributeSchema};
+
+    #[test]
+    fn single_group_matching() {
+        let t = Target::group(Pattern::parse("1X").unwrap());
+        assert!(t.matches(&Labels::new(&[1, 0])));
+        assert!(t.matches(&Labels::new(&[1, 1])));
+        assert!(!t.matches(&Labels::new(&[0, 0])));
+        assert!(t.is_single_group());
+    }
+
+    #[test]
+    fn super_group_is_union() {
+        let t = Target::super_group(vec![
+            Pattern::parse("00").unwrap(),
+            Pattern::parse("11").unwrap(),
+        ]);
+        assert!(t.matches(&Labels::new(&[0, 0])));
+        assert!(t.matches(&Labels::new(&[1, 1])));
+        assert!(!t.matches(&Labels::new(&[0, 1])));
+        assert!(!t.is_single_group());
+    }
+
+    #[test]
+    fn negation_flips_membership() {
+        let female = Pattern::parse("1").unwrap();
+        let not_female = Target::negation(female);
+        assert!(!not_female.matches(&Labels::new(&[1])));
+        assert!(not_female.matches(&Labels::new(&[0])));
+        assert!(not_female.is_negated());
+        // Double negation restores the original predicate.
+        let again = not_female.negated();
+        assert!(again.matches(&Labels::new(&[1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn empty_super_group_panics() {
+        Target::super_group(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the arity")]
+    fn mixed_arity_super_group_panics() {
+        Target::super_group(vec![
+            Pattern::parse("0").unwrap(),
+            Pattern::parse("01").unwrap(),
+        ]);
+    }
+
+    #[test]
+    fn describe_uses_value_names() {
+        let schema = AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::new("race", ["white", "black"]).unwrap(),
+        ])
+        .unwrap();
+        let t = Target::group(schema.pattern(&[("gender", "female")]).unwrap());
+        assert_eq!(t.describe(&schema), "any of {female-X}?");
+        let n = t.negated();
+        assert_eq!(n.describe(&schema), "any NOT female-X?");
+    }
+
+    #[test]
+    fn display_compact() {
+        let t = Target::super_group(vec![
+            Pattern::parse("0X").unwrap(),
+            Pattern::parse("X1").unwrap(),
+        ]);
+        assert_eq!(t.to_string(), "0X|X1");
+        assert_eq!(t.negated().to_string(), "¬0X|X1");
+    }
+}

@@ -1,0 +1,179 @@
+//! Variable pricing — the paper's stated future work (§8: "we consider
+//! extending our techniques to support various pricing models").
+//!
+//! The fixed-price model charges every HIT the same, so minimizing tasks
+//! minimizes cost. Real platforms price differently: large set queries
+//! deserve a higher reward (more images to scan), and point labels are
+//! cheap piecework. A [`CostScheme`] prices the two query shapes
+//! separately — with an optional per-image surcharge on set queries — and
+//! [`optimal_subset_size`] picks the subset bound `n` that minimizes the
+//! *expected dollar* bound instead of the task bound: with a per-image
+//! surcharge, ever-larger `n` stops being free, and the optimum moves to
+//! an interior value.
+
+use crate::ledger::TaskLedger;
+use serde::{Deserialize, Serialize};
+
+/// A pricing scheme with per-shape rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostScheme {
+    /// Base reward for a set query.
+    pub set_query_base: f64,
+    /// Additional reward per image shown in a set query.
+    pub set_query_per_image: f64,
+    /// Reward for one point task (a batch of labels or a single object,
+    /// depending on the engine's batching).
+    pub point_task: f64,
+    /// Redundancy factor (assignments per task).
+    pub assignments: u32,
+    /// Platform fee rate on wages.
+    pub fee_rate: f64,
+}
+
+impl CostScheme {
+    /// The paper's fixed-price model expressed in this scheme: every task
+    /// costs the same regardless of shape or size.
+    pub fn fixed(reward: f64) -> Self {
+        Self {
+            set_query_base: reward,
+            set_query_per_image: 0.0,
+            point_task: reward,
+            assignments: 3,
+            fee_rate: 0.20,
+        }
+    }
+
+    /// A per-image scheme: a small base plus a per-image increment,
+    /// approximating effort-proportional rewards.
+    pub fn per_image(base: f64, per_image: f64) -> Self {
+        Self {
+            set_query_base: base,
+            set_query_per_image: per_image,
+            point_task: base,
+            assignments: 3,
+            fee_rate: 0.20,
+        }
+    }
+
+    /// Wages for a ledger, assuming every set query showed `n` images.
+    pub fn wages(&self, ledger: &TaskLedger, n: usize) -> f64 {
+        let set = ledger.set_queries() as f64
+            * (self.set_query_base + self.set_query_per_image * n as f64);
+        let point = ledger.point_tasks() as f64 * self.point_task;
+        (set + point) * f64::from(self.assignments)
+    }
+
+    /// Total cost (wages + fees) for a ledger at set size `n`.
+    pub fn total_cost(&self, ledger: &TaskLedger, n: usize) -> f64 {
+        self.wages(ledger, n) * (1.0 + self.fee_rate)
+    }
+
+    /// Expected worst-case dollar cost of a Group-Coverage run at subset
+    /// size `n`: the task bound `N/n + τ·log2(n)` priced per set query.
+    pub fn bound_cost(&self, n_total: usize, n: usize, tau: usize) -> f64 {
+        assert!(n > 0, "subset size must be positive");
+        let tasks = n_total as f64 / n as f64 + tau as f64 * ((n.max(2)) as f64).log2();
+        tasks
+            * (self.set_query_base + self.set_query_per_image * n as f64)
+            * f64::from(self.assignments)
+            * (1.0 + self.fee_rate)
+    }
+}
+
+/// Picks the subset size `n ∈ [1, max_n]` minimizing
+/// [`CostScheme::bound_cost`]. Under fixed pricing the answer saturates at
+/// `max_n` (more batching is free); with a per-image surcharge the optimum
+/// is interior.
+pub fn optimal_subset_size(scheme: &CostScheme, n_total: usize, tau: usize, max_n: usize) -> usize {
+    assert!(max_n >= 1, "need at least one candidate subset size");
+    (1..=max_n)
+        .min_by(|a, b| {
+            scheme
+                .bound_cost(n_total, *a, tau)
+                .partial_cmp(&scheme.bound_cost(n_total, *b, tau))
+                .expect("costs are finite")
+        })
+        .expect("non-empty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(sets: u64, points: u64) -> TaskLedger {
+        let mut l = TaskLedger::new();
+        for _ in 0..sets {
+            l.record_set_query();
+        }
+        l.record_point_work(points * 10, points);
+        l
+    }
+
+    #[test]
+    fn fixed_scheme_matches_flat_pricing() {
+        let scheme = CostScheme::fixed(0.10);
+        let l = ledger(5, 5);
+        // 10 tasks × $0.10 × 3 assignments = $3 wages, ×1.2 = $3.60.
+        assert!((scheme.wages(&l, 50) - 3.0).abs() < 1e-9);
+        assert!((scheme.total_cost(&l, 50) - 3.6).abs() < 1e-9);
+        // Set size is irrelevant under fixed pricing.
+        assert_eq!(scheme.total_cost(&l, 1), scheme.total_cost(&l, 400));
+    }
+
+    #[test]
+    fn per_image_scheme_charges_size() {
+        let scheme = CostScheme::per_image(0.02, 0.001);
+        let l = ledger(10, 0);
+        let small = scheme.total_cost(&l, 10);
+        let large = scheme.total_cost(&l, 200);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn fixed_pricing_prefers_largest_n() {
+        let scheme = CostScheme::fixed(0.10);
+        assert_eq!(optimal_subset_size(&scheme, 100_000, 50, 400), 400);
+    }
+
+    #[test]
+    fn per_image_pricing_has_interior_optimum() {
+        let scheme = CostScheme::per_image(0.02, 0.002);
+        let best = optimal_subset_size(&scheme, 100_000, 50, 400);
+        assert!(
+            (5..350).contains(&best),
+            "expected an interior optimum, got {best}"
+        );
+        // And it really is no worse than the endpoints.
+        let cost = |n| scheme.bound_cost(100_000, n, 50);
+        assert!(cost(best) <= cost(1));
+        assert!(cost(best) <= cost(400));
+    }
+
+    #[test]
+    fn heavier_surcharge_shrinks_optimal_n() {
+        let light = CostScheme::per_image(0.02, 0.0005);
+        let heavy = CostScheme::per_image(0.02, 0.01);
+        let n_light = optimal_subset_size(&light, 100_000, 50, 400);
+        let n_heavy = optimal_subset_size(&heavy, 100_000, 50, 400);
+        assert!(
+            n_heavy <= n_light,
+            "heavier per-image cost should favour smaller sets: {n_heavy} vs {n_light}"
+        );
+    }
+
+    #[test]
+    fn bound_cost_decreasing_then_increasing_under_surcharge() {
+        let scheme = CostScheme::per_image(0.02, 0.002);
+        let c10 = scheme.bound_cost(100_000, 10, 50);
+        let best = optimal_subset_size(&scheme, 100_000, 50, 400);
+        let cbest = scheme.bound_cost(100_000, best, 50);
+        let c400 = scheme.bound_cost(100_000, 400, 50);
+        assert!(cbest <= c10 && cbest <= c400);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_bound_panics() {
+        CostScheme::fixed(0.1).bound_cost(100, 0, 5);
+    }
+}

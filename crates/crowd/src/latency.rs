@@ -1,0 +1,169 @@
+//! Wall-clock simulation: how long does a crowd study take?
+//!
+//! Cost is not the only budget — requesters also wait. Sequential
+//! algorithms like Group-Coverage have a *dependency structure*: each round
+//! of set queries can go out in parallel, but the next round depends on the
+//! answers. This module estimates makespan from per-assignment work times
+//! and the worker pool's parallelism, letting the benches compare "cheap
+//! but deep" against "expensive but flat" strategies.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of a worker marketplace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Seconds a worker spends per image in a set query.
+    pub seconds_per_image: f64,
+    /// Fixed per-assignment overhead (reading instructions, submitting).
+    pub overhead_seconds: f64,
+    /// Workers concurrently active on the study.
+    pub parallel_workers: usize,
+    /// Assignments per HIT (majority-vote redundancy).
+    pub assignments_per_hit: usize,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            seconds_per_image: 1.5,
+            overhead_seconds: 20.0,
+            parallel_workers: 30,
+            assignments_per_hit: 3,
+        }
+    }
+}
+
+/// One batch of HITs that may run concurrently (no data dependencies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Round {
+    /// HITs in this round.
+    pub hits: usize,
+    /// Images per HIT in this round.
+    pub images_per_hit: usize,
+}
+
+impl LatencyModel {
+    /// Seconds one assignment of a `k`-image HIT takes.
+    pub fn assignment_seconds(&self, images: usize) -> f64 {
+        self.overhead_seconds + self.seconds_per_image * images as f64
+    }
+
+    /// Makespan of one round: its assignments are spread over the pool
+    /// and run in waves.
+    pub fn round_seconds(&self, round: &Round) -> f64 {
+        assert!(self.parallel_workers > 0, "need at least one worker");
+        let assignments = round.hits * self.assignments_per_hit;
+        let waves = assignments.div_ceil(self.parallel_workers);
+        waves as f64 * self.assignment_seconds(round.images_per_hit)
+    }
+
+    /// Makespan of a dependent sequence of rounds.
+    pub fn study_seconds(&self, rounds: &[Round]) -> f64 {
+        rounds.iter().map(|r| self.round_seconds(r)).sum()
+    }
+
+    /// Approximate round structure of a Group-Coverage run: one round of
+    /// `⌈N/n⌉` root queries followed by `log2(n)` dependent halving rounds
+    /// whose width shrinks geometrically from `width0` (≈ 2·min(f, τ)).
+    pub fn group_coverage_rounds(&self, n_total: usize, n: usize, width0: usize) -> Vec<Round> {
+        assert!(n > 0, "subset size must be positive");
+        let mut rounds = vec![Round {
+            hits: n_total.div_ceil(n),
+            images_per_hit: n,
+        }];
+        let mut images = n;
+        while images > 1 {
+            images = images.div_ceil(2);
+            rounds.push(Round {
+                hits: width0.max(1),
+                images_per_hit: images,
+            });
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_time_scales_with_images() {
+        let m = LatencyModel::default();
+        assert!((m.assignment_seconds(0) - 20.0).abs() < 1e-9);
+        assert!((m.assignment_seconds(50) - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_waves() {
+        let m = LatencyModel {
+            parallel_workers: 10,
+            assignments_per_hit: 3,
+            ..LatencyModel::default()
+        };
+        // 20 HITs × 3 = 60 assignments over 10 workers = 6 waves.
+        let r = Round {
+            hits: 20,
+            images_per_hit: 50,
+        };
+        assert!((m.round_seconds(&r) - 6.0 * 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn study_sums_rounds() {
+        let m = LatencyModel::default();
+        let rounds = vec![
+            Round {
+                hits: 30,
+                images_per_hit: 50,
+            },
+            Round {
+                hits: 10,
+                images_per_hit: 25,
+            },
+        ];
+        let total = m.study_seconds(&rounds);
+        assert!((total - (m.round_seconds(&rounds[0]) + m.round_seconds(&rounds[1]))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_coverage_round_structure() {
+        let m = LatencyModel::default();
+        let rounds = m.group_coverage_rounds(1522, 50, 100);
+        assert_eq!(rounds[0].hits, 31);
+        assert_eq!(rounds[0].images_per_hit, 50);
+        // Halving: 25, 13, 7, 4, 2, 1.
+        let sizes: Vec<usize> = rounds[1..].iter().map(|r| r.images_per_hit).collect();
+        assert_eq!(sizes, vec![25, 13, 7, 4, 2, 1]);
+    }
+
+    #[test]
+    fn base_coverage_is_flat_but_wide() {
+        // Base-Coverage on the FERET slice: ~342 single-image HITs, no
+        // dependencies (one round) — yet its makespan still exceeds
+        // Group-Coverage's deeper but far narrower structure.
+        let m = LatencyModel::default();
+        let base = m.round_seconds(&Round {
+            hits: 342,
+            images_per_hit: 1,
+        });
+        let gc = m.study_seconds(&m.group_coverage_rounds(1522, 50, 100));
+        assert!(
+            base > gc * 0.2,
+            "sanity: both in the same order of magnitude (base {base}, gc {gc})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let m = LatencyModel {
+            parallel_workers: 0,
+            ..LatencyModel::default()
+        };
+        m.round_seconds(&Round {
+            hits: 1,
+            images_per_hit: 1,
+        });
+    }
+}

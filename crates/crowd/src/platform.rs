@@ -1,0 +1,385 @@
+//! The simulated crowdsourcing platform.
+//!
+//! [`MTurkSim`] wires everything together: it screens the worker pool with
+//! the configured quality controls, and for every question publishes a HIT,
+//! collects `k` assignments from distinct eligible workers, and aggregates
+//! them by majority vote — exactly the paper's §6.3.1 pipeline. It
+//! implements `coverage-core`'s `AnswerSource`, so an
+//! `Engine<MTurkSim<_>>` runs any coverage algorithm against the simulated
+//! crowd while the engine's ledger meters HITs.
+
+use crate::pool::WorkerPool;
+use crate::quality::QualityControl;
+use crate::truth::{majority_label, majority_vote};
+use coverage_core::engine::{AnswerSource, GroundTruth, ObjectId};
+use coverage_core::schema::{AttributeSchema, Labels};
+use coverage_core::target::Target;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Counters the platform keeps while serving HITs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// HITs published (one per question).
+    pub hits_published: u64,
+    /// Assignments collected (HITs × assignments each).
+    pub assignments_collected: u64,
+    /// Individual answers disagreeing with ground truth (the paper
+    /// observed 1.36 % of 660 answers).
+    pub wrong_individual_answers: u64,
+    /// Aggregated (post-majority-vote) answers disagreeing with ground truth.
+    pub wrong_aggregated_answers: u64,
+}
+
+impl PlatformStats {
+    /// Fraction of individual answers that were wrong.
+    pub fn individual_error_rate(&self) -> f64 {
+        if self.assignments_collected == 0 {
+            0.0
+        } else {
+            self.wrong_individual_answers as f64 / self.assignments_collected as f64
+        }
+    }
+
+    /// Fraction of aggregated answers that were wrong.
+    pub fn aggregated_error_rate(&self) -> f64 {
+        if self.hits_published == 0 {
+            0.0
+        } else {
+            self.wrong_aggregated_answers as f64 / self.hits_published as f64
+        }
+    }
+}
+
+/// A simulated Amazon-Mechanical-Turk-style platform over a ground truth.
+#[derive(Debug, Clone)]
+pub struct MTurkSim<'a, G: GroundTruth> {
+    truth: &'a G,
+    schema: AttributeSchema,
+    pool: WorkerPool,
+    qc: QualityControl,
+    eligible: Vec<usize>,
+    rng: SmallRng,
+    stats: PlatformStats,
+}
+
+impl<'a, G: GroundTruth> MTurkSim<'a, G> {
+    /// Builds a platform: screens `pool` through the quality controls and
+    /// seeds the answer randomness.
+    ///
+    /// # Panics
+    /// Panics when fewer eligible workers remain than assignments per HIT.
+    pub fn new(
+        truth: &'a G,
+        schema: AttributeSchema,
+        pool: WorkerPool,
+        qc: QualityControl,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut eligible: Vec<usize> = Vec::with_capacity(pool.len());
+        for (i, w) in pool.workers().iter().enumerate() {
+            if let Some(rating) = &qc.rating {
+                if !rating.admits(w) {
+                    continue;
+                }
+            }
+            if let Some(test) = &qc.qualification {
+                if !test.passes(w, &mut rng) {
+                    continue;
+                }
+            }
+            eligible.push(i);
+        }
+        assert!(
+            eligible.len() >= qc.assignments_per_hit.get(),
+            "only {} eligible workers for {} assignments per HIT",
+            eligible.len(),
+            qc.assignments_per_hit.get()
+        );
+        Self {
+            truth,
+            schema,
+            pool,
+            qc,
+            eligible,
+            rng,
+            stats: PlatformStats::default(),
+        }
+    }
+
+    /// How many workers survived screening.
+    pub fn eligible_workers(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> &PlatformStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. between experiment arms).
+    pub fn reset_stats(&mut self) {
+        self.stats = PlatformStats::default();
+    }
+
+    fn assignments(&mut self) -> Vec<usize> {
+        let k = self.qc.assignments_per_hit.get();
+        self.pool.assign(&self.eligible, k, &mut self.rng)
+    }
+}
+
+impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        let members_present = objects
+            .iter()
+            .filter(|o| target.matches(&self.truth.labels_of(**o)))
+            .count();
+        let truth_answer = members_present > 0;
+        let workers = self.assignments();
+        let mut votes = Vec::with_capacity(workers.len());
+        for w in workers {
+            let ans = self
+                .pool
+                .worker(w)
+                .answer_set(members_present, &mut self.rng);
+            self.stats.assignments_collected += 1;
+            if ans != truth_answer {
+                self.stats.wrong_individual_answers += 1;
+            }
+            votes.push(ans);
+        }
+        let agg = majority_vote(&votes);
+        self.stats.hits_published += 1;
+        if agg != truth_answer {
+            self.stats.wrong_aggregated_answers += 1;
+        }
+        agg
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        let truth_labels = self.truth.labels_of(object);
+        let workers = self.assignments();
+        let mut votes = Vec::with_capacity(workers.len());
+        for w in workers {
+            let ans = self
+                .pool
+                .worker(w)
+                .answer_point(&truth_labels, &self.schema, &mut self.rng);
+            self.stats.assignments_collected += 1;
+            if ans != truth_labels {
+                self.stats.wrong_individual_answers += 1;
+            }
+            votes.push(ans);
+        }
+        let agg = majority_label(&votes);
+        self.stats.hits_published += 1;
+        if agg != truth_labels {
+            self.stats.wrong_aggregated_answers += 1;
+        }
+        agg
+    }
+
+    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+        let truth_labels = self.truth.labels_of(object);
+        let truth_answer = target.matches(&truth_labels);
+        let workers = self.assignments();
+        let mut votes = Vec::with_capacity(workers.len());
+        for w in workers {
+            let ans = self.pool.worker(w).answer_membership(
+                &truth_labels,
+                target,
+                &self.schema,
+                &mut self.rng,
+            );
+            self.stats.assignments_collected += 1;
+            if ans != truth_answer {
+                self.stats.wrong_individual_answers += 1;
+            }
+            votes.push(ans);
+        }
+        let agg = majority_vote(&votes);
+        self.stats.hits_published += 1;
+        if agg != truth_answer {
+            self.stats.wrong_aggregated_answers += 1;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use coverage_core::engine::{Engine, VecGroundTruth};
+    use coverage_core::group_coverage::{group_coverage, DncConfig};
+    use coverage_core::pattern::Pattern;
+
+    fn truth_with_minority(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    fn gender_schema() -> AttributeSchema {
+        AttributeSchema::single_binary("gender", "male", "female")
+    }
+
+    fn female() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    fn platform<'a>(
+        truth: &'a VecGroundTruth,
+        qc: QualityControl,
+        seed: u64,
+    ) -> MTurkSim<'a, VecGroundTruth> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pool = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+        MTurkSim::new(truth, gender_schema(), pool, qc, seed)
+    }
+
+    #[test]
+    fn set_queries_are_mostly_right_after_aggregation() {
+        let truth = truth_with_minority(1000, 100);
+        let mut sim = platform(&truth, QualityControl::with_rating(), 7);
+        let ids = truth.all_ids();
+        let mut wrong = 0;
+        for chunk in ids.chunks(50) {
+            let want = chunk
+                .iter()
+                .any(|o| truth.labels_of(*o) == Labels::single(1));
+            if sim.answer_set(chunk, &female()) != want {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 1, "{wrong} aggregated set answers wrong");
+        assert_eq!(sim.stats().hits_published, 20);
+        assert_eq!(sim.stats().assignments_collected, 60);
+    }
+
+    #[test]
+    fn rating_filter_reduces_individual_error() {
+        let truth = truth_with_minority(2000, 300);
+        let run = |qc: QualityControl| {
+            let mut sim = platform(&truth, qc, 11);
+            let ids = truth.all_ids();
+            for chunk in ids.chunks(50) {
+                sim.answer_set(chunk, &female());
+            }
+            sim.stats().individual_error_rate()
+        };
+        let plain = run(QualityControl::majority_vote_only());
+        let rated = run(QualityControl::with_rating());
+        assert!(
+            rated <= plain + 0.005,
+            "rating filter should not raise error: {rated} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn individual_error_rate_is_paper_scale() {
+        // With the default pool and rating QC, individual errors should be
+        // small single-digit percent (the paper saw 1.36%).
+        let truth = truth_with_minority(3000, 400);
+        let mut sim = platform(&truth, QualityControl::with_rating(), 3);
+        let ids = truth.all_ids();
+        for chunk in ids.chunks(50) {
+            sim.answer_set(chunk, &female());
+        }
+        let rate = sim.stats().individual_error_rate();
+        assert!(rate < 0.05, "individual error rate {rate}");
+    }
+
+    #[test]
+    fn point_labels_aggregate_correctly() {
+        let truth = truth_with_minority(50, 25);
+        let mut sim = platform(&truth, QualityControl::with_rating(), 5);
+        let mut wrong = 0;
+        for id in truth.all_ids() {
+            if sim.answer_point_labels(id) != truth.labels_of(id) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 1, "{wrong} aggregated labels wrong");
+    }
+
+    #[test]
+    fn membership_answers_work() {
+        let truth = truth_with_minority(10, 5);
+        let mut sim = platform(&truth, QualityControl::majority_vote_only(), 9);
+        let yes = sim.answer_membership(ObjectId(0), &female());
+        let no = sim.answer_membership(ObjectId(9), &female());
+        assert!(yes);
+        assert!(!no);
+    }
+
+    #[test]
+    fn group_coverage_runs_end_to_end_on_the_crowd() {
+        // The full stack: algorithm → engine → platform → workers.
+        let truth = truth_with_minority(1522, 215);
+        let sim = platform(&truth, QualityControl::with_rating(), 13);
+        let mut engine = Engine::with_point_batch(sim, 50);
+        let out = group_coverage(
+            &mut engine,
+            &truth.all_ids(),
+            &female(),
+            50,
+            50,
+            &DncConfig::default(),
+        );
+        assert!(out.covered, "215 ≥ 50 females must be detected");
+        let tasks = engine.ledger().total_tasks();
+        // Table 1 scale: ≈71–75 HITs, far below the 1522-point scan.
+        assert!(
+            (40..=160).contains(&tasks),
+            "Group-Coverage used {tasks} HITs"
+        );
+    }
+
+    #[test]
+    fn hostile_pool_still_screened_by_qualification() {
+        let truth = truth_with_minority(100, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pool = WorkerPool::generate(&PoolConfig::hostile(200), &mut rng);
+        let sim = MTurkSim::new(
+            &truth,
+            gender_schema(),
+            pool,
+            QualityControl::with_qualification(),
+            1,
+        );
+        // Mostly spammers fail the test; survivors are largely reliable.
+        assert!(sim.eligible_workers() < 120);
+        assert!(sim.eligible_workers() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "eligible workers")]
+    fn too_small_pool_panics() {
+        let truth = truth_with_minority(10, 2);
+        let pool = WorkerPool::from_profiles(vec![crate::worker::WorkerProfile::reliable(
+            crate::worker::WorkerId(0),
+        )]);
+        MTurkSim::new(
+            &truth,
+            gender_schema(),
+            pool,
+            QualityControl::majority_vote_only(),
+            0,
+        );
+    }
+
+    #[test]
+    fn stats_reset() {
+        let truth = truth_with_minority(10, 2);
+        let mut sim = platform(&truth, QualityControl::majority_vote_only(), 2);
+        sim.answer_membership(ObjectId(0), &female());
+        assert_eq!(sim.stats().hits_published, 1);
+        sim.reset_stats();
+        assert_eq!(sim.stats().hits_published, 0);
+    }
+}

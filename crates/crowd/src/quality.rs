@@ -1,0 +1,185 @@
+//! Quality control (§6.3.1): who is allowed to work, and how many answers
+//! each HIT collects.
+//!
+//! The paper evaluates three regimes on AMT (Table 1):
+//!
+//! 1. **Majority vote** only — every worker eligible, 3 assignments/HIT;
+//! 2. **Qualification test + majority vote** — workers must pass a small
+//!    test shaped like the real HITs;
+//! 3. **Rating + majority vote** — AMT reputation thresholds
+//!    (`PercentAssignmentsApproved ≥ 95`, `NumberHITsApproved ≥ 100`).
+
+use crate::worker::WorkerProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A simulated qualification test: `questions` point-query-like questions;
+/// a worker passes by answering at least `pass_threshold` of them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualificationTest {
+    /// Number of test questions.
+    pub questions: u32,
+    /// Minimum correct answers to pass.
+    pub pass_threshold: u32,
+}
+
+impl Default for QualificationTest {
+    fn default() -> Self {
+        Self {
+            questions: 10,
+            pass_threshold: 9,
+        }
+    }
+}
+
+impl QualificationTest {
+    /// Simulates one worker taking the test.
+    pub fn passes<R: Rng + ?Sized>(&self, worker: &WorkerProfile, rng: &mut R) -> bool {
+        let correct = (0..self.questions)
+            .filter(|_| rng.gen_bool(worker.test_accuracy()))
+            .count() as u32;
+        correct >= self.pass_threshold
+    }
+}
+
+/// AMT reputation filter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatingFilter {
+    /// Minimum `PercentAssignmentsApproved`.
+    pub min_percent_approved: f64,
+    /// Minimum `NumberHITsApproved`.
+    pub min_hits_approved: u32,
+}
+
+impl Default for RatingFilter {
+    /// The paper's thresholds: ≥ 95 % approved, ≥ 100 HITs approved.
+    fn default() -> Self {
+        Self {
+            min_percent_approved: 95.0,
+            min_hits_approved: 100,
+        }
+    }
+}
+
+impl RatingFilter {
+    /// Does a worker meet the reputation bar?
+    pub fn admits(&self, worker: &WorkerProfile) -> bool {
+        worker.percent_assignments_approved >= self.min_percent_approved
+            && worker.number_hits_approved >= self.min_hits_approved
+    }
+}
+
+/// Full quality-control configuration for a platform run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QualityControl {
+    /// Assignments per HIT, aggregated by majority vote (the paper uses 3).
+    pub assignments_per_hit: AssignmentCount,
+    /// Optional qualification test.
+    pub qualification: Option<QualificationTest>,
+    /// Optional rating filter.
+    pub rating: Option<RatingFilter>,
+}
+
+/// Assignments per HIT; odd so majority vote cannot tie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssignmentCount(u32);
+
+impl AssignmentCount {
+    /// Creates an assignment count.
+    ///
+    /// # Panics
+    /// Panics when `k` is zero or even.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0 && k % 2 == 1, "assignment count must be odd, got {k}");
+        Self(k)
+    }
+
+    /// The count as usize.
+    pub fn get(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Default for AssignmentCount {
+    fn default() -> Self {
+        Self(3)
+    }
+}
+
+impl QualityControl {
+    /// The paper's first regime: majority vote only.
+    pub fn majority_vote_only() -> Self {
+        Self::default()
+    }
+
+    /// The paper's second regime: qualification test + majority vote.
+    pub fn with_qualification() -> Self {
+        Self {
+            qualification: Some(QualificationTest::default()),
+            ..Self::default()
+        }
+    }
+
+    /// The paper's third regime: rating filter + majority vote.
+    pub fn with_rating() -> Self {
+        Self {
+            rating: Some(RatingFilter::default()),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rating_filter_separates_archetypes() {
+        let f = RatingFilter::default();
+        assert!(f.admits(&WorkerProfile::reliable(WorkerId(0))));
+        assert!(!f.admits(&WorkerProfile::sloppy(WorkerId(1))));
+        assert!(!f.admits(&WorkerProfile::spammer(WorkerId(2))));
+    }
+
+    #[test]
+    fn qualification_passes_reliable_blocks_spammers() {
+        let t = QualificationTest::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let reliable_pass = (0..500)
+            .filter(|_| t.passes(&WorkerProfile::reliable(WorkerId(0)), &mut rng))
+            .count();
+        let spammer_pass = (0..500)
+            .filter(|_| t.passes(&WorkerProfile::spammer(WorkerId(1)), &mut rng))
+            .count();
+        assert!(reliable_pass > 450, "reliable passed {reliable_pass}/500");
+        assert!(spammer_pass < 25, "spammer passed {spammer_pass}/500");
+    }
+
+    #[test]
+    fn assignment_count_must_be_odd() {
+        assert_eq!(AssignmentCount::new(3).get(), 3);
+        assert_eq!(AssignmentCount::default().get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_assignment_count_panics() {
+        AssignmentCount::new(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn zero_assignment_count_panics() {
+        AssignmentCount::new(0);
+    }
+
+    #[test]
+    fn regime_constructors() {
+        assert!(QualityControl::majority_vote_only().qualification.is_none());
+        assert!(QualityControl::with_qualification().qualification.is_some());
+        assert!(QualityControl::with_rating().rating.is_some());
+    }
+}

@@ -1,0 +1,305 @@
+//! Truth inference: turning redundant worker answers into one answer.
+//!
+//! The paper adopts plain majority vote (§2.3); this module also provides a
+//! reliability-weighted vote and a Dawid–Skene EM estimator (their
+//! reference \[15\]) for yes/no tasks, so the quality-control ablations can
+//! compare aggregation strategies.
+
+use coverage_core::schema::Labels;
+use std::collections::HashMap;
+
+/// Majority vote over yes/no answers. Ties break toward *yes* — for set
+/// queries a false *yes* only costs extra queries, while a false *no*
+/// prunes real members; prefer the recoverable error.
+pub fn majority_vote(votes: &[bool]) -> bool {
+    assert!(!votes.is_empty(), "majority vote needs at least one vote");
+    let yes = votes.iter().filter(|v| **v).count();
+    2 * yes >= votes.len()
+}
+
+/// Reliability-weighted yes/no vote: each vote counts `weight` (e.g. a
+/// worker's historical accuracy). Ties break toward *yes*.
+pub fn weighted_vote(votes: &[(bool, f64)]) -> bool {
+    assert!(!votes.is_empty(), "weighted vote needs at least one vote");
+    let mut yes = 0.0;
+    let mut total = 0.0;
+    for (v, w) in votes {
+        assert!(*w >= 0.0, "weights must be non-negative");
+        total += w;
+        if *v {
+            yes += w;
+        }
+    }
+    2.0 * yes >= total
+}
+
+/// Per-attribute plurality over label vectors (point-query aggregation).
+/// Ties break toward the smallest value index, deterministically.
+pub fn majority_label(votes: &[Labels]) -> Labels {
+    assert!(!votes.is_empty(), "majority label needs at least one vote");
+    let d = votes[0].len();
+    assert!(
+        votes.iter().all(|v| v.len() == d),
+        "all label vectors must share arity"
+    );
+    let mut out = Vec::with_capacity(d);
+    for i in 0..d {
+        let mut counts: HashMap<u8, usize> = HashMap::new();
+        for v in votes {
+            *counts.entry(v.get(i)).or_insert(0) += 1;
+        }
+        let best = counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(v, _)| v)
+            .expect("non-empty votes");
+        out.push(best);
+    }
+    Labels::new(&out)
+}
+
+/// Dawid–Skene EM for binary tasks.
+///
+/// Input: sparse `(task, worker, answer)` triples. The estimator
+/// alternates between (E) posterior task truths given worker confusion
+/// rates and (M) confusion rates given posteriors, starting from majority
+/// vote. Degenerate cases (workers with no answers) fall back to a 0.5
+/// prior.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// Posterior probability each task's truth is *yes*.
+    pub task_posteriors: Vec<f64>,
+    /// Per-worker estimated P(answer yes | truth yes).
+    pub sensitivity: Vec<f64>,
+    /// Per-worker estimated P(answer no | truth no).
+    pub specificity: Vec<f64>,
+}
+
+impl DawidSkene {
+    /// Runs EM for `iterations` rounds over `num_tasks × num_workers`
+    /// sparse answers.
+    ///
+    /// # Panics
+    /// Panics when an answer references an out-of-range task or worker.
+    pub fn fit(
+        num_tasks: usize,
+        num_workers: usize,
+        answers: &[(usize, usize, bool)],
+        iterations: usize,
+    ) -> Self {
+        for (t, w, _) in answers {
+            assert!(*t < num_tasks, "task {t} out of range");
+            assert!(*w < num_workers, "worker {w} out of range");
+        }
+        // Initialize posteriors with per-task vote shares.
+        let mut yes_counts = vec![0usize; num_tasks];
+        let mut totals = vec![0usize; num_tasks];
+        for (t, _, a) in answers {
+            totals[*t] += 1;
+            if *a {
+                yes_counts[*t] += 1;
+            }
+        }
+        let mut posteriors: Vec<f64> = (0..num_tasks)
+            .map(|t| {
+                if totals[t] == 0 {
+                    0.5
+                } else {
+                    yes_counts[t] as f64 / totals[t] as f64
+                }
+            })
+            .collect();
+
+        let mut sensitivity = vec![0.8f64; num_workers];
+        let mut specificity = vec![0.8f64; num_workers];
+        let eps = 1e-6;
+
+        for _ in 0..iterations {
+            // M step: confusion rates from soft labels.
+            let mut sens_num = vec![eps; num_workers];
+            let mut sens_den = vec![2.0 * eps; num_workers];
+            let mut spec_num = vec![eps; num_workers];
+            let mut spec_den = vec![2.0 * eps; num_workers];
+            for (t, w, a) in answers {
+                let p = posteriors[*t];
+                sens_den[*w] += p;
+                spec_den[*w] += 1.0 - p;
+                if *a {
+                    sens_num[*w] += p;
+                } else {
+                    spec_num[*w] += 1.0 - p;
+                }
+            }
+            for w in 0..num_workers {
+                sensitivity[w] = (sens_num[w] / sens_den[w]).clamp(eps, 1.0 - eps);
+                specificity[w] = (spec_num[w] / spec_den[w]).clamp(eps, 1.0 - eps);
+            }
+
+            // E step: task posteriors from confusion rates (0.5 prior).
+            let mut log_yes = vec![0.0f64; num_tasks];
+            let mut log_no = vec![0.0f64; num_tasks];
+            for (t, w, a) in answers {
+                if *a {
+                    log_yes[*t] += sensitivity[*w].ln();
+                    log_no[*t] += (1.0 - specificity[*w]).ln();
+                } else {
+                    log_yes[*t] += (1.0 - sensitivity[*w]).ln();
+                    log_no[*t] += specificity[*w].ln();
+                }
+            }
+            for t in 0..num_tasks {
+                if totals[t] == 0 {
+                    posteriors[t] = 0.5;
+                } else {
+                    let m = log_yes[t].max(log_no[t]);
+                    let py = (log_yes[t] - m).exp();
+                    let pn = (log_no[t] - m).exp();
+                    posteriors[t] = py / (py + pn);
+                }
+            }
+        }
+
+        Self {
+            task_posteriors: posteriors,
+            sensitivity,
+            specificity,
+        }
+    }
+
+    /// Hard decisions: task truths thresholded at 0.5 (ties → yes).
+    pub fn decisions(&self) -> Vec<bool> {
+        self.task_posteriors.iter().map(|p| *p >= 0.5).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn majority_vote_basics() {
+        assert!(majority_vote(&[true, true, false]));
+        assert!(!majority_vote(&[false, false, true]));
+        assert!(majority_vote(&[true]));
+        assert!(majority_vote(&[true, false])); // tie → yes
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vote")]
+    fn empty_majority_panics() {
+        majority_vote(&[]);
+    }
+
+    #[test]
+    fn weighted_vote_respects_weights() {
+        // One expert outweighs two spammers.
+        assert!(weighted_vote(&[(true, 0.98), (false, 0.3), (false, 0.3)]));
+        assert!(!weighted_vote(&[(false, 0.9), (true, 0.2), (true, 0.2)]));
+    }
+
+    #[test]
+    fn majority_label_per_attribute() {
+        let votes = vec![
+            Labels::new(&[1, 2]),
+            Labels::new(&[1, 0]),
+            Labels::new(&[0, 2]),
+        ];
+        assert_eq!(majority_label(&votes), Labels::new(&[1, 2]));
+    }
+
+    #[test]
+    fn majority_label_tie_breaks_low() {
+        let votes = vec![Labels::new(&[1]), Labels::new(&[0])];
+        assert_eq!(majority_label(&votes), Labels::new(&[0]));
+    }
+
+    #[test]
+    fn dawid_skene_beats_majority_with_known_spammers() {
+        // 2 good workers (95%), 3 anti-correlated workers (30% accurate).
+        // Majority vote is dominated by the bad trio; DS learns to flip.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let num_tasks = 400;
+        let truths: Vec<bool> = (0..num_tasks).map(|_| rng.gen_bool(0.5)).collect();
+        let accuracies = [0.95, 0.95, 0.3, 0.3, 0.3];
+        let mut answers = Vec::new();
+        for (t, truth) in truths.iter().enumerate() {
+            for (w, acc) in accuracies.iter().enumerate() {
+                let correct = rng.gen_bool(*acc);
+                answers.push((t, w, if correct { *truth } else { !*truth }));
+            }
+        }
+        let ds = DawidSkene::fit(num_tasks, 5, &answers, 30);
+        let ds_correct = ds
+            .decisions()
+            .iter()
+            .zip(&truths)
+            .filter(|(a, b)| a == b)
+            .count();
+        // Majority baseline for comparison.
+        let mut votes: Vec<Vec<bool>> = vec![Vec::new(); num_tasks];
+        for (t, _, a) in &answers {
+            votes[*t].push(*a);
+        }
+        let mv_correct = votes
+            .iter()
+            .zip(&truths)
+            .filter(|(v, t)| majority_vote(v) == **t)
+            .count();
+        assert!(
+            ds_correct > mv_correct,
+            "DS {ds_correct} should beat MV {mv_correct}"
+        );
+        assert!(ds_correct as f64 / num_tasks as f64 > 0.9);
+        // The estimator should recognize the good workers.
+        assert!(ds.sensitivity[0] > 0.85);
+    }
+
+    #[test]
+    fn dawid_skene_handles_unanswered_tasks() {
+        let ds = DawidSkene::fit(3, 2, &[(0, 0, true), (0, 1, true)], 10);
+        assert_eq!(ds.task_posteriors.len(), 3);
+        assert!((ds.task_posteriors[1] - 0.5).abs() < 1e-12);
+        assert!(ds.task_posteriors[0] > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dawid_skene_validates_indices() {
+        DawidSkene::fit(1, 1, &[(0, 5, true)], 3);
+    }
+
+    proptest! {
+        /// With unanimous votes every aggregator agrees with the voters.
+        #[test]
+        fn prop_unanimity(k in 1usize..9, v in proptest::bool::ANY) {
+            let votes = vec![v; k];
+            prop_assert_eq!(majority_vote(&votes), v);
+            let weighted: Vec<(bool, f64)> = votes.iter().map(|b| (*b, 0.9)).collect();
+            prop_assert_eq!(weighted_vote(&weighted), v);
+        }
+
+        /// Majority vote with odd k and per-vote error < 0.5 converges to
+        /// the truth as k grows (sanity on the redundancy strategy).
+        #[test]
+        fn prop_redundancy_reduces_error(seed in 0u64..200) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let p_err = 0.2;
+            let trials = 300;
+            let mut wrong1 = 0;
+            let mut wrong9 = 0;
+            for _ in 0..trials {
+                let truth = rng.gen_bool(0.5);
+                let vote = |rng: &mut SmallRng| {
+                    if rng.gen_bool(p_err) { !truth } else { truth }
+                };
+                if majority_vote(&[vote(&mut rng)]) != truth { wrong1 += 1; }
+                let nine: Vec<bool> = (0..9).map(|_| vote(&mut rng)).collect();
+                if majority_vote(&nine) != truth { wrong9 += 1; }
+            }
+            prop_assert!(wrong9 <= wrong1 + 8, "9 votes {wrong9} vs 1 vote {wrong1}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Worker profiles: who answers, and how wrong they get things.
+//!
+//! A worker's behaviour on the two HIT shapes (paper Figures 1–2) is
+//! governed by three error parameters:
+//!
+//! * `point_error` — probability of mislabeling an attribute value on a
+//!   point query (per attribute, independent);
+//! * `set_miss` — probability of overlooking *one* target member while
+//!   scanning a set query (per member, independent) — large sets with a
+//!   single member are the hardest, matching the paper's caution about
+//!   set-size upper bounds;
+//! * `set_false_alarm` — probability of claiming a member in a set that has
+//!   none.
+//!
+//! Profiles also carry AMT-style reputation fields used by the rating
+//! filter of §6.3.1 (`PercentAssignmentsApproved`, `NumberHITsApproved`).
+
+use coverage_core::schema::{AttributeSchema, Labels};
+use coverage_core::target::Target;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Opaque worker identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// One crowd worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Identifier.
+    pub id: WorkerId,
+    /// Per-attribute mislabel probability on point queries.
+    pub point_error: f64,
+    /// Per-member overlook probability on set queries.
+    pub set_miss: f64,
+    /// False-alarm probability on member-free set queries.
+    pub set_false_alarm: f64,
+    /// AMT `PercentAssignmentsApproved` (0–100).
+    pub percent_assignments_approved: f64,
+    /// AMT `NumberHITsApproved`.
+    pub number_hits_approved: u32,
+}
+
+impl WorkerProfile {
+    /// A reliable worker calibrated so that aggregate individual error on
+    /// the paper's workload lands near the observed 1.36 %.
+    pub fn reliable(id: WorkerId) -> Self {
+        Self {
+            id,
+            point_error: 0.013,
+            set_miss: 0.03,
+            set_false_alarm: 0.012,
+            percent_assignments_approved: 99.0,
+            number_hits_approved: 5000,
+        }
+    }
+
+    /// A sloppy worker: an order of magnitude more error-prone, with the
+    /// reputation to show for it.
+    pub fn sloppy(id: WorkerId) -> Self {
+        Self {
+            id,
+            point_error: 0.15,
+            set_miss: 0.12,
+            set_false_alarm: 0.08,
+            percent_assignments_approved: 88.0,
+            number_hits_approved: 150,
+        }
+    }
+
+    /// A spammer answering almost at random.
+    pub fn spammer(id: WorkerId) -> Self {
+        Self {
+            id,
+            point_error: 0.5,
+            set_miss: 0.5,
+            set_false_alarm: 0.5,
+            percent_assignments_approved: 60.0,
+            number_hits_approved: 20,
+        }
+    }
+
+    /// Answers a set query: ground truth says the set holds
+    /// `members_present` target members.
+    pub fn answer_set<R: Rng + ?Sized>(&self, members_present: usize, rng: &mut R) -> bool {
+        if members_present == 0 {
+            return rng.gen_bool(self.set_false_alarm);
+        }
+        // Overlook every member independently.
+        let miss_all = (0..members_present).all(|_| rng.gen_bool(self.set_miss));
+        !miss_all
+    }
+
+    /// Answers a point query: perturbs the true labels attribute-wise.
+    pub fn answer_point<R: Rng + ?Sized>(
+        &self,
+        truth: &Labels,
+        schema: &AttributeSchema,
+        rng: &mut R,
+    ) -> Labels {
+        let mut vals = Vec::with_capacity(truth.len());
+        for (i, v) in truth.as_slice().iter().enumerate() {
+            let card = schema.attr(i).cardinality() as u8;
+            if rng.gen_bool(self.point_error) && card > 1 {
+                // Uniform among the *wrong* values.
+                let mut wrong = rng.gen_range(0..card - 1);
+                if wrong >= *v {
+                    wrong += 1;
+                }
+                vals.push(wrong);
+            } else {
+                vals.push(*v);
+            }
+        }
+        Labels::new(&vals)
+    }
+
+    /// Answers a yes/no membership question about one object.
+    pub fn answer_membership<R: Rng + ?Sized>(
+        &self,
+        truth: &Labels,
+        target: &Target,
+        schema: &AttributeSchema,
+        rng: &mut R,
+    ) -> bool {
+        target.matches(&self.answer_point(truth, schema, rng))
+    }
+
+    /// Probability this worker answers one qualification-test question
+    /// correctly (used by [`crate::quality::QualificationTest`]).
+    pub fn test_accuracy(&self) -> f64 {
+        1.0 - self.point_error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::pattern::Pattern;
+    use coverage_core::schema::Attribute;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn schema() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::new("race", ["w", "b", "h", "a"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn reliable_worker_rarely_errs_on_points() {
+        let w = WorkerProfile::reliable(WorkerId(0));
+        let s = schema();
+        let truth = Labels::new(&[1, 2]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trials = 5000;
+        let wrong = (0..trials)
+            .filter(|_| w.answer_point(&truth, &s, &mut rng) != truth)
+            .count();
+        let rate = wrong as f64 / trials as f64;
+        // Two attributes, each 1.3% ⇒ ≈2.6% of label vectors touched.
+        assert!(rate < 0.05, "error rate {rate}");
+        assert!(rate > 0.005, "error rate suspiciously low: {rate}");
+    }
+
+    #[test]
+    fn wrong_answers_are_wrong_values_not_out_of_range() {
+        let mut w = WorkerProfile::spammer(WorkerId(0));
+        w.point_error = 1.0; // always wrong
+        let s = schema();
+        let truth = Labels::new(&[0, 3]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let ans = w.answer_point(&truth, &s, &mut rng);
+            assert_ne!(ans.get(0), 0);
+            assert!(ans.get(0) < 2);
+            assert_ne!(ans.get(1), 3);
+            assert!(ans.get(1) < 4);
+        }
+    }
+
+    #[test]
+    fn set_answer_depends_on_member_count() {
+        let w = WorkerProfile::sloppy(WorkerId(0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 4000;
+        let miss_one =
+            (0..trials).filter(|_| !w.answer_set(1, &mut rng)).count() as f64 / trials as f64;
+        let miss_five =
+            (0..trials).filter(|_| !w.answer_set(5, &mut rng)).count() as f64 / trials as f64;
+        assert!(miss_one > miss_five, "more members ⇒ harder to miss all");
+        assert!((miss_one - 0.12).abs() < 0.03);
+        assert!(miss_five < 0.01);
+    }
+
+    #[test]
+    fn empty_set_false_alarms_at_configured_rate() {
+        let w = WorkerProfile::sloppy(WorkerId(0));
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 5000;
+        let fa = (0..trials).filter(|_| w.answer_set(0, &mut rng)).count() as f64 / trials as f64;
+        assert!((fa - 0.08).abs() < 0.02, "false alarm rate {fa}");
+    }
+
+    #[test]
+    fn membership_answer_uses_target() {
+        let w = WorkerProfile::reliable(WorkerId(0));
+        let s = schema();
+        let female = Target::group(Pattern::parse("1X").unwrap());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let truth = Labels::new(&[1, 0]);
+        let yes = (0..1000)
+            .filter(|_| w.answer_membership(&truth, &female, &s, &mut rng))
+            .count();
+        assert!(yes > 950);
+    }
+
+    #[test]
+    fn profile_presets_are_ordered_by_quality() {
+        let r = WorkerProfile::reliable(WorkerId(0));
+        let s = WorkerProfile::sloppy(WorkerId(1));
+        let p = WorkerProfile::spammer(WorkerId(2));
+        assert!(r.point_error < s.point_error && s.point_error < p.point_error);
+        assert!(r.test_accuracy() > s.test_accuracy());
+    }
+}

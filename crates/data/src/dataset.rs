@@ -1,0 +1,379 @@
+//! A dataset of image-like objects with latent labels and optional
+//! feature vectors.
+
+use coverage_core::engine::{GroundTruth, ObjectId};
+use coverage_core::error::CoverageError;
+use coverage_core::pattern::Pattern;
+use coverage_core::schema::{AttributeSchema, Labels};
+use coverage_core::target::Target;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A dense row-major matrix of per-object feature vectors — the stand-in
+/// for image embeddings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len()` is not a multiple of `dim`, or `dim == 0`
+    /// with non-empty data.
+    pub fn new(dim: usize, data: Vec<f32>) -> Self {
+        if data.is_empty() {
+            return Self { dim, data };
+        }
+        assert!(dim > 0, "feature dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "row-major data must fill whole rows");
+        Self { dim, data }
+    }
+
+    /// An empty (featureless) matrix.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True when no features are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(
+            i < self.rows(),
+            "row {i} out of range ({} rows)",
+            self.rows()
+        );
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row length differs from `dim`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row length must equal dim");
+        self.data.extend_from_slice(row);
+    }
+}
+
+/// A collection of `N` unlabeled-to-the-algorithms objects, each carrying
+/// latent ground-truth labels over an [`AttributeSchema`] and, optionally,
+/// a feature vector.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: AttributeSchema,
+    labels: Vec<Labels>,
+    features: FeatureMatrix,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every label vector against the schema.
+    pub fn new(schema: AttributeSchema, labels: Vec<Labels>) -> Result<Self, CoverageError> {
+        for l in &labels {
+            schema.validate_labels(l)?;
+        }
+        Ok(Self {
+            schema,
+            labels,
+            features: FeatureMatrix::empty(),
+        })
+    }
+
+    /// Attaches feature vectors (one row per object).
+    ///
+    /// # Panics
+    /// Panics when the row count differs from the dataset size.
+    #[must_use]
+    pub fn with_features(mut self, features: FeatureMatrix) -> Self {
+        assert_eq!(
+            features.rows(),
+            self.labels.len(),
+            "feature rows must match dataset size"
+        );
+        self.features = features;
+        self
+    }
+
+    /// Number of objects `N`.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The attributes of interest.
+    pub fn schema(&self) -> &AttributeSchema {
+        &self.schema
+    }
+
+    /// All latent labels, in presentation order.
+    pub fn labels(&self) -> &[Labels] {
+        &self.labels
+    }
+
+    /// The features, possibly empty.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.features
+    }
+
+    /// Feature row of one object.
+    ///
+    /// # Panics
+    /// Panics when no features are attached or the id is out of range.
+    pub fn features_of(&self, id: ObjectId) -> &[f32] {
+        self.features.row(id.index())
+    }
+
+    /// Exact population of a target (ground-truth evaluation only).
+    pub fn count(&self, target: &Target) -> usize {
+        self.labels.iter().filter(|l| target.matches(l)).count()
+    }
+
+    /// Exact counts of every fully-specified subgroup.
+    pub fn full_group_counts(&self) -> HashMap<Pattern, usize> {
+        let mut counts = HashMap::with_capacity(self.schema.num_full_groups());
+        for l in &self.labels {
+            *counts.entry(Pattern::fully_specified(l)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Shuffles object order in place (features follow their objects).
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.reorder(&order);
+    }
+
+    /// Reorders objects so position `i` holds previous object `order[i]`.
+    ///
+    /// # Panics
+    /// Panics when `order` is not a permutation of `0..len`.
+    pub fn reorder(&mut self, order: &[usize]) {
+        assert_eq!(order.len(), self.len(), "order must cover every object");
+        let mut seen = vec![false; self.len()];
+        for &i in order {
+            assert!(!seen[i], "order must be a permutation");
+            seen[i] = true;
+        }
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+        if !self.features.is_empty() {
+            let mut data = Vec::with_capacity(self.features.data.len());
+            for &i in order {
+                data.extend_from_slice(self.features.row(i));
+            }
+            self.features = FeatureMatrix::new(self.features.dim, data);
+        }
+    }
+
+    /// A new dataset holding only the given objects, in the given order.
+    ///
+    /// # Panics
+    /// Panics when an id is out of range.
+    pub fn subset(&self, ids: &[ObjectId]) -> Dataset {
+        let labels: Vec<Labels> = ids.iter().map(|id| self.labels[id.index()]).collect();
+        let features = if self.features.is_empty() {
+            FeatureMatrix::empty()
+        } else {
+            let mut m = FeatureMatrix::new(self.features.dim, Vec::new());
+            for id in ids {
+                m.push_row(self.features.row(id.index()));
+            }
+            m
+        };
+        Dataset {
+            schema: self.schema.clone(),
+            labels,
+            features,
+        }
+    }
+
+    /// Concatenates another dataset (same schema) after this one.
+    ///
+    /// # Panics
+    /// Panics on schema mismatch or when exactly one side has features.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.schema, other.schema, "schemas must match");
+        assert_eq!(
+            self.features.is_empty(),
+            other.features.is_empty(),
+            "both sides must agree on having features"
+        );
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let features = if self.features.is_empty() {
+            FeatureMatrix::empty()
+        } else {
+            assert_eq!(
+                self.features.dim, other.features.dim,
+                "feature dims must match"
+            );
+            let mut data = self.features.data.clone();
+            data.extend_from_slice(&other.features.data);
+            FeatureMatrix::new(self.features.dim, data)
+        };
+        Dataset {
+            schema: self.schema.clone(),
+            labels,
+            features,
+        }
+    }
+}
+
+impl GroundTruth for Dataset {
+    fn num_objects(&self) -> usize {
+        self.len()
+    }
+
+    fn labels_of(&self, id: ObjectId) -> Labels {
+        self.labels[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn schema() -> AttributeSchema {
+        AttributeSchema::single_binary("gender", "male", "female")
+    }
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            schema(),
+            vec![
+                Labels::single(0),
+                Labels::single(1),
+                Labels::single(0),
+                Labels::single(1),
+                Labels::single(1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_labels() {
+        let bad = Dataset::new(schema(), vec![Labels::single(7)]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn counts_and_ground_truth() {
+        let d = tiny();
+        let female = Target::group(Pattern::parse("1").unwrap());
+        assert_eq!(d.count(&female), 3);
+        assert_eq!(d.count_matching(&female), 3); // via GroundTruth
+        assert_eq!(d.num_objects(), 5);
+        assert_eq!(d.labels_of(ObjectId(1)), Labels::single(1));
+    }
+
+    #[test]
+    fn full_group_counts_sum_to_n() {
+        let d = tiny();
+        let counts = d.full_group_counts();
+        assert_eq!(counts[&Pattern::parse("0").unwrap()], 2);
+        assert_eq!(counts[&Pattern::parse("1").unwrap()], 3);
+    }
+
+    #[test]
+    fn shuffle_preserves_composition() {
+        let mut d = tiny();
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let mut rng = SmallRng::seed_from_u64(1);
+        d.shuffle(&mut rng);
+        assert_eq!(d.count(&female), 3);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn shuffle_moves_features_with_objects() {
+        let mut features = FeatureMatrix::new(2, Vec::new());
+        for i in 0..5 {
+            features.push_row(&[i as f32, -(i as f32)]);
+        }
+        let mut d = tiny().with_features(features);
+        // Tag each object: feature[0] == original index.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let before: Vec<(Labels, f32)> = (0..5)
+            .map(|i| (d.labels()[i], d.features_of(ObjectId(i as u32))[0]))
+            .collect();
+        d.shuffle(&mut rng);
+        for i in 0..5 {
+            let f = d.features_of(ObjectId(i as u32))[0];
+            let l = d.labels()[i];
+            let orig = before.iter().find(|(_, bf)| *bf == f).unwrap();
+            assert_eq!(orig.0, l, "labels must travel with features");
+        }
+    }
+
+    #[test]
+    fn subset_and_concat() {
+        let d = tiny();
+        let sub = d.subset(&[ObjectId(1), ObjectId(4)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[Labels::single(1), Labels::single(1)]);
+        let joined = sub.concat(&d);
+        assert_eq!(joined.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn reorder_rejects_non_permutation() {
+        let mut d = tiny();
+        d.reorder(&[0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match dataset size")]
+    fn with_features_size_mismatch_panics() {
+        let features = FeatureMatrix::new(2, vec![0.0; 4]);
+        let _ = tiny().with_features(features);
+    }
+
+    #[test]
+    fn feature_matrix_basics() {
+        let m = FeatureMatrix::new(3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(FeatureMatrix::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn feature_matrix_ragged_panics() {
+        FeatureMatrix::new(3, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn feature_row_out_of_range_panics() {
+        FeatureMatrix::new(2, vec![0.0; 4]).row(2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Group-conditioned Gaussian features — the stand-in for image embeddings
+//! in the downstream-task experiments (§6.4).
+//!
+//! The experiments' causal claim is about *data*, not model architecture: a
+//! model trained on data that misses a subgroup performs worse on that
+//! subgroup, and adding subgroup samples closes the gap. To reproduce that
+//! chain without CNNs or pixels, each object gets a feature vector whose
+//! class signal points in a direction that depends on subgroup membership:
+//!
+//! ```text
+//! x = y · sep · (cos θ_g · e1 + sin θ_g · e2) + noise,   θ_g = 0 or `rotation`
+//! ```
+//!
+//! where `y ∈ {−1, +1}` is the task class (e.g. eyes open/closed) and `g`
+//! flags the shifted subgroup (e.g. spectacled). A linear model fit on
+//! unshifted data learns `e1` and loses `1 − cos θ` of its margin on the
+//! shifted subgroup — the §6.4 disparity. Mixing shifted samples into
+//! training rotates the learned direction and shrinks the disparity.
+
+use crate::dataset::{Dataset, FeatureMatrix};
+use coverage_core::pattern::Pattern;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the shifted two-class feature generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShiftedFeatureModel {
+    /// Feature dimensionality (≥ 2).
+    pub dim: usize,
+    /// Index of the attribute holding the *task class* (must be binary).
+    pub class_attr: usize,
+    /// Subgroup whose class signal is rotated.
+    pub shifted_group: Pattern,
+    /// Distance of class centroids from the origin.
+    pub separation: f32,
+    /// Rotation (radians) of the shifted subgroup's class direction.
+    /// `0` ⇒ no shift; `π/2` ⇒ the subgroup's signal is invisible to a
+    /// model trained on unshifted data.
+    pub rotation: f32,
+    /// Isotropic Gaussian noise σ.
+    pub noise: f32,
+}
+
+impl ShiftedFeatureModel {
+    /// A reasonable default: 8-dim, separation 2, rotation 72°, noise 1.
+    pub fn new(class_attr: usize, shifted_group: Pattern) -> Self {
+        Self {
+            dim: 8,
+            class_attr,
+            shifted_group,
+            separation: 2.0,
+            rotation: 1.25,
+            noise: 1.0,
+        }
+    }
+
+    /// Generates one feature row for an object.
+    pub fn sample_row<R: Rng + ?Sized>(
+        &self,
+        labels: &coverage_core::schema::Labels,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        assert!(self.dim >= 2, "need at least two dimensions");
+        let y = if labels.get(self.class_attr) == 1 {
+            1.0f32
+        } else {
+            -1.0
+        };
+        let theta = if self.shifted_group.matches(labels) {
+            self.rotation
+        } else {
+            0.0
+        };
+        let mut row = vec![0.0f32; self.dim];
+        row[0] = y * self.separation * theta.cos();
+        row[1] = y * self.separation * theta.sin();
+        for v in row.iter_mut() {
+            *v += gaussian(rng) * self.noise;
+        }
+        row
+    }
+
+    /// Generates a feature matrix for a whole dataset and attaches it.
+    pub fn attach<R: Rng + ?Sized>(&self, dataset: Dataset, rng: &mut R) -> Dataset {
+        let mut m = FeatureMatrix::new(self.dim, Vec::with_capacity(dataset.len() * self.dim));
+        for l in dataset.labels() {
+            m.push_row(&self.sample_row(l, rng));
+        }
+        dataset.with_features(m)
+    }
+}
+
+/// Standard normal via Box–Muller (avoids pulling in `rand_distr`).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::EPSILON {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{DatasetBuilder, Placement};
+    use coverage_core::schema::{Attribute, AttributeSchema, Labels};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_attr_schema() -> AttributeSchema {
+        AttributeSchema::new(vec![
+            Attribute::binary("eye", "open", "closed").unwrap(),
+            Attribute::binary("glasses", "none", "spectacled").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn model() -> ShiftedFeatureModel {
+        ShiftedFeatureModel::new(0, Pattern::parse("X1").unwrap())
+    }
+
+    #[test]
+    fn rows_match_dataset_size_and_dim() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = DatasetBuilder::new(two_attr_schema())
+            .counts(&[100, 20, 100, 20])
+            .placement(Placement::Shuffled)
+            .build(&mut rng);
+        let d = model().attach(d, &mut rng);
+        assert_eq!(d.features().rows(), 240);
+        assert_eq!(d.features().dim(), 8);
+    }
+
+    #[test]
+    fn classes_are_separated_along_e1_for_unshifted() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = model();
+        let mut mean_open = 0.0f32;
+        let mut mean_closed = 0.0f32;
+        let k = 500;
+        for _ in 0..k {
+            mean_open += m.sample_row(&Labels::new(&[0, 0]), &mut rng)[0];
+            mean_closed += m.sample_row(&Labels::new(&[1, 0]), &mut rng)[0];
+        }
+        mean_open /= k as f32;
+        mean_closed /= k as f32;
+        assert!(
+            mean_closed - mean_open > 2.0,
+            "{mean_closed} vs {mean_open}"
+        );
+    }
+
+    #[test]
+    fn shifted_group_signal_is_rotated() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = model();
+        // For the shifted group, e1 carries cos(1.25)≈0.32 of the signal and
+        // e2 carries sin(1.25)≈0.95 of it.
+        let k = 800;
+        let mut e1 = 0.0f32;
+        let mut e2 = 0.0f32;
+        for _ in 0..k {
+            let row = m.sample_row(&Labels::new(&[1, 1]), &mut rng);
+            e1 += row[0];
+            e2 += row[1];
+        }
+        e1 /= k as f32;
+        e2 /= k as f32;
+        assert!(e2 > e1, "rotated signal should favour e2: e1={e1}, e2={e2}");
+        assert!(e2 > 1.0);
+    }
+
+    #[test]
+    fn zero_rotation_means_no_shift() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut m = model();
+        m.rotation = 0.0;
+        let k = 500;
+        let mut e2 = 0.0f32;
+        for _ in 0..k {
+            e2 += m.sample_row(&Labels::new(&[1, 1]), &mut rng)[1];
+        }
+        e2 /= k as f32;
+        assert!(e2.abs() < 0.3, "e2 mean should be ≈0, got {e2}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let k = 20_000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..k {
+            let g = f64::from(gaussian(&mut rng));
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / k as f64;
+        let var = sq / k as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

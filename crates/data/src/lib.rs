@@ -1,0 +1,32 @@
+//! # dataset-sim
+//!
+//! The image-dataset substrate for the EDBT 2024 coverage-reproduction
+//! workspace.
+//!
+//! The paper evaluates on real image collections (FERET, UTKFace, MRL eye)
+//! whose pixels are irrelevant to the coverage algorithms — only the latent
+//! demographic composition and the order in which objects are presented
+//! matter. This crate provides:
+//!
+//! * [`dataset`] — a [`dataset::Dataset`] of objects with latent
+//!   ground-truth labels (implements `coverage-core`'s `GroundTruth`);
+//! * [`synth`] — generators: exact per-group counts, proportions, and
+//!   placement strategies (shuffled / uniformly spread / clustered /
+//!   front-loaded) used by the synthetic experiments of §6.5;
+//! * [`features`] — group-conditioned Gaussian feature vectors that stand in
+//!   for image embeddings, with a controllable distribution shift for one
+//!   subgroup (drives the downstream-task experiments of §6.4);
+//! * [`catalogs`] — simulacra of the exact dataset slices the paper uses
+//!   (FERET 215 F/1307 M, UTKFace 20 F/2980 M, MRL-eye, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalogs;
+pub mod dataset;
+pub mod features;
+pub mod synth;
+
+pub use dataset::{Dataset, FeatureMatrix};
+pub use features::ShiftedFeatureModel;
+pub use synth::{binary_dataset, multi_group_dataset, DatasetBuilder, Placement};

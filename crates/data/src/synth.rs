@@ -1,0 +1,394 @@
+//! Synthetic dataset generators (§6.1: "we create synthetic data with a
+//! variety of distributions").
+//!
+//! Composition is specified as exact per-group counts; *placement* controls
+//! where group members sit in the presentation order, which is what drives
+//! Group-Coverage's cost:
+//!
+//! * [`Placement::Shuffled`] — uniform random order (the experiments'
+//!   default: "shuffle it randomly to prepare for the experiment");
+//! * [`Placement::UniformSpread`] — members spaced evenly, the adversarial
+//!   instance of the tightness proof (Theorem 3.2);
+//! * [`Placement::Clustered`] — members in one contiguous run (friendliest
+//!   case: most chunks prune immediately);
+//! * [`Placement::FrontLoaded`] — members first (best case for the
+//!   `Base-Coverage` baseline).
+
+use crate::dataset::Dataset;
+use coverage_core::schema::{Attribute, AttributeSchema, Labels};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Where minority members sit in the presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// Uniform random permutation.
+    #[default]
+    Shuffled,
+    /// Evenly spaced (adversarial for the d&c pruning).
+    UniformSpread,
+    /// One contiguous run starting at a random offset.
+    Clustered,
+    /// All minority members first.
+    FrontLoaded,
+}
+
+/// Builder for synthetic datasets with exact group counts.
+///
+/// ```
+/// use dataset_sim::{DatasetBuilder, Placement};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let d = DatasetBuilder::one_attribute("race", &["white", "black", "asian"])
+///     .counts(&[800, 150, 50])
+///     .placement(Placement::Shuffled)
+///     .build(&mut rng);
+/// assert_eq!(d.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    schema: AttributeSchema,
+    counts: Vec<usize>,
+    placement: Placement,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder over an arbitrary schema. Group counts are supplied
+    /// later, aligned with `schema.full_groups()` order.
+    pub fn new(schema: AttributeSchema) -> Self {
+        let m = schema.num_full_groups();
+        Self {
+            schema,
+            counts: vec![0; m],
+            placement: Placement::default(),
+        }
+    }
+
+    /// Starts a builder over a single attribute with the given values.
+    pub fn one_attribute(name: &str, values: &[&str]) -> Self {
+        let schema = AttributeSchema::new(vec![
+            Attribute::new(name, values.iter().copied()).expect("valid attribute")
+        ])
+        .expect("valid schema");
+        Self::new(schema)
+    }
+
+    /// Sets per-group counts, aligned with `schema.full_groups()` order.
+    ///
+    /// # Panics
+    /// Panics when the count of counts differs from the number of
+    /// fully-specified subgroups.
+    #[must_use]
+    pub fn counts(mut self, counts: &[usize]) -> Self {
+        assert_eq!(
+            counts.len(),
+            self.schema.num_full_groups(),
+            "need one count per fully-specified subgroup"
+        );
+        self.counts = counts.to_vec();
+        self
+    }
+
+    /// Sets the placement strategy.
+    #[must_use]
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Materializes the dataset.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let groups = self.schema.full_groups();
+        let total: usize = self.counts.iter().sum();
+
+        // Identify the single largest group as "majority filler"; everything
+        // else is placed according to the strategy.
+        let majority_idx = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let group_labels: Vec<Labels> = groups
+            .iter()
+            .map(|g| {
+                let vals: Vec<u8> = (0..g.d()).map(|i| g.get(i).expect("full group")).collect();
+                Labels::new(&vals)
+            })
+            .collect();
+
+        match self.placement {
+            Placement::Shuffled => {
+                let mut labels = Vec::with_capacity(total);
+                for (i, c) in self.counts.iter().enumerate() {
+                    labels.extend(std::iter::repeat(group_labels[i]).take(*c));
+                }
+                labels.shuffle(rng);
+                Dataset::new(self.schema.clone(), labels).expect("valid labels")
+            }
+            Placement::FrontLoaded => {
+                let mut labels = Vec::with_capacity(total);
+                // Minorities first (ascending count), majority last.
+                let mut order: Vec<usize> = (0..self.counts.len()).collect();
+                order.sort_by_key(|i| self.counts[*i]);
+                for i in order {
+                    labels.extend(std::iter::repeat(group_labels[i]).take(self.counts[i]));
+                }
+                Dataset::new(self.schema.clone(), labels).expect("valid labels")
+            }
+            Placement::UniformSpread => {
+                let mut labels = vec![group_labels[majority_idx]; total];
+                let minority_total: usize = self
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != majority_idx)
+                    .map(|(_, c)| *c)
+                    .sum();
+                if minority_total > 0 {
+                    // Member k of the interleaved minority stream goes to
+                    // ⌊k·total/minority_total⌋ — strictly increasing, hence
+                    // collision-free, and evenly spaced.
+                    let mut stream: Vec<Labels> = Vec::with_capacity(minority_total);
+                    for (i, c) in self.counts.iter().enumerate() {
+                        if i != majority_idx {
+                            stream.extend(std::iter::repeat(group_labels[i]).take(*c));
+                        }
+                    }
+                    for (k, l) in stream.into_iter().enumerate() {
+                        let pos = k * total / minority_total;
+                        labels[pos] = l;
+                    }
+                }
+                Dataset::new(self.schema.clone(), labels).expect("valid labels")
+            }
+            Placement::Clustered => {
+                let mut labels = vec![group_labels[majority_idx]; total];
+                let minority_total: usize = self
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != majority_idx)
+                    .map(|(_, c)| *c)
+                    .sum();
+                if minority_total > 0 && total > minority_total {
+                    let start = rng.gen_range(0..=total - minority_total);
+                    let mut pos = start;
+                    for (i, c) in self.counts.iter().enumerate() {
+                        if i == majority_idx {
+                            continue;
+                        }
+                        for _ in 0..*c {
+                            labels[pos] = group_labels[i];
+                            pos += 1;
+                        }
+                    }
+                } else if minority_total > 0 {
+                    // Everything is minority; just lay the groups out.
+                    let mut pos = 0usize;
+                    for (i, c) in self.counts.iter().enumerate() {
+                        if i == majority_idx {
+                            continue;
+                        }
+                        for _ in 0..*c {
+                            labels[pos] = group_labels[i];
+                            pos += 1;
+                        }
+                    }
+                }
+                Dataset::new(self.schema.clone(), labels).expect("valid labels")
+            }
+        }
+    }
+}
+
+/// The single-binary-attribute workhorse of §6.5: `n_total` objects with
+/// `minority` females (`gender ∈ {male, female}`, female = value 1).
+pub fn binary_dataset<R: Rng + ?Sized>(
+    n_total: usize,
+    minority: usize,
+    placement: Placement,
+    rng: &mut R,
+) -> Dataset {
+    assert!(
+        minority <= n_total,
+        "minority count {minority} exceeds dataset size {n_total}"
+    );
+    DatasetBuilder::one_attribute("gender", &["male", "female"])
+        .counts(&[n_total - minority, minority])
+        .placement(placement)
+        .build(rng)
+}
+
+/// One attribute of cardinality `counts.len()` with the given counts,
+/// shuffled. Group `i` has value index `i`.
+pub fn multi_group_dataset<R: Rng + ?Sized>(counts: &[usize], rng: &mut R) -> Dataset {
+    let names: Vec<String> = (0..counts.len()).map(|i| format!("g{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    DatasetBuilder::one_attribute("group", &refs)
+        .counts(counts)
+        .placement(Placement::Shuffled)
+        .build(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::pattern::Pattern;
+    use coverage_core::target::Target;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn female() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    #[test]
+    fn binary_composition_exact() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for placement in [
+            Placement::Shuffled,
+            Placement::UniformSpread,
+            Placement::Clustered,
+            Placement::FrontLoaded,
+        ] {
+            let d = binary_dataset(1000, 215, placement, &mut rng);
+            assert_eq!(d.len(), 1000);
+            assert_eq!(d.count(&female()), 215, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn front_loaded_puts_minority_first() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = binary_dataset(100, 10, Placement::FrontLoaded, &mut rng);
+        for i in 0..10 {
+            assert_eq!(d.labels()[i], Labels::single(1));
+        }
+        assert_eq!(d.labels()[10], Labels::single(0));
+    }
+
+    #[test]
+    fn uniform_spread_spaces_members() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = binary_dataset(1000, 10, Placement::UniformSpread, &mut rng);
+        let positions: Vec<usize> = d
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Labels::single(1))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 10);
+        // Gaps should all be near 100.
+        for w in positions.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((60..=140).contains(&gap), "gap {gap} far from stride");
+        }
+    }
+
+    #[test]
+    fn clustered_is_contiguous() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = binary_dataset(500, 40, Placement::Clustered, &mut rng);
+        let positions: Vec<usize> = d
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Labels::single(1))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 40);
+        assert_eq!(positions[39] - positions[0], 39, "must be one run");
+    }
+
+    #[test]
+    fn multi_group_counts() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = multi_group_dataset(&[500, 300, 150, 50], &mut rng);
+        assert_eq!(d.len(), 1000);
+        for (v, want) in [(0u8, 500usize), (1, 300), (2, 150), (3, 50)] {
+            let t = Target::group(Pattern::single(1, 0, v));
+            assert_eq!(d.count(&t), want);
+        }
+    }
+
+    #[test]
+    fn all_minority_clustered_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = binary_dataset(10, 10, Placement::Clustered, &mut rng);
+        assert_eq!(d.count(&female()), 10);
+    }
+
+    #[test]
+    fn empty_dataset_ok() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = binary_dataset(0, 0, Placement::Shuffled, &mut rng);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dataset size")]
+    fn oversized_minority_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        binary_dataset(5, 6, Placement::Shuffled, &mut rng);
+    }
+
+    #[test]
+    fn builder_two_attributes() {
+        let schema = AttributeSchema::new(vec![
+            Attribute::binary("gender", "male", "female").unwrap(),
+            Attribute::binary("skin", "light", "dark").unwrap(),
+        ])
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        // full_groups order: 00, 01, 10, 11.
+        let d = DatasetBuilder::new(schema.clone())
+            .counts(&[400, 50, 300, 5])
+            .build(&mut rng);
+        assert_eq!(d.len(), 755);
+        let dark_female = Target::group(
+            schema
+                .pattern(&[("gender", "female"), ("skin", "dark")])
+                .unwrap(),
+        );
+        assert_eq!(d.count(&dark_female), 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every placement preserves exact composition.
+        #[test]
+        fn prop_composition_preserved(
+            counts in proptest::collection::vec(0usize..200, 2..5),
+            seed in 0u64..500,
+            placement_idx in 0usize..4,
+        ) {
+            let placement = [
+                Placement::Shuffled,
+                Placement::UniformSpread,
+                Placement::Clustered,
+                Placement::FrontLoaded,
+            ][placement_idx];
+            let names: Vec<String> = (0..counts.len()).map(|i| format!("v{i}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let d = DatasetBuilder::one_attribute("a", &refs)
+                .counts(&counts)
+                .placement(placement)
+                .build(&mut rng);
+            prop_assert_eq!(d.len(), counts.iter().sum::<usize>());
+            for (v, want) in counts.iter().enumerate() {
+                let t = Target::group(Pattern::single(1, 0, v as u8));
+                prop_assert_eq!(d.count(&t), *want);
+            }
+        }
+    }
+}

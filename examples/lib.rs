@@ -1,0 +1,34 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The real content lives in the sibling binaries:
+//!
+//! * `quickstart` — one group, one dataset, a perfect oracle: the minimal
+//!   end-to-end use of `group_coverage`.
+//! * `dataset_audit` — a full intersectional audit (gender × race) of a
+//!   simulated face-image dataset, reporting MUPs.
+//! * `classifier_assisted` — using a pre-trained (simulated) gender
+//!   classifier to cut the crowd bill, on the paper's Table 2 settings.
+//! * `crowd_platform_tour` — the crowdsourcing substrate itself: worker
+//!   pools, quality control regimes, truth inference, and what they do to
+//!   answer quality.
+//!
+//! Run any of them with `cargo run -p cvg-examples --bin <name>`.
+
+/// Formats a dollar amount for example output.
+pub fn dollars(x: f64) -> String {
+    format!("${x:.2}")
+}
+
+/// Formats a percentage for example output.
+pub fn percent(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(super::dollars(1.234), "$1.23");
+        assert_eq!(super::percent(0.0136), "1.36%");
+    }
+}

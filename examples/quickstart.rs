@@ -1,0 +1,79 @@
+//! Quickstart: is the `female` group covered in an unlabeled image
+//! dataset, and how many crowd tasks does the answer cost?
+//!
+//! ```sh
+//! cargo run -p cvg-examples --bin quickstart
+//! ```
+
+use coverage_core::prelude::*;
+use dataset_sim::{binary_dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A dataset of 10 000 face images; unknown to us, only 30 are female.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let dataset = binary_dataset(10_000, 30, Placement::Shuffled, &mut rng);
+    let female = Target::group(
+        dataset
+            .schema()
+            .pattern(&[("gender", "female")])
+            .expect("schema has gender"),
+    );
+
+    // Ask through a metered engine. Here the answers come from a perfect
+    // oracle; swap in `crowd_sim::MTurkSim` for a noisy crowd.
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&dataset), 50);
+
+    // Is `female` covered at τ = 50 (at least 50 female images)?
+    let tau = 50;
+    let n = 50; // images per set-query HIT
+    let out = group_coverage(
+        &mut engine,
+        &dataset.all_ids(),
+        &female,
+        tau,
+        n,
+        &DncConfig::default(),
+    );
+
+    println!("group:        female");
+    println!("threshold τ:  {tau}");
+    println!(
+        "verdict:      {}",
+        if out.covered { "covered" } else { "UNCOVERED" }
+    );
+    println!(
+        "count:        {}{}",
+        out.count,
+        if out.covered {
+            "+ (lower bound)"
+        } else {
+            " (exact)"
+        }
+    );
+    println!("crowd tasks:  {}", engine.ledger().total_tasks());
+
+    // Compare with the naive baseline: one image per task.
+    let mut engine = Engine::new(PerfectSource::new(&dataset));
+    base_coverage(&mut engine, &dataset.all_ids(), &female, tau);
+    println!(
+        "baseline:     {} tasks (Base-Coverage, one image per HIT)",
+        engine.ledger().total_tasks()
+    );
+    println!(
+        "upper bound:  {:.0} tasks (N/n + τ·log2 n)",
+        group_coverage_upper_bound(dataset.len(), n, tau, LogBase::Two)
+    );
+
+    // What would the crowd bill be?
+    let pricing = PricingModel::amt_ten_cents();
+    let mut ledger = TaskLedger::new();
+    for _ in 0..engine.ledger().total_tasks() {
+        ledger.record_set_query();
+    }
+    println!(
+        "baseline bill: {:.2} USD at $0.10/HIT × 3 assignments + 20% fees",
+        pricing.total_cost(&ledger)
+    );
+}

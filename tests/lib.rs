@@ -1,0 +1,21 @@
+//! Shared fixtures for the cross-crate integration tests (under
+//! `tests/tests/`).
+
+use coverage_core::prelude::*;
+use dataset_sim::Dataset;
+
+/// The `female` target for a single-binary-gender schema.
+pub fn female() -> Target {
+    Target::group(Pattern::parse("1").unwrap())
+}
+
+/// Asserts a coverage verdict against a dataset's ground truth.
+pub fn assert_verdict(data: &Dataset, target: &Target, tau: usize, covered: bool) {
+    let truth = data.count(target) >= tau;
+    assert_eq!(
+        covered,
+        truth,
+        "verdict {covered} disagrees with ground truth count {} (tau {tau})",
+        data.count(target)
+    );
+}

@@ -1,0 +1,205 @@
+//! Integration tests for the classifier-assisted pipeline across all
+//! Table 2 presets, plus degenerate-classifier failure injection.
+
+use classifier_sim::{table2_presets, BinaryRates, NoisyBinaryPredictor};
+use coverage_core::prelude::*;
+use dataset_sim::{binary_dataset, Placement};
+use integration_tests::female;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Every Table 2 preset produces the right verdict through
+/// Classifier-Coverage, and the strategy choice follows the paper.
+#[test]
+fn all_presets_verdicts_and_strategies() {
+    for preset in table2_presets() {
+        let rates = preset.rates().unwrap();
+        let mut correct = 0;
+        let runs = 5;
+        for seed in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(seed * 13 + 1);
+            let data = binary_dataset(
+                preset.total(),
+                preset.females,
+                Placement::Shuffled,
+                &mut rng,
+            );
+            let predictor = NoisyBinaryPredictor::new(female(), rates);
+            let predicted = predictor.predict_pool_exact(&data, &data.all_ids(), &mut rng);
+            let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+            let out = classifier_coverage(
+                &mut engine,
+                &data.all_ids(),
+                &predicted,
+                &female(),
+                &ClassifierConfig::default(),
+                &mut rng,
+            );
+            if out.covered == (preset.females >= 50) {
+                correct += 1;
+            }
+            // Strategy matches the paper except within sampling noise of
+            // the 0.75 threshold: the precision estimate comes from ≈20
+            // samples (σ ≈ 0.11), so only assert outside a 2σ window.
+            if (preset.precision - 0.75).abs() > 0.25 {
+                let want = if preset.precision >= 0.75 {
+                    FpElimination::Partition
+                } else {
+                    FpElimination::Label
+                };
+                assert_eq!(
+                    out.strategy, want,
+                    "{} / {} seed {seed}",
+                    preset.dataset, preset.classifier
+                );
+            }
+        }
+        assert_eq!(
+            correct, runs,
+            "{} / {}: wrong verdicts",
+            preset.dataset, preset.classifier
+        );
+    }
+}
+
+/// High-precision classifiers must save a large fraction of the standalone
+/// Group-Coverage cost (the paper reports ≈80% savings on FERET).
+#[test]
+fn high_precision_saves_most_of_the_bill() {
+    let preset = &table2_presets()[0]; // FERET / DeepFace (opencv)
+    let rates = preset.rates().unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let data = binary_dataset(
+        preset.total(),
+        preset.females,
+        Placement::Shuffled,
+        &mut rng,
+    );
+    let predictor = NoisyBinaryPredictor::new(female(), rates);
+    let predicted = predictor.predict_pool_exact(&data, &data.all_ids(), &mut rng);
+
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    let cc = classifier_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &predicted,
+        &female(),
+        &ClassifierConfig::default(),
+        &mut rng,
+    );
+    let cc_tasks = cc.tasks.total_tasks();
+
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    group_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &female(),
+        50,
+        50,
+        &DncConfig::default(),
+    );
+    let gc_tasks = engine.ledger().total_tasks();
+    assert!(
+        (cc_tasks as f64) < 0.4 * gc_tasks as f64,
+        "classifier-assisted {cc_tasks} should be well under 40% of {gc_tasks}"
+    );
+}
+
+/// Failure injection: a classifier that predicts *everything* positive
+/// (precision = base rate) must not corrupt the verdict.
+#[test]
+fn all_positive_classifier_still_correct() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let data = binary_dataset(1500, 30, Placement::Shuffled, &mut rng);
+    let pool = data.all_ids();
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    let out = classifier_coverage(
+        &mut engine,
+        &pool,
+        &pool.clone(), // G = D
+        &female(),
+        &ClassifierConfig::default(),
+        &mut rng,
+    );
+    assert!(!out.covered);
+    assert_eq!(out.count, 30);
+}
+
+/// Failure injection: a classifier that predicts *nothing* positive
+/// degrades gracefully to plain Group-Coverage.
+#[test]
+fn all_negative_classifier_still_correct() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let data = binary_dataset(1500, 80, Placement::Shuffled, &mut rng);
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    let out = classifier_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &[],
+        &female(),
+        &ClassifierConfig::default(),
+        &mut rng,
+    );
+    assert!(out.covered);
+}
+
+/// Failure injection: an *anti*-classifier (all predictions inverted) —
+/// the predicted set holds no members, the rest holds all of them.
+#[test]
+fn inverted_classifier_still_correct() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let data = binary_dataset(2000, 70, Placement::Shuffled, &mut rng);
+    let rates = BinaryRates::new(0.0, 1.0).unwrap(); // predicts NOT-female as female
+    let predictor = NoisyBinaryPredictor::new(female(), rates);
+    let predicted = predictor.predict_pool_exact(&data, &data.all_ids(), &mut rng);
+    assert_eq!(predicted.len(), 2000 - 70);
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    let out = classifier_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &predicted,
+        &female(),
+        &ClassifierConfig::default(),
+        &mut rng,
+    );
+    assert!(
+        out.covered,
+        "the 70 females hide in D − G but must be found"
+    );
+}
+
+/// The downstream harness wires into coverage: fixing the MUP the audit
+/// finds reduces model disparity (the paper's full §6.4 story).
+#[test]
+fn audit_then_fix_reduces_disparity() {
+    use classifier_sim::{LogisticRegression, TrainConfig};
+    use dataset_sim::catalogs;
+
+    let mut rng = SmallRng::seed_from_u64(21);
+    // Audit: the spectacled group is uncovered in the training simulacrum.
+    let train0 = catalogs::mrl_eye_train_sampled(600, 0, &mut rng);
+    let spectacled = Target::group(Pattern::parse("X1").unwrap());
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&train0), 50);
+    let audit = group_coverage(
+        &mut engine,
+        &train0.all_ids(),
+        &spectacled,
+        50,
+        50,
+        &DncConfig::default(),
+    );
+    assert!(!audit.covered, "audit must flag the spectacled gap");
+
+    // Fix: add spectacled samples; disparity shrinks.
+    let (mixed, spec_only) = catalogs::mrl_eye_test(&mut rng);
+    let cfg = TrainConfig::default();
+    let m0 = LogisticRegression::train(&train0, 0, &cfg, &mut rng);
+    let d0 = m0.evaluate(&mixed, 0).accuracy - m0.evaluate(&spec_only, 0).accuracy;
+    let train1 = catalogs::mrl_eye_train_sampled(600, 120, &mut rng);
+    let m1 = LogisticRegression::train(&train1, 0, &cfg, &mut rng);
+    let d1 = m1.evaluate(&mixed, 0).accuracy - m1.evaluate(&spec_only, 0).accuracy;
+    assert!(
+        d1 < d0,
+        "disparity should shrink after resolving coverage: {d0} → {d1}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Property tests on task costs across compositions and placements —
+//! checking the paper's analysis (§3.2) holds for the implementation, not
+//! just for hand-picked unit cases.
+
+use coverage_core::prelude::*;
+use dataset_sim::{binary_dataset, Placement};
+use integration_tests::female;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn gc_tasks(data: &dataset_sim::Dataset, tau: usize, n: usize) -> (bool, u64) {
+    let mut engine = Engine::with_point_batch(PerfectSource::new(data), n);
+    let out = group_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &female(),
+        tau,
+        n,
+        &DncConfig::default(),
+    );
+    (out.covered, engine.ledger().total_tasks())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The explicit worst-case envelope ⌈N/n⌉ + 2·min(f,τ)·(log2 n + 1)
+    /// holds for every placement strategy.
+    #[test]
+    fn envelope_holds_for_all_placements(
+        n_total in 100usize..4000,
+        f_frac in 0.0f64..0.2,
+        tau in 1usize..80,
+        n in 2usize..128,
+        placement_idx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let placement = [
+            Placement::Shuffled,
+            Placement::UniformSpread,
+            Placement::Clustered,
+            Placement::FrontLoaded,
+        ][placement_idx];
+        let f = ((n_total as f64) * f_frac) as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = binary_dataset(n_total, f, placement, &mut rng);
+        let (covered, tasks) = gc_tasks(&data, tau, n);
+        prop_assert_eq!(covered, f >= tau);
+        let roots = n_total.div_ceil(n) as f64;
+        let leaves = f.min(tau) as f64;
+        let envelope = roots + 2.0 * leaves * ((n as f64).log2() + 1.0);
+        prop_assert!(
+            tasks as f64 <= envelope,
+            "{} tasks > envelope {} (N={}, f={}, tau={}, n={}, {:?})",
+            tasks, envelope, n_total, f, tau, n, placement
+        );
+    }
+
+    /// Base-Coverage always pays at least as much as Group-Coverage on
+    /// uncovered groups (where both must certify the whole pool), for n > 1.
+    #[test]
+    fn base_never_beats_gc_on_uncovered(
+        n_total in 200usize..3000,
+        f in 0usize..40,
+        seed in 0u64..100,
+    ) {
+        let tau = 50;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = binary_dataset(n_total, f.min(tau - 1), Placement::Shuffled, &mut rng);
+        let (covered, gc) = gc_tasks(&data, tau, 50);
+        prop_assert!(!covered);
+        let mut engine = Engine::new(PerfectSource::new(&data));
+        base_coverage(&mut engine, &data.all_ids(), &female(), tau);
+        let base = engine.ledger().total_tasks();
+        prop_assert!(gc <= base, "gc {} > base {}", gc, base);
+    }
+
+    /// Clustered minorities are never more expensive than uniformly spread
+    /// ones for uncovered verification: spreading maximizes the number of
+    /// subtrees the d&c must open (the tightness construction of Thm 3.2).
+    #[test]
+    fn uniform_spread_is_adversarial(
+        f in 2usize..45,
+        seed in 0u64..50,
+    ) {
+        let n_total = 5000;
+        let tau = 50;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let clustered = binary_dataset(n_total, f, Placement::Clustered, &mut rng);
+        let spread = binary_dataset(n_total, f, Placement::UniformSpread, &mut rng);
+        let (_, t_clustered) = gc_tasks(&clustered, tau, 50);
+        let (_, t_spread) = gc_tasks(&spread, tau, 50);
+        prop_assert!(
+            t_clustered <= t_spread,
+            "clustered {} > spread {} (f={})",
+            t_clustered, t_spread, f
+        );
+    }
+
+    /// Monotonicity in τ for a fixed uncovered dataset: certifying a higher
+    /// threshold can never need fewer tasks.
+    #[test]
+    fn tasks_monotone_in_tau(seed in 0u64..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = binary_dataset(2000, 30, Placement::Shuffled, &mut rng);
+        let mut last = 0u64;
+        for tau in [1usize, 5, 10, 20, 31] {
+            let (_, tasks) = gc_tasks(&data, tau, 50);
+            prop_assert!(tasks >= last, "tau {} cost {} < previous {}", tau, tasks, last);
+            last = tasks;
+        }
+    }
+
+    /// The ledger's batched point accounting: labeling k objects through an
+    /// engine with batch b charges exactly ceil(k/b) tasks.
+    #[test]
+    fn point_batching_accounting(k in 0usize..500, b in 1usize..100) {
+        let labels: Vec<Labels> = (0..k.max(1)).map(|_| Labels::single(0)).collect();
+        let truth = VecGroundTruth::new(labels);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), b);
+        let ids: Vec<ObjectId> = (0..k as u32).map(ObjectId).collect();
+        engine.ask_point_labels_batched(&ids);
+        prop_assert_eq!(engine.ledger().point_tasks(), k.div_ceil(b) as u64);
+    }
+}

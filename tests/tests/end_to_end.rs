@@ -1,0 +1,177 @@
+//! End-to-end integration: dataset substrate → crowd substrate → coverage
+//! algorithms → reports.
+
+use coverage_core::prelude::*;
+use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use dataset_sim::{binary_dataset, catalogs, DatasetBuilder, Placement};
+use integration_tests::{assert_verdict, female};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The Table 1 headline: Group-Coverage decides the FERET slice with a
+/// noisy crowd in a fraction of the baseline's tasks, and lands under the
+/// paper's (log10) upper bound.
+#[test]
+fn feret_crowd_run_beats_baseline_and_bound() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let data = catalogs::feret_215_1307(&mut rng);
+    let workers = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+    let sim = MTurkSim::new(
+        &data,
+        data.schema().clone(),
+        workers.clone(),
+        QualityControl::with_rating(),
+        4,
+    );
+    let mut engine = Engine::with_point_batch(sim, 50);
+    let out = group_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &female(),
+        50,
+        50,
+        &DncConfig::default(),
+    );
+    assert_verdict(&data, &female(), 50, out.covered);
+    let gc_tasks = engine.ledger().total_tasks();
+    let bound = group_coverage_upper_bound(data.len(), 50, 50, LogBase::Ten);
+    assert!(
+        (gc_tasks as f64) <= bound,
+        "{gc_tasks} tasks exceed the paper bound {bound}"
+    );
+
+    let sim = MTurkSim::new(
+        &data,
+        data.schema().clone(),
+        workers,
+        QualityControl::with_rating(),
+        5,
+    );
+    let mut engine = Engine::with_point_batch(sim, 50);
+    base_coverage(&mut engine, &data.all_ids(), &female(), 50);
+    let base_tasks = engine.ledger().total_tasks();
+    assert!(
+        gc_tasks * 3 < base_tasks,
+        "Group-Coverage ({gc_tasks}) should be far below Base-Coverage ({base_tasks})"
+    );
+}
+
+/// Multiple-Coverage on a crowd: verdicts survive worker noise under the
+/// rating-filter regime.
+#[test]
+fn multiple_coverage_on_noisy_crowd() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let data = dataset_sim::multi_group_dataset(&[4850, 80, 40, 30], &mut rng);
+    let groups: Vec<Pattern> = (0..4).map(|v| Pattern::single(1, 0, v as u8)).collect();
+    let workers = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+    let sim = MTurkSim::new(
+        &data,
+        data.schema().clone(),
+        workers,
+        QualityControl::with_rating(),
+        8,
+    );
+    let mut engine = Engine::with_point_batch(sim, 50);
+    let report = multiple_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &groups,
+        &MultipleConfig::default(),
+        &mut rng,
+    );
+    let covered: Vec<bool> = report.results.iter().map(|r| r.covered).collect();
+    assert_eq!(covered, vec![true, true, false, false]);
+}
+
+/// Intersectional audit through the crowd agrees with offline MUPs.
+#[test]
+fn intersectional_crowd_audit_matches_offline_mups() {
+    let schema = AttributeSchema::new(vec![
+        Attribute::binary("gender", "male", "female").unwrap(),
+        Attribute::binary("skin", "light", "dark").unwrap(),
+    ])
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(21);
+    let data = DatasetBuilder::new(schema.clone())
+        .counts(&[900, 25, 800, 8])
+        .build(&mut rng);
+    let workers = WorkerPool::generate(&PoolConfig::all_reliable(30), &mut rng);
+    let sim = MTurkSim::new(
+        &data,
+        schema.clone(),
+        workers,
+        QualityControl::with_rating(),
+        2,
+    );
+    let mut engine = Engine::with_point_batch(sim, 50);
+    let cfg = MultipleConfig {
+        tau: 50,
+        ..MultipleConfig::default()
+    };
+    let report = intersectional_coverage(&mut engine, &data.all_ids(), &schema, &cfg, &mut rng);
+    let mut got: Vec<String> = report.mups.iter().map(|m| m.to_string()).collect();
+    let mut want: Vec<String> = mups_from_labels(data.labels(), &schema, 50)
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want);
+}
+
+/// The engine's ledger prices a study exactly as the paper's fee schedule.
+#[test]
+fn pricing_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let data = binary_dataset(1000, 100, Placement::Shuffled, &mut rng);
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    group_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &female(),
+        50,
+        50,
+        &DncConfig::default(),
+    );
+    let pricing = PricingModel::amt_five_cents();
+    let wages = pricing.wages(engine.ledger());
+    let total = pricing.total_cost(engine.ledger());
+    assert!((total / wages - 1.2).abs() < 1e-9, "20% fee on wages");
+    let per_task = 0.05 * 3.0;
+    assert!((wages - engine.ledger().total_tasks() as f64 * per_task).abs() < 1e-9);
+}
+
+/// A serialized CoverageReport round-trips through JSON with its verdicts.
+#[test]
+fn report_roundtrip_through_json() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let data = binary_dataset(500, 10, Placement::Shuffled, &mut rng);
+    let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+    let out = group_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &female(),
+        50,
+        50,
+        &DncConfig::default(),
+    );
+    let report = CoverageReport::new(
+        "roundtrip",
+        data.schema().clone(),
+        50,
+        data.len(),
+        *engine.ledger(),
+        &PricingModel::amt_ten_cents(),
+    )
+    .with_groups(vec![GroupResult {
+        group: Pattern::parse("1").unwrap(),
+        covered: out.covered,
+        count: out.count,
+        count_exact: !out.covered,
+    }]);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: CoverageReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.groups.len(), 1);
+    assert!(!back.groups[0].covered);
+    assert_eq!(back.groups[0].count, 10);
+}

@@ -1,0 +1,112 @@
+//! Property tests: the crowd-driven intersectional pipeline finds exactly
+//! the MUPs an offline pass over fully-labeled data would find.
+
+use coverage_core::prelude::*;
+use dataset_sim::DatasetBuilder;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn schema_2x3() -> AttributeSchema {
+    AttributeSchema::new(vec![
+        Attribute::binary("a", "a0", "a1").unwrap(),
+        Attribute::new("b", ["b0", "b1", "b2"]).unwrap(),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crowd pipeline ≡ offline Pattern-Combiner, on random compositions
+    /// over a 2×3 schema (6 cells), random τ, random seeds.
+    #[test]
+    fn crowd_mups_equal_offline_mups(
+        cells in proptest::collection::vec(0usize..300, 6),
+        tau in 5usize..80,
+        seed in 0u64..1000,
+    ) {
+        let schema = schema_2x3();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = DatasetBuilder::new(schema.clone())
+            .counts(&cells)
+            .build(&mut rng);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+        let cfg = MultipleConfig { tau, ..MultipleConfig::default() };
+        let report = intersectional_coverage(
+            &mut engine, &data.all_ids(), &schema, &cfg, &mut rng,
+        );
+        let mut got: Vec<String> = report.mups.iter().map(|m| m.to_string()).collect();
+        let mut want: Vec<String> = mups_from_labels(data.labels(), &schema, tau)
+            .iter().map(|m| m.to_string()).collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want, "cells {:?} tau {}", cells, tau);
+    }
+
+    /// Per-pattern coverage verdicts agree with ground-truth counts.
+    #[test]
+    fn pattern_verdicts_agree_with_counts(
+        cells in proptest::collection::vec(0usize..200, 6),
+        tau in 5usize..60,
+        seed in 0u64..500,
+    ) {
+        let schema = schema_2x3();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = DatasetBuilder::new(schema.clone())
+            .counts(&cells)
+            .build(&mut rng);
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+        let cfg = MultipleConfig { tau, ..MultipleConfig::default() };
+        let report = intersectional_coverage(
+            &mut engine, &data.all_ids(), &schema, &cfg, &mut rng,
+        );
+        for pc in &report.patterns {
+            let true_count = data.count(&Target::group(pc.pattern));
+            prop_assert_eq!(
+                pc.covered,
+                true_count >= tau,
+                "pattern {} verdict {} but count {} (tau {})",
+                pc.pattern, pc.covered, true_count, tau
+            );
+            if pc.exact {
+                prop_assert_eq!(pc.count, true_count, "pattern {}", pc.pattern);
+            } else {
+                prop_assert!(pc.count <= true_count, "pattern {}", pc.pattern);
+            }
+        }
+    }
+
+    /// Multiple-Coverage verdicts agree with ground truth across random
+    /// single-attribute compositions (σ up to 6) — including the penalty
+    /// and super-group paths.
+    #[test]
+    fn multiple_coverage_verdicts(
+        counts in proptest::collection::vec(0usize..250, 2..7),
+        tau in 5usize..70,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = dataset_sim::multi_group_dataset(&counts, &mut rng);
+        let groups: Vec<Pattern> = (0..counts.len())
+            .map(|v| Pattern::single(1, 0, v as u8))
+            .collect();
+        let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
+        let cfg = MultipleConfig { tau, ..MultipleConfig::default() };
+        let report = multiple_coverage(
+            &mut engine, &data.all_ids(), &groups, &cfg, &mut rng,
+        );
+        for (v, want) in counts.iter().enumerate() {
+            let r = report.result_for(&Pattern::single(1, 0, v as u8)).unwrap();
+            prop_assert_eq!(
+                r.covered,
+                *want >= tau,
+                "group {} count {} tau {} verdict {}",
+                v, want, tau, r.covered
+            );
+            if r.count_exact {
+                prop_assert_eq!(r.count, *want, "group {}", v);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Failure injection: what happens to the pipeline when the crowd is bad,
+//! and which quality controls rescue it.
+
+use coverage_core::prelude::*;
+use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use dataset_sim::{binary_dataset, Placement};
+use integration_tests::female;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_gc(
+    data: &dataset_sim::Dataset,
+    pool_cfg: &PoolConfig,
+    qc: QualityControl,
+    seed: u64,
+) -> (bool, f64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let workers = WorkerPool::generate(pool_cfg, &mut rng);
+    let sim = MTurkSim::new(data, data.schema().clone(), workers, qc, seed);
+    let mut engine = Engine::with_point_batch(sim, 50);
+    let out = group_coverage(
+        &mut engine,
+        &data.all_ids(),
+        &female(),
+        50,
+        50,
+        &DncConfig::default(),
+    );
+    let err = engine.source().stats().aggregated_error_rate();
+    (out.covered, err)
+}
+
+/// A hostile pool (60% spammers) without screening produces unreliable
+/// aggregates; the qualification test restores correctness.
+#[test]
+fn qualification_test_rescues_hostile_pool() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let data = binary_dataset(2000, 260, Placement::Shuffled, &mut rng);
+
+    let mut unscreened_errors = 0.0;
+    let mut screened_errors = 0.0;
+    let runs = 8;
+    for seed in 0..runs {
+        let (_, e) = run_gc(
+            &data,
+            &PoolConfig::hostile(120),
+            QualityControl::majority_vote_only(),
+            seed,
+        );
+        unscreened_errors += e;
+        let (covered, e) = run_gc(
+            &data,
+            &PoolConfig::hostile(120),
+            QualityControl::with_qualification(),
+            100 + seed,
+        );
+        screened_errors += e;
+        assert!(
+            covered,
+            "screened pool must find the 260 females (seed {seed})"
+        );
+    }
+    assert!(
+        screened_errors < unscreened_errors,
+        "screening should reduce aggregate error: {screened_errors} vs {unscreened_errors}"
+    );
+}
+
+/// With a reliable pool, the verdict is stable across many seeds even for
+/// a borderline composition (f = τ).
+#[test]
+fn borderline_composition_is_stable_under_noise() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let data = binary_dataset(1000, 50, Placement::Shuffled, &mut rng);
+    let mut correct = 0;
+    let runs = 10;
+    for seed in 0..runs {
+        let (covered, _) = run_gc(
+            &data,
+            &PoolConfig::all_reliable(50),
+            QualityControl::with_rating(),
+            seed,
+        );
+        if covered {
+            correct += 1;
+        }
+    }
+    // f = τ exactly is the noise-critical composition: losing a *single*
+    // member to a missed set answer flips the verdict to uncovered (the
+    // error direction is always under-counting — coverage is never
+    // fabricated). With per-member miss ≈ 3% and ~6 queries per member, a
+    // minority of runs legitimately flip; require a clear majority.
+    assert!(
+        correct > runs / 2,
+        "only {correct}/{runs} runs found the borderline group covered"
+    );
+}
+
+/// Worker errors can only *under*-count via missed set members (a false
+/// "no" prunes real members), never fabricate coverage of an empty group:
+/// with zero females, a covered verdict requires τ false alarms to survive
+/// majority vote — practically impossible with a reliable pool.
+#[test]
+fn empty_group_never_reported_covered() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let data = binary_dataset(2000, 0, Placement::Shuffled, &mut rng);
+    for seed in 0..10 {
+        let (covered, _) = run_gc(
+            &data,
+            &PoolConfig::default(),
+            QualityControl::with_rating(),
+            seed,
+        );
+        assert!(!covered, "seed {seed} fabricated coverage");
+    }
+}
+
+/// The platform refuses to run when screening leaves too few workers.
+#[test]
+#[should_panic(expected = "eligible workers")]
+fn overscreening_panics_loudly() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let data = binary_dataset(10, 2, Placement::Shuffled, &mut rng);
+    // Every worker is a spammer: none meet the rating bar.
+    let workers = WorkerPool::from_profiles(
+        (0..5)
+            .map(|i| crowd_sim::WorkerProfile::spammer(crowd_sim::WorkerId(i)))
+            .collect(),
+    );
+    MTurkSim::new(
+        &data,
+        data.schema().clone(),
+        workers,
+        QualityControl::with_rating(),
+        0,
+    );
+}
+
+/// Dawid–Skene inference recovers truth from a crowd that majority vote
+/// cannot handle (failure injection at the aggregation layer).
+#[test]
+fn dawid_skene_survives_anticorrelated_majority() {
+    use crowd_sim::{majority_vote, DawidSkene};
+    use rand::Rng;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let truths: Vec<bool> = (0..300).map(|_| rng.gen_bool(0.5)).collect();
+    // 2 experts, 3 workers who are wrong 70% of the time.
+    let accs = [0.97, 0.95, 0.3, 0.3, 0.3];
+    let mut answers = Vec::new();
+    for (t, truth) in truths.iter().enumerate() {
+        for (w, acc) in accs.iter().enumerate() {
+            let correct = rng.gen_bool(*acc);
+            answers.push((t, w, if correct { *truth } else { !*truth }));
+        }
+    }
+    let mut mv_votes: Vec<Vec<bool>> = vec![Vec::new(); truths.len()];
+    for (t, _, a) in &answers {
+        mv_votes[*t].push(*a);
+    }
+    let mv_acc = mv_votes
+        .iter()
+        .zip(&truths)
+        .filter(|(v, t)| majority_vote(v) == **t)
+        .count() as f64
+        / truths.len() as f64;
+    let ds = DawidSkene::fit(truths.len(), accs.len(), &answers, 30);
+    let ds_acc = ds
+        .decisions()
+        .iter()
+        .zip(&truths)
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / truths.len() as f64;
+    assert!(mv_acc < 0.75, "majority vote should struggle: {mv_acc}");
+    assert!(ds_acc > 0.9, "Dawid–Skene should recover: {ds_acc}");
+}
