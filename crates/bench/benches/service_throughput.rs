@@ -1,0 +1,114 @@
+//! `coverage-service` throughput: concurrent audit jobs versus the same
+//! jobs run serially, over one shared deterministic `MTurkSim` with a
+//! simulated per-round platform latency.
+//!
+//! Two effects are on display:
+//!
+//! * **wall-clock speedup** — with 8 worker threads, jobs wait out the
+//!   platform's round trips together instead of one after another;
+//! * **HIT amortization** — the dispatcher coalesces concurrent point
+//!   queries into shared many-images-per-HIT batches, and the shared cache
+//!   absorbs cross-job repeats entirely.
+
+use coverage_core::prelude::*;
+use coverage_service::{AuditService, ServiceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use cvg_bench::scenarios::service_mixed_workload;
+use dataset_sim::{binary_dataset, Dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const JOBS: usize = 8;
+const ROUND_LATENCY: Duration = Duration::from_micros(200);
+
+fn deterministic_platform(data: &Dataset, seed: u64) -> MTurkSim<'_, Dataset> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let worker_pool = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+    MTurkSim::new_deterministic(
+        data,
+        AttributeSchema::single_binary("attr", "majority", "minority"),
+        worker_pool,
+        QualityControl::with_rating(),
+        seed,
+    )
+}
+
+/// The mixed 8-tenant workload, once with one worker (serial) and once with
+/// eight: same jobs, same platform seed, different wall clock.
+fn bench_serial_vs_concurrent(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let data = binary_dataset(4_000, 400, Placement::Shuffled, &mut rng);
+    let pool = data.all_ids();
+    let mut group = c.benchmark_group("service_throughput/mixed_8_jobs");
+    for (name, workers) in [("serial_1_worker", 1usize), ("concurrent_8_workers", JOBS)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut service = AuditService::new(ServiceConfig {
+                    workers,
+                    round_latency: ROUND_LATENCY,
+                    ..ServiceConfig::default()
+                });
+                for spec in service_mixed_workload(&pool, JOBS, 50) {
+                    service.submit(spec);
+                }
+                let (report, _platform) = service.run(deterministic_platform(&data, 17));
+                assert_eq!(
+                    report.jobs.len(),
+                    JOBS,
+                    "all jobs must finish: {}",
+                    report.to_json()
+                );
+                report.wall_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Disjoint audits (no cache overlap): isolates the pure concurrency win of
+/// sharing platform round trips, with nothing owed to the shared cache.
+fn bench_disjoint_pools(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let data = binary_dataset(JOBS * 500, JOBS * 75, Placement::Shuffled, &mut rng);
+    let pool = data.all_ids();
+    let target = Target::group(Pattern::parse("1").unwrap());
+    let mut group = c.benchmark_group("service_throughput/disjoint_8_jobs");
+    for (name, workers) in [("serial_1_worker", 1usize), ("concurrent_8_workers", JOBS)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut service = AuditService::new(ServiceConfig {
+                    workers,
+                    round_latency: ROUND_LATENCY,
+                    ..ServiceConfig::default()
+                });
+                for i in 0..JOBS {
+                    service.submit(
+                        coverage_service::JobSpec::new(
+                            format!("slice-{i}"),
+                            pool[i * 500..(i + 1) * 500].to_vec(),
+                            coverage_service::AuditKind::GroupCoverage {
+                                target: target.clone(),
+                            },
+                        )
+                        .tau(40)
+                        .n(25)
+                        .seed(i as u64),
+                    );
+                }
+                let (report, _platform) = service.run(deterministic_platform(&data, 23));
+                assert_eq!(report.jobs.len(), JOBS);
+                report.wall_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serial_vs_concurrent, bench_disjoint_pools
+}
+criterion_main!(benches);

@@ -12,6 +12,11 @@
 //! | ineffective | 2 uncovered and one covered minority |
 //! | adversarial | 3 uncovered minorities; their aggregated super-group is covered |
 
+use coverage_core::engine::ObjectId;
+use coverage_core::pattern::Pattern;
+use coverage_core::schema::AttributeSchema;
+use coverage_core::target::Target;
+use coverage_service::{AuditKind, JobSpec};
 use serde::{Deserialize, Serialize};
 
 /// A named multi-group composition.
@@ -139,6 +144,60 @@ pub fn intersectional_scenario_2x4() -> Scenario {
     }
 }
 
+/// A mixed multi-tenant workload for the `coverage-service` benchmarks and
+/// tours: `jobs` audit jobs over one shared pool, cycling through all five
+/// algorithms with overlapping targets so the service's shared cache has
+/// real cross-job reuse to exploit.
+///
+/// Assumes a single-binary-attribute pool (value `1` = the minority under
+/// audit), as produced by `dataset_sim::binary_dataset`.
+///
+/// # Panics
+/// Panics when the pool is empty or `jobs == 0`.
+pub fn service_mixed_workload(pool: &[ObjectId], jobs: usize, tau: usize) -> Vec<JobSpec> {
+    assert!(
+        !pool.is_empty() && jobs > 0,
+        "need a pool and at least one job"
+    );
+    let minority = Target::group(Pattern::parse("1").expect("pattern"));
+    let schema = AttributeSchema::single_binary("attr", "majority", "minority");
+    (0..jobs)
+        .map(|i| {
+            let kind = match i % 5 {
+                0 => AuditKind::GroupCoverage {
+                    target: minority.clone(),
+                },
+                1 => AuditKind::MultipleCoverage {
+                    groups: vec![
+                        Pattern::parse("0").expect("pattern"),
+                        Pattern::parse("1").expect("pattern"),
+                    ],
+                },
+                2 => AuditKind::IntersectionalCoverage {
+                    schema: schema.clone(),
+                },
+                // Base coverage scans one point HIT per object: keep its
+                // slice short so it does not dominate the workload.
+                3 => AuditKind::BaseCoverage {
+                    target: minority.clone(),
+                },
+                _ => AuditKind::ClassifierCoverage {
+                    target: minority.clone(),
+                    predicted: pool[..(pool.len() / 10).max(1)].to_vec(),
+                },
+            };
+            let job_pool = if matches!(kind, AuditKind::BaseCoverage { .. }) {
+                pool[..(pool.len() / 4).max(1)].to_vec()
+            } else {
+                pool.to_vec()
+            };
+            JobSpec::new(format!("tenant-{i}"), job_pool, kind)
+                .tau(tau + (i % 3) * 10)
+                .seed(1000 + i as u64)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +248,25 @@ mod tests {
     #[test]
     fn intersectional_2x4_total_matches_2x2x2() {
         assert_eq!(intersectional_scenario_2x4().total(), N);
+    }
+
+    #[test]
+    fn service_workload_cycles_algorithms() {
+        let pool: Vec<ObjectId> = (0..1000).map(ObjectId).collect();
+        let jobs = service_mixed_workload(&pool, 8, 50);
+        assert_eq!(jobs.len(), 8);
+        let algorithms: std::collections::HashSet<&str> =
+            jobs.iter().map(|j| j.kind.name()).collect();
+        assert_eq!(algorithms.len(), 5, "all five algorithms appear");
+        for job in &jobs {
+            assert!(!job.pool.is_empty());
+            assert!(job.tau >= 50);
+        }
+        // Base-coverage jobs get the short slice.
+        let base = jobs
+            .iter()
+            .find(|j| j.kind.name() == "base_coverage")
+            .unwrap();
+        assert_eq!(base.pool.len(), 250);
     }
 }

@@ -186,7 +186,7 @@ mod tests {
     fn counts_from(cells: &[([u8; 2], usize)]) -> FullGroupCounts {
         let mut labels = Vec::new();
         for (vals, k) in cells {
-            labels.extend(std::iter::repeat(Labels::new(vals)).take(*k));
+            labels.extend(std::iter::repeat_n(Labels::new(vals), *k));
         }
         count_full_groups(&labels, &schema_2x2())
     }

@@ -16,6 +16,7 @@ use crate::schema::Labels;
 use crate::target::Target;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Range;
 
 /// Identifier of an object (image) in a dataset: a dense index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -34,6 +35,33 @@ impl fmt::Display for ObjectId {
     }
 }
 
+/// Allocation-free iterator over the dense object ids `t0..tN` of a
+/// dataset (see [`GroundTruth::ids`]).
+#[derive(Debug, Clone)]
+pub struct ObjectIds {
+    range: Range<u32>,
+}
+
+impl Iterator for ObjectIds {
+    type Item = ObjectId;
+
+    fn next(&mut self) -> Option<ObjectId> {
+        self.range.next().map(ObjectId)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ObjectIds {}
+
+impl DoubleEndedIterator for ObjectIds {
+    fn next_back(&mut self) -> Option<ObjectId> {
+        self.range.next_back().map(ObjectId)
+    }
+}
+
 /// Access to the latent labels of a dataset. Implemented by dataset
 /// substrates; **never handed to algorithms directly** — only to answer
 /// sources, which may distort it (worker errors, classifier noise).
@@ -47,15 +75,25 @@ pub trait GroundTruth {
     /// Implementations panic when `id` is out of range.
     fn labels_of(&self, id: ObjectId) -> Labels;
 
-    /// All object ids `t0..tN`, in dataset order.
+    /// Iterates over the object ids `t0..tN` in dataset order without
+    /// allocating. Prefer this over [`GroundTruth::all_ids`] on evaluation
+    /// paths that only traverse the ids once.
+    fn ids(&self) -> ObjectIds {
+        ObjectIds {
+            range: 0..self.num_objects() as u32,
+        }
+    }
+
+    /// All object ids `t0..tN` as a vector, for callers that need a pool
+    /// slice. Allocates; use [`GroundTruth::ids`] for pure iteration.
     fn all_ids(&self) -> Vec<ObjectId> {
-        (0..self.num_objects() as u32).map(ObjectId).collect()
+        self.ids().collect()
     }
 
     /// Exact number of objects matching a target (evaluation only).
     fn count_matching(&self, target: &Target) -> usize {
-        (0..self.num_objects() as u32)
-            .filter(|i| target.matches(&self.labels_of(ObjectId(*i))))
+        self.ids()
+            .filter(|id| target.matches(&self.labels_of(*id)))
             .count()
     }
 }
@@ -108,6 +146,35 @@ pub trait AnswerSource {
     }
 }
 
+/// Extension of [`AnswerSource`] for sources that can serve many questions
+/// in one round trip.
+///
+/// The batch path exists for serving layers (see the `coverage-service`
+/// crate): when several audits run concurrently, their point queries can be
+/// coalesced into many-images-per-HIT batches — the paper's actual HIT
+/// layout — instead of hitting the platform once per object. The default
+/// methods fall back to one-at-a-time answering, so any source is trivially
+/// a batch source; platforms with real per-HIT overhead (e.g. `MTurkSim` in
+/// the `crowd-sim` crate) override them.
+pub trait BatchAnswerSource: AnswerSource {
+    /// Labels every object in `objects`, treating the whole slice as one
+    /// coalesced request. Answers must line up index-for-index.
+    fn answer_point_labels_batch(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+        objects
+            .iter()
+            .map(|o| self.answer_point_labels(*o))
+            .collect()
+    }
+
+    /// Answers a batch of independent set queries, one answer per query.
+    fn answer_sets_batch(&mut self, queries: &[(Vec<ObjectId>, Target)]) -> Vec<bool> {
+        queries
+            .iter()
+            .map(|(objects, target)| self.answer_set(objects, target))
+            .collect()
+    }
+}
+
 /// An error-free answer source backed by ground truth. This is the model
 /// used by the paper's synthetic experiments (§6.5), which "simulate the
 /// behavior of the crowdworkers in answering queries".
@@ -134,6 +201,8 @@ impl<G: GroundTruth> AnswerSource for PerfectSource<'_, G> {
         self.truth.labels_of(object)
     }
 }
+
+impl<G: GroundTruth> BatchAnswerSource for PerfectSource<'_, G> {}
 
 /// Default number of images per point-query HIT, matching the paper's
 /// HIT layout (`n = 50` images per HIT).
@@ -304,6 +373,36 @@ mod tests {
         let snap = engine.ledger_snapshot();
         engine.ask_set(&ids, &target);
         assert_eq!(engine.ledger().since(&snap).set_queries(), 1);
+    }
+
+    #[test]
+    fn ids_iterator_matches_all_ids() {
+        let truth = truth_with_minority(5, 2);
+        let collected: Vec<ObjectId> = truth.ids().collect();
+        assert_eq!(collected, truth.all_ids());
+        assert_eq!(truth.ids().len(), 5);
+        assert_eq!(truth.ids().next_back(), Some(ObjectId(4)));
+        assert_eq!(truth.ids().next_back(), Some(ObjectId(4)));
+        assert_eq!(truth.ids().rev().next_back(), Some(ObjectId(0)));
+    }
+
+    #[test]
+    fn default_batch_source_matches_single_answers() {
+        let truth = truth_with_minority(20, 6);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = truth.all_ids();
+
+        let mut batch = PerfectSource::new(&truth);
+        let batched = batch.answer_point_labels_batch(&ids);
+        let mut single = PerfectSource::new(&truth);
+        let singles: Vec<Labels> = ids.iter().map(|o| single.answer_point_labels(*o)).collect();
+        assert_eq!(batched, singles);
+
+        let queries = vec![
+            (ids[..10].to_vec(), target.clone()),
+            (ids[10..].to_vec(), target.clone()),
+        ];
+        assert_eq!(batch.answer_sets_batch(&queries), vec![true, false]);
     }
 
     #[test]

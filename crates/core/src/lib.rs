@@ -95,13 +95,14 @@ pub mod prelude {
         classifier_coverage, ClassifierConfig, ClassifierOutcome, FpElimination,
     };
     pub use crate::engine::{
-        AnswerSource, Engine, GroundTruth, ObjectId, PerfectSource, VecGroundTruth,
+        AnswerSource, BatchAnswerSource, Engine, GroundTruth, ObjectId, ObjectIds, PerfectSource,
+        VecGroundTruth,
     };
     pub use crate::error::CoverageError;
     pub use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome, Traversal};
     pub use crate::intersectional::{intersectional_coverage, IntersectionalReport};
     pub use crate::ledger::{PricingModel, TaskLedger};
-    pub use crate::memo::MemoizedSource;
+    pub use crate::memo::{MemoizedSource, SharedMemoizedSource};
     pub use crate::multiple::{multiple_coverage, GroupResult, MultipleConfig, MultipleReport};
     pub use crate::mup::{mups_from_counts, mups_from_labels};
     pub use crate::pattern::Pattern;

@@ -17,10 +17,12 @@
 //! cache is exact-match only, which is already enough to de-duplicate the
 //! brute-force multi-group baseline's repeated root queries.
 
-use crate::engine::{AnswerSource, ObjectId};
+use crate::engine::{AnswerSource, BatchAnswerSource, ObjectId};
 use crate::schema::Labels;
 use crate::target::Target;
 use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A caching wrapper around an answer source.
 #[derive(Debug, Clone)]
@@ -97,6 +99,270 @@ impl<S: AnswerSource> AnswerSource for MemoizedSource<S> {
     }
 }
 
+impl<S: AnswerSource> BatchAnswerSource for MemoizedSource<S> {}
+
+#[derive(Debug, Default)]
+struct SharedMemoState {
+    set_cache: HashMap<(Vec<ObjectId>, Target), bool>,
+    label_cache: HashMap<ObjectId, Labels>,
+    set_in_flight: HashSet<(Vec<ObjectId>, Target)>,
+    label_in_flight: HashSet<ObjectId>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedMemo {
+    state: Mutex<SharedMemoState>,
+    ready: Condvar,
+}
+
+impl SharedMemo {
+    fn lock(&self) -> MutexGuard<'_, SharedMemoState> {
+        // A panicking job (e.g. a budget abort in coverage-service) must not
+        // poison the platform-wide cache for every other job.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Removes claimed in-flight keys and wakes waiters if the claiming thread
+/// unwinds (e.g. a budget abort) before committing an answer; a waiter then
+/// re-claims the question instead of blocking forever.
+struct FlightGuard<'a> {
+    memo: &'a SharedMemo,
+    set_key: Option<(Vec<ObjectId>, Target)>,
+    label_keys: Vec<ObjectId>,
+}
+
+impl FlightGuard<'_> {
+    fn disarm(&mut self) {
+        self.set_key = None;
+        self.label_keys.clear();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.set_key.is_none() && self.label_keys.is_empty() {
+            return;
+        }
+        let mut state = self.memo.lock();
+        if let Some(key) = self.set_key.take() {
+            state.set_in_flight.remove(&key);
+        }
+        for key in self.label_keys.drain(..) {
+            state.label_in_flight.remove(&key);
+        }
+        drop(state);
+        self.memo.ready.notify_all();
+    }
+}
+
+/// The thread-safe generalization of [`MemoizedSource`]: a platform-wide
+/// answer cache shared by every clone of the source.
+///
+/// Each clone carries its **own** inner source (so per-handle state such as
+/// a dispatcher connection stays private) but all clones consult and fill
+/// one cache behind a mutex. This is the memo layer the `coverage-service`
+/// crate threads through concurrent audit jobs: once any job has paid for a
+/// question, every other job answers it for free.
+///
+/// Concurrent misses on the same key are **coalesced**: the first asker
+/// claims the question and forwards it to its inner source (the lock is not
+/// held across that call); every other asker waits on a condvar and reads
+/// the committed answer as a cache hit. If the claiming thread unwinds
+/// before answering, a waiter re-claims the question.
+#[derive(Debug)]
+pub struct SharedMemoizedSource<S> {
+    inner: S,
+    shared: Arc<SharedMemo>,
+}
+
+impl<S: Clone> Clone for SharedMemoizedSource<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<S> SharedMemoizedSource<S> {
+    /// Wraps a source with a fresh shared cache.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            shared: Arc::new(SharedMemo::default()),
+        }
+    }
+
+    /// A handle over the **same** shared cache but a different inner source
+    /// — how a serving layer gives each tenant its own connection while all
+    /// tenants share one cache.
+    pub fn with_inner<T>(&self, inner: T) -> SharedMemoizedSource<T> {
+        SharedMemoizedSource {
+            inner,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Questions answered from the shared cache (including coalesced waits
+    /// on another handle's in-flight question), across all clones.
+    pub fn cache_hits(&self) -> u64 {
+        self.shared.lock().hits
+    }
+
+    /// Questions forwarded to an inner source, across all clones.
+    pub fn cache_misses(&self) -> u64 {
+        self.shared.lock().misses
+    }
+
+    /// This handle's inner source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps this handle into its inner source (the cache lives on in
+    /// other clones).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: AnswerSource> AnswerSource for SharedMemoizedSource<S> {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        let key = (objects.to_vec(), target.clone());
+        let mut state = self.shared.lock();
+        loop {
+            {
+                let s = &mut *state;
+                if let Some(ans) = s.set_cache.get(&key) {
+                    s.hits += 1;
+                    return *ans;
+                }
+                if !s.set_in_flight.contains(&key) {
+                    s.set_in_flight.insert(key.clone());
+                    s.misses += 1;
+                    break;
+                }
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(state);
+        let mut guard = FlightGuard {
+            memo: &self.shared,
+            set_key: Some(key.clone()),
+            label_keys: Vec::new(),
+        };
+        let ans = self.inner.answer_set(objects, target);
+        let mut state = self.shared.lock();
+        state.set_in_flight.remove(&key);
+        state.set_cache.insert(key, ans);
+        drop(state);
+        guard.disarm();
+        self.shared.ready.notify_all();
+        ans
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        let mut state = self.shared.lock();
+        loop {
+            {
+                let s = &mut *state;
+                if let Some(l) = s.label_cache.get(&object) {
+                    s.hits += 1;
+                    return *l;
+                }
+                if !s.label_in_flight.contains(&object) {
+                    s.label_in_flight.insert(object);
+                    s.misses += 1;
+                    break;
+                }
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(state);
+        let mut guard = FlightGuard {
+            memo: &self.shared,
+            set_key: None,
+            label_keys: vec![object],
+        };
+        let l = self.inner.answer_point_labels(object);
+        let mut state = self.shared.lock();
+        state.label_in_flight.remove(&object);
+        state.label_cache.insert(object, l);
+        drop(state);
+        guard.disarm();
+        self.shared.ready.notify_all();
+        l
+    }
+
+    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+        // Route through the label cache, as in [`MemoizedSource`].
+        let labels = self.answer_point_labels(object);
+        target.matches(&labels)
+    }
+}
+
+impl<S: BatchAnswerSource> BatchAnswerSource for SharedMemoizedSource<S> {
+    /// Serves cached labels locally, forwards the unclaimed unknowns to the
+    /// inner batch path in one coalesced request, and waits out objects
+    /// another handle already has in flight.
+    fn answer_point_labels_batch(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+        let mut answers: Vec<Option<Labels>> = vec![None; objects.len()];
+        let mut claimed: Vec<(usize, ObjectId)> = Vec::new();
+        let mut deferred: Vec<(usize, ObjectId)> = Vec::new();
+        {
+            let mut state = self.shared.lock();
+            let state = &mut *state;
+            for (i, o) in objects.iter().enumerate() {
+                if let Some(l) = state.label_cache.get(o) {
+                    state.hits += 1;
+                    answers[i] = Some(*l);
+                } else if state.label_in_flight.contains(o) || claimed.iter().any(|(_, c)| c == o) {
+                    deferred.push((i, *o));
+                } else {
+                    state.label_in_flight.insert(*o);
+                    state.misses += 1;
+                    claimed.push((i, *o));
+                }
+            }
+        }
+        if !claimed.is_empty() {
+            let mut guard = FlightGuard {
+                memo: &self.shared,
+                set_key: None,
+                label_keys: claimed.iter().map(|(_, o)| *o).collect(),
+            };
+            let fresh_ids: Vec<ObjectId> = claimed.iter().map(|(_, o)| *o).collect();
+            let fresh = self.inner.answer_point_labels_batch(&fresh_ids);
+            let mut state = self.shared.lock();
+            for ((i, o), l) in claimed.into_iter().zip(fresh) {
+                state.label_in_flight.remove(&o);
+                state.label_cache.insert(o, l);
+                answers[i] = Some(l);
+            }
+            drop(state);
+            guard.disarm();
+            self.shared.ready.notify_all();
+        }
+        // Objects someone else had in flight: the single path waits for the
+        // committed answer (or re-claims it if that flight aborted).
+        for (i, o) in deferred {
+            answers[i] = Some(self.answer_point_labels(o));
+        }
+        answers.into_iter().map(|l| l.expect("filled")).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +428,76 @@ mod tests {
             "the repeat run must not reach the crowd at all"
         );
         assert!(engine.source().cache_hits() >= after_first);
+    }
+
+    #[test]
+    fn shared_cache_spans_clones() {
+        let t = truth(100, 10);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let root = SharedMemoizedSource::new(PerfectSource::new(&t));
+        let mut a = root.clone();
+        let mut b = root.clone();
+        let first = a.answer_set(&ids[..50], &target);
+        let second = b.answer_set(&ids[..50], &target);
+        assert_eq!(first, second);
+        assert_eq!(
+            root.cache_misses(),
+            1,
+            "clone b must reuse clone a's answer"
+        );
+        assert_eq!(root.cache_hits(), 1);
+        a.answer_membership(ObjectId(3), &target);
+        b.answer_membership(ObjectId(3), &target.negated());
+        assert_eq!(root.cache_misses(), 2);
+        assert_eq!(root.cache_hits(), 2);
+    }
+
+    #[test]
+    fn shared_batch_path_serves_known_labels_locally() {
+        let t = truth(60, 20);
+        let ids = t.all_ids();
+        let mut src = SharedMemoizedSource::new(PerfectSource::new(&t));
+        src.answer_point_labels(ObjectId(0));
+        src.answer_point_labels(ObjectId(1));
+        let batched = src.answer_point_labels_batch(&ids[..10]);
+        for (i, l) in batched.iter().enumerate() {
+            assert_eq!(*l, t.labels_of(ids[i]));
+        }
+        // 2 singles + 8 fresh batch members missed; 2 batch members hit.
+        assert_eq!(src.cache_misses(), 10);
+        assert_eq!(src.cache_hits(), 2);
+        // The whole batch is now cached.
+        src.answer_point_labels_batch(&ids[..10]);
+        assert_eq!(src.cache_misses(), 10);
+        assert_eq!(src.cache_hits(), 12);
+    }
+
+    #[test]
+    fn shared_cache_is_thread_safe() {
+        let t = truth(500, 50);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let pool = t.all_ids();
+        let root = SharedMemoizedSource::new(PerfectSource::new(&t));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut handle = root.clone();
+                let pool = &pool;
+                let target = &target;
+                scope.spawn(move || {
+                    for chunk in pool.chunks(50) {
+                        handle.answer_set(chunk, target);
+                    }
+                    for id in &pool[..40] {
+                        handle.answer_membership(*id, target);
+                    }
+                });
+            }
+        });
+        // 10 distinct set queries + 40 distinct labels: in-flight coalescing
+        // guarantees each unique question reaches the source exactly once.
+        assert_eq!(root.cache_misses(), 50);
+        assert_eq!(root.cache_hits(), 4 * (10 + 40) - 50);
     }
 
     /// Memoized and raw sources agree on every answer.

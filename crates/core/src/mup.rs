@@ -106,7 +106,7 @@ mod tests {
         let mut out = Vec::new();
         for (a1, v1, a2, v2, c) in counts {
             let l = schema.labels(&[(*a1, *v1), (*a2, *v2)]).unwrap();
-            out.extend(std::iter::repeat(l).take(*c));
+            out.extend(std::iter::repeat_n(l, *c));
         }
         out
     }
@@ -176,7 +176,7 @@ mod tests {
         let mut labels = Vec::new();
         for g in schema.full_groups() {
             let l = Labels::new(&[g.get(0).unwrap(), g.get(1).unwrap()]);
-            labels.extend(std::iter::repeat(l).take(60));
+            labels.extend(std::iter::repeat_n(l, 60));
         }
         assert!(mups_from_labels(&labels, &schema, 50).is_empty());
     }

@@ -28,7 +28,7 @@ pub mod truth;
 pub mod worker;
 
 pub use latency::{LatencyModel, Round};
-pub use platform::{MTurkSim, PlatformStats};
+pub use platform::{MTurkSim, PlatformStats, SeedMode};
 pub use pool::{PoolConfig, WorkerPool};
 pub use quality::{QualificationTest, QualityControl, RatingFilter};
 pub use truth::{majority_label, majority_vote, weighted_vote, DawidSkene};

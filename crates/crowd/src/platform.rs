@@ -11,12 +11,28 @@
 use crate::pool::WorkerPool;
 use crate::quality::QualityControl;
 use crate::truth::{majority_label, majority_vote};
-use coverage_core::engine::{AnswerSource, GroundTruth, ObjectId};
+use coverage_core::engine::{AnswerSource, BatchAnswerSource, GroundTruth, ObjectId};
 use coverage_core::schema::{AttributeSchema, Labels};
 use coverage_core::target::Target;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// How the platform draws per-answer randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// One sequential stream (the default): each answer consumes the next
+    /// values of the platform RNG, so answers depend on the order in which
+    /// questions arrive.
+    #[default]
+    Stream,
+    /// Each answer's randomness derives from `(platform seed, question)`:
+    /// worker assignment and worker errors become a pure function of the
+    /// question itself. Answers are then **order-independent** — the
+    /// property `coverage-service` relies on to make concurrent audits
+    /// reproducible against one shared platform.
+    PerQuestion,
+}
 
 /// Counters the platform keeps while serving HITs.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,6 +77,8 @@ pub struct MTurkSim<'a, G: GroundTruth> {
     qc: QualityControl,
     eligible: Vec<usize>,
     rng: SmallRng,
+    seed: u64,
+    mode: SeedMode,
     stats: PlatformStats,
 }
 
@@ -105,8 +123,33 @@ impl<'a, G: GroundTruth> MTurkSim<'a, G> {
             qc,
             eligible,
             rng,
+            seed,
+            mode: SeedMode::default(),
             stats: PlatformStats::default(),
         }
+    }
+
+    /// Builds a platform in [`SeedMode::PerQuestion`]: answers are a pure
+    /// function of `(seed, question)`, so any interleaving of questions —
+    /// including concurrent audits multiplexed through `coverage-service` —
+    /// reproduces the same answers. Worker assignment is drawn per question
+    /// from the derived stream (rather than rotating through one sequential
+    /// stream), which trades a little assignment realism for reproducibility.
+    pub fn new_deterministic(
+        truth: &'a G,
+        schema: AttributeSchema,
+        pool: WorkerPool,
+        qc: QualityControl,
+        seed: u64,
+    ) -> Self {
+        let mut sim = Self::new(truth, schema, pool, qc, seed);
+        sim.mode = SeedMode::PerQuestion;
+        sim
+    }
+
+    /// The configured seed mode.
+    pub fn seed_mode(&self) -> SeedMode {
+        self.mode
     }
 
     /// How many workers survived screening.
@@ -124,10 +167,83 @@ impl<'a, G: GroundTruth> MTurkSim<'a, G> {
         self.stats = PlatformStats::default();
     }
 
-    fn assignments(&mut self) -> Vec<usize> {
-        let k = self.qc.assignments_per_hit.get();
-        self.pool.assign(&self.eligible, k, &mut self.rng)
+    /// The RNG for one question under [`SeedMode::PerQuestion`].
+    fn question_rng(&self, question_hash: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ question_hash)
     }
+}
+
+/// One HIT round: assigns `k` workers with `rng`, collects one answer each
+/// via `answer`, and majority-votes. Returns the aggregate and how many
+/// individual votes disagreed with `truth_answer`. Free function so callers
+/// can pass the platform's own stream RNG while borrowing its other fields.
+fn vote_round<A: PartialEq>(
+    pool: &WorkerPool,
+    eligible: &[usize],
+    k: usize,
+    rng: &mut SmallRng,
+    truth_answer: &A,
+    aggregate: impl Fn(&[A]) -> A,
+    mut answer: impl FnMut(&WorkerPool, usize, &mut SmallRng) -> A,
+) -> (A, u64) {
+    let workers = pool.assign(eligible, k, rng);
+    let mut votes = Vec::with_capacity(workers.len());
+    let mut wrong = 0u64;
+    for w in workers {
+        let ans = answer(pool, w, rng);
+        if ans != *truth_answer {
+            wrong += 1;
+        }
+        votes.push(ans);
+    }
+    (aggregate(&votes), wrong)
+}
+
+// Stable FNV-1a question fingerprints for per-question seeding. These only
+// need to be deterministic across runs and distinct across questions.
+
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn target_bytes(target: &Target) -> Vec<u8> {
+    let mut out = vec![u8::from(target.is_negated())];
+    for p in target.patterns() {
+        out.push(p.d() as u8);
+        for i in 0..p.d() {
+            out.push(p.get(i).map_or(0xFE, |v| v));
+        }
+        out.push(0xFD);
+    }
+    out
+}
+
+fn point_question_hash(object: ObjectId) -> u64 {
+    fnv1a([0x50].into_iter().chain(object.0.to_le_bytes()))
+}
+
+fn membership_question_hash(object: ObjectId, target: &Target) -> u64 {
+    fnv1a(
+        [0x4D]
+            .into_iter()
+            .chain(object.0.to_le_bytes())
+            .chain(target_bytes(target)),
+    )
+}
+
+fn set_question_hash(objects: &[ObjectId], target: &Target) -> u64 {
+    fnv1a(
+        [0x53]
+            .into_iter()
+            .chain(objects.iter().flat_map(|o| o.0.to_le_bytes()))
+            .chain([0xFF])
+            .chain(target_bytes(target)),
+    )
 }
 
 impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
@@ -137,20 +253,26 @@ impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
             .filter(|o| target.matches(&self.truth.labels_of(**o)))
             .count();
         let truth_answer = members_present > 0;
-        let workers = self.assignments();
-        let mut votes = Vec::with_capacity(workers.len());
-        for w in workers {
-            let ans = self
-                .pool
-                .worker(w)
-                .answer_set(members_present, &mut self.rng);
-            self.stats.assignments_collected += 1;
-            if ans != truth_answer {
-                self.stats.wrong_individual_answers += 1;
+        let k = self.qc.assignments_per_hit.get();
+        let round = |rng: &mut SmallRng| {
+            vote_round(
+                &self.pool,
+                &self.eligible,
+                k,
+                rng,
+                &truth_answer,
+                majority_vote,
+                |pool, w, rng| pool.worker(w).answer_set(members_present, rng),
+            )
+        };
+        let (agg, wrong) = match self.mode {
+            SeedMode::Stream => round(&mut self.rng),
+            SeedMode::PerQuestion => {
+                round(&mut self.question_rng(set_question_hash(objects, target)))
             }
-            votes.push(ans);
-        }
-        let agg = majority_vote(&votes);
+        };
+        self.stats.assignments_collected += k as u64;
+        self.stats.wrong_individual_answers += wrong;
         self.stats.hits_published += 1;
         if agg != truth_answer {
             self.stats.wrong_aggregated_answers += 1;
@@ -160,20 +282,27 @@ impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
 
     fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
         let truth_labels = self.truth.labels_of(object);
-        let workers = self.assignments();
-        let mut votes = Vec::with_capacity(workers.len());
-        for w in workers {
-            let ans = self
-                .pool
-                .worker(w)
-                .answer_point(&truth_labels, &self.schema, &mut self.rng);
-            self.stats.assignments_collected += 1;
-            if ans != truth_labels {
-                self.stats.wrong_individual_answers += 1;
-            }
-            votes.push(ans);
-        }
-        let agg = majority_label(&votes);
+        let k = self.qc.assignments_per_hit.get();
+        let round = |rng: &mut SmallRng| {
+            vote_round(
+                &self.pool,
+                &self.eligible,
+                k,
+                rng,
+                &truth_labels,
+                majority_label,
+                |pool, w, rng| {
+                    pool.worker(w)
+                        .answer_point(&truth_labels, &self.schema, rng)
+                },
+            )
+        };
+        let (agg, wrong) = match self.mode {
+            SeedMode::Stream => round(&mut self.rng),
+            SeedMode::PerQuestion => round(&mut self.question_rng(point_question_hash(object))),
+        };
+        self.stats.assignments_collected += k as u64;
+        self.stats.wrong_individual_answers += wrong;
         self.stats.hits_published += 1;
         if agg != truth_labels {
             self.stats.wrong_aggregated_answers += 1;
@@ -184,27 +313,104 @@ impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
     fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
         let truth_labels = self.truth.labels_of(object);
         let truth_answer = target.matches(&truth_labels);
-        let workers = self.assignments();
-        let mut votes = Vec::with_capacity(workers.len());
-        for w in workers {
-            let ans = self.pool.worker(w).answer_membership(
-                &truth_labels,
-                target,
-                &self.schema,
-                &mut self.rng,
-            );
-            self.stats.assignments_collected += 1;
-            if ans != truth_answer {
-                self.stats.wrong_individual_answers += 1;
+        let k = self.qc.assignments_per_hit.get();
+        let round = |rng: &mut SmallRng| {
+            vote_round(
+                &self.pool,
+                &self.eligible,
+                k,
+                rng,
+                &truth_answer,
+                majority_vote,
+                |pool, w, rng| {
+                    pool.worker(w)
+                        .answer_membership(&truth_labels, target, &self.schema, rng)
+                },
+            )
+        };
+        let (agg, wrong) = match self.mode {
+            SeedMode::Stream => round(&mut self.rng),
+            SeedMode::PerQuestion => {
+                round(&mut self.question_rng(membership_question_hash(object, target)))
             }
-            votes.push(ans);
-        }
-        let agg = majority_vote(&votes);
+        };
+        self.stats.assignments_collected += k as u64;
+        self.stats.wrong_individual_answers += wrong;
         self.stats.hits_published += 1;
         if agg != truth_answer {
             self.stats.wrong_aggregated_answers += 1;
         }
         agg
+    }
+}
+
+impl<G: GroundTruth> BatchAnswerSource for MTurkSim<'_, G> {
+    /// The paper's actual HIT layout: one published HIT carries the whole
+    /// coalesced batch of images, and each of the `k` assigned workers
+    /// labels every image in it. The batch is charged as **one** published
+    /// HIT with `k` assignments — this is what the `coverage-service`
+    /// dispatcher amortizes across concurrent audits.
+    ///
+    /// Accounting: `wrong_individual_answers` counts assignment slots whose
+    /// worker mislabeled at least one image of the HIT, and
+    /// `wrong_aggregated_answers` counts HITs where at least one aggregated
+    /// label was wrong, keeping both counters per-HIT like the rest of the
+    /// stats. In [`SeedMode::PerQuestion`] each image's votes derive from
+    /// its own question seed (so batch grouping never changes an answer);
+    /// in [`SeedMode::Stream`] one worker set serves the whole HIT.
+    fn answer_point_labels_batch(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+        if objects.is_empty() {
+            return Vec::new();
+        }
+        let k = self.qc.assignments_per_hit.get();
+        let mut out = Vec::with_capacity(objects.len());
+        let mut wrong_slots = vec![false; k];
+        let mut any_agg_wrong = false;
+        match self.mode {
+            SeedMode::Stream => {
+                let workers = self.pool.assign(&self.eligible, k, &mut self.rng);
+                for &object in objects {
+                    let truth_labels = self.truth.labels_of(object);
+                    let mut votes = Vec::with_capacity(k);
+                    for (slot, &w) in workers.iter().enumerate() {
+                        let ans = self.pool.worker(w).answer_point(
+                            &truth_labels,
+                            &self.schema,
+                            &mut self.rng,
+                        );
+                        wrong_slots[slot] |= ans != truth_labels;
+                        votes.push(ans);
+                    }
+                    let agg = majority_label(&votes);
+                    any_agg_wrong |= agg != truth_labels;
+                    out.push(agg);
+                }
+            }
+            SeedMode::PerQuestion => {
+                for &object in objects {
+                    let truth_labels = self.truth.labels_of(object);
+                    let rng = &mut self.question_rng(point_question_hash(object));
+                    let workers = self.pool.assign(&self.eligible, k, rng);
+                    let mut votes = Vec::with_capacity(k);
+                    for (slot, &w) in workers.iter().enumerate() {
+                        let ans =
+                            self.pool
+                                .worker(w)
+                                .answer_point(&truth_labels, &self.schema, rng);
+                        wrong_slots[slot] |= ans != truth_labels;
+                        votes.push(ans);
+                    }
+                    let agg = majority_label(&votes);
+                    any_agg_wrong |= agg != truth_labels;
+                    out.push(agg);
+                }
+            }
+        }
+        self.stats.hits_published += 1;
+        self.stats.assignments_collected += k as u64;
+        self.stats.wrong_individual_answers += wrong_slots.iter().filter(|w| **w).count() as u64;
+        self.stats.wrong_aggregated_answers += u64::from(any_agg_wrong);
+        out
     }
 }
 
@@ -299,7 +505,7 @@ mod tests {
         let truth = truth_with_minority(50, 25);
         let mut sim = platform(&truth, QualityControl::with_rating(), 5);
         let mut wrong = 0;
-        for id in truth.all_ids() {
+        for id in truth.ids() {
             if sim.answer_point_labels(id) != truth.labels_of(id) {
                 wrong += 1;
             }
@@ -371,6 +577,109 @@ mod tests {
             QualityControl::majority_vote_only(),
             0,
         );
+    }
+
+    fn deterministic_platform<'a>(
+        truth: &'a VecGroundTruth,
+        seed: u64,
+    ) -> MTurkSim<'a, VecGroundTruth> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pool = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+        MTurkSim::new_deterministic(
+            truth,
+            gender_schema(),
+            pool,
+            QualityControl::with_rating(),
+            seed,
+        )
+    }
+
+    /// Per-question seeding: answers are a pure function of the question, so
+    /// two platforms asked the same questions in *different orders* agree on
+    /// every answer.
+    #[test]
+    fn per_question_answers_are_order_independent() {
+        let truth = truth_with_minority(400, 60);
+        let ids = truth.all_ids();
+        let questions: Vec<&[ObjectId]> = ids.chunks(25).collect();
+
+        let mut forward = deterministic_platform(&truth, 99);
+        let answers_fwd: Vec<bool> = questions
+            .iter()
+            .map(|q| forward.answer_set(q, &female()))
+            .collect();
+
+        let mut backward = deterministic_platform(&truth, 99);
+        let mut answers_bwd: Vec<bool> = questions
+            .iter()
+            .rev()
+            .map(|q| backward.answer_set(q, &female()))
+            .collect();
+        answers_bwd.reverse();
+        assert_eq!(answers_fwd, answers_bwd);
+
+        // Repeats re-derive the identical answer (no stream drift), and
+        // point/membership questions behave the same way.
+        let again = forward.answer_set(questions[0], &female());
+        assert_eq!(again, answers_fwd[0]);
+        let a = forward.answer_point_labels(ObjectId(7));
+        let b = forward.answer_point_labels(ObjectId(7));
+        assert_eq!(a, b);
+        let m1 = forward.answer_membership(ObjectId(9), &female());
+        let m2 = forward.answer_membership(ObjectId(9), &female());
+        assert_eq!(m1, m2);
+    }
+
+    /// In stream mode the same platform state answers depend on order — the
+    /// pre-existing behavior stays the default.
+    #[test]
+    fn stream_mode_stays_default() {
+        let truth = truth_with_minority(10, 2);
+        let sim = platform(&truth, QualityControl::with_rating(), 5);
+        assert_eq!(sim.seed_mode(), SeedMode::Stream);
+    }
+
+    /// The batch path charges one HIT (k assignments) for a whole batch and
+    /// aggregates each image correctly.
+    #[test]
+    fn batched_point_labels_charge_one_hit() {
+        let truth = truth_with_minority(120, 40);
+        let ids = truth.all_ids();
+        for deterministic in [false, true] {
+            let mut sim = if deterministic {
+                deterministic_platform(&truth, 21)
+            } else {
+                platform(&truth, QualityControl::with_rating(), 21)
+            };
+            let labels = sim.answer_point_labels_batch(&ids[..50]);
+            assert_eq!(labels.len(), 50);
+            assert_eq!(sim.stats().hits_published, 1, "det={deterministic}");
+            assert_eq!(sim.stats().assignments_collected, 3);
+            let wrong = labels
+                .iter()
+                .zip(&ids[..50])
+                .filter(|(l, id)| **l != truth.labels_of(**id))
+                .count();
+            assert!(wrong <= 2, "batch mislabeled {wrong}/50");
+            assert!(sim.answer_point_labels_batch(&[]).is_empty());
+            assert_eq!(sim.stats().hits_published, 1, "empty batch is free");
+        }
+    }
+
+    /// Under per-question seeding, batch grouping never changes an answer:
+    /// the batch path and the singleton path agree image by image.
+    #[test]
+    fn per_question_batch_matches_singletons() {
+        let truth = truth_with_minority(200, 30);
+        let ids = truth.all_ids();
+        let mut batched = deterministic_platform(&truth, 77);
+        let batch_answers = batched.answer_point_labels_batch(&ids[..60]);
+        let mut single = deterministic_platform(&truth, 77);
+        let single_answers: Vec<Labels> = ids[..60]
+            .iter()
+            .map(|id| single.answer_point_labels(*id))
+            .collect();
+        assert_eq!(batch_answers, single_answers);
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl DatasetBuilder {
             Placement::Shuffled => {
                 let mut labels = Vec::with_capacity(total);
                 for (i, c) in self.counts.iter().enumerate() {
-                    labels.extend(std::iter::repeat(group_labels[i]).take(*c));
+                    labels.extend(std::iter::repeat_n(group_labels[i], *c));
                 }
                 labels.shuffle(rng);
                 Dataset::new(self.schema.clone(), labels).expect("valid labels")
@@ -137,7 +137,7 @@ impl DatasetBuilder {
                 let mut order: Vec<usize> = (0..self.counts.len()).collect();
                 order.sort_by_key(|i| self.counts[*i]);
                 for i in order {
-                    labels.extend(std::iter::repeat(group_labels[i]).take(self.counts[i]));
+                    labels.extend(std::iter::repeat_n(group_labels[i], self.counts[i]));
                 }
                 Dataset::new(self.schema.clone(), labels).expect("valid labels")
             }
@@ -157,7 +157,7 @@ impl DatasetBuilder {
                     let mut stream: Vec<Labels> = Vec::with_capacity(minority_total);
                     for (i, c) in self.counts.iter().enumerate() {
                         if i != majority_idx {
-                            stream.extend(std::iter::repeat(group_labels[i]).take(*c));
+                            stream.extend(std::iter::repeat_n(group_labels[i], *c));
                         }
                     }
                     for (k, l) in stream.into_iter().enumerate() {

@@ -1,0 +1,289 @@
+//! The batched question dispatcher: one thread owns the platform.
+//!
+//! Concurrent jobs never touch the answer source directly. Each job holds a
+//! [`DispatchHandle`] (an ordinary [`AnswerSource`]) that ships questions
+//! over a channel to the dispatcher thread, which owns the real
+//! [`BatchAnswerSource`]. Per round the dispatcher drains everything
+//! pending, coalesces the point queries into `point_batch`-image HITs (the
+//! paper's HIT layout), serves the set queries, and replies. Questions from
+//! *different* jobs thus share HITs and — when a simulated platform
+//! round-trip latency is configured — share waiting time: the concurrency
+//! win the `service_throughput` bench measures.
+
+use coverage_core::engine::{AnswerSource, BatchAnswerSource, ObjectId};
+use coverage_core::schema::Labels;
+use coverage_core::target::Target;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Dispatcher tuning.
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// Images per coalesced point-query HIT.
+    pub point_batch: usize,
+    /// Simulated platform round-trip per dispatch round (publish HITs, wait
+    /// for the crowd, collect). Zero disables the simulation.
+    pub round_latency: Duration,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        Self {
+            point_batch: coverage_core::engine::DEFAULT_POINT_BATCH,
+            round_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// What the dispatcher did during one service run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchStats {
+    /// Dispatch rounds (each pays one simulated platform round trip).
+    pub rounds: u64,
+    /// Coalesced point-label HITs published.
+    pub point_hits: u64,
+    /// Individual point labels served through those HITs.
+    pub points_served: u64,
+    /// Set-query HITs served.
+    pub set_queries_served: u64,
+    /// Yes/no membership HITs served.
+    pub memberships_served: u64,
+    /// The largest number of questions drained in one round.
+    pub max_round_questions: u64,
+}
+
+enum Question {
+    Set {
+        objects: Vec<ObjectId>,
+        target: Target,
+    },
+    Point {
+        object: ObjectId,
+    },
+    Membership {
+        object: ObjectId,
+        target: Target,
+    },
+}
+
+enum Answer {
+    Bool(bool),
+    Labels(Labels),
+}
+
+pub(crate) struct Request {
+    question: Question,
+    reply: mpsc::Sender<Answer>,
+}
+
+/// A job's connection to the dispatcher. Cloning is cheap; every clone
+/// multiplexes onto the same dispatcher thread.
+#[derive(Debug, Clone)]
+pub(crate) struct DispatchHandle {
+    tx: mpsc::Sender<Request>,
+}
+
+impl DispatchHandle {
+    fn ask(&self, question: Question) -> Answer {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Request {
+                question,
+                reply: reply_tx,
+            })
+            .expect("dispatcher thread alive");
+        // A dropped reply means the platform panicked serving this question
+        // (see `run_dispatcher`); the resulting panic fails only this job.
+        reply_rx
+            .recv()
+            .expect("the platform failed to answer this question")
+    }
+}
+
+impl AnswerSource for DispatchHandle {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        match self.ask(Question::Set {
+            objects: objects.to_vec(),
+            target: target.clone(),
+        }) {
+            Answer::Bool(b) => b,
+            Answer::Labels(_) => unreachable!("set query answered with labels"),
+        }
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        match self.ask(Question::Point { object }) {
+            Answer::Labels(l) => l,
+            Answer::Bool(_) => unreachable!("point query answered with bool"),
+        }
+    }
+
+    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+        match self.ask(Question::Membership {
+            object,
+            target: target.clone(),
+        }) {
+            Answer::Bool(b) => b,
+            Answer::Labels(_) => unreachable!("membership query answered with labels"),
+        }
+    }
+}
+
+/// Spawn side: builds the channel pair for a dispatcher.
+pub(crate) fn dispatch_channel() -> (DispatchHandle, mpsc::Receiver<Request>) {
+    let (tx, rx) = mpsc::channel();
+    (DispatchHandle { tx }, rx)
+}
+
+/// Runs the dispatch loop until every [`DispatchHandle`] is dropped.
+/// Intended to run on its own thread; returns the accumulated stats.
+pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
+    source: &mut S,
+    rx: mpsc::Receiver<Request>,
+    cfg: &DispatcherConfig,
+) -> DispatchStats {
+    assert!(cfg.point_batch > 0, "point batch must be positive");
+    let mut stats = DispatchStats::default();
+    while let Ok(first) = rx.recv() {
+        let mut pending = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            pending.push(more);
+        }
+        stats.rounds += 1;
+        stats.max_round_questions = stats.max_round_questions.max(pending.len() as u64);
+
+        // The crowd answers the whole round's HITs in parallel: one
+        // simulated round trip covers everything drained this round.
+        if !cfg.round_latency.is_zero() {
+            std::thread::sleep(cfg.round_latency);
+        }
+
+        // A panicking platform (e.g. an out-of-range object id hitting a
+        // dataset assert) must fail only the jobs whose questions it was
+        // serving, not the whole run: catch the unwind and drop those reply
+        // senders — the asking jobs' `ask` then panics with a message the
+        // job runner turns into `JobStatus::Failed`.
+        let mut point_replies: Vec<(ObjectId, mpsc::Sender<Answer>)> = Vec::new();
+        for request in pending {
+            match request.question {
+                Question::Point { object } => point_replies.push((object, request.reply)),
+                Question::Set { objects, target } => {
+                    stats.set_queries_served += 1;
+                    let ans =
+                        catch_unwind(AssertUnwindSafe(|| source.answer_set(&objects, &target)));
+                    if let Ok(ans) = ans {
+                        let _ = request.reply.send(Answer::Bool(ans));
+                    }
+                }
+                Question::Membership { object, target } => {
+                    stats.memberships_served += 1;
+                    let ans = catch_unwind(AssertUnwindSafe(|| {
+                        source.answer_membership(object, &target)
+                    }));
+                    if let Ok(ans) = ans {
+                        let _ = request.reply.send(Answer::Bool(ans));
+                    }
+                }
+            }
+        }
+
+        for chunk in point_replies.chunks(cfg.point_batch) {
+            let objects: Vec<ObjectId> = chunk.iter().map(|(o, _)| *o).collect();
+            let labels = catch_unwind(AssertUnwindSafe(|| {
+                source.answer_point_labels_batch(&objects)
+            }));
+            let Ok(labels) = labels else {
+                continue; // every reply in the chunk drops; those jobs fail
+            };
+            stats.point_hits += 1;
+            stats.points_served += labels.len() as u64;
+            for ((_, reply), l) in chunk.iter().zip(labels) {
+                let _ = reply.send(Answer::Labels(l));
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::engine::{GroundTruth, PerfectSource, VecGroundTruth};
+    use coverage_core::pattern::Pattern;
+
+    fn truth(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dispatcher_answers_match_direct_source() {
+        let t = truth(200, 30);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let (handle, rx) = dispatch_channel();
+        let stats = std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = PerfectSource::new(&t);
+                run_dispatcher(&mut source, rx, &DispatcherConfig::default())
+            });
+            let mut h = handle; // move the last handle into the scope
+            assert!(h.answer_set(&ids[..100], &target));
+            assert!(!h.answer_set(&ids[100..], &target));
+            assert_eq!(h.answer_point_labels(ObjectId(0)), Labels::single(1));
+            assert!(h.answer_membership(ObjectId(29), &target));
+            assert!(!h.answer_membership(ObjectId(30), &target));
+            drop(h);
+            dispatcher.join().expect("dispatcher exits cleanly")
+        });
+        assert_eq!(stats.set_queries_served, 2);
+        assert_eq!(stats.memberships_served, 2);
+        assert_eq!(stats.points_served, 1);
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn concurrent_points_coalesce_into_batches() {
+        let t = truth(1000, 100);
+        let (handle, rx) = dispatch_channel();
+        let cfg = DispatcherConfig {
+            point_batch: 50,
+            round_latency: Duration::from_millis(2),
+        };
+        let stats = std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = PerfectSource::new(&t);
+                run_dispatcher(&mut source, rx, &cfg)
+            });
+            let workers: Vec<_> = (0..8)
+                .map(|j| {
+                    let mut h = handle.clone();
+                    scope.spawn(move || {
+                        for i in 0..40u32 {
+                            h.answer_point_labels(ObjectId(j * 40 + i));
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("worker");
+            }
+            drop(handle);
+            dispatcher.join().expect("dispatcher")
+        });
+        assert_eq!(stats.points_served, 320);
+        // With 8 jobs waiting out each 2 ms round together, far fewer rounds
+        // (and HITs) than the 320 a one-question-per-round loop would pay.
+        assert!(
+            stats.rounds < 200,
+            "batching ineffective: {} rounds for 320 points",
+            stats.rounds
+        );
+        assert!(stats.max_round_questions > 1, "no round ever coalesced");
+    }
+}

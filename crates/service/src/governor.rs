@@ -1,0 +1,337 @@
+//! The budget governor: per-job and platform-wide crowd-spend caps.
+//!
+//! Budgets meter **crowd spend** — questions that actually reach the
+//! platform after the shared cache — in HIT-equivalents: a set query is one
+//! task, point labels amortize to `1/batch` of a task each (the dispatcher
+//! really does coalesce them into `batch`-image HITs). Cache hits are free;
+//! a job can only exhaust its budget with fresh questions.
+//!
+//! Coverage algorithms ask questions through an infallible [`AnswerSource`]
+//! interface, so the governor stops an over-budget job the only way that
+//! composes with that interface: [`GovernedSource`] raises a
+//! [`BudgetExhausted`] panic payload, the job runner catches the unwind and
+//! reports the job [`Exhausted`](crate::job::JobStatus::Exhausted) with its
+//! spend so far. The abort is cooperative between these two layers and never
+//! crosses the service boundary.
+
+use crate::job::JobId;
+use coverage_core::engine::{AnswerSource, ObjectId};
+use coverage_core::ledger::{batched_tasks, TaskLedger};
+use coverage_core::schema::Labels;
+use coverage_core::target::Target;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Budget caps, in crowd tasks (HIT-equivalents).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetPolicy {
+    /// Default cap per job; a job's own [`crate::job::JobSpec::budget`]
+    /// overrides it. `None` means unlimited.
+    pub per_job: Option<u64>,
+    /// Cap on the whole service run's crowd spend. `None` means unlimited.
+    pub global: Option<u64>,
+}
+
+impl BudgetPolicy {
+    /// No caps.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps every job at `tasks` (unless its spec overrides).
+    pub fn per_job(tasks: u64) -> Self {
+        Self {
+            per_job: Some(tasks),
+            ..Self::default()
+        }
+    }
+
+    /// Caps the whole run at `tasks`.
+    pub fn global(tasks: u64) -> Self {
+        Self {
+            global: Some(tasks),
+            ..Self::default()
+        }
+    }
+}
+
+/// Which cap an aborted job ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetScope {
+    /// The job's own cap.
+    Job,
+    /// The service-wide cap.
+    Global,
+}
+
+/// Panic payload raised by [`GovernedSource`] when a question would exceed
+/// a cap; caught by the service's job runner.
+#[derive(Debug, Clone)]
+pub struct BudgetExhausted {
+    /// The aborted job.
+    pub job: JobId,
+    /// Which cap was hit.
+    pub scope: BudgetScope,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Spend {
+    set_queries: u64,
+    point_labels: u64,
+}
+
+impl Spend {
+    /// HIT-equivalents at the given point-batch size.
+    fn tasks(&self, batch: usize) -> u64 {
+        self.set_queries + batched_tasks(self.point_labels as usize, batch)
+    }
+}
+
+/// Spend shared by every job of one service run.
+#[derive(Debug)]
+pub(crate) struct GlobalBudget {
+    cap: Option<u64>,
+    batch: usize,
+    spend: Mutex<Spend>,
+}
+
+impl GlobalBudget {
+    pub(crate) fn new(cap: Option<u64>, batch: usize) -> Arc<Self> {
+        assert!(batch > 0, "point batch must be positive");
+        Arc::new(Self {
+            cap,
+            batch,
+            spend: Mutex::new(Spend::default()),
+        })
+    }
+
+    /// Total crowd tasks charged so far across all jobs.
+    pub(crate) fn tasks_spent(&self) -> u64 {
+        self.lock().tasks(self.batch)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Spend> {
+        // An aborting job must not poison the shared ledger.
+        self.spend.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Charges the global ledger; `Err` when the cap would be crossed.
+    fn charge(&self, sets: u64, points: u64) -> Result<(), ()> {
+        let mut spend = self.lock();
+        let mut next = *spend;
+        next.set_queries += sets;
+        next.point_labels += points;
+        if let Some(cap) = self.cap {
+            if next.tasks(self.batch) > cap {
+                return Err(());
+            }
+        }
+        *spend = next;
+        Ok(())
+    }
+}
+
+/// One job's view of the budget: its own cap plus the shared global ledger.
+#[derive(Debug, Clone)]
+pub(crate) struct JobBudget {
+    job: JobId,
+    cap: Option<u64>,
+    global: Arc<GlobalBudget>,
+    spend: Arc<Mutex<Spend>>,
+}
+
+impl JobBudget {
+    pub(crate) fn new(job: JobId, cap: Option<u64>, global: Arc<GlobalBudget>) -> Self {
+        Self {
+            job,
+            cap,
+            global,
+            spend: Arc::new(Mutex::new(Spend::default())),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Spend> {
+        self.spend.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Crowd tasks this job has charged.
+    pub(crate) fn tasks_spent(&self) -> u64 {
+        self.lock().tasks(self.global.batch)
+    }
+
+    /// The job's crowd spend as a [`TaskLedger`] (point tasks amortized at
+    /// the dispatcher's batch size).
+    pub(crate) fn ledger(&self) -> TaskLedger {
+        let spend = *self.lock();
+        let mut ledger = TaskLedger::new();
+        for _ in 0..spend.set_queries {
+            ledger.record_set_query();
+        }
+        ledger.record_point_work(
+            spend.point_labels,
+            batched_tasks(spend.point_labels as usize, self.global.batch),
+        );
+        ledger
+    }
+
+    /// Charges this job (and the global ledger); panics with
+    /// [`BudgetExhausted`] when a cap would be crossed.
+    fn charge(&self, sets: u64, points: u64) {
+        // A rejected question must not count toward the job's spend on
+        // either abort path, so the local commit happens only after both
+        // caps admit it. Lock order is job → global; nothing takes them in
+        // reverse, and the job lock is effectively uncontended (one thread
+        // runs a job).
+        let mut spend = self.lock();
+        let mut next = *spend;
+        next.set_queries += sets;
+        next.point_labels += points;
+        if let Some(cap) = self.cap {
+            if next.tasks(self.global.batch) > cap {
+                drop(spend);
+                std::panic::panic_any(BudgetExhausted {
+                    job: self.job,
+                    scope: BudgetScope::Job,
+                });
+            }
+        }
+        if self.global.charge(sets, points).is_err() {
+            drop(spend);
+            std::panic::panic_any(BudgetExhausted {
+                job: self.job,
+                scope: BudgetScope::Global,
+            });
+        }
+        *spend = next;
+    }
+}
+
+/// Wraps a job's connection to the platform with budget enforcement. Sits
+/// **below** the shared cache, so only fresh questions are charged.
+#[derive(Debug, Clone)]
+pub(crate) struct GovernedSource<S> {
+    inner: S,
+    budget: JobBudget,
+}
+
+impl<S> GovernedSource<S> {
+    pub(crate) fn new(inner: S, budget: JobBudget) -> Self {
+        Self { inner, budget }
+    }
+}
+
+impl<S: AnswerSource> AnswerSource for GovernedSource<S> {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        self.budget.charge(1, 0);
+        self.inner.answer_set(objects, target)
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        self.budget.charge(0, 1);
+        self.inner.answer_point_labels(object)
+    }
+
+    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+        self.budget.charge(0, 1);
+        self.inner.answer_membership(object, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::engine::{GroundTruth, PerfectSource, VecGroundTruth};
+    use coverage_core::pattern::Pattern;
+
+    fn truth(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    fn female() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    #[test]
+    fn spend_amortizes_points() {
+        let s = Spend {
+            set_queries: 3,
+            point_labels: 120,
+        };
+        assert_eq!(s.tasks(50), 3 + 3); // ceil(120/50) = 3
+    }
+
+    #[test]
+    fn under_budget_passes_through() {
+        let t = truth(100, 10);
+        let global = GlobalBudget::new(Some(100), 50);
+        let budget = JobBudget::new(JobId(0), Some(10), Arc::clone(&global));
+        let mut src = GovernedSource::new(PerfectSource::new(&t), budget.clone());
+        let ids = t.all_ids();
+        assert!(src.answer_set(&ids, &female()));
+        for id in &ids[..50] {
+            src.answer_point_labels(*id);
+        }
+        assert_eq!(budget.tasks_spent(), 2); // 1 set + ceil(50/50)
+        assert_eq!(global.tasks_spent(), 2);
+        let ledger = budget.ledger();
+        assert_eq!(ledger.set_queries(), 1);
+        assert_eq!(ledger.point_labels(), 50);
+        assert_eq!(ledger.total_tasks(), 2);
+    }
+
+    #[test]
+    fn job_cap_aborts_with_payload() {
+        let t = truth(10, 2);
+        let global = GlobalBudget::new(None, 50);
+        let budget = JobBudget::new(JobId(7), Some(2), global);
+        let mut src = GovernedSource::new(PerfectSource::new(&t), budget.clone());
+        let ids = t.all_ids();
+        src.answer_set(&ids, &female());
+        src.answer_set(&ids[..5], &female());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            src.answer_set(&ids[5..], &female());
+        }))
+        .unwrap_err();
+        let exhausted = err.downcast::<BudgetExhausted>().expect("typed payload");
+        assert_eq!(exhausted.job, JobId(7));
+        assert_eq!(exhausted.scope, BudgetScope::Job);
+        // The failed question was not charged.
+        assert_eq!(budget.tasks_spent(), 2);
+    }
+
+    #[test]
+    fn global_cap_spans_jobs() {
+        let t = truth(10, 2);
+        let global = GlobalBudget::new(Some(3), 50);
+        let mut a = GovernedSource::new(
+            PerfectSource::new(&t),
+            JobBudget::new(JobId(0), None, Arc::clone(&global)),
+        );
+        let mut b = GovernedSource::new(
+            PerfectSource::new(&t),
+            JobBudget::new(JobId(1), None, Arc::clone(&global)),
+        );
+        let ids = t.all_ids();
+        a.answer_set(&ids, &female());
+        b.answer_set(&ids, &female());
+        a.answer_set(&ids, &female());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.answer_set(&ids, &female());
+        }))
+        .unwrap_err();
+        let exhausted = err.downcast::<BudgetExhausted>().expect("typed payload");
+        assert_eq!(exhausted.scope, BudgetScope::Global);
+        assert_eq!(global.tasks_spent(), 3);
+        // The rejected question is charged on neither ledger: per-job spend
+        // sums to the global bill.
+        let spent_a = a.budget.tasks_spent();
+        let spent_b = b.budget.tasks_spent();
+        assert_eq!(spent_a, 2);
+        assert_eq!(spent_b, 1, "global abort must not charge the job");
+        assert_eq!(spent_a + spent_b, global.tasks_spent());
+    }
+}

@@ -1,0 +1,391 @@
+//! Audit jobs: what a tenant submits and what the service reports back.
+//!
+//! A [`JobSpec`] names a pool of objects (indices into the platform's shared
+//! dataset), the audit to run over it — any of the paper's five algorithms,
+//! chosen by [`AuditKind`] — and the job's `τ`, set-query size `n`, RNG seed
+//! and optional task budget. The service answers with a [`JobReport`]: the
+//! terminal [`JobStatus`], the algorithm's outcome, per-job [`TaskLedger`]
+//! accounting and the job's actual (post-cache) crowd spend. Every type here
+//! serializes, so a future HTTP front-end can accept specs and publish
+//! reports without new plumbing.
+
+use coverage_core::classifier::ClassifierOutcome;
+use coverage_core::engine::ObjectId;
+use coverage_core::group_coverage::GroupCoverageOutcome;
+use coverage_core::intersectional::IntersectionalReport;
+use coverage_core::ledger::TaskLedger;
+use coverage_core::multiple::MultipleReport;
+use coverage_core::pattern::Pattern;
+use coverage_core::schema::AttributeSchema;
+use coverage_core::target::Target;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Identifier of a submitted job (dense, in submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Which audit algorithm a job runs, with the algorithm-specific inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditKind {
+    /// `Base-Coverage` (Alg. 7): one point query per object.
+    BaseCoverage {
+        /// The group under audit.
+        target: Target,
+    },
+    /// `Group-Coverage` (Alg. 1): divide-and-conquer set queries.
+    GroupCoverage {
+        /// The group under audit.
+        target: Target,
+    },
+    /// `Multiple-Coverage` (Alg. 2) over a list of groups.
+    MultipleCoverage {
+        /// The groups under audit.
+        groups: Vec<Pattern>,
+    },
+    /// Intersectional MUP discovery (Alg. 3) over a whole schema lattice.
+    IntersectionalCoverage {
+        /// The attribute schema spanning the lattice.
+        schema: AttributeSchema,
+    },
+    /// Classifier-assisted verification (Alg. 4/5).
+    ClassifierCoverage {
+        /// The group under audit.
+        target: Target,
+        /// The classifier's predicted member set (must be ⊆ the pool).
+        predicted: Vec<ObjectId>,
+    },
+}
+
+impl AuditKind {
+    /// Short algorithm name, e.g. for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuditKind::BaseCoverage { .. } => "base_coverage",
+            AuditKind::GroupCoverage { .. } => "group_coverage",
+            AuditKind::MultipleCoverage { .. } => "multiple_coverage",
+            AuditKind::IntersectionalCoverage { .. } => "intersectional_coverage",
+            AuditKind::ClassifierCoverage { .. } => "classifier_coverage",
+        }
+    }
+}
+
+// AuditKind carries data per variant, which the vendored serde derive does
+// not support — serialize as a tagged object by hand.
+impl Serialize for AuditKind {
+    fn to_value(&self) -> Value {
+        let (tag, fields) = match self {
+            AuditKind::BaseCoverage { target } => (
+                "base_coverage",
+                vec![("target".to_string(), target.to_value())],
+            ),
+            AuditKind::GroupCoverage { target } => (
+                "group_coverage",
+                vec![("target".to_string(), target.to_value())],
+            ),
+            AuditKind::MultipleCoverage { groups } => (
+                "multiple_coverage",
+                vec![("groups".to_string(), groups.to_value())],
+            ),
+            AuditKind::IntersectionalCoverage { schema } => (
+                "intersectional_coverage",
+                vec![("schema".to_string(), schema.to_value())],
+            ),
+            AuditKind::ClassifierCoverage { target, predicted } => (
+                "classifier_coverage",
+                vec![
+                    ("target".to_string(), target.to_value()),
+                    ("predicted".to_string(), predicted.to_value()),
+                ],
+            ),
+        };
+        let mut pairs = vec![("algorithm".to_string(), Value::Str(tag.to_string()))];
+        pairs.extend(fields);
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for AuditKind {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let tag = String::from_value(value.get_field("algorithm")?)?;
+        match tag.as_str() {
+            "base_coverage" => Ok(AuditKind::BaseCoverage {
+                target: Target::from_value(value.get_field("target")?)?,
+            }),
+            "group_coverage" => Ok(AuditKind::GroupCoverage {
+                target: Target::from_value(value.get_field("target")?)?,
+            }),
+            "multiple_coverage" => Ok(AuditKind::MultipleCoverage {
+                groups: Vec::from_value(value.get_field("groups")?)?,
+            }),
+            "intersectional_coverage" => Ok(AuditKind::IntersectionalCoverage {
+                schema: AttributeSchema::from_value(value.get_field("schema")?)?,
+            }),
+            "classifier_coverage" => Ok(AuditKind::ClassifierCoverage {
+                target: Target::from_value(value.get_field("target")?)?,
+                predicted: Vec::from_value(value.get_field("predicted")?)?,
+            }),
+            other => Err(Error::unknown_variant("AuditKind", other)),
+        }
+    }
+}
+
+/// One audit job: dataset slice + algorithm + parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable label for reports.
+    pub name: String,
+    /// Pool of object ids the audit ranges over (indices into the service's
+    /// shared answer source / dataset).
+    pub pool: Vec<ObjectId>,
+    /// The algorithm and its inputs.
+    pub kind: AuditKind,
+    /// Coverage threshold `τ`.
+    pub tau: usize,
+    /// Subset-size upper bound `n` for set queries, and the job's
+    /// point-query batch size.
+    pub n: usize,
+    /// Seed for the job-local RNG (sampling, aggregation, classifier
+    /// sampling). Jobs are deterministic given their spec when the platform
+    /// answers per-question (see `crowd-sim`'s `SeedMode::PerQuestion`).
+    pub seed: u64,
+    /// Optional per-job crowd-task budget; `None` defers to the service's
+    /// default policy.
+    pub budget: Option<u64>,
+}
+
+impl JobSpec {
+    /// A spec with the paper's default `τ = 50`, `n = 50`, seed 0 and no
+    /// job-specific budget.
+    pub fn new(name: impl Into<String>, pool: Vec<ObjectId>, kind: AuditKind) -> Self {
+        Self {
+            name: name.into(),
+            pool,
+            kind,
+            tau: 50,
+            n: 50,
+            seed: 0,
+            budget: None,
+        }
+    }
+
+    /// Sets `τ`.
+    pub fn tau(mut self, tau: usize) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the set-query / point-batch size `n`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn n(mut self, n: usize) -> Self {
+        assert!(n > 0, "subset size n must be positive");
+        self.n = n;
+        self
+    }
+
+    /// Sets the job RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps this job's crowd tasks.
+    pub fn budget(mut self, tasks: u64) -> Self {
+        self.budget = Some(tasks);
+        self
+    }
+}
+
+/// Lifecycle of a job inside the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Executing on a worker thread.
+    Running,
+    /// Finished with an outcome.
+    Done,
+    /// Stopped by the budget governor before finishing.
+    Exhausted,
+    /// Panicked (a bug or an invalid spec reaching an algorithm assert).
+    Failed,
+}
+
+/// The algorithm result carried by a finished job.
+#[derive(Debug, Clone)]
+pub enum AuditOutcome {
+    /// Outcome of `base_coverage`, `group_coverage` — a single-group verdict.
+    Coverage(GroupCoverageOutcome),
+    /// Outcome of `multiple_coverage`.
+    Multiple(MultipleReport),
+    /// Outcome of `intersectional_coverage`.
+    Intersectional(IntersectionalReport),
+    /// Outcome of `classifier_coverage`.
+    Classifier(ClassifierOutcome),
+}
+
+impl AuditOutcome {
+    /// The single-group covered/uncovered verdict, when this outcome has one.
+    pub fn covered(&self) -> Option<bool> {
+        match self {
+            AuditOutcome::Coverage(o) => Some(o.covered),
+            AuditOutcome::Classifier(o) => Some(o.covered),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for AuditOutcome {
+    fn to_value(&self) -> Value {
+        let (tag, inner) = match self {
+            AuditOutcome::Coverage(o) => ("coverage", o.to_value()),
+            AuditOutcome::Multiple(o) => ("multiple", o.to_value()),
+            AuditOutcome::Intersectional(o) => ("intersectional", o.to_value()),
+            AuditOutcome::Classifier(o) => ("classifier", o.to_value()),
+        };
+        Value::Object(vec![
+            ("kind".to_string(), Value::Str(tag.to_string())),
+            ("result".to_string(), inner),
+        ])
+    }
+}
+
+impl Deserialize for AuditOutcome {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let tag = String::from_value(value.get_field("kind")?)?;
+        let inner = value.get_field("result")?;
+        match tag.as_str() {
+            "coverage" => Ok(AuditOutcome::Coverage(Deserialize::from_value(inner)?)),
+            "multiple" => Ok(AuditOutcome::Multiple(Deserialize::from_value(inner)?)),
+            "intersectional" => Ok(AuditOutcome::Intersectional(Deserialize::from_value(
+                inner,
+            )?)),
+            "classifier" => Ok(AuditOutcome::Classifier(Deserialize::from_value(inner)?)),
+            other => Err(Error::unknown_variant("AuditOutcome", other)),
+        }
+    }
+}
+
+/// Terminal report for one job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The job's id.
+    pub id: JobId,
+    /// The spec's label.
+    pub name: String,
+    /// Algorithm short name.
+    pub algorithm: String,
+    /// Terminal status: [`JobStatus::Done`], [`JobStatus::Exhausted`] or
+    /// [`JobStatus::Failed`].
+    pub status: JobStatus,
+    /// The algorithm's result (present iff `status == Done`).
+    pub outcome: Option<AuditOutcome>,
+    /// Panic message (present iff `status == Failed`).
+    pub error: Option<String>,
+    /// The job's *logical* crowd work, metered by its engine: every question
+    /// the algorithm asked, whether or not the shared cache absorbed it.
+    /// For exhausted jobs this is reconstructed from the governor's
+    /// crowd-spend view (the engine state is lost in the abort unwind).
+    pub ledger: TaskLedger,
+    /// Crowd tasks this job actually charged past the shared cache, as
+    /// metered by the budget governor (set queries + batched point labels).
+    pub crowd_tasks: u64,
+    /// Wall-clock milliseconds from first schedule to completion.
+    pub wall_ms: u64,
+}
+
+impl JobReport {
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::group_coverage::GroupCoverageOutcome;
+
+    fn target() -> Target {
+        Target::group(Pattern::parse("1X").unwrap())
+    }
+
+    #[test]
+    fn audit_kind_round_trips() {
+        let kinds = vec![
+            AuditKind::BaseCoverage { target: target() },
+            AuditKind::GroupCoverage { target: target() },
+            AuditKind::MultipleCoverage {
+                groups: vec![Pattern::parse("1X").unwrap(), Pattern::parse("X0").unwrap()],
+            },
+            AuditKind::IntersectionalCoverage {
+                schema: AttributeSchema::single_binary("gender", "m", "f"),
+            },
+            AuditKind::ClassifierCoverage {
+                target: target(),
+                predicted: vec![ObjectId(1), ObjectId(5)],
+            },
+        ];
+        for kind in kinds {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: AuditKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind, "via {json}");
+        }
+    }
+
+    #[test]
+    fn job_spec_builder_and_round_trip() {
+        let spec = JobSpec::new(
+            "feret-f",
+            vec![ObjectId(0), ObjectId(1)],
+            AuditKind::GroupCoverage { target: target() },
+        )
+        .tau(25)
+        .n(10)
+        .seed(9)
+        .budget(500);
+        assert_eq!(spec.tau, 25);
+        assert_eq!(spec.budget, Some(500));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn job_report_serializes_with_outcome() {
+        let report = JobReport {
+            id: JobId(3),
+            name: "audit".into(),
+            algorithm: "group_coverage".into(),
+            status: JobStatus::Done,
+            outcome: Some(AuditOutcome::Coverage(GroupCoverageOutcome {
+                covered: true,
+                count: 50,
+                set_queries: 71,
+                witnesses: vec![],
+            })),
+            error: None,
+            ledger: TaskLedger::new(),
+            crowd_tasks: 71,
+            wall_ms: 12,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"status\": \"Done\""), "{json}");
+        let back: JobReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.status, JobStatus::Done);
+        assert_eq!(back.outcome.unwrap().covered(), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_rejected() {
+        JobSpec::new("x", vec![], AuditKind::BaseCoverage { target: target() }).n(0);
+    }
+}

@@ -1,0 +1,355 @@
+//! # coverage-service
+//!
+//! Concurrent multi-audit orchestration for the EDBT 2024 coverage stack —
+//! the serving layer that turns the single-audit library into a platform.
+//!
+//! Real deployments audit many datasets, groups and thresholds at once
+//! against one shared, expensive answer source (a crowd). This crate runs
+//! audit **jobs** — any of the paper's five algorithms
+//! (`base_coverage`, `group_coverage`, `multiple_coverage`,
+//! `intersectional_coverage`, `classifier_coverage`) — on a pool of worker
+//! threads, multiplexed onto one platform through three shared layers:
+//!
+//! * a **platform-wide answer cache**
+//!   ([`SharedMemoizedSource`](coverage_core::memo::SharedMemoizedSource)):
+//!   a question any job has paid for is free for every other job;
+//! * a **batched dispatcher** ([`dispatch`]): one thread owns the platform,
+//!   coalescing concurrent point queries into many-images-per-HIT batches
+//!   (the paper's HIT layout) and sharing simulated round-trip latency
+//!   across jobs;
+//! * a **budget governor** ([`governor`]): per-job and global crowd-task
+//!   caps with graceful [`JobStatus::Exhausted`] outcomes.
+//!
+//! Specs, statuses and reports all serialize (`serde` + `serde_json`), so a
+//! network front-end can bolt on without touching the orchestration core.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use coverage_core::prelude::*;
+//! use coverage_service::{AuditKind, AuditService, JobSpec, JobStatus};
+//!
+//! // A 2 000-object dataset, 80 members of the minority group.
+//! let labels: Vec<Labels> = (0..2000)
+//!     .map(|i| Labels::single(u8::from(i % 25 == 0)))
+//!     .collect();
+//! let truth = VecGroundTruth::new(labels);
+//! let target = Target::group(Pattern::parse("1").unwrap());
+//!
+//! let mut service = AuditService::with_defaults();
+//! let pool = truth.all_ids();
+//! let a = service.submit(JobSpec::new(
+//!     "dnc",
+//!     pool.clone(),
+//!     AuditKind::GroupCoverage { target: target.clone() },
+//! ));
+//! let b = service.submit(JobSpec::new(
+//!     "dnc-again",
+//!     pool,
+//!     AuditKind::GroupCoverage { target },
+//! ));
+//!
+//! let (report, _source) = service.run(PerfectSource::new(&truth));
+//! assert_eq!(report.count_status(JobStatus::Done), 2);
+//! // The twin job was answered from the shared cache: the platform was
+//! // charged for one audit, not two.
+//! assert_eq!(report.job(a).unwrap().ledger, report.job(b).unwrap().ledger);
+//! assert!(report.crowd_tasks <= report.total_logical.total_tasks() / 2 + 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod governor;
+pub mod job;
+pub mod service;
+
+pub use dispatch::{DispatchStats, DispatcherConfig};
+pub use governor::{BudgetExhausted, BudgetPolicy, BudgetScope};
+pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
+pub use service::{AuditService, ServiceConfig, ServiceReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::prelude::*;
+    use std::time::Duration;
+
+    fn minority_truth(n: usize, minority: usize) -> VecGroundTruth {
+        VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        )
+    }
+
+    fn female() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    #[test]
+    fn mixed_algorithms_run_concurrently() {
+        let truth = minority_truth(3000, 120);
+        let pool = truth.all_ids();
+        let schema = AttributeSchema::single_binary("gender", "male", "female");
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 6,
+            ..ServiceConfig::default()
+        });
+        service.submit(
+            JobSpec::new(
+                "group",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(100),
+        );
+        service.submit(
+            JobSpec::new(
+                "base",
+                pool[..300].to_vec(),
+                AuditKind::BaseCoverage { target: female() },
+            )
+            .tau(100),
+        );
+        service.submit(
+            JobSpec::new(
+                "multiple",
+                pool.clone(),
+                AuditKind::MultipleCoverage {
+                    groups: vec![Pattern::parse("0").unwrap(), Pattern::parse("1").unwrap()],
+                },
+            )
+            .tau(100)
+            .seed(5),
+        );
+        service.submit(
+            JobSpec::new(
+                "intersectional",
+                pool.clone(),
+                AuditKind::IntersectionalCoverage { schema },
+            )
+            .tau(100)
+            .seed(6),
+        );
+        service.submit(
+            JobSpec::new(
+                "classifier",
+                pool.clone(),
+                AuditKind::ClassifierCoverage {
+                    target: female(),
+                    predicted: pool[..100].to_vec(),
+                },
+            )
+            .tau(100)
+            .seed(7),
+        );
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        assert_eq!(report.jobs.len(), 5);
+        assert_eq!(
+            report.count_status(JobStatus::Done),
+            5,
+            "{}",
+            report.to_json()
+        );
+        // Single-group verdicts agree with ground truth (120 >= 100).
+        assert_eq!(
+            report.jobs[0].outcome.as_ref().unwrap().covered(),
+            Some(true)
+        );
+        assert_eq!(
+            report.jobs[1].outcome.as_ref().unwrap().covered(),
+            Some(true)
+        );
+        assert_eq!(
+            report.jobs[4].outcome.as_ref().unwrap().covered(),
+            Some(true)
+        );
+        // The report is fully serializable.
+        let json = report.to_json();
+        let back: ServiceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.jobs.len(), 5);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_graceful() {
+        let truth = minority_truth(5000, 10);
+        let pool = truth.all_ids();
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 2,
+            budget: BudgetPolicy::unlimited(),
+            ..ServiceConfig::default()
+        });
+        // Base coverage over 5 000 objects needs ~5 000 point HITs; a budget
+        // of 40 exhausts quickly. The sibling group-coverage job proceeds.
+        service.submit(
+            JobSpec::new(
+                "starved",
+                pool.clone(),
+                AuditKind::BaseCoverage { target: female() },
+            )
+            .tau(50)
+            .budget(40),
+        );
+        service.submit(
+            JobSpec::new(
+                "fine",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(5),
+        );
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        let starved = report.job(JobId(0)).unwrap();
+        assert_eq!(starved.status, JobStatus::Exhausted);
+        assert!(starved.outcome.is_none());
+        assert!(starved.crowd_tasks <= 40, "spent {}", starved.crowd_tasks);
+        assert!(starved.ledger.total_tasks() <= 40);
+        let fine = report.job(JobId(1)).unwrap();
+        assert_eq!(fine.status, JobStatus::Done);
+    }
+
+    #[test]
+    fn global_budget_spans_jobs() {
+        let truth = minority_truth(4000, 20);
+        let pool = truth.all_ids();
+        // Each base job labels 1 000 objects; past the memo layer that is
+        // ceil(1000/50) = 20 crowd-task equivalents. A global cap of 30
+        // funds the first job and cuts the second off mid-scan.
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 1, // deterministic scheduling: jobs run in order
+            budget: BudgetPolicy::global(30),
+            ..ServiceConfig::default()
+        });
+        for i in 0..4 {
+            service.submit(
+                JobSpec::new(
+                    format!("base-{i}"),
+                    pool[(i * 1000)..(i + 1) * 1000].to_vec(),
+                    AuditKind::BaseCoverage { target: female() },
+                )
+                .tau(50),
+            );
+        }
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        assert!(report.crowd_tasks <= 30, "spent {}", report.crowd_tasks);
+        assert_eq!(report.job(JobId(0)).unwrap().status, JobStatus::Done);
+        assert!(
+            report.count_status(JobStatus::Exhausted) >= 2,
+            "global cap must starve later jobs: {}",
+            report.to_json()
+        );
+    }
+
+    #[test]
+    fn invalid_spec_fails_only_its_own_job() {
+        let truth = minority_truth(100, 10);
+        let pool = truth.all_ids();
+        let mut service = AuditService::with_defaults();
+        // predicted set not a subset of the pool: the algorithm asserts.
+        service.submit(JobSpec::new(
+            "bad",
+            pool[..10].to_vec(),
+            AuditKind::ClassifierCoverage {
+                target: female(),
+                predicted: vec![ObjectId(99)],
+            },
+        ));
+        service.submit(
+            JobSpec::new(
+                "good",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(5),
+        );
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        let bad = report.job(JobId(0)).unwrap();
+        assert_eq!(bad.status, JobStatus::Failed);
+        assert!(
+            bad.error.as_ref().unwrap().contains("subset"),
+            "panic message surfaced: {:?}",
+            bad.error
+        );
+        assert_eq!(report.job(JobId(1)).unwrap().status, JobStatus::Done);
+    }
+
+    /// A question that makes the *platform itself* panic (here: an
+    /// out-of-range object id reaching the dataset) must fail only the job
+    /// that asked it — the dispatcher keeps serving everyone else.
+    #[test]
+    fn platform_panic_fails_only_the_asking_job() {
+        let truth = minority_truth(100, 10);
+        let pool = truth.all_ids();
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        service.submit(
+            JobSpec::new(
+                "poisoned",
+                vec![ObjectId(500)], // out of range for a 100-object dataset
+                AuditKind::BaseCoverage { target: female() },
+            )
+            .tau(1),
+        );
+        service.submit(
+            JobSpec::new(
+                "healthy",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(5),
+        );
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        let poisoned = report.job(JobId(0)).unwrap();
+        assert_eq!(poisoned.status, JobStatus::Failed);
+        assert!(
+            poisoned
+                .error
+                .as_ref()
+                .unwrap()
+                .contains("failed to answer"),
+            "error: {:?}",
+            poisoned.error
+        );
+        assert_eq!(report.job(JobId(1)).unwrap().status, JobStatus::Done);
+    }
+
+    #[test]
+    fn round_latency_is_shared_across_jobs() {
+        // Six *disjoint* audits (no cache overlap): serially each question
+        // pays its own simulated platform round trip; concurrently the jobs
+        // wait out each round together.
+        let truth = minority_truth(3000, 500);
+        let pool = truth.all_ids();
+        let run = |workers: usize| {
+            let mut service = AuditService::new(ServiceConfig {
+                workers,
+                round_latency: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            });
+            for i in 0..6 {
+                service.submit(
+                    JobSpec::new(
+                        format!("job-{i}"),
+                        pool[i * 500..(i + 1) * 500].to_vec(),
+                        AuditKind::GroupCoverage { target: female() },
+                    )
+                    .tau(30)
+                    .n(25),
+                );
+            }
+            let (report, _) = service.run(PerfectSource::new(&truth));
+            assert_eq!(report.count_status(JobStatus::Done), 6);
+            report.wall_ms
+        };
+        let serial_ms = run(1);
+        let concurrent_ms = run(6);
+        assert!(
+            concurrent_ms < serial_ms,
+            "6 workers ({concurrent_ms} ms) should beat 1 worker ({serial_ms} ms)"
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! The orchestrator: N worker threads, one dispatcher, one shared cache.
+//!
+//! [`AuditService`] collects submitted [`JobSpec`]s and [`AuditService::run`]
+//! executes them concurrently against one shared [`BatchAnswerSource`]:
+//!
+//! ```text
+//!  job thread 1 ─ Engine ─ SharedMemoizedSource ─ GovernedSource ─┐
+//!  job thread 2 ─ Engine ─ SharedMemoizedSource ─ GovernedSource ─┤   one
+//!      ...                        (one cache)       (budget caps) ├─ dispatcher ─ platform
+//!  job thread W ─ Engine ─ SharedMemoizedSource ─ GovernedSource ─┘   (batches HITs)
+//! ```
+//!
+//! Every job meters its own logical [`TaskLedger`] through its engine;
+//! questions the cache cannot answer are budget-checked, then coalesced by
+//! the dispatcher into many-images-per-HIT batches before reaching the
+//! platform. The run returns a serializable [`ServiceReport`] plus the
+//! answer source itself (so callers can inspect e.g. `MTurkSim` stats).
+
+use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchStats, DispatcherConfig};
+use crate::governor::{BudgetExhausted, BudgetPolicy, GlobalBudget, GovernedSource, JobBudget};
+use crate::job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
+use coverage_core::base_coverage::base_coverage;
+use coverage_core::classifier::{classifier_coverage, ClassifierConfig};
+use coverage_core::engine::{AnswerSource, BatchAnswerSource, Engine};
+use coverage_core::group_coverage::{group_coverage, DncConfig};
+use coverage_core::intersectional::intersectional_coverage;
+use coverage_core::ledger::TaskLedger;
+use coverage_core::memo::SharedMemoizedSource;
+use coverage_core::multiple::{multiple_coverage, MultipleConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Service tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Concurrent job-runner threads.
+    pub workers: usize,
+    /// Images per coalesced point-query HIT at the dispatcher.
+    pub point_batch: usize,
+    /// Default budget caps (see [`BudgetPolicy`]).
+    pub budget: BudgetPolicy,
+    /// Simulated platform round-trip latency per dispatch round; zero for
+    /// compute-bound runs (unit tests), nonzero to model a real crowd.
+    pub round_latency: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            point_batch: coverage_core::engine::DEFAULT_POINT_BATCH,
+            budget: BudgetPolicy::unlimited(),
+            round_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// Aggregate result of one service run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Per-job reports, in submission (id) order.
+    pub jobs: Vec<JobReport>,
+    /// Sum of the jobs' logical ledgers — the work the audits *asked for*.
+    pub total_logical: TaskLedger,
+    /// Crowd tasks actually charged past the shared cache (the platform
+    /// bill for the whole run).
+    pub crowd_tasks: u64,
+    /// Questions answered by the shared cache.
+    pub cache_hits: u64,
+    /// Questions that had to reach the platform.
+    pub cache_misses: u64,
+    /// Dispatcher activity (rounds, coalesced HITs).
+    pub dispatch: DispatchStats,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: u64,
+}
+
+impl ServiceReport {
+    /// The report of one job.
+    pub fn job(&self, id: JobId) -> Option<&JobReport> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// How many jobs ended in the given status.
+    pub fn count_status(&self, status: JobStatus) -> usize {
+        self.jobs.iter().filter(|j| j.status == status).count()
+    }
+
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// A multi-tenant audit orchestrator: submit jobs, then run them all
+/// concurrently over one shared answer source.
+#[derive(Debug)]
+pub struct AuditService {
+    config: ServiceConfig,
+    jobs: Vec<JobSpec>,
+}
+
+impl AuditService {
+    /// A service with the given tuning.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.point_batch > 0, "point batch must be positive");
+        Self {
+            config,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// A service with default tuning (4 workers, 50-image HITs, no budgets).
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Queues a job; its [`JobId`] indexes the eventual report.
+    ///
+    /// # Panics
+    /// Panics when `spec.n == 0`.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        assert!(spec.n > 0, "subset size n must be positive");
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(spec);
+        id
+    }
+
+    /// Number of queued jobs.
+    pub fn queued(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Runs every queued job to completion on the worker pool and returns
+    /// the report together with the answer source (e.g. to read platform
+    /// statistics afterwards).
+    pub fn run<S: BatchAnswerSource + Send>(self, source: S) -> (ServiceReport, S) {
+        quiet_budget_aborts();
+        let start = Instant::now();
+        let config = self.config;
+        let jobs = self.jobs;
+
+        let (dispatch_handle, dispatch_rx) = dispatch_channel();
+        let dispatcher_config = DispatcherConfig {
+            point_batch: config.point_batch,
+            round_latency: config.round_latency,
+        };
+        let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
+        let memo_root: SharedMemoizedSource<()> = SharedMemoizedSource::new(());
+
+        let reports: Mutex<Vec<Option<JobReport>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let next_job = Mutex::new(0usize);
+
+        let (dispatch_stats, source) = std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = source;
+                let stats = run_dispatcher(&mut source, dispatch_rx, &dispatcher_config);
+                (stats, source)
+            });
+
+            let runners: Vec<_> = (0..config.workers.min(jobs.len().max(1)))
+                .map(|_| {
+                    let dispatch_handle = dispatch_handle.clone();
+                    scope.spawn(|| {
+                        let dispatch_handle = dispatch_handle;
+                        loop {
+                            let index = {
+                                let mut next = lock(&next_job);
+                                if *next >= jobs.len() {
+                                    break;
+                                }
+                                let i = *next;
+                                *next += 1;
+                                i
+                            };
+                            let spec = &jobs[index];
+                            let id = JobId(index as u64);
+                            let budget = JobBudget::new(
+                                id,
+                                spec.budget.or(config.budget.per_job),
+                                std::sync::Arc::clone(&global_budget),
+                            );
+                            let report = run_job(id, spec, &memo_root, &dispatch_handle, budget);
+                            lock(&reports)[index] = Some(report);
+                        }
+                    })
+                })
+                .collect();
+            for runner in runners {
+                runner.join().expect("job runner never panics");
+            }
+            drop(dispatch_handle);
+            dispatcher.join().expect("dispatcher exits cleanly")
+        });
+
+        let jobs: Vec<JobReport> = reports
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|r| r.expect("every job reported"))
+            .collect();
+        let mut total_logical = TaskLedger::new();
+        for job in &jobs {
+            total_logical.absorb(&job.ledger);
+        }
+        let report = ServiceReport {
+            total_logical,
+            crowd_tasks: global_budget.tasks_spent(),
+            cache_hits: memo_root.cache_hits(),
+            cache_misses: memo_root.cache_misses(),
+            dispatch: dispatch_stats,
+            wall_ms: start.elapsed().as_millis() as u64,
+            jobs,
+        };
+        (report, source)
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs one job end to end, absorbing budget aborts and panics into the
+/// report instead of crashing the worker.
+fn run_job(
+    id: JobId,
+    spec: &JobSpec,
+    memo_root: &SharedMemoizedSource<()>,
+    dispatch_handle: &crate::dispatch::DispatchHandle,
+    budget: JobBudget,
+) -> JobReport {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let governed = GovernedSource::new(dispatch_handle.clone(), budget.clone());
+        let source = memo_root.with_inner(governed);
+        let mut engine = Engine::with_point_batch(source, spec.n);
+        let outcome = execute_algorithm(spec, &mut engine);
+        (outcome, *engine.ledger())
+    }));
+    let crowd_tasks = budget.tasks_spent();
+    let wall_ms = start.elapsed().as_millis() as u64;
+    let base = JobReport {
+        id,
+        name: spec.name.clone(),
+        algorithm: spec.kind.name().to_string(),
+        status: JobStatus::Failed,
+        outcome: None,
+        error: None,
+        ledger: TaskLedger::new(),
+        crowd_tasks,
+        wall_ms,
+    };
+    match result {
+        Ok((outcome, ledger)) => JobReport {
+            status: JobStatus::Done,
+            outcome: Some(outcome),
+            ledger,
+            ..base
+        },
+        Err(payload) => {
+            if payload.downcast_ref::<BudgetExhausted>().is_some() {
+                JobReport {
+                    status: JobStatus::Exhausted,
+                    // The engine unwound with the abort; report the
+                    // governor's crowd-spend view of the partial run.
+                    ledger: budget.ledger(),
+                    ..base
+                }
+            } else {
+                let message = panic_message(payload.as_ref());
+                JobReport {
+                    status: JobStatus::Failed,
+                    error: Some(message),
+                    ..base
+                }
+            }
+        }
+    }
+}
+
+fn execute_algorithm<S: AnswerSource>(spec: &JobSpec, engine: &mut Engine<S>) -> AuditOutcome {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    match &spec.kind {
+        AuditKind::BaseCoverage { target } => {
+            AuditOutcome::Coverage(base_coverage(engine, &spec.pool, target, spec.tau))
+        }
+        AuditKind::GroupCoverage { target } => AuditOutcome::Coverage(group_coverage(
+            engine,
+            &spec.pool,
+            target,
+            spec.tau,
+            spec.n,
+            &DncConfig::default(),
+        )),
+        AuditKind::MultipleCoverage { groups } => AuditOutcome::Multiple(multiple_coverage(
+            engine,
+            &spec.pool,
+            groups,
+            &MultipleConfig {
+                tau: spec.tau,
+                n: spec.n,
+                ..MultipleConfig::default()
+            },
+            &mut rng,
+        )),
+        AuditKind::IntersectionalCoverage { schema } => {
+            AuditOutcome::Intersectional(intersectional_coverage(
+                engine,
+                &spec.pool,
+                schema,
+                &MultipleConfig {
+                    tau: spec.tau,
+                    n: spec.n,
+                    ..MultipleConfig::default()
+                },
+                &mut rng,
+            ))
+        }
+        AuditKind::ClassifierCoverage { target, predicted } => {
+            AuditOutcome::Classifier(classifier_coverage(
+                engine,
+                &spec.pool,
+                predicted,
+                target,
+                &ClassifierConfig {
+                    tau: spec.tau,
+                    n: spec.n,
+                    ..ClassifierConfig::default()
+                },
+                &mut rng,
+            ))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
+/// Installs (once) a panic hook that silences the expected
+/// [`BudgetExhausted`] aborts while delegating every other panic to the
+/// previous hook.
+fn quiet_budget_aborts() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<BudgetExhausted>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,192 @@
+//! Concurrency correctness for `coverage-service`: N jobs multiplexed
+//! through the shared cache and batching dispatcher must produce
+//! byte-identical outcomes and identical per-job ledgers no matter how many
+//! worker threads run them — the `MTurkSim` per-question seed mode makes
+//! crowd answers a pure function of the question, so scheduling order can
+//! not leak into results.
+
+use coverage_core::prelude::*;
+use coverage_service::{AuditKind, AuditService, JobSpec, JobStatus, ServiceConfig, ServiceReport};
+use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use dataset_sim::{binary_dataset, Placement};
+use integration_tests::female;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 424_242;
+
+fn dataset() -> dataset_sim::Dataset {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    binary_dataset(2_500, 180, Placement::Shuffled, &mut rng)
+}
+
+fn platform(data: &dataset_sim::Dataset) -> MTurkSim<'_, dataset_sim::Dataset> {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let workers = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+    MTurkSim::new_deterministic(
+        data,
+        AttributeSchema::single_binary("attr", "majority", "minority"),
+        workers,
+        QualityControl::with_rating(),
+        SEED,
+    )
+}
+
+fn workload(data: &dataset_sim::Dataset) -> Vec<JobSpec> {
+    let pool = data.all_ids();
+    let schema = AttributeSchema::single_binary("attr", "majority", "minority");
+    let male = female().negated();
+    let mut jobs = vec![
+        JobSpec::new(
+            "group-50",
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .seed(1),
+        JobSpec::new(
+            "group-120",
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .tau(120)
+        .seed(2),
+        JobSpec::new(
+            "base-20",
+            pool[..300].to_vec(),
+            AuditKind::BaseCoverage { target: female() },
+        )
+        .tau(20)
+        .seed(3),
+        JobSpec::new(
+            "multiple",
+            pool.clone(),
+            AuditKind::MultipleCoverage {
+                groups: vec![male.patterns()[0], female().patterns()[0]],
+            },
+        )
+        .seed(4),
+        JobSpec::new(
+            "intersectional",
+            pool.clone(),
+            AuditKind::IntersectionalCoverage { schema },
+        )
+        .seed(5),
+        JobSpec::new(
+            "classifier",
+            pool.clone(),
+            AuditKind::ClassifierCoverage {
+                target: female(),
+                predicted: pool[..150].to_vec(),
+            },
+        )
+        .seed(6),
+    ];
+    // Two more tenants re-asking earlier questions: pure cache work.
+    jobs.push(
+        JobSpec::new(
+            "group-50-again",
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .seed(7),
+    );
+    jobs.push(
+        JobSpec::new(
+            "base-20-again",
+            pool[..300].to_vec(),
+            AuditKind::BaseCoverage { target: female() },
+        )
+        .tau(20)
+        .seed(8),
+    );
+    jobs
+}
+
+fn run(workers: usize) -> (ServiceReport, u64) {
+    let data = dataset();
+    let mut service = AuditService::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    for spec in workload(&data) {
+        service.submit(spec);
+    }
+    let (report, platform) = service.run(platform(&data));
+    (report, platform.stats().hits_published)
+}
+
+/// The core correctness claim: concurrent == serial, byte for byte.
+#[test]
+fn concurrent_equals_serial() {
+    let (serial, _) = run(1);
+    let (concurrent, _) = run(8);
+    assert_eq!(serial.jobs.len(), concurrent.jobs.len());
+    for (s, c) in serial.jobs.iter().zip(&concurrent.jobs) {
+        assert_eq!(s.status, JobStatus::Done, "{}", s.name);
+        assert_eq!(c.status, JobStatus::Done, "{}", c.name);
+        // Outcomes must be byte-identical once serialized.
+        let s_outcome = serde_json::to_string(s.outcome.as_ref().unwrap()).unwrap();
+        let c_outcome = serde_json::to_string(c.outcome.as_ref().unwrap()).unwrap();
+        assert_eq!(s_outcome, c_outcome, "outcome of {} diverged", s.name);
+        // Each job's logical ledger is schedule-independent.
+        assert_eq!(s.ledger, c.ledger, "ledger of {} diverged", s.name);
+    }
+    // Therefore the summed ledgers agree too.
+    assert_eq!(serial.total_logical, concurrent.total_logical);
+    // And exactly the same unique questions reached the platform.
+    assert_eq!(serial.cache_misses, concurrent.cache_misses);
+}
+
+/// The twin jobs exercise the shared cache: the platform publishes far
+/// fewer HITs than the same workload run as isolated single-job services.
+#[test]
+fn shared_platform_publishes_fewer_hits() {
+    let (report, shared_hits) = run(4);
+    assert_eq!(report.count_status(JobStatus::Done), report.jobs.len());
+
+    let data = dataset();
+    let mut isolated_hits = 0u64;
+    for spec in workload(&data) {
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        service.submit(spec);
+        let (_r, p) = service.run(platform(&data));
+        isolated_hits += p.stats().hits_published;
+    }
+    assert!(
+        shared_hits < isolated_hits,
+        "shared platform published {shared_hits} HITs, isolated runs {isolated_hits}"
+    );
+    // The twin jobs alone guarantee a sizeable saving.
+    assert!(
+        shared_hits as f64 <= 0.9 * isolated_hits as f64,
+        "saving too small: {shared_hits} vs {isolated_hits}"
+    );
+}
+
+/// Outcomes routed through the service agree with auditing the ground truth
+/// directly.
+#[test]
+fn service_verdicts_match_ground_truth() {
+    let data = dataset();
+    let (report, _) = run(6);
+    let true_count = data.count(&female());
+    for job in &report.jobs {
+        match (job.name.as_str(), job.outcome.as_ref().unwrap().covered()) {
+            ("group-50" | "group-50-again", Some(covered)) => {
+                assert_eq!(covered, true_count >= 50, "{}", job.name)
+            }
+            ("group-120", Some(covered)) => assert_eq!(covered, true_count >= 120),
+            ("base-20", Some(covered)) => {
+                let slice_count = data.all_ids()[..300]
+                    .iter()
+                    .filter(|id| female().matches(&data.labels_of(**id)))
+                    .count();
+                assert_eq!(covered, slice_count >= 20);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::default().sample_size`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! [`black_box`]) with a simple mean-of-N wall-clock measurement instead of
+//! upstream criterion's statistical machinery. Honors
+//! `CRITERION_SAMPLE_OVERRIDE=<n>` so CI can smoke-run benches quickly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: collects named closures and times them.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("CRITERION_SAMPLE_OVERRIDE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(self.sample_size)
+    }
+}
+
+/// A named group of benchmarks (prefixes each benchmark's name).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.criterion.effective_samples();
+        run_one(&format!("{}/{id}", self.name), samples, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.criterion.effective_samples();
+        run_one(
+            &format!("{}/{id}", self.name),
+            samples,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.total / bencher.iters
+    };
+    println!("{name:<50} time: {mean:>12.3?}  ({} iters)", bencher.iters);
+}
+
+/// Passed to benchmark closures; measures the routine under test.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once for warm-up then `sample_size` times
+    /// measured.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Identifier for one parameterization of a benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn runs_benches() {
+        let mut c = Criterion::default().sample_size(2);
+        sample_bench(&mut c);
+    }
+
+    crate::criterion_group!(simple, sample_bench);
+    crate::criterion_group! {
+        name = configured;
+        config = crate::Criterion::default().sample_size(3);
+        targets = sample_bench,
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        simple();
+        configured();
+    }
+}
