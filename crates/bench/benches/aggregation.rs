@@ -34,7 +34,7 @@ fn bench_multiple_coverage(c: &mut Criterion) {
         b.iter(|| {
             let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
             let mut rng = SmallRng::seed_from_u64(11);
-            multiple_coverage(&mut engine, &pool, &groups, &cfg, &mut rng)
+            multiple_coverage(&mut engine, &pool, &groups, &cfg, &mut rng).unwrap()
         })
     });
 }
@@ -60,7 +60,7 @@ fn bench_intersectional(c: &mut Criterion) {
         b.iter(|| {
             let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
             let mut rng = SmallRng::seed_from_u64(11);
-            intersectional_coverage(&mut engine, &pool, &schema, &cfg, &mut rng)
+            intersectional_coverage(&mut engine, &pool, &schema, &cfg, &mut rng).unwrap()
         })
     });
 }

@@ -28,6 +28,7 @@ fn bench_partition_vs_label(c: &mut Criterion) {
                 let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
                 let mut rng = SmallRng::seed_from_u64(9);
                 classifier_coverage(&mut engine, &pool, &predicted, &target, &cfg, &mut rng)
+                    .unwrap()
             })
         });
     }

@@ -17,7 +17,7 @@ fn bench_varying_n_total(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n_total), &n_total, |b, _| {
             b.iter(|| {
                 let mut engine = Engine::new(PerfectSource::new(&data));
-                group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default())
+                group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default()).unwrap()
             })
         });
     }
@@ -34,7 +34,7 @@ fn bench_varying_tau(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
             b.iter(|| {
                 let mut engine = Engine::new(PerfectSource::new(&data));
-                group_coverage(&mut engine, &pool, &target, tau, 50, &DncConfig::default())
+                group_coverage(&mut engine, &pool, &target, tau, 50, &DncConfig::default()).unwrap()
             })
         });
     }
@@ -55,7 +55,7 @@ fn bench_traversal_ablation(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut engine = Engine::new(PerfectSource::new(&data));
-                group_coverage(&mut engine, &pool, &target, 50, 50, &cfg)
+                group_coverage(&mut engine, &pool, &target, 50, 50, &cfg).unwrap()
             })
         });
     }
@@ -70,7 +70,7 @@ fn bench_base_coverage(c: &mut Criterion) {
     c.bench_function("base_coverage/10k_uncovered", |b| {
         b.iter(|| {
             let mut engine = Engine::new(PerfectSource::new(&data));
-            base_coverage(&mut engine, &pool, &target, 51)
+            base_coverage(&mut engine, &pool, &target, 51).unwrap()
         })
     });
 }

@@ -42,7 +42,7 @@ fn ablation_traversal() {
                     collect_witnesses: false,
                 };
                 let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
-                group_coverage(&mut engine, &data.all_ids(), &female, tau, 50, &cfg);
+                group_coverage(&mut engine, &data.all_ids(), &female, tau, 50, &cfg).unwrap();
                 totals[i] += engine.ledger().total_tasks();
             }
         }
@@ -92,7 +92,8 @@ fn ablation_partition_early_stop() {
                     &female,
                     &cfg,
                     &mut rng,
-                );
+                )
+                .unwrap();
                 assert!(out.covered);
                 totals[i] += out.tasks.total_tasks();
             }
@@ -124,7 +125,7 @@ fn ablation_witness_resolution() {
                 ..MultipleConfig::default()
             };
             let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
-            multiple_coverage(&mut engine, &data.all_ids(), &groups, &cfg, &mut rng);
+            multiple_coverage(&mut engine, &data.all_ids(), &groups, &cfg, &mut rng).unwrap();
             totals[i] += engine.ledger().total_tasks();
         }
     }

@@ -35,10 +35,10 @@ fn run_point(n_total: usize, females: usize, tau: usize, n: usize, seed0: u64) -
         let data = binary_dataset(n_total, females, Placement::Shuffled, &mut rng);
         let pool = data.all_ids();
         let mut engine = Engine::with_point_batch(PerfectSource::new(&data), n.max(1));
-        group_coverage(&mut engine, &pool, &female, tau, n, &DncConfig::default());
+        group_coverage(&mut engine, &pool, &female, tau, n, &DncConfig::default()).unwrap();
         gc += engine.ledger().total_tasks();
         let mut engine = Engine::with_point_batch(PerfectSource::new(&data), n.max(1));
-        base_coverage(&mut engine, &pool, &female, tau);
+        base_coverage(&mut engine, &pool, &female, tau).unwrap();
         base += engine.ledger().total_tasks();
     }
     Avg {

@@ -45,7 +45,8 @@ fn brute_force_tasks(data: &Dataset, groups: &[Pattern]) -> u64 {
             TAU,
             N_SUBSET,
             &DncConfig::default(),
-        );
+        )
+        .unwrap();
     }
     engine.ledger().total_tasks()
 }
@@ -59,7 +60,7 @@ fn run_multi_scenario(scenario: &Scenario) -> (f64, f64) {
         let mut rng = SmallRng::seed_from_u64(9_000 + seed);
         let data = multi_group_dataset(&scenario.counts, &mut rng);
         let mut engine = Engine::with_point_batch(PerfectSource::new(&data), N_SUBSET);
-        multiple_coverage(&mut engine, &data.all_ids(), &groups, &config(), &mut rng);
+        multiple_coverage(&mut engine, &data.all_ids(), &groups, &config(), &mut rng).unwrap();
         multi += engine.ledger().total_tasks();
         brute += brute_force_tasks(&data, &groups);
     }
@@ -92,7 +93,8 @@ fn run_intersectional_scenario(cards: &[usize], counts: &[usize]) -> (f64, f64) 
             .counts(counts)
             .build(&mut rng);
         let mut engine = Engine::with_point_batch(PerfectSource::new(&data), N_SUBSET);
-        intersectional_coverage(&mut engine, &data.all_ids(), &schema, &config(), &mut rng);
+        intersectional_coverage(&mut engine, &data.all_ids(), &schema, &config(), &mut rng)
+            .unwrap();
         inter += engine.ledger().total_tasks();
         brute += brute_force_tasks(&data, &groups);
     }

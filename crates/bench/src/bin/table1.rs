@@ -51,7 +51,8 @@ fn run_regime(qc: QualityControl) -> RegimeResult {
             TAU,
             N_SUBSET,
             &DncConfig::default(),
-        );
+        )
+        .unwrap();
         gc_hits += engine.ledger().total_tasks();
         dollars += pricing.total_cost(engine.ledger());
         err_sum += engine.source().stats().individual_error_rate();
@@ -62,7 +63,7 @@ fn run_regime(qc: QualityControl) -> RegimeResult {
         // Base-Coverage on the crowd.
         let sim = MTurkSim::new(&data, data.schema().clone(), workers, qc, 77 + seed);
         let mut engine = Engine::with_point_batch(sim, N_SUBSET);
-        base_coverage(&mut engine, &pool_ids, &female, TAU);
+        base_coverage(&mut engine, &pool_ids, &female, TAU).unwrap();
         base_hits += engine.ledger().total_tasks();
     }
     RegimeResult {

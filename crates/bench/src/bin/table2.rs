@@ -73,7 +73,8 @@ fn main() {
                     ..ClassifierConfig::default()
                 },
                 &mut rng,
-            );
+            )
+            .unwrap();
             cc_hits += out.tasks.total_tasks();
             strategy = Some(out.strategy);
             if out.covered {
@@ -89,7 +90,8 @@ fn main() {
                 TAU,
                 N_SUBSET,
                 &DncConfig::default(),
-            );
+            )
+            .unwrap();
             gc_hits += engine.ledger().total_tasks();
         }
 

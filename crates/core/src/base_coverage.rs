@@ -6,6 +6,7 @@
 //! the two-step baseline the paper argues is too expensive.
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::error::{try_ask, Interrupted};
 use crate::group_coverage::GroupCoverageOutcome;
 use crate::target::Target;
 
@@ -15,42 +16,56 @@ use crate::target::Target;
 /// [`group_coverage`](crate::group_coverage::group_coverage); the
 /// `set_queries` field is zero — the cost shows up in the engine ledger's
 /// point tasks (one per object scanned).
+///
+/// # Errors
+/// When the ask path fails (budget exhausted, cancelled, source failure)
+/// the returned [`Interrupted`] carries the partial outcome: the witnesses
+/// found and the member count proven before the cut.
 pub fn base_coverage<S: AnswerSource>(
     engine: &mut Engine<S>,
     pool: &[ObjectId],
     target: &Target,
     tau: usize,
-) -> GroupCoverageOutcome {
+) -> Result<GroupCoverageOutcome, Interrupted<GroupCoverageOutcome>> {
     let mut cnt = 0usize;
     let mut witnesses = Vec::new();
     if tau == 0 {
-        return GroupCoverageOutcome {
+        return Ok(GroupCoverageOutcome {
             covered: true,
             count: 0,
             set_queries: 0,
             witnesses,
-        };
+        });
     }
     for &t in pool {
-        if engine.ask_membership_single(t, target) {
+        let is_member = try_ask!(
+            engine.ask_membership_single(t, target),
+            GroupCoverageOutcome {
+                covered: false,
+                count: cnt,
+                set_queries: 0,
+                witnesses,
+            }
+        );
+        if is_member {
             cnt += 1;
             witnesses.push(t);
             if cnt >= tau {
-                return GroupCoverageOutcome {
+                return Ok(GroupCoverageOutcome {
                     covered: true,
                     count: cnt,
                     set_queries: 0,
                     witnesses,
-                };
+                });
             }
         }
     }
-    GroupCoverageOutcome {
+    Ok(GroupCoverageOutcome {
         covered: false,
         count: cnt,
         set_queries: 0,
         witnesses,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -77,7 +92,7 @@ mod tests {
     fn covered_stops_at_tau() {
         let truth = truth_with_minority(1000, 100);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50);
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50).unwrap();
         assert!(out.covered);
         assert_eq!(out.count, 50);
         // Minority is at the front: exactly 50 point tasks.
@@ -89,7 +104,7 @@ mod tests {
     fn uncovered_scans_everything() {
         let truth = truth_with_minority(200, 10);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50);
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50).unwrap();
         assert!(!out.covered);
         assert_eq!(out.count, 10);
         assert_eq!(engine.ledger().point_tasks(), 200);
@@ -102,7 +117,7 @@ mod tests {
         // one task per object — the paper defines it that way.
         let truth = truth_with_minority(30, 0);
         let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
-        base_coverage(&mut engine, &truth.all_ids(), &minority(), 5);
+        base_coverage(&mut engine, &truth.all_ids(), &minority(), 5).unwrap();
         assert_eq!(engine.ledger().point_tasks(), 30);
     }
 
@@ -110,7 +125,7 @@ mod tests {
     fn tau_zero_trivially_covered() {
         let truth = truth_with_minority(5, 0);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 0);
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 0).unwrap();
         assert!(out.covered);
         assert_eq!(engine.ledger().total_tasks(), 0);
     }
@@ -119,7 +134,7 @@ mod tests {
     fn empty_pool() {
         let truth = truth_with_minority(0, 0);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let out = base_coverage(&mut engine, &[], &minority(), 3);
+        let out = base_coverage(&mut engine, &[], &minority(), 3).unwrap();
         assert!(!out.covered);
         assert_eq!(out.count, 0);
     }
@@ -136,7 +151,7 @@ mod tests {
             .collect();
         let truth = VecGroundTruth::new(labels);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50);
+        let out = base_coverage(&mut engine, &truth.all_ids(), &minority(), 50).unwrap();
         assert!(out.covered);
         let tasks = engine.ledger().total_tasks();
         assert!(

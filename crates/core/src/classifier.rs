@@ -19,6 +19,7 @@
 //! *partition when sample precision ≥ 0.75* (see DESIGN.md §2).
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::error::{try_ask, Interrupted};
 use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome};
 use crate::ledger::TaskLedger;
 use crate::target::Target;
@@ -98,6 +99,15 @@ pub struct ClassifierOutcome {
 /// Panics when `cfg.n == 0`, when `sample_fraction` is outside `(0, 1]`,
 /// or when `predicted` contains ids missing from `pool`.
 ///
+/// # Errors
+/// When the ask path fails, the [`Interrupted`] error carries a partial
+/// [`ClassifierOutcome`] with the members verified before the cut (`count`
+/// a lower bound, `covered == false`) — unless those members already reach
+/// `τ`, in which case the answers in hand prove coverage and the run
+/// finishes `Ok` with a covered verdict despite the refusal. A failure
+/// during the precision sample reports the conservative `Label` strategy
+/// with zero estimated precision.
+///
 /// # Example
 ///
 /// ```
@@ -119,7 +129,7 @@ pub struct ClassifierOutcome {
 /// let out = classifier_coverage(
 ///     &mut engine, &truth.all_ids(), &predicted, &female,
 ///     &ClassifierConfig::default(), &mut rng,
-/// );
+/// ).unwrap();
 /// assert!(out.covered);
 /// assert_eq!(out.strategy, FpElimination::Partition); // precision ≈ 1.0
 /// // Verifying via the classifier is far cheaper than a fresh search.
@@ -132,7 +142,7 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
     target: &Target,
     cfg: &ClassifierConfig,
     rng: &mut R,
-) -> ClassifierOutcome {
+) -> Result<ClassifierOutcome, Interrupted<ClassifierOutcome>> {
     assert!(cfg.n > 0, "subset size upper bound n must be positive");
     assert!(
         cfg.sample_fraction > 0.0 && cfg.sample_fraction <= 1.0,
@@ -145,6 +155,24 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
         "predicted set must be a subset of the pool"
     );
 
+    /// Partial outcome shared by every interruption site.
+    fn partial_outcome(
+        strategy: FpElimination,
+        estimated_precision: f64,
+        verified: usize,
+        tasks: TaskLedger,
+    ) -> ClassifierOutcome {
+        ClassifierOutcome {
+            covered: false,
+            strategy,
+            estimated_precision,
+            verified_in_predicted: verified,
+            count: verified,
+            count_exact: false,
+            tasks,
+        }
+    }
+
     // Lines 2-3: sample G, label it, estimate precision.
     let mut predicted: Vec<ObjectId> = predicted.to_vec();
     let sample_size = ((predicted.len() as f64 * cfg.sample_fraction).ceil() as usize)
@@ -156,7 +184,10 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
         predicted.swap(j, len - 1 - i);
     }
     let sample: Vec<ObjectId> = predicted.split_off(len - sample_size);
-    let sample_labels = engine.ask_point_labels_batched(&sample);
+    let sample_labels = try_ask!(
+        engine.ask_point_labels_batched(&sample),
+        partial_outcome(FpElimination::Label, 0.0, 0, engine.ledger().since(&before))
+    );
     let sample_true: Vec<ObjectId> = sample
         .iter()
         .zip(&sample_labels)
@@ -185,7 +216,37 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
     let mut label_exhaustive = true;
     match strategy {
         FpElimination::Partition => {
-            verified += partition(engine, &predicted, target, cfg.n, early_stop).len();
+            let found = match partition(engine, &predicted, target, cfg.n, early_stop) {
+                Ok(found) => found,
+                Err(i) => {
+                    // Count the members the partition pass had verified. If
+                    // they already reach τ the answers in hand *prove*
+                    // coverage — finish Ok exactly as the post-elimination
+                    // check below would, instead of reporting a cut.
+                    let total = verified + i.partial.len();
+                    if total >= cfg.tau {
+                        return Ok(ClassifierOutcome {
+                            covered: true,
+                            strategy,
+                            estimated_precision,
+                            verified_in_predicted: total,
+                            count: total,
+                            count_exact: false,
+                            tasks: engine.ledger().since(&before),
+                        });
+                    }
+                    return Err(Interrupted {
+                        partial: partial_outcome(
+                            strategy,
+                            estimated_precision,
+                            total,
+                            engine.ledger().since(&before),
+                        ),
+                        error: i.error,
+                    });
+                }
+            };
+            verified += found.len();
         }
         FpElimination::Label => {
             // Label in batches; stop once τ members are verified (Alg. 5
@@ -193,7 +254,15 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
             let mut i = 0usize;
             while i < predicted.len() && verified < cfg.tau {
                 let end = (i + engine.point_batch()).min(predicted.len());
-                let labels = engine.ask_point_labels_batched(&predicted[i..end]);
+                let labels = try_ask!(
+                    engine.ask_point_labels_batched(&predicted[i..end]),
+                    partial_outcome(
+                        strategy,
+                        estimated_precision,
+                        verified,
+                        engine.ledger().since(&before)
+                    )
+                );
                 verified += labels.iter().filter(|l| target.matches(l)).count();
                 i = end;
             }
@@ -203,7 +272,7 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
 
     // Line 6: enough verified members already?
     if verified >= cfg.tau {
-        return ClassifierOutcome {
+        return Ok(ClassifierOutcome {
             covered: true,
             strategy,
             estimated_precision,
@@ -211,7 +280,7 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
             count: verified,
             count_exact: false,
             tasks: engine.ledger().since(&before),
-        };
+        });
     }
 
     // Line 7: hunt for false negatives in D − G.
@@ -222,9 +291,26 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
         .copied()
         .collect();
     let out: GroupCoverageOutcome =
-        group_coverage(engine, &rest, target, cfg.tau - verified, cfg.n, &cfg.dnc);
+        match group_coverage(engine, &rest, target, cfg.tau - verified, cfg.n, &cfg.dnc) {
+            Ok(out) => out,
+            Err(i) => {
+                // Fold the interrupted hunt's lower bound into the partial.
+                return Err(Interrupted {
+                    partial: ClassifierOutcome {
+                        covered: false,
+                        strategy,
+                        estimated_precision,
+                        verified_in_predicted: verified,
+                        count: verified + i.partial.count,
+                        count_exact: false,
+                        tasks: engine.ledger().since(&before),
+                    },
+                    error: i.error,
+                });
+            }
+        };
 
-    ClassifierOutcome {
+    Ok(ClassifierOutcome {
         covered: out.covered,
         strategy,
         estimated_precision,
@@ -232,20 +318,24 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
         count: verified + out.count,
         count_exact: !out.covered && label_exhaustive,
         tasks: engine.ledger().since(&before),
-    }
+    })
 }
 
 /// `Partition` (Algorithm 5): divide-and-conquer removal of false positives
 /// from `objects` using reverse set queries. Returns the verified members.
 ///
 /// `early_stop`: when `Some(k)`, stop as soon as `k` members are verified.
+///
+/// # Errors
+/// On an ask-path failure the [`Interrupted`] error carries the members
+/// verified before the cut.
 pub fn partition<S: AnswerSource>(
     engine: &mut Engine<S>,
     objects: &[ObjectId],
     target: &Target,
     n: usize,
     early_stop: Option<usize>,
-) -> Vec<ObjectId> {
+) -> Result<Vec<ObjectId>, Interrupted<Vec<ObjectId>>> {
     assert!(n > 0, "subset size upper bound n must be positive");
     let reverse = target.negated();
     let mut verified = Vec::new();
@@ -262,7 +352,7 @@ pub fn partition<S: AnswerSource>(
                 break;
             }
         }
-        let any_not = engine.ask_set(&objects[b..e], &reverse);
+        let any_not = try_ask!(engine.ask_set(&objects[b..e], &reverse), verified);
         if !any_not {
             // No outsider in this chunk: every object verified at once.
             verified.extend_from_slice(&objects[b..e]);
@@ -273,7 +363,7 @@ pub fn partition<S: AnswerSource>(
         }
         // A singleton answering "yes, not in g" is a false positive: drop.
     }
-    verified
+    Ok(verified)
 }
 
 #[cfg(test)]
@@ -311,7 +401,7 @@ mod tests {
         let truth = truth_spread(100, &positives);
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let all = truth.all_ids();
-        let verified = partition(&mut engine, &all, &minority(), 50, None);
+        let verified = partition(&mut engine, &all, &minority(), 50, None).unwrap();
         assert_eq!(verified.len(), 99);
         assert!(!verified.contains(&ObjectId(99)));
         // 2 roots + the d&c path isolating the single FP: ≲ 2 + 2·log2(50).
@@ -324,7 +414,7 @@ mod tests {
         let positives: Vec<usize> = (0..100).collect();
         let truth = truth_spread(100, &positives);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let verified = partition(&mut engine, &truth.all_ids(), &minority(), 50, None);
+        let verified = partition(&mut engine, &truth.all_ids(), &minority(), 50, None).unwrap();
         assert_eq!(verified.len(), 100);
         assert_eq!(engine.ledger().set_queries(), 2);
     }
@@ -334,7 +424,7 @@ mod tests {
         let positives: Vec<usize> = (0..200).collect();
         let truth = truth_spread(200, &positives);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let verified = partition(&mut engine, &truth.all_ids(), &minority(), 50, Some(50));
+        let verified = partition(&mut engine, &truth.all_ids(), &minority(), 50, Some(50)).unwrap();
         assert!(verified.len() >= 50);
         assert_eq!(engine.ledger().set_queries(), 1);
     }
@@ -343,7 +433,7 @@ mod tests {
     fn partition_all_false_positives_drops_everything() {
         let truth = truth_spread(60, &[]);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let verified = partition(&mut engine, &truth.all_ids(), &minority(), 50, None);
+        let verified = partition(&mut engine, &truth.all_ids(), &minority(), 50, None).unwrap();
         assert!(verified.is_empty());
     }
 
@@ -363,7 +453,8 @@ mod tests {
             &minority(),
             &ClassifierConfig::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(out.strategy, FpElimination::Partition);
         assert!(out.covered);
         assert!(out.estimated_precision >= 0.9);
@@ -392,7 +483,8 @@ mod tests {
             &minority(),
             &ClassifierConfig::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(out.strategy, FpElimination::Label);
         assert!(!out.covered, "only 20 females in 3000 with τ=50");
         assert_eq!(out.count, 20, "exact count expected, got {}", out.count);
@@ -413,7 +505,8 @@ mod tests {
             &minority(),
             &ClassifierConfig::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(out.covered);
         assert_eq!(out.strategy, FpElimination::Partition);
         // 1 sample batch + 4 partition roots.
@@ -433,7 +526,8 @@ mod tests {
             &minority(),
             &ClassifierConfig::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(out.covered);
         assert_eq!(out.verified_in_predicted, 0);
     }
@@ -454,7 +548,8 @@ mod tests {
             &minority(),
             &ClassifierConfig::default(),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(!out.covered);
         assert_eq!(out.count, 45);
     }
@@ -465,7 +560,7 @@ mod tests {
         let truth = truth_spread(10, &[]);
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let mut rng = SmallRng::seed_from_u64(0);
-        classifier_coverage(
+        let _ = classifier_coverage(
             &mut engine,
             &truth.all_ids(),
             &[ObjectId(99)],
@@ -485,7 +580,7 @@ mod tests {
             sample_fraction: 0.0,
             ..ClassifierConfig::default()
         };
-        classifier_coverage(
+        let _ = classifier_coverage(
             &mut engine,
             &truth.all_ids(),
             &[],

@@ -10,13 +10,22 @@
 //! * **point query** — "what are the attribute values of this object?", or
 //!   the yes/no variant "does this object belong to g?";
 //! * **set query** — "does this *set* contain at least one object of g?".
+//!
+//! The ask path is **fallible**: every question can come back as an
+//! [`AskError`] — a budget refused it, the run's [`CancelToken`] was
+//! flipped, or the source itself failed. Sources that can never fail
+//! implement [`InfallibleSource`] and pick up the fallible [`AnswerSource`]
+//! interface through a zero-cost blanket adapter.
 
+use crate::error::AskError;
 use crate::ledger::{batched_tasks, TaskLedger};
 use crate::schema::Labels;
 use crate::target::Target;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Identifier of an object (image) in a dataset: a dense index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -126,9 +135,43 @@ impl GroundTruth for VecGroundTruth {
     }
 }
 
-/// Something that can answer crowd questions. Answers may be wrong —
-/// that is the point of the abstraction.
+/// Something that can answer crowd questions, fallibly. Answers may be
+/// wrong — that is the point of the abstraction — and may be *refused*:
+/// budget governors return [`AskError::BudgetExhausted`], serving layers
+/// return [`AskError::SourceFailed`] when the platform is unreachable.
+///
+/// Sources that can never fail (a perfect oracle, a pure simulator over
+/// in-range ids) should implement [`InfallibleSource`] instead; a blanket
+/// adapter lifts them into this trait by wrapping every answer in `Ok`.
 pub trait AnswerSource {
+    /// Answer a set query: does `objects` contain at least one member of
+    /// `target`?
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError>;
+
+    /// Answer a point query: the attribute values of `object`.
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError>;
+
+    /// Answer a yes/no point query: does `object` belong to `target`?
+    ///
+    /// The default derives the answer from a label request; sources with a
+    /// distinct yes/no error process should override.
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
+        let labels = self.try_answer_point_labels(object)?;
+        Ok(target.matches(&labels))
+    }
+}
+
+/// An answer source that can never refuse a question.
+///
+/// Implement this for oracles and simulators whose every answer is a plain
+/// value; the blanket `impl<S: InfallibleSource> AnswerSource for S` adapts
+/// them to the fallible interface at zero cost (each answer is wrapped in
+/// `Ok`, nothing else).
+pub trait InfallibleSource {
     /// Answer a set query: does `objects` contain at least one member of
     /// `target`?
     fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool;
@@ -137,12 +180,27 @@ pub trait AnswerSource {
     fn answer_point_labels(&mut self, object: ObjectId) -> Labels;
 
     /// Answer a yes/no point query: does `object` belong to `target`?
-    ///
-    /// The default derives the answer from a label request; sources with a
-    /// distinct yes/no error process should override.
     fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
         let labels = self.answer_point_labels(object);
         target.matches(&labels)
+    }
+}
+
+impl<S: InfallibleSource> AnswerSource for S {
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
+        Ok(self.answer_set(objects, target))
+    }
+
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+        Ok(self.answer_point_labels(object))
+    }
+
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
+        Ok(self.answer_membership(object, target))
     }
 }
 
@@ -155,23 +213,61 @@ pub trait AnswerSource {
 /// layout — instead of hitting the platform once per object. The default
 /// methods fall back to one-at-a-time answering, so any source is trivially
 /// a batch source; platforms with real per-HIT overhead (e.g. `MTurkSim` in
-/// the `crowd-sim` crate) override them.
+/// the `crowd-sim` crate) override them. A batch is all-or-nothing: on
+/// `Err` no answer of the batch is delivered.
 pub trait BatchAnswerSource: AnswerSource {
     /// Labels every object in `objects`, treating the whole slice as one
     /// coalesced request. Answers must line up index-for-index.
-    fn answer_point_labels_batch(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+    fn try_answer_point_labels_batch(
+        &mut self,
+        objects: &[ObjectId],
+    ) -> Result<Vec<Labels>, AskError> {
         objects
             .iter()
-            .map(|o| self.answer_point_labels(*o))
+            .map(|o| self.try_answer_point_labels(*o))
             .collect()
     }
 
     /// Answers a batch of independent set queries, one answer per query.
-    fn answer_sets_batch(&mut self, queries: &[(Vec<ObjectId>, Target)]) -> Vec<bool> {
+    fn try_answer_sets_batch(
+        &mut self,
+        queries: &[(Vec<ObjectId>, Target)],
+    ) -> Result<Vec<bool>, AskError> {
         queries
             .iter()
-            .map(|(objects, target)| self.answer_set(objects, target))
+            .map(|(objects, target)| self.try_answer_set(objects, target))
             .collect()
+    }
+}
+
+/// A cooperative cancellation flag shared between a running audit and
+/// whoever may want to stop it.
+///
+/// Clone the token, hand one clone to [`Engine::set_cancel_token`], keep
+/// the other; [`CancelToken::cancel`] makes the engine's next `ask_*`
+/// return [`AskError::Cancelled`], and the interrupted algorithm surfaces
+/// its partial result. Cancellation is observed at question boundaries —
+/// no work in flight is torn down.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every engine holding a clone observes it at
+    /// its next question.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -190,7 +286,7 @@ impl<'a, G: GroundTruth> PerfectSource<'a, G> {
     }
 }
 
-impl<G: GroundTruth> AnswerSource for PerfectSource<'_, G> {
+impl<G: GroundTruth> InfallibleSource for PerfectSource<'_, G> {
     fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
         objects
             .iter()
@@ -209,11 +305,17 @@ impl<G: GroundTruth> BatchAnswerSource for PerfectSource<'_, G> {}
 pub const DEFAULT_POINT_BATCH: usize = 50;
 
 /// Meters questions to an [`AnswerSource`] through a [`TaskLedger`].
+///
+/// Every `ask_*` method is fallible: it returns `Err` when the run's
+/// [`CancelToken`] was flipped, when the source's budget refuses the
+/// question, or when the source itself fails. Only *answered* questions
+/// are recorded in the ledger — a refused question costs nothing.
 #[derive(Debug, Clone)]
 pub struct Engine<S> {
     source: S,
     ledger: TaskLedger,
     point_batch: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl<S: AnswerSource> Engine<S> {
@@ -233,39 +335,91 @@ impl<S: AnswerSource> Engine<S> {
             source,
             ledger: TaskLedger::new(),
             point_batch,
+            cancel: None,
+        }
+    }
+
+    /// Installs a cancellation token: once its [`CancelToken::cancel`] is
+    /// called (from any thread holding a clone), every subsequent `ask_*`
+    /// returns [`AskError::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Builder form of [`Engine::set_cancel_token`].
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.set_cancel_token(token);
+        self
+    }
+
+    /// `Err(Cancelled)` once the installed token has been flipped.
+    fn checkpoint(&self) -> Result<(), AskError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(AskError::Cancelled),
+            _ => Ok(()),
         }
     }
 
     /// Issues a set query (one task).
-    pub fn ask_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+    pub fn ask_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
+        self.checkpoint()?;
+        let ans = self.source.try_answer_set(objects, target)?;
         self.ledger.record_set_query();
-        self.source.answer_set(objects, target)
+        Ok(ans)
     }
 
     /// Labels a single object as its own task (used by `Base-Coverage`-style
     /// single-object HITs).
-    pub fn ask_point_labels_single(&mut self, object: ObjectId) -> Labels {
+    pub fn ask_point_labels_single(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+        self.checkpoint()?;
+        let labels = self.source.try_answer_point_labels(object)?;
         self.ledger.record_point_work(1, 1);
-        self.source.answer_point_labels(object)
+        Ok(labels)
     }
 
     /// Yes/no membership question about a single object (one task).
-    pub fn ask_membership_single(&mut self, object: ObjectId, target: &Target) -> bool {
+    pub fn ask_membership_single(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
+        self.checkpoint()?;
+        let ans = self.source.try_answer_membership(object, target)?;
         self.ledger.record_point_work(1, 1);
-        self.source.answer_membership(object, target)
+        Ok(ans)
     }
 
     /// Labels a batch of objects, charged as `ceil(len / point_batch)` tasks
     /// — the paper's many-images-per-HIT layout.
-    pub fn ask_point_labels_batched(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+    ///
+    /// Delivery is all-or-nothing: on `Err` no labels are returned. The
+    /// labels the source *did* answer before refusing are still metered in
+    /// the ledger — they are real crowd work (a governor has charged them,
+    /// and behind a cache they stay reusable), so the ledger must not
+    /// understate them.
+    pub fn ask_point_labels_batched(
+        &mut self,
+        objects: &[ObjectId],
+    ) -> Result<Vec<Labels>, AskError> {
+        self.checkpoint()?;
+        let mut labels: Vec<Labels> = Vec::with_capacity(objects.len());
+        for o in objects {
+            match self.source.try_answer_point_labels(*o) {
+                Ok(l) => labels.push(l),
+                Err(error) => {
+                    self.ledger.record_point_work(
+                        labels.len() as u64,
+                        batched_tasks(labels.len(), self.point_batch),
+                    );
+                    return Err(error);
+                }
+            }
+        }
         self.ledger.record_point_work(
             objects.len() as u64,
             batched_tasks(objects.len(), self.point_batch),
         );
-        objects
-            .iter()
-            .map(|o| self.source.answer_point_labels(*o))
-            .collect()
+        Ok(labels)
     }
 
     /// The configured point-query batch size.
@@ -322,8 +476,8 @@ mod tests {
         let target = Target::group(Pattern::parse("1").unwrap());
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let all: Vec<ObjectId> = truth.all_ids();
-        assert!(engine.ask_set(&all[..5], &target));
-        assert!(!engine.ask_set(&all[5..], &target));
+        assert!(engine.ask_set(&all[..5], &target).unwrap());
+        assert!(!engine.ask_set(&all[5..], &target).unwrap());
         assert_eq!(engine.ledger().set_queries(), 2);
         assert_eq!(engine.ledger().total_tasks(), 2);
     }
@@ -333,10 +487,10 @@ mod tests {
         let truth = truth_with_minority(4, 2);
         let target = Target::group(Pattern::parse("1").unwrap());
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        assert!(engine.ask_membership_single(ObjectId(0), &target));
-        assert!(!engine.ask_membership_single(ObjectId(3), &target));
+        assert!(engine.ask_membership_single(ObjectId(0), &target).unwrap());
+        assert!(!engine.ask_membership_single(ObjectId(3), &target).unwrap());
         assert_eq!(
-            engine.ask_point_labels_single(ObjectId(1)),
+            engine.ask_point_labels_single(ObjectId(1)).unwrap(),
             Labels::single(1)
         );
         assert_eq!(engine.ledger().point_tasks(), 3);
@@ -348,7 +502,7 @@ mod tests {
         let truth = truth_with_minority(120, 0);
         let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
         let ids = truth.all_ids();
-        let labels = engine.ask_point_labels_batched(&ids);
+        let labels = engine.ask_point_labels_batched(&ids).unwrap();
         assert_eq!(labels.len(), 120);
         assert_eq!(engine.ledger().point_tasks(), 3); // ceil(120/50)
         assert_eq!(engine.ledger().point_labels(), 120);
@@ -358,7 +512,7 @@ mod tests {
     fn empty_batch_charges_nothing() {
         let truth = truth_with_minority(1, 0);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        let labels = engine.ask_point_labels_batched(&[]);
+        let labels = engine.ask_point_labels_batched(&[]).unwrap();
         assert!(labels.is_empty());
         assert_eq!(engine.ledger().total_tasks(), 0);
     }
@@ -369,10 +523,96 @@ mod tests {
         let target = Target::group(Pattern::parse("1").unwrap());
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let ids = truth.all_ids();
-        engine.ask_set(&ids, &target);
+        engine.ask_set(&ids, &target).unwrap();
         let snap = engine.ledger_snapshot();
-        engine.ask_set(&ids, &target);
+        engine.ask_set(&ids, &target).unwrap();
         assert_eq!(engine.ledger().since(&snap).set_queries(), 1);
+    }
+
+    #[test]
+    fn cancel_token_stops_every_ask() {
+        let truth = truth_with_minority(10, 5);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let token = CancelToken::new();
+        let mut engine = Engine::new(PerfectSource::new(&truth)).with_cancel_token(token.clone());
+        let ids = truth.all_ids();
+        assert!(engine.ask_set(&ids, &target).is_ok());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert_eq!(engine.ask_set(&ids, &target), Err(AskError::Cancelled));
+        assert_eq!(
+            engine.ask_point_labels_single(ObjectId(0)),
+            Err(AskError::Cancelled)
+        );
+        assert_eq!(
+            engine.ask_membership_single(ObjectId(0), &target),
+            Err(AskError::Cancelled)
+        );
+        assert_eq!(
+            engine.ask_point_labels_batched(&ids),
+            Err(AskError::Cancelled)
+        );
+        // The refused questions were never charged.
+        assert_eq!(engine.ledger().total_tasks(), 1);
+    }
+
+    /// A source that refuses every question after the first `allow` ones.
+    struct FlakySource<'a, G: GroundTruth> {
+        inner: PerfectSource<'a, G>,
+        allow: usize,
+    }
+
+    impl<G: GroundTruth> AnswerSource for FlakySource<'_, G> {
+        fn try_answer_set(
+            &mut self,
+            objects: &[ObjectId],
+            target: &Target,
+        ) -> Result<bool, AskError> {
+            if self.allow == 0 {
+                return Err(AskError::SourceFailed("flaky".into()));
+            }
+            self.allow -= 1;
+            self.inner.try_answer_set(objects, target)
+        }
+
+        fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+            if self.allow == 0 {
+                return Err(AskError::SourceFailed("flaky".into()));
+            }
+            self.allow -= 1;
+            self.inner.try_answer_point_labels(object)
+        }
+    }
+
+    #[test]
+    fn failed_questions_are_not_charged() {
+        let truth = truth_with_minority(10, 5);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = truth.all_ids();
+        let mut engine = Engine::with_point_batch(
+            FlakySource {
+                inner: PerfectSource::new(&truth),
+                allow: 3,
+            },
+            50,
+        );
+        assert!(engine.ask_set(&ids, &target).is_ok());
+        // The batch needs 10 answers but only 2 remain: no labels are
+        // delivered, yet the 2 the source answered (and a governor would
+        // have charged) stay metered.
+        assert!(matches!(
+            engine.ask_point_labels_batched(&ids),
+            Err(AskError::SourceFailed(_))
+        ));
+        assert_eq!(engine.ledger().point_labels(), 2);
+        assert_eq!(engine.ledger().point_tasks(), 1); // ceil(2/50)
+        assert_eq!(engine.ledger().total_tasks(), 2);
+        // The refused question itself was never charged.
+        assert!(matches!(
+            engine.ask_membership_single(ObjectId(0), &target),
+            Err(AskError::SourceFailed(_))
+        ));
+        assert_eq!(engine.ledger().total_tasks(), 2);
     }
 
     #[test]
@@ -393,7 +633,7 @@ mod tests {
         let ids = truth.all_ids();
 
         let mut batch = PerfectSource::new(&truth);
-        let batched = batch.answer_point_labels_batch(&ids);
+        let batched = batch.try_answer_point_labels_batch(&ids).unwrap();
         let mut single = PerfectSource::new(&truth);
         let singles: Vec<Labels> = ids.iter().map(|o| single.answer_point_labels(*o)).collect();
         assert_eq!(batched, singles);
@@ -402,7 +642,10 @@ mod tests {
             (ids[..10].to_vec(), target.clone()),
             (ids[10..].to_vec(), target.clone()),
         ];
-        assert_eq!(batch.answer_sets_batch(&queries), vec![true, false]);
+        assert_eq!(
+            batch.try_answer_sets_batch(&queries).unwrap(),
+            vec![true, false]
+        );
     }
 
     #[test]
@@ -417,7 +660,7 @@ mod tests {
     fn reset_ledger_zeroes() {
         let truth = truth_with_minority(2, 1);
         let mut engine = Engine::new(PerfectSource::new(&truth));
-        engine.ask_point_labels_single(ObjectId(0));
+        engine.ask_point_labels_single(ObjectId(0)).unwrap();
         engine.reset_ledger();
         assert_eq!(engine.ledger().total_tasks(), 0);
     }

@@ -1,6 +1,122 @@
-//! Error type for schema and pattern construction.
+//! Error types: schema/pattern construction failures and the fallible
+//! ask path.
+//!
+//! Two families live here:
+//!
+//! * [`CoverageError`] — data-dependent construction failures (bad schemas,
+//!   unparsable patterns);
+//! * [`AskError`] / [`Interrupted`] — failures of the *ask path*: a crowd
+//!   question that could not be answered because a budget ran out, the run
+//!   was cancelled, or the answer source itself failed. Algorithms surface
+//!   these as `Err(Interrupted { error, partial })`, carrying the partial
+//!   result discovered before the cut — coverage auditing is an anytime
+//!   process, and partial progress is data, not control flow.
 
 use std::fmt;
+
+/// The budget state at the moment a question was refused.
+///
+/// Carried by [`AskError::BudgetExhausted`] so callers can report how much
+/// was spent and which cap the rejected question would have crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Crowd tasks charged before the rejected question.
+    pub spent: u64,
+    /// The cap the next question would have crossed.
+    pub cap: u64,
+    /// True when the exhausted cap is shared with other ask paths (e.g. a
+    /// service-wide budget) rather than owned by this run alone.
+    pub shared: bool,
+}
+
+impl fmt::Display for BudgetSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} tasks spent ({} cap)",
+            self.spent,
+            self.cap,
+            if self.shared { "shared" } else { "per-run" }
+        )
+    }
+}
+
+/// Why an ask-path question could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AskError {
+    /// A budget cap refused the question; the snapshot records the spend at
+    /// the moment of refusal. The rejected question is never charged.
+    BudgetExhausted(BudgetSnapshot),
+    /// The run's [`CancelToken`](crate::engine::CancelToken) was flipped.
+    Cancelled,
+    /// The answer source itself failed (platform connection lost, invalid
+    /// object id reaching a simulator, ...).
+    SourceFailed(String),
+}
+
+impl fmt::Display for AskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BudgetExhausted(snap) => write!(f, "budget exhausted: {snap}"),
+            Self::Cancelled => write!(f, "run cancelled"),
+            Self::SourceFailed(msg) => write!(f, "answer source failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AskError {}
+
+/// An ask-path failure annotated with the partial result the interrupted
+/// algorithm had discovered so far.
+///
+/// Every algorithm driver returns `Result<Report, Interrupted<Report>>`:
+/// on `Err`, `partial` holds the same report type filled with whatever was
+/// proven before the cut (witnesses found, groups decided, exact counts),
+/// and `error` says why the run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interrupted<P> {
+    /// Why the ask path failed.
+    pub error: AskError,
+    /// Progress proven before the failure.
+    pub partial: P,
+}
+
+impl<P> Interrupted<P> {
+    /// Maps the partial payload, keeping the error.
+    pub fn map_partial<Q>(self, f: impl FnOnce(P) -> Q) -> Interrupted<Q> {
+        Interrupted {
+            error: self.error,
+            partial: f(self.partial),
+        }
+    }
+}
+
+impl<P: fmt::Debug> fmt::Display for Interrupted<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interrupted: {}", self.error)
+    }
+}
+
+impl<P: fmt::Debug> std::error::Error for Interrupted<P> {}
+
+/// Unwraps an ask-path `Result`, or returns `Err(Interrupted)` built from
+/// the given partial-result expression (evaluated only on the error path,
+/// so it may move locals).
+macro_rules! try_ask {
+    ($expr:expr, $partial:expr) => {
+        match $expr {
+            Ok(v) => v,
+            Err(error) => {
+                return Err($crate::error::Interrupted {
+                    error,
+                    partial: $partial,
+                })
+            }
+        }
+    };
+}
+
+pub(crate) use try_ask;
 
 /// Errors raised while building schemas, labels, or patterns.
 ///
@@ -145,5 +261,38 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&CoverageError::EmptySchema);
+        takes_err(&AskError::Cancelled);
+        takes_err(&Interrupted {
+            error: AskError::Cancelled,
+            partial: 3usize,
+        });
+    }
+
+    #[test]
+    fn ask_error_display() {
+        let e = AskError::BudgetExhausted(BudgetSnapshot {
+            spent: 7,
+            cap: 8,
+            shared: false,
+        });
+        assert_eq!(
+            e.to_string(),
+            "budget exhausted: 7 of 8 tasks spent (per-run cap)"
+        );
+        assert_eq!(AskError::Cancelled.to_string(), "run cancelled");
+        assert!(AskError::SourceFailed("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+
+    #[test]
+    fn interrupted_map_partial_keeps_error() {
+        let i = Interrupted {
+            error: AskError::Cancelled,
+            partial: vec![1, 2],
+        };
+        let mapped = i.map_partial(|v| v.len());
+        assert_eq!(mapped.error, AskError::Cancelled);
+        assert_eq!(mapped.partial, 2);
     }
 }

@@ -16,6 +16,7 @@
 //! additive `Θ(τ·log n)` above the trivial `N/n` lower bound (§3.2).
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::error::{try_ask, Interrupted};
 use crate::target::Target;
 use crate::tree::{Arena, Frontier, Node, NO_NODE};
 use serde::{Deserialize, Serialize};
@@ -81,6 +82,11 @@ pub struct GroupCoverageOutcome {
 /// # Panics
 /// Panics when `n == 0`.
 ///
+/// # Errors
+/// When the ask path fails mid-run, the [`Interrupted`] error carries the
+/// partial outcome: the lower bound `cnt` proven so far, the set queries
+/// already spent and the witnesses already isolated.
+///
 /// # Example
 ///
 /// The paper's running example (Figure 4): sixteen images, five of which are
@@ -103,7 +109,7 @@ pub struct GroupCoverageOutcome {
 ///     3,
 ///     16,
 ///     &DncConfig::default(),
-/// );
+/// ).unwrap();
 /// assert!(out.covered);
 /// assert_eq!(out.set_queries, 7);
 /// ```
@@ -114,26 +120,26 @@ pub fn group_coverage<S: AnswerSource>(
     tau: usize,
     n: usize,
     config: &DncConfig,
-) -> GroupCoverageOutcome {
+) -> Result<GroupCoverageOutcome, Interrupted<GroupCoverageOutcome>> {
     assert!(n > 0, "subset size upper bound n must be positive");
     let before = engine.ledger_snapshot();
     let mut witnesses = Vec::new();
 
     if tau == 0 {
-        return GroupCoverageOutcome {
+        return Ok(GroupCoverageOutcome {
             covered: true,
             count: 0,
             set_queries: 0,
             witnesses,
-        };
+        });
     }
     if pool.is_empty() {
-        return GroupCoverageOutcome {
+        return Ok(GroupCoverageOutcome {
             covered: false,
             count: 0,
             set_queries: 0,
             witnesses,
-        };
+        });
     }
 
     let mut arena = Arena::with_capacity(2 * pool.len().div_ceil(n));
@@ -162,7 +168,19 @@ pub fn group_coverage<S: AnswerSource>(
         let mut known_yes = false;
         loop {
             let node = arena.nodes[id as usize];
-            let ans = known_yes || engine.ask_set(&pool[node.b as usize..node.e as usize], target);
+            let ans = if known_yes {
+                true
+            } else {
+                try_ask!(
+                    engine.ask_set(&pool[node.b as usize..node.e as usize], target),
+                    GroupCoverageOutcome {
+                        covered: false,
+                        count: cnt,
+                        set_queries: engine.ledger().since(&before).set_queries(),
+                        witnesses,
+                    }
+                )
+            };
             arena.nodes[id as usize].done = true;
 
             if node.is_root() {
@@ -203,12 +221,12 @@ pub fn group_coverage<S: AnswerSource>(
             // Line 16: stop as soon as the lower bound proves coverage.
             if cnt >= tau {
                 let used = engine.ledger().since(&before).set_queries();
-                return GroupCoverageOutcome {
+                return Ok(GroupCoverageOutcome {
                     covered: true,
                     count: cnt,
                     set_queries: used,
                     witnesses,
-                };
+                });
             }
 
             // Lines 17-20: split yes-sets larger than one.
@@ -223,12 +241,12 @@ pub fn group_coverage<S: AnswerSource>(
 
     // Line 21: frontier exhausted below threshold — uncovered, `cnt` exact.
     let used = engine.ledger().since(&before).set_queries();
-    GroupCoverageOutcome {
+    Ok(GroupCoverageOutcome {
         covered: false,
         count: cnt,
         set_queries: used,
         witnesses,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -258,7 +276,7 @@ mod tests {
         config: &DncConfig,
     ) -> GroupCoverageOutcome {
         let mut engine = Engine::new(PerfectSource::new(truth));
-        group_coverage(&mut engine, &truth.all_ids(), &minority(), tau, n, config)
+        group_coverage(&mut engine, &truth.all_ids(), &minority(), tau, n, config).unwrap()
     }
 
     /// The paper's running example, Figure 4: 7 queries, covered at τ = 3.
@@ -392,7 +410,8 @@ mod tests {
             50,
             50,
             &DncConfig::with_witnesses(),
-        );
+        )
+        .unwrap();
         assert!(!out.covered);
         let mut got: Vec<usize> = out.witnesses.iter().map(|o| o.index()).collect();
         got.sort_unstable();
@@ -427,7 +446,8 @@ mod tests {
             1,
             10,
             &DncConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(!out.covered); // no positives in the second half
         assert_eq!(out.count, 0);
     }

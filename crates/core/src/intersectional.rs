@@ -10,6 +10,7 @@
 //! maximal uncovered patterns (MUPs).
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::error::Interrupted;
 use crate::ledger::TaskLedger;
 use crate::multiple::{multiple_coverage, GroupResult, MultipleConfig};
 use crate::pattern::Pattern;
@@ -65,6 +66,16 @@ impl IntersectionalReport {
 /// # Panics
 /// Panics when `cfg.n == 0`.
 ///
+/// # Errors
+/// When the ask path fails, the [`Interrupted`] error carries a partial
+/// [`IntersectionalReport`] built from the fully-specified subgroups that
+/// *were* decided: the lattice is propagated over partial knowledge — a
+/// pattern is reported covered as soon as any decided descendant is
+/// covered, uncovered only when **all** its descendants are decided — and
+/// MUPs are emitted only where the pattern and all its parents are
+/// decidable. Every MUP in the partial report is therefore a true MUP of
+/// the complete run (anytime semantics).
+///
 /// # Example
 ///
 /// ```
@@ -91,60 +102,95 @@ impl IntersectionalReport {
 /// let report = intersectional_coverage(
 ///     &mut engine, &truth.all_ids(), &schema,
 ///     &MultipleConfig { tau: 50, ..MultipleConfig::default() }, &mut rng,
-/// );
+/// ).unwrap();
 /// // 40 + 5 = 45 < 50: the whole dark-skinned group is the MUP.
 /// let x_dark = schema.pattern(&[("skin", "dark")]).unwrap();
 /// assert_eq!(report.mups, vec![x_dark]);
 /// ```
+// The Err variant deliberately carries the full partial report — the size
+// is the feature, not an accident.
+#[allow(clippy::result_large_err)]
 pub fn intersectional_coverage<S: AnswerSource, R: Rng + ?Sized>(
     engine: &mut Engine<S>,
     pool: &[ObjectId],
     schema: &AttributeSchema,
     cfg: &MultipleConfig,
     rng: &mut R,
-) -> IntersectionalReport {
+) -> Result<IntersectionalReport, Interrupted<IntersectionalReport>> {
     let mut cfg = cfg.clone();
     cfg.multi = true;
     cfg.resolve_supergroup_members = true;
 
     let graph = PatternGraph::new(schema);
     let full_groups: Vec<Pattern> = graph.full_groups().to_vec();
-    let report = multiple_coverage(engine, pool, &full_groups, &cfg, rng);
+    match multiple_coverage(engine, pool, &full_groups, &cfg, rng) {
+        Ok(report) => Ok(propagate(&graph, report, cfg.tau)),
+        Err(interrupted) => {
+            Err(interrupted.map_partial(|partial| propagate(&graph, partial, cfg.tau)))
+        }
+    }
+}
 
+/// Upward propagation over (possibly partial) full-group verdicts: a
+/// pattern's population is the disjoint sum of its fully-specified
+/// descendants'. With every group decided this is the paper's Algorithm 3
+/// propagation; with a partial verdict set it reports only what is sound —
+/// covered as soon as one decided descendant is covered, uncovered only
+/// when all descendants are decided, undecided patterns omitted.
+fn propagate(
+    graph: &PatternGraph,
+    report: crate::multiple::MultipleReport,
+    tau: usize,
+) -> IntersectionalReport {
     let by_group: HashMap<Pattern, &GroupResult> =
         report.results.iter().map(|r| (r.group, r)).collect();
 
-    // Upward propagation: a pattern's population is the disjoint sum of its
-    // fully-specified descendants'.
     let mut patterns = Vec::with_capacity(graph.len());
     for p in graph.iter() {
         let descendants = graph.full_descendants(p);
         let mut any_covered = false;
         let mut all_exact = true;
+        let mut all_decided = true;
         let mut sum = 0usize;
         for fg in &descendants {
-            let r = by_group[fg];
-            any_covered |= r.covered;
-            all_exact &= r.count_exact;
-            sum += r.count;
+            match by_group.get(fg) {
+                Some(r) => {
+                    any_covered |= r.covered;
+                    all_exact &= r.count_exact;
+                    sum += r.count;
+                }
+                None => all_decided = false,
+            }
         }
-        let covered = any_covered || sum >= cfg.tau;
+        if !all_decided && !any_covered && sum < tau {
+            // Cannot be proven covered or uncovered from what was decided.
+            continue;
+        }
+        let covered = any_covered || sum >= tau;
         patterns.push(PatternCoverage {
             pattern: *p,
             covered,
             count: sum,
-            // A covered descendant's count is a stopped lower bound.
-            exact: all_exact && !any_covered,
+            // A covered descendant's count is a stopped lower bound; an
+            // undecided descendant leaves the sum a lower bound too.
+            exact: all_exact && !any_covered && all_decided,
         });
     }
 
     // MUPs: uncovered with every parent covered (the root qualifies when
-    // the dataset itself is below τ).
+    // the dataset itself is below τ). On partial knowledge a pattern missing
+    // from `covered_map` keeps its children out of the MUP set.
     let covered_map: HashMap<Pattern, bool> =
         patterns.iter().map(|c| (c.pattern, c.covered)).collect();
     let mups: Vec<Pattern> = patterns
         .iter()
-        .filter(|c| !c.covered && c.pattern.parents().iter().all(|p| covered_map[p]))
+        .filter(|c| {
+            !c.covered
+                && c.pattern
+                    .parents()
+                    .iter()
+                    .all(|p| covered_map.get(p).copied().unwrap_or(false))
+        })
         .map(|c| c.pattern)
         .collect();
 
@@ -201,7 +247,7 @@ mod tests {
             tau,
             ..MultipleConfig::default()
         };
-        intersectional_coverage(&mut engine, &truth.all_ids(), schema, &cfg, &mut rng)
+        intersectional_coverage(&mut engine, &truth.all_ids(), schema, &cfg, &mut rng).unwrap()
     }
 
     #[test]
@@ -298,7 +344,8 @@ mod tests {
                 ..MultipleConfig::default()
             };
             let report =
-                intersectional_coverage(&mut engine, &truth.all_ids(), &schema, &cfg, &mut rng);
+                intersectional_coverage(&mut engine, &truth.all_ids(), &schema, &cfg, &mut rng)
+                    .unwrap();
             let mut got = report.mups.clone();
             let mut want = mups_from_labels(truth.labels(), &schema, 50);
             got.sort_by_key(|p| p.to_string());

@@ -55,7 +55,7 @@
 //! let female = schema.pattern(&[("gender", "female")]).unwrap();
 //! let pool: Vec<ObjectId> = truth.all_ids();
 //! let out = group_coverage(&mut engine, &pool, &Target::group(female), 50, 50,
-//!                          &DncConfig::default());
+//!                          &DncConfig::default()).unwrap();
 //! assert!(!out.covered);       // only 30 females < τ = 50
 //! assert_eq!(out.count, 30);   // exact count when uncovered
 //! ```
@@ -95,10 +95,10 @@ pub mod prelude {
         classifier_coverage, ClassifierConfig, ClassifierOutcome, FpElimination,
     };
     pub use crate::engine::{
-        AnswerSource, BatchAnswerSource, Engine, GroundTruth, ObjectId, ObjectIds, PerfectSource,
-        VecGroundTruth,
+        AnswerSource, BatchAnswerSource, CancelToken, Engine, GroundTruth, InfallibleSource,
+        ObjectId, ObjectIds, PerfectSource, VecGroundTruth,
     };
-    pub use crate::error::CoverageError;
+    pub use crate::error::{AskError, BudgetSnapshot, CoverageError, Interrupted};
     pub use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome, Traversal};
     pub use crate::intersectional::{intersectional_coverage, IntersectionalReport};
     pub use crate::ledger::{PricingModel, TaskLedger};

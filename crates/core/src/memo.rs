@@ -18,6 +18,7 @@
 //! brute-force multi-group baseline's repeated root queries.
 
 use crate::engine::{AnswerSource, BatchAnswerSource, ObjectId};
+use crate::error::AskError;
 use crate::schema::Labels;
 use crate::target::Target;
 use std::collections::HashMap;
@@ -68,34 +69,40 @@ impl<S> MemoizedSource<S> {
 }
 
 impl<S: AnswerSource> AnswerSource for MemoizedSource<S> {
-    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
         let key = (objects.to_vec(), target.clone());
         if let Some(ans) = self.set_cache.get(&key) {
             self.hits += 1;
-            return *ans;
+            return Ok(*ans);
         }
         self.misses += 1;
-        let ans = self.inner.answer_set(objects, target);
+        // Only delivered answers are cached: a refused question stays
+        // askable (e.g. once a budget is raised).
+        let ans = self.inner.try_answer_set(objects, target)?;
         self.set_cache.insert(key, ans);
-        ans
+        Ok(ans)
     }
 
-    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
         if let Some(l) = self.label_cache.get(&object) {
             self.hits += 1;
-            return *l;
+            return Ok(*l);
         }
         self.misses += 1;
-        let l = self.inner.answer_point_labels(object);
+        let l = self.inner.try_answer_point_labels(object)?;
         self.label_cache.insert(object, l);
-        l
+        Ok(l)
     }
 
-    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
         // Route through the label cache: a cached label answers any
         // membership question about the object for free.
-        let labels = self.answer_point_labels(object);
-        target.matches(&labels)
+        let labels = self.try_answer_point_labels(object)?;
+        Ok(target.matches(&labels))
     }
 }
 
@@ -119,15 +126,17 @@ struct SharedMemo {
 
 impl SharedMemo {
     fn lock(&self) -> MutexGuard<'_, SharedMemoState> {
-        // A panicking job (e.g. a budget abort in coverage-service) must not
-        // poison the platform-wide cache for every other job.
+        // A genuinely panicking job (a bug) must not poison the
+        // platform-wide cache for every other job; expected failures
+        // (budget, cancellation) travel as `Err` and never unwind here.
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
-/// Removes claimed in-flight keys and wakes waiters if the claiming thread
-/// unwinds (e.g. a budget abort) before committing an answer; a waiter then
-/// re-claims the question instead of blocking forever.
+/// Removes claimed in-flight keys and wakes waiters if the claiming handle
+/// exits without committing an answer — an `Err` from the inner source or
+/// a genuine panic; a waiter then re-claims the question instead of
+/// blocking forever.
 struct FlightGuard<'a> {
     memo: &'a SharedMemo,
     set_key: Option<(Vec<ObjectId>, Target)>,
@@ -170,8 +179,11 @@ impl Drop for FlightGuard<'_> {
 /// Concurrent misses on the same key are **coalesced**: the first asker
 /// claims the question and forwards it to its inner source (the lock is not
 /// held across that call); every other asker waits on a condvar and reads
-/// the committed answer as a cache hit. If the claiming thread unwinds
-/// before answering, a waiter re-claims the question.
+/// the committed answer as a cache hit. If the claiming handle *fails* —
+/// its budget refuses the question, its job is cancelled, its connection
+/// drops — the failure stays its own: waiters are woken, re-claim the
+/// question and pay for it with their own budget instead of inheriting the
+/// error or blocking forever.
 #[derive(Debug)]
 pub struct SharedMemoizedSource<S> {
     inner: S,
@@ -230,7 +242,7 @@ impl<S> SharedMemoizedSource<S> {
 }
 
 impl<S: AnswerSource> AnswerSource for SharedMemoizedSource<S> {
-    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
         let key = (objects.to_vec(), target.clone());
         let mut state = self.shared.lock();
         loop {
@@ -238,7 +250,7 @@ impl<S: AnswerSource> AnswerSource for SharedMemoizedSource<S> {
                 let s = &mut *state;
                 if let Some(ans) = s.set_cache.get(&key) {
                     s.hits += 1;
-                    return *ans;
+                    return Ok(*ans);
                 }
                 if !s.set_in_flight.contains(&key) {
                     s.set_in_flight.insert(key.clone());
@@ -258,24 +270,29 @@ impl<S: AnswerSource> AnswerSource for SharedMemoizedSource<S> {
             set_key: Some(key.clone()),
             label_keys: Vec::new(),
         };
-        let ans = self.inner.answer_set(objects, target);
+        let result = self.inner.try_answer_set(objects, target);
         let mut state = self.shared.lock();
         state.set_in_flight.remove(&key);
-        state.set_cache.insert(key, ans);
+        if let Ok(ans) = &result {
+            // Failed questions are not cached: a coalesced waiter wakes,
+            // re-claims the question and pays for it itself — one handle's
+            // budget abort must not poison another handle's identical ask.
+            state.set_cache.insert(key, *ans);
+        }
         drop(state);
         guard.disarm();
         self.shared.ready.notify_all();
-        ans
+        result
     }
 
-    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
         let mut state = self.shared.lock();
         loop {
             {
                 let s = &mut *state;
                 if let Some(l) = s.label_cache.get(&object) {
                     s.hits += 1;
-                    return *l;
+                    return Ok(*l);
                 }
                 if !s.label_in_flight.contains(&object) {
                     s.label_in_flight.insert(object);
@@ -295,28 +312,38 @@ impl<S: AnswerSource> AnswerSource for SharedMemoizedSource<S> {
             set_key: None,
             label_keys: vec![object],
         };
-        let l = self.inner.answer_point_labels(object);
+        let result = self.inner.try_answer_point_labels(object);
         let mut state = self.shared.lock();
         state.label_in_flight.remove(&object);
-        state.label_cache.insert(object, l);
+        if let Ok(l) = &result {
+            state.label_cache.insert(object, *l);
+        }
         drop(state);
         guard.disarm();
         self.shared.ready.notify_all();
-        l
+        result
     }
 
-    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
         // Route through the label cache, as in [`MemoizedSource`].
-        let labels = self.answer_point_labels(object);
-        target.matches(&labels)
+        let labels = self.try_answer_point_labels(object)?;
+        Ok(target.matches(&labels))
     }
 }
 
 impl<S: BatchAnswerSource> BatchAnswerSource for SharedMemoizedSource<S> {
     /// Serves cached labels locally, forwards the unclaimed unknowns to the
     /// inner batch path in one coalesced request, and waits out objects
-    /// another handle already has in flight.
-    fn answer_point_labels_batch(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+    /// another handle already has in flight. On `Err` every claimed object
+    /// is released (and waiters woken) without caching anything.
+    fn try_answer_point_labels_batch(
+        &mut self,
+        objects: &[ObjectId],
+    ) -> Result<Vec<Labels>, AskError> {
         let mut answers: Vec<Option<Labels>> = vec![None; objects.len()];
         let mut claimed: Vec<(usize, ObjectId)> = Vec::new();
         let mut deferred: Vec<(usize, ObjectId)> = Vec::new();
@@ -343,7 +370,9 @@ impl<S: BatchAnswerSource> BatchAnswerSource for SharedMemoizedSource<S> {
                 label_keys: claimed.iter().map(|(_, o)| *o).collect(),
             };
             let fresh_ids: Vec<ObjectId> = claimed.iter().map(|(_, o)| *o).collect();
-            let fresh = self.inner.answer_point_labels_batch(&fresh_ids);
+            // On Err the guard's Drop releases every claimed key and wakes
+            // the waiters, who then re-claim those objects themselves.
+            let fresh = self.inner.try_answer_point_labels_batch(&fresh_ids)?;
             let mut state = self.shared.lock();
             for ((i, o), l) in claimed.into_iter().zip(fresh) {
                 state.label_in_flight.remove(&o);
@@ -355,11 +384,11 @@ impl<S: BatchAnswerSource> BatchAnswerSource for SharedMemoizedSource<S> {
             self.shared.ready.notify_all();
         }
         // Objects someone else had in flight: the single path waits for the
-        // committed answer (or re-claims it if that flight aborted).
+        // committed answer (or re-claims it if that flight failed).
         for (i, o) in deferred {
-            answers[i] = Some(self.answer_point_labels(o));
+            answers[i] = Some(self.try_answer_point_labels(o)?);
         }
-        answers.into_iter().map(|l| l.expect("filled")).collect()
+        Ok(answers.into_iter().map(|l| l.expect("filled")).collect())
     }
 }
 
@@ -384,14 +413,14 @@ mod tests {
         let mut src = MemoizedSource::new(PerfectSource::new(&t));
         let ids = t.all_ids();
         let target = Target::group(Pattern::parse("1").unwrap());
-        let a = src.answer_set(&ids[..50], &target);
-        let b = src.answer_set(&ids[..50], &target);
+        let a = src.try_answer_set(&ids[..50], &target).unwrap();
+        let b = src.try_answer_set(&ids[..50], &target).unwrap();
         assert_eq!(a, b);
         assert_eq!(src.cache_hits(), 1);
         assert_eq!(src.cache_misses(), 1);
         // Different range or different target: miss.
-        src.answer_set(&ids[50..], &target);
-        src.answer_set(&ids[..50], &target.negated());
+        src.try_answer_set(&ids[50..], &target).unwrap();
+        src.try_answer_set(&ids[..50], &target.negated()).unwrap();
         assert_eq!(src.cache_misses(), 3);
     }
 
@@ -401,9 +430,9 @@ mod tests {
         let mut src = MemoizedSource::new(PerfectSource::new(&t));
         let female = Target::group(Pattern::parse("1").unwrap());
         let male = female.negated();
-        assert!(src.answer_membership(ObjectId(0), &female));
+        assert!(src.try_answer_membership(ObjectId(0), &female).unwrap());
         // The second question about the same object is free.
-        assert!(!src.answer_membership(ObjectId(0), &male));
+        assert!(!src.try_answer_membership(ObjectId(0), &male).unwrap());
         assert_eq!(src.cache_hits(), 1);
         assert_eq!(src.cache_misses(), 1);
     }
@@ -417,9 +446,11 @@ mod tests {
         let target = Target::group(Pattern::parse("1").unwrap());
         let mut engine = Engine::with_point_batch(MemoizedSource::new(PerfectSource::new(&t)), 50);
         let pool = t.all_ids();
-        let first = group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default());
+        let first =
+            group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default()).unwrap();
         let after_first = engine.source().cache_misses();
-        let second = group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default());
+        let second =
+            group_coverage(&mut engine, &pool, &target, 50, 50, &DncConfig::default()).unwrap();
         assert_eq!(first.covered, second.covered);
         assert_eq!(first.count, second.count);
         assert_eq!(
@@ -438,8 +469,8 @@ mod tests {
         let root = SharedMemoizedSource::new(PerfectSource::new(&t));
         let mut a = root.clone();
         let mut b = root.clone();
-        let first = a.answer_set(&ids[..50], &target);
-        let second = b.answer_set(&ids[..50], &target);
+        let first = a.try_answer_set(&ids[..50], &target).unwrap();
+        let second = b.try_answer_set(&ids[..50], &target).unwrap();
         assert_eq!(first, second);
         assert_eq!(
             root.cache_misses(),
@@ -447,8 +478,9 @@ mod tests {
             "clone b must reuse clone a's answer"
         );
         assert_eq!(root.cache_hits(), 1);
-        a.answer_membership(ObjectId(3), &target);
-        b.answer_membership(ObjectId(3), &target.negated());
+        a.try_answer_membership(ObjectId(3), &target).unwrap();
+        b.try_answer_membership(ObjectId(3), &target.negated())
+            .unwrap();
         assert_eq!(root.cache_misses(), 2);
         assert_eq!(root.cache_hits(), 2);
     }
@@ -458,9 +490,9 @@ mod tests {
         let t = truth(60, 20);
         let ids = t.all_ids();
         let mut src = SharedMemoizedSource::new(PerfectSource::new(&t));
-        src.answer_point_labels(ObjectId(0));
-        src.answer_point_labels(ObjectId(1));
-        let batched = src.answer_point_labels_batch(&ids[..10]);
+        src.try_answer_point_labels(ObjectId(0)).unwrap();
+        src.try_answer_point_labels(ObjectId(1)).unwrap();
+        let batched = src.try_answer_point_labels_batch(&ids[..10]).unwrap();
         for (i, l) in batched.iter().enumerate() {
             assert_eq!(*l, t.labels_of(ids[i]));
         }
@@ -468,7 +500,7 @@ mod tests {
         assert_eq!(src.cache_misses(), 10);
         assert_eq!(src.cache_hits(), 2);
         // The whole batch is now cached.
-        src.answer_point_labels_batch(&ids[..10]);
+        src.try_answer_point_labels_batch(&ids[..10]).unwrap();
         assert_eq!(src.cache_misses(), 10);
         assert_eq!(src.cache_hits(), 12);
     }
@@ -486,10 +518,10 @@ mod tests {
                 let target = &target;
                 scope.spawn(move || {
                     for chunk in pool.chunks(50) {
-                        handle.answer_set(chunk, target);
+                        handle.try_answer_set(chunk, target).unwrap();
                     }
                     for id in &pool[..40] {
-                        handle.answer_membership(*id, target);
+                        handle.try_answer_membership(*id, target).unwrap();
                     }
                 });
             }
@@ -500,6 +532,79 @@ mod tests {
         assert_eq!(root.cache_hits(), 4 * (10 + 40) - 50);
     }
 
+    /// A source that (optionally after a delay) refuses every question.
+    struct DownSource {
+        delay_ms: u64,
+    }
+
+    impl AnswerSource for DownSource {
+        fn try_answer_set(&mut self, _: &[ObjectId], _: &Target) -> Result<bool, AskError> {
+            if self.delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+            }
+            Err(AskError::SourceFailed("down".into()))
+        }
+
+        fn try_answer_point_labels(&mut self, _: ObjectId) -> Result<Labels, AskError> {
+            if self.delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+            }
+            Err(AskError::SourceFailed("down".into()))
+        }
+    }
+
+    impl BatchAnswerSource for DownSource {}
+
+    /// One handle's failure releases the in-flight claim: the next asker
+    /// re-claims the question and gets a real answer — failures are never
+    /// cached and never poison the shared state.
+    #[test]
+    fn failed_claim_releases_question_for_others() {
+        let t = truth(20, 5);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let root = SharedMemoizedSource::new(PerfectSource::new(&t));
+        let mut broken = root.with_inner(DownSource { delay_ms: 0 });
+        let mut healthy = root.clone();
+
+        assert!(matches!(
+            broken.try_answer_set(&ids, &target),
+            Err(AskError::SourceFailed(_))
+        ));
+        // The failure was not cached; the healthy handle pays and succeeds.
+        assert_eq!(healthy.try_answer_set(&ids, &target), Ok(true));
+        assert_eq!(root.cache_misses(), 2, "failed ask re-claimed, not cached");
+
+        // Same for the batch path: a failed batch releases every claim.
+        assert!(broken.try_answer_point_labels_batch(&ids[..6]).is_err());
+        let labels = healthy.try_answer_point_labels_batch(&ids[..6]).unwrap();
+        assert_eq!(labels.len(), 6);
+    }
+
+    /// A waiter coalesced behind a failing claim is woken, re-claims, and
+    /// answers with its own (working) inner source instead of hanging or
+    /// inheriting the error.
+    #[test]
+    fn waiter_survives_claimants_failure() {
+        let t = truth(50, 10);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let root = SharedMemoizedSource::new(PerfectSource::new(&t));
+        let mut broken = root.with_inner(DownSource { delay_ms: 40 });
+        let mut healthy = root.clone();
+
+        std::thread::scope(|scope| {
+            let claim_ids = ids.clone();
+            let claim_target = target.clone();
+            let claimer = scope.spawn(move || broken.try_answer_set(&claim_ids, &claim_target));
+            // Give the broken handle time to claim, then pile up behind it.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let waited = healthy.try_answer_set(&ids, &target);
+            assert_eq!(waited, Ok(true), "waiter must re-claim and succeed");
+            assert!(claimer.join().unwrap().is_err());
+        });
+    }
+
     /// Memoized and raw sources agree on every answer.
     #[test]
     fn transparent_semantics() {
@@ -508,8 +613,8 @@ mod tests {
         let pool = t.all_ids();
         let mut raw = Engine::with_point_batch(PerfectSource::new(&t), 50);
         let mut memo = Engine::with_point_batch(MemoizedSource::new(PerfectSource::new(&t)), 50);
-        let a = group_coverage(&mut raw, &pool, &target, 50, 50, &DncConfig::default());
-        let b = group_coverage(&mut memo, &pool, &target, 50, 50, &DncConfig::default());
+        let a = group_coverage(&mut raw, &pool, &target, 50, 50, &DncConfig::default()).unwrap();
+        let b = group_coverage(&mut memo, &pool, &target, 50, 50, &DncConfig::default()).unwrap();
         assert_eq!(a.covered, b.covered);
         assert_eq!(a.count, b.count);
         assert_eq!(a.set_queries, b.set_queries);

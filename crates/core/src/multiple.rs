@@ -11,6 +11,7 @@
 
 use crate::aggregate::{aggregate, SuperGroup};
 use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::error::{try_ask, AskError, Interrupted};
 use crate::group_coverage::{group_coverage, DncConfig};
 use crate::ledger::TaskLedger;
 use crate::pattern::Pattern;
@@ -98,6 +99,13 @@ impl MultipleReport {
 /// # Panics
 /// Panics when `groups` is empty or `cfg.n == 0`.
 ///
+/// # Errors
+/// When the ask path fails, the [`Interrupted`] error carries a partial
+/// [`MultipleReport`]: the verdicts of every group fully decided before the
+/// cut (in caller order), the super-groups formed, and the tasks spent. The
+/// group in flight when the failure hit is *not* included — a partial
+/// verdict would not be sound.
+///
 /// # Example
 ///
 /// ```
@@ -123,7 +131,7 @@ impl MultipleReport {
 /// let report = multiple_coverage(
 ///     &mut engine, &truth.all_ids(), &groups,
 ///     &MultipleConfig { tau: 50, ..MultipleConfig::default() }, &mut rng,
-/// );
+/// ).unwrap();
 /// assert!(report.results[0].covered);                 // the 85% majority
 /// assert!(!report.result_for(&groups[3]).unwrap().covered); // 12 < 50
 /// ```
@@ -133,14 +141,22 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
     groups: &[Pattern],
     cfg: &MultipleConfig,
     rng: &mut R,
-) -> MultipleReport {
+) -> Result<MultipleReport, Interrupted<MultipleReport>> {
     assert!(!groups.is_empty(), "need at least one group");
     let before = engine.ledger_snapshot();
     let n_total = pool.len();
     let mut pool: Vec<ObjectId> = pool.to_vec();
 
     // Line 1: obtain c·τ random labels.
-    let mut labeled = label_samples(engine, &mut pool, cfg.sample_factor * cfg.tau, rng);
+    let mut labeled = try_ask!(
+        label_samples(engine, &mut pool, cfg.sample_factor * cfg.tau, rng),
+        partial_report(
+            groups,
+            Vec::new(),
+            Vec::new(),
+            engine.ledger().since(&before)
+        )
+    );
 
     // Line 2: form the super-groups.
     let super_groups = aggregate(&labeled, n_total, cfg.tau, groups, cfg.multi);
@@ -149,7 +165,16 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
     for sg in &super_groups {
         if sg.is_singleton() {
             let g = sg.members[0];
-            results.push(check_single_group(engine, &pool, &labeled, &g, cfg));
+            let result = try_ask!(
+                check_single_group(engine, &pool, &labeled, &g, cfg),
+                partial_report(
+                    groups,
+                    results,
+                    super_groups.clone(),
+                    engine.ledger().since(&before)
+                )
+            );
+            results.push(result);
             continue;
         }
 
@@ -162,13 +187,31 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
         let tau_prime = cfg.tau.saturating_sub(sample_total);
         let mut dnc = cfg.dnc.clone();
         dnc.collect_witnesses = cfg.resolve_supergroup_members;
-        let out = group_coverage(engine, &pool, &sg.target(), tau_prime, cfg.n, &dnc);
+        let out = try_ask!(
+            group_coverage(engine, &pool, &sg.target(), tau_prime, cfg.n, &dnc)
+                .map_err(|i| i.error),
+            partial_report(
+                groups,
+                results,
+                super_groups.clone(),
+                engine.ledger().since(&before)
+            )
+        );
 
         if out.covered {
             // Lines 8-12: penalty — the union is covered, so nothing is
             // known about individual members; re-run each one.
             for g in &sg.members {
-                results.push(check_single_group(engine, &pool, &labeled, g, cfg));
+                let result = try_ask!(
+                    check_single_group(engine, &pool, &labeled, g, cfg),
+                    partial_report(
+                        groups,
+                        results,
+                        super_groups.clone(),
+                        engine.ledger().since(&before)
+                    )
+                );
+                results.push(result);
             }
         } else {
             // Line 13: the union is uncovered ⇒ every member is uncovered.
@@ -176,7 +219,15 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
                 // Attribute exact counts: the witnesses are *all* union
                 // members remaining in the pool; one batched point pass
                 // labels them and moves them into `L`.
-                let labels = engine.ask_point_labels_batched(&out.witnesses);
+                let labels = try_ask!(
+                    engine.ask_point_labels_batched(&out.witnesses),
+                    partial_report(
+                        groups,
+                        results,
+                        super_groups.clone(),
+                        engine.ledger().since(&before)
+                    )
+                );
                 let witness_set: HashSet<ObjectId> = out.witnesses.iter().copied().collect();
                 for (id, l) in out.witnesses.iter().zip(labels) {
                     labeled.add(*id, l);
@@ -195,48 +246,68 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
         }
     }
 
-    // Report results in the caller's group order.
-    let order: Vec<Pattern> = groups.to_vec();
+    sort_by_caller_order(&mut results, groups);
+
+    Ok(MultipleReport {
+        results,
+        super_groups,
+        tasks: engine.ledger().since(&before),
+    })
+}
+
+/// Orders verdicts by the caller's group order (undecided groups absent).
+fn sort_by_caller_order(results: &mut [GroupResult], groups: &[Pattern]) {
     results.sort_by_key(|r| {
-        order
+        groups
             .iter()
             .position(|g| g == &r.group)
             .unwrap_or(usize::MAX)
     });
+}
 
+/// Builds the partial [`MultipleReport`] surfaced when the run is cut.
+fn partial_report(
+    groups: &[Pattern],
+    mut results: Vec<GroupResult>,
+    super_groups: Vec<SuperGroup>,
+    tasks: TaskLedger,
+) -> MultipleReport {
+    sort_by_caller_order(&mut results, groups);
     MultipleReport {
         results,
         super_groups,
-        tasks: engine.ledger().since(&before),
+        tasks,
     }
 }
 
 /// Lines 7 / 10-12 of Algorithm 2: decide one group, crediting the sample.
+/// An `Err` means the group stays undecided — no partial verdict exists.
 fn check_single_group<S: AnswerSource>(
     engine: &mut Engine<S>,
     pool: &[ObjectId],
     labeled: &LabeledStore,
     group: &Pattern,
     cfg: &MultipleConfig,
-) -> GroupResult {
+) -> Result<GroupResult, AskError> {
     let target = Target::group(*group);
     let sample_count = labeled.count(&target);
     let tau_prime = cfg.tau.saturating_sub(sample_count);
     if tau_prime == 0 {
-        return GroupResult {
+        return Ok(GroupResult {
             group: *group,
             covered: true,
             count: sample_count,
             count_exact: false,
-        };
+        });
     }
-    let out = group_coverage(engine, pool, &target, tau_prime, cfg.n, &cfg.dnc);
-    GroupResult {
+    let out =
+        group_coverage(engine, pool, &target, tau_prime, cfg.n, &cfg.dnc).map_err(|i| i.error)?;
+    Ok(GroupResult {
         group: *group,
         covered: out.covered,
         count: sample_count + out.count,
         count_exact: !out.covered,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -289,7 +360,8 @@ mod tests {
             &groups_1d(card),
             cfg,
             &mut rng,
-        );
+        )
+        .unwrap();
         let total = engine.ledger().total_tasks();
         (report, total)
     }
@@ -355,7 +427,8 @@ mod tests {
                 50,
                 50,
                 &DncConfig::default(),
-            );
+            )
+            .unwrap();
         }
         let brute_tasks = engine.ledger().total_tasks();
         assert!(
@@ -423,7 +496,7 @@ mod tests {
         let truth = truth_1d(&[10, 10]);
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let mut rng = SmallRng::seed_from_u64(0);
-        multiple_coverage(
+        let _ = multiple_coverage(
             &mut engine,
             &truth.all_ids(),
             &[],

@@ -8,6 +8,7 @@
 //! super-group aggregation heuristic.
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::error::AskError;
 use crate::schema::Labels;
 use crate::target::Target;
 use rand::Rng;
@@ -84,16 +85,21 @@ impl LabeledStore {
 /// set queries are formed from contiguous runs of the pool, and reshuffling
 /// between phases would change nothing statistically but would make runs
 /// harder to reproduce).
+///
+/// # Errors
+/// When the ask path refuses the labeling batch the picked objects are put
+/// back into `pool` (at the tail, in picked order) and no store is built —
+/// nothing was labeled, so there is no partial progress to report.
 pub fn label_samples<S: AnswerSource, R: Rng + ?Sized>(
     engine: &mut Engine<S>,
     pool: &mut Vec<ObjectId>,
     k: usize,
     rng: &mut R,
-) -> LabeledStore {
+) -> Result<LabeledStore, AskError> {
     let mut store = LabeledStore::new();
     let k = k.min(pool.len());
     if k == 0 {
-        return store;
+        return Ok(store);
     }
     // Partial Fisher–Yates: move k random picks to the tail, then split.
     let len = pool.len();
@@ -102,11 +108,17 @@ pub fn label_samples<S: AnswerSource, R: Rng + ?Sized>(
         pool.swap(j, len - 1 - i);
     }
     let picked: Vec<ObjectId> = pool.split_off(len - k);
-    let labels = engine.ask_point_labels_batched(&picked);
+    let labels = match engine.ask_point_labels_batched(&picked) {
+        Ok(labels) => labels,
+        Err(error) => {
+            pool.extend(picked);
+            return Err(error);
+        }
+    };
     for (id, l) in picked.into_iter().zip(labels) {
         store.add(id, l);
     }
-    store
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -132,7 +144,7 @@ mod tests {
         let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), 50);
         let mut pool = truth.all_ids();
         let mut rng = SmallRng::seed_from_u64(7);
-        let store = label_samples(&mut engine, &mut pool, 30, &mut rng);
+        let store = label_samples(&mut engine, &mut pool, 30, &mut rng).unwrap();
         assert_eq!(store.len(), 30);
         assert_eq!(pool.len(), 70);
         for (id, _) in store.iter() {
@@ -149,7 +161,7 @@ mod tests {
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let mut pool = truth.all_ids();
         let mut rng = SmallRng::seed_from_u64(42);
-        let store = label_samples(&mut engine, &mut pool, 200, &mut rng);
+        let store = label_samples(&mut engine, &mut pool, 200, &mut rng).unwrap();
         let minority = Target::group(Pattern::parse("1").unwrap());
         let frac = store.count(&minority) as f64 / store.len() as f64;
         assert!(
@@ -164,7 +176,7 @@ mod tests {
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let mut pool = truth.all_ids();
         let mut rng = SmallRng::seed_from_u64(1);
-        let store = label_samples(&mut engine, &mut pool, 50, &mut rng);
+        let store = label_samples(&mut engine, &mut pool, 50, &mut rng).unwrap();
         assert_eq!(store.len(), 10);
         assert!(pool.is_empty());
     }
@@ -175,7 +187,7 @@ mod tests {
         let mut engine = Engine::new(PerfectSource::new(&truth));
         let mut pool = truth.all_ids();
         let mut rng = SmallRng::seed_from_u64(1);
-        let store = label_samples(&mut engine, &mut pool, 0, &mut rng);
+        let store = label_samples(&mut engine, &mut pool, 0, &mut rng).unwrap();
         assert!(store.is_empty());
         assert_eq!(pool.len(), 10);
         assert_eq!(engine.ledger().total_tasks(), 0);
@@ -209,7 +221,7 @@ mod tests {
             let mut engine = Engine::new(PerfectSource::new(&truth));
             let mut pool = truth.all_ids();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let store = label_samples(&mut engine, &mut pool, 10, &mut rng);
+            let store = label_samples(&mut engine, &mut pool, 10, &mut rng).unwrap();
             for (id, _) in store.iter() {
                 hits[id.index()] += 1;
             }

@@ -12,6 +12,7 @@ use crate::pool::WorkerPool;
 use crate::quality::QualityControl;
 use crate::truth::{majority_label, majority_vote};
 use coverage_core::engine::{AnswerSource, BatchAnswerSource, GroundTruth, ObjectId};
+use coverage_core::error::AskError;
 use coverage_core::schema::{AttributeSchema, Labels};
 use coverage_core::target::Target;
 use rand::rngs::SmallRng;
@@ -171,6 +172,20 @@ impl<'a, G: GroundTruth> MTurkSim<'a, G> {
     fn question_rng(&self, question_hash: u64) -> SmallRng {
         SmallRng::seed_from_u64(self.seed ^ question_hash)
     }
+
+    /// Rejects questions about objects the dataset does not contain. A bad
+    /// id is a data-dependent failure of the *question*, not a platform
+    /// bug, so it surfaces as [`AskError::SourceFailed`] and fails only the
+    /// asking job — never a panic unwinding through a serving layer.
+    fn check_ids(&self, objects: &[ObjectId]) -> Result<(), AskError> {
+        let n = self.truth.num_objects();
+        match objects.iter().find(|o| o.index() >= n) {
+            Some(bad) => Err(AskError::SourceFailed(format!(
+                "the platform failed to answer this question: object {bad} is out of range for a {n}-object dataset"
+            ))),
+            None => Ok(()),
+        }
+    }
 }
 
 /// One HIT round: assigns `k` workers with `rng`, collects one answer each
@@ -247,7 +262,30 @@ fn set_question_hash(objects: &[ObjectId], target: &Target) -> u64 {
 }
 
 impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
-    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
+        self.check_ids(objects)?;
+        Ok(self.serve_set(objects, target))
+    }
+
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+        self.check_ids(&[object])?;
+        Ok(self.serve_point_labels(object))
+    }
+
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
+        self.check_ids(&[object])?;
+        Ok(self.serve_membership(object, target))
+    }
+}
+
+/// The simulation itself, over validated ids (these would panic on an
+/// out-of-range id; the `AnswerSource` impl screens ids first).
+impl<G: GroundTruth> MTurkSim<'_, G> {
+    fn serve_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
         let members_present = objects
             .iter()
             .filter(|o| target.matches(&self.truth.labels_of(**o)))
@@ -280,7 +318,7 @@ impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
         agg
     }
 
-    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+    fn serve_point_labels(&mut self, object: ObjectId) -> Labels {
         let truth_labels = self.truth.labels_of(object);
         let k = self.qc.assignments_per_hit.get();
         let round = |rng: &mut SmallRng| {
@@ -310,7 +348,7 @@ impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
         agg
     }
 
-    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+    fn serve_membership(&mut self, object: ObjectId, target: &Target) -> bool {
         let truth_labels = self.truth.labels_of(object);
         let truth_answer = target.matches(&truth_labels);
         let k = self.qc.assignments_per_hit.get();
@@ -358,9 +396,16 @@ impl<G: GroundTruth> BatchAnswerSource for MTurkSim<'_, G> {
     /// stats. In [`SeedMode::PerQuestion`] each image's votes derive from
     /// its own question seed (so batch grouping never changes an answer);
     /// in [`SeedMode::Stream`] one worker set serves the whole HIT.
-    fn answer_point_labels_batch(&mut self, objects: &[ObjectId]) -> Vec<Labels> {
+    ///
+    /// All-or-nothing: a single out-of-range id fails the whole batch (no
+    /// HIT is published) with [`AskError::SourceFailed`].
+    fn try_answer_point_labels_batch(
+        &mut self,
+        objects: &[ObjectId],
+    ) -> Result<Vec<Labels>, AskError> {
+        self.check_ids(objects)?;
         if objects.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let k = self.qc.assignments_per_hit.get();
         let mut out = Vec::with_capacity(objects.len());
@@ -410,7 +455,7 @@ impl<G: GroundTruth> BatchAnswerSource for MTurkSim<'_, G> {
         self.stats.assignments_collected += k as u64;
         self.stats.wrong_individual_answers += wrong_slots.iter().filter(|w| **w).count() as u64;
         self.stats.wrong_aggregated_answers += u64::from(any_agg_wrong);
-        out
+        Ok(out)
     }
 }
 
@@ -458,7 +503,7 @@ mod tests {
             let want = chunk
                 .iter()
                 .any(|o| truth.labels_of(*o) == Labels::single(1));
-            if sim.answer_set(chunk, &female()) != want {
+            if sim.try_answer_set(chunk, &female()).unwrap() != want {
                 wrong += 1;
             }
         }
@@ -474,7 +519,7 @@ mod tests {
             let mut sim = platform(&truth, qc, 11);
             let ids = truth.all_ids();
             for chunk in ids.chunks(50) {
-                sim.answer_set(chunk, &female());
+                sim.try_answer_set(chunk, &female()).unwrap();
             }
             sim.stats().individual_error_rate()
         };
@@ -494,7 +539,7 @@ mod tests {
         let mut sim = platform(&truth, QualityControl::with_rating(), 3);
         let ids = truth.all_ids();
         for chunk in ids.chunks(50) {
-            sim.answer_set(chunk, &female());
+            sim.try_answer_set(chunk, &female()).unwrap();
         }
         let rate = sim.stats().individual_error_rate();
         assert!(rate < 0.05, "individual error rate {rate}");
@@ -506,7 +551,7 @@ mod tests {
         let mut sim = platform(&truth, QualityControl::with_rating(), 5);
         let mut wrong = 0;
         for id in truth.ids() {
-            if sim.answer_point_labels(id) != truth.labels_of(id) {
+            if sim.try_answer_point_labels(id).unwrap() != truth.labels_of(id) {
                 wrong += 1;
             }
         }
@@ -517,8 +562,8 @@ mod tests {
     fn membership_answers_work() {
         let truth = truth_with_minority(10, 5);
         let mut sim = platform(&truth, QualityControl::majority_vote_only(), 9);
-        let yes = sim.answer_membership(ObjectId(0), &female());
-        let no = sim.answer_membership(ObjectId(9), &female());
+        let yes = sim.try_answer_membership(ObjectId(0), &female()).unwrap();
+        let no = sim.try_answer_membership(ObjectId(9), &female()).unwrap();
         assert!(yes);
         assert!(!no);
     }
@@ -536,7 +581,8 @@ mod tests {
             50,
             50,
             &DncConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(out.covered, "215 ≥ 50 females must be detected");
         let tasks = engine.ledger().total_tasks();
         // Table 1 scale: ≈71–75 HITs, far below the 1522-point scan.
@@ -606,27 +652,31 @@ mod tests {
         let mut forward = deterministic_platform(&truth, 99);
         let answers_fwd: Vec<bool> = questions
             .iter()
-            .map(|q| forward.answer_set(q, &female()))
+            .map(|q| forward.try_answer_set(q, &female()).unwrap())
             .collect();
 
         let mut backward = deterministic_platform(&truth, 99);
         let mut answers_bwd: Vec<bool> = questions
             .iter()
             .rev()
-            .map(|q| backward.answer_set(q, &female()))
+            .map(|q| backward.try_answer_set(q, &female()).unwrap())
             .collect();
         answers_bwd.reverse();
         assert_eq!(answers_fwd, answers_bwd);
 
         // Repeats re-derive the identical answer (no stream drift), and
         // point/membership questions behave the same way.
-        let again = forward.answer_set(questions[0], &female());
+        let again = forward.try_answer_set(questions[0], &female()).unwrap();
         assert_eq!(again, answers_fwd[0]);
-        let a = forward.answer_point_labels(ObjectId(7));
-        let b = forward.answer_point_labels(ObjectId(7));
+        let a = forward.try_answer_point_labels(ObjectId(7)).unwrap();
+        let b = forward.try_answer_point_labels(ObjectId(7)).unwrap();
         assert_eq!(a, b);
-        let m1 = forward.answer_membership(ObjectId(9), &female());
-        let m2 = forward.answer_membership(ObjectId(9), &female());
+        let m1 = forward
+            .try_answer_membership(ObjectId(9), &female())
+            .unwrap();
+        let m2 = forward
+            .try_answer_membership(ObjectId(9), &female())
+            .unwrap();
         assert_eq!(m1, m2);
     }
 
@@ -651,7 +701,7 @@ mod tests {
             } else {
                 platform(&truth, QualityControl::with_rating(), 21)
             };
-            let labels = sim.answer_point_labels_batch(&ids[..50]);
+            let labels = sim.try_answer_point_labels_batch(&ids[..50]).unwrap();
             assert_eq!(labels.len(), 50);
             assert_eq!(sim.stats().hits_published, 1, "det={deterministic}");
             assert_eq!(sim.stats().assignments_collected, 3);
@@ -661,7 +711,7 @@ mod tests {
                 .filter(|(l, id)| **l != truth.labels_of(**id))
                 .count();
             assert!(wrong <= 2, "batch mislabeled {wrong}/50");
-            assert!(sim.answer_point_labels_batch(&[]).is_empty());
+            assert!(sim.try_answer_point_labels_batch(&[]).unwrap().is_empty());
             assert_eq!(sim.stats().hits_published, 1, "empty batch is free");
         }
     }
@@ -673,11 +723,11 @@ mod tests {
         let truth = truth_with_minority(200, 30);
         let ids = truth.all_ids();
         let mut batched = deterministic_platform(&truth, 77);
-        let batch_answers = batched.answer_point_labels_batch(&ids[..60]);
+        let batch_answers = batched.try_answer_point_labels_batch(&ids[..60]).unwrap();
         let mut single = deterministic_platform(&truth, 77);
         let single_answers: Vec<Labels> = ids[..60]
             .iter()
-            .map(|id| single.answer_point_labels(*id))
+            .map(|id| single.try_answer_point_labels(*id).unwrap())
             .collect();
         assert_eq!(batch_answers, single_answers);
     }
@@ -686,7 +736,7 @@ mod tests {
     fn stats_reset() {
         let truth = truth_with_minority(10, 2);
         let mut sim = platform(&truth, QualityControl::majority_vote_only(), 2);
-        sim.answer_membership(ObjectId(0), &female());
+        sim.try_answer_membership(ObjectId(0), &female()).unwrap();
         assert_eq!(sim.stats().hits_published, 1);
         sim.reset_stats();
         assert_eq!(sim.stats().hits_published, 0);

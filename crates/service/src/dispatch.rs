@@ -1,7 +1,7 @@
 //! The batched question dispatcher: one thread owns the platform.
 //!
 //! Concurrent jobs never touch the answer source directly. Each job holds a
-//! [`DispatchHandle`] (an ordinary [`AnswerSource`]) that ships questions
+//! `DispatchHandle` (an ordinary [`AnswerSource`]) that ships questions
 //! over a channel to the dispatcher thread, which owns the real
 //! [`BatchAnswerSource`]. Per round the dispatcher drains everything
 //! pending, coalesces the point queries into `point_batch`-image HITs (the
@@ -11,10 +11,10 @@
 //! win the `service_throughput` bench measures.
 
 use coverage_core::engine::{AnswerSource, BatchAnswerSource, ObjectId};
+use coverage_core::error::AskError;
 use coverage_core::schema::Labels;
 use coverage_core::target::Target;
 use serde::{Deserialize, Serialize};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -71,6 +71,9 @@ enum Question {
 enum Answer {
     Bool(bool),
     Labels(Labels),
+    /// The platform refused or failed this question; the error is relayed
+    /// verbatim to the asking job.
+    Failed(AskError),
 }
 
 pub(crate) struct Request {
@@ -86,46 +89,55 @@ pub(crate) struct DispatchHandle {
 }
 
 impl DispatchHandle {
-    fn ask(&self, question: Question) -> Answer {
+    fn ask(&self, question: Question) -> Result<Answer, AskError> {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.tx
             .send(Request {
                 question,
                 reply: reply_tx,
             })
-            .expect("dispatcher thread alive");
-        // A dropped reply means the platform panicked serving this question
-        // (see `run_dispatcher`); the resulting panic fails only this job.
-        reply_rx
-            .recv()
-            .expect("the platform failed to answer this question")
+            .map_err(|_| {
+                AskError::SourceFailed("platform connection lost (dispatcher gone)".into())
+            })?;
+        // A dropped reply without an answer means the dispatcher died while
+        // serving this question; the error fails only this job.
+        reply_rx.recv().map_err(|_| {
+            AskError::SourceFailed("the platform failed to answer this question".into())
+        })
     }
 }
 
 impl AnswerSource for DispatchHandle {
-    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
         match self.ask(Question::Set {
             objects: objects.to_vec(),
             target: target.clone(),
-        }) {
-            Answer::Bool(b) => b,
+        })? {
+            Answer::Bool(b) => Ok(b),
+            Answer::Failed(e) => Err(e),
             Answer::Labels(_) => unreachable!("set query answered with labels"),
         }
     }
 
-    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
-        match self.ask(Question::Point { object }) {
-            Answer::Labels(l) => l,
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+        match self.ask(Question::Point { object })? {
+            Answer::Labels(l) => Ok(l),
+            Answer::Failed(e) => Err(e),
             Answer::Bool(_) => unreachable!("point query answered with bool"),
         }
     }
 
-    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
         match self.ask(Question::Membership {
             object,
             target: target.clone(),
-        }) {
-            Answer::Bool(b) => b,
+        })? {
+            Answer::Bool(b) => Ok(b),
+            Answer::Failed(e) => Err(e),
             Answer::Labels(_) => unreachable!("membership query answered with labels"),
         }
     }
@@ -160,47 +172,51 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
             std::thread::sleep(cfg.round_latency);
         }
 
-        // A panicking platform (e.g. an out-of-range object id hitting a
-        // dataset assert) must fail only the jobs whose questions it was
-        // serving, not the whole run: catch the unwind and drop those reply
-        // senders — the asking jobs' `ask` then panics with a message the
-        // job runner turns into `JobStatus::Failed`.
+        // A failing platform (e.g. an out-of-range object id reaching the
+        // simulator) must fail only the jobs whose questions it was serving,
+        // not the whole run: the fallible source returns `Err`, which is
+        // relayed as `Answer::Failed` to exactly those jobs — the job
+        // runner turns it into `JobStatus::Failed`.
         let mut point_replies: Vec<(ObjectId, mpsc::Sender<Answer>)> = Vec::new();
         for request in pending {
             match request.question {
                 Question::Point { object } => point_replies.push((object, request.reply)),
                 Question::Set { objects, target } => {
                     stats.set_queries_served += 1;
-                    let ans =
-                        catch_unwind(AssertUnwindSafe(|| source.answer_set(&objects, &target)));
-                    if let Ok(ans) = ans {
-                        let _ = request.reply.send(Answer::Bool(ans));
-                    }
+                    let answer = match source.try_answer_set(&objects, &target) {
+                        Ok(ans) => Answer::Bool(ans),
+                        Err(e) => Answer::Failed(e),
+                    };
+                    let _ = request.reply.send(answer);
                 }
                 Question::Membership { object, target } => {
                     stats.memberships_served += 1;
-                    let ans = catch_unwind(AssertUnwindSafe(|| {
-                        source.answer_membership(object, &target)
-                    }));
-                    if let Ok(ans) = ans {
-                        let _ = request.reply.send(Answer::Bool(ans));
-                    }
+                    let answer = match source.try_answer_membership(object, &target) {
+                        Ok(ans) => Answer::Bool(ans),
+                        Err(e) => Answer::Failed(e),
+                    };
+                    let _ = request.reply.send(answer);
                 }
             }
         }
 
         for chunk in point_replies.chunks(cfg.point_batch) {
             let objects: Vec<ObjectId> = chunk.iter().map(|(o, _)| *o).collect();
-            let labels = catch_unwind(AssertUnwindSafe(|| {
-                source.answer_point_labels_batch(&objects)
-            }));
-            let Ok(labels) = labels else {
-                continue; // every reply in the chunk drops; those jobs fail
-            };
-            stats.point_hits += 1;
-            stats.points_served += labels.len() as u64;
-            for ((_, reply), l) in chunk.iter().zip(labels) {
-                let _ = reply.send(Answer::Labels(l));
+            match source.try_answer_point_labels_batch(&objects) {
+                Ok(labels) => {
+                    stats.point_hits += 1;
+                    stats.points_served += labels.len() as u64;
+                    for ((_, reply), l) in chunk.iter().zip(labels) {
+                        let _ = reply.send(Answer::Labels(l));
+                    }
+                }
+                Err(e) => {
+                    // The batch is all-or-nothing: every job in the chunk
+                    // receives the failure (see BatchAnswerSource docs).
+                    for (_, reply) in chunk {
+                        let _ = reply.send(Answer::Failed(e.clone()));
+                    }
+                }
             }
         }
     }
@@ -233,11 +249,14 @@ mod tests {
                 run_dispatcher(&mut source, rx, &DispatcherConfig::default())
             });
             let mut h = handle; // move the last handle into the scope
-            assert!(h.answer_set(&ids[..100], &target));
-            assert!(!h.answer_set(&ids[100..], &target));
-            assert_eq!(h.answer_point_labels(ObjectId(0)), Labels::single(1));
-            assert!(h.answer_membership(ObjectId(29), &target));
-            assert!(!h.answer_membership(ObjectId(30), &target));
+            assert!(h.try_answer_set(&ids[..100], &target).unwrap());
+            assert!(!h.try_answer_set(&ids[100..], &target).unwrap());
+            assert_eq!(
+                h.try_answer_point_labels(ObjectId(0)).unwrap(),
+                Labels::single(1)
+            );
+            assert!(h.try_answer_membership(ObjectId(29), &target).unwrap());
+            assert!(!h.try_answer_membership(ObjectId(30), &target).unwrap());
             drop(h);
             dispatcher.join().expect("dispatcher exits cleanly")
         });
@@ -265,7 +284,7 @@ mod tests {
                     let mut h = handle.clone();
                     scope.spawn(move || {
                         for i in 0..40u32 {
-                            h.answer_point_labels(ObjectId(j * 40 + i));
+                            h.try_answer_point_labels(ObjectId(j * 40 + i)).unwrap();
                         }
                     })
                 })

@@ -6,17 +6,20 @@
 //! really does coalesce them into `batch`-image HITs). Cache hits are free;
 //! a job can only exhaust its budget with fresh questions.
 //!
-//! Coverage algorithms ask questions through an infallible [`AnswerSource`]
-//! interface, so the governor stops an over-budget job the only way that
-//! composes with that interface: [`GovernedSource`] raises a
-//! [`BudgetExhausted`] panic payload, the job runner catches the unwind and
-//! reports the job [`Exhausted`](crate::job::JobStatus::Exhausted) with its
-//! spend so far. The abort is cooperative between these two layers and never
-//! crosses the service boundary.
+//! Coverage algorithms ask questions through the fallible [`AnswerSource`]
+//! interface, so exhaustion is *data*, not control flow: `GovernedSource`
+//! refuses an over-budget question with
+//! [`AskError::BudgetExhausted`] carrying a [`BudgetSnapshot`] of the spend
+//! at that moment, the algorithm driver surfaces its partial result, and
+//! the job runner reports the job
+//! [`Exhausted`](crate::job::JobStatus::Exhausted). Nothing panics and no
+//! unwinding crosses any layer.
 
-use crate::job::JobId;
 use coverage_core::engine::{AnswerSource, ObjectId};
-use coverage_core::ledger::{batched_tasks, TaskLedger};
+use coverage_core::error::{AskError, BudgetSnapshot};
+use coverage_core::ledger::batched_tasks;
+#[cfg(test)]
+use coverage_core::ledger::TaskLedger;
 use coverage_core::schema::Labels;
 use coverage_core::target::Target;
 use serde::{Deserialize, Serialize};
@@ -55,7 +58,7 @@ impl BudgetPolicy {
     }
 }
 
-/// Which cap an aborted job ran into.
+/// Which cap an exhausted job ran into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BudgetScope {
     /// The job's own cap.
@@ -64,14 +67,16 @@ pub enum BudgetScope {
     Global,
 }
 
-/// Panic payload raised by [`GovernedSource`] when a question would exceed
-/// a cap; caught by the service's job runner.
-#[derive(Debug, Clone)]
-pub struct BudgetExhausted {
-    /// The aborted job.
-    pub job: JobId,
-    /// Which cap was hit.
-    pub scope: BudgetScope,
+impl BudgetScope {
+    /// Maps a core-level [`BudgetSnapshot`] back to the cap it describes:
+    /// the governor marks the shared (service-wide) ledger as `shared`.
+    pub(crate) fn from_snapshot(snapshot: &BudgetSnapshot) -> Self {
+        if snapshot.shared {
+            BudgetScope::Global
+        } else {
+            BudgetScope::Job
+        }
+    }
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -111,19 +116,25 @@ impl GlobalBudget {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Spend> {
-        // An aborting job must not poison the shared ledger.
+        // A job failing with `Err` never unwinds here, but a genuine panic
+        // elsewhere must still not poison the shared ledger.
         self.spend.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Charges the global ledger; `Err` when the cap would be crossed.
-    fn charge(&self, sets: u64, points: u64) -> Result<(), ()> {
+    /// Charges the global ledger; `Err` carries the shared-spend snapshot
+    /// when the cap would be crossed.
+    fn charge(&self, sets: u64, points: u64) -> Result<(), BudgetSnapshot> {
         let mut spend = self.lock();
         let mut next = *spend;
         next.set_queries += sets;
         next.point_labels += points;
         if let Some(cap) = self.cap {
             if next.tasks(self.batch) > cap {
-                return Err(());
+                return Err(BudgetSnapshot {
+                    spent: spend.tasks(self.batch),
+                    cap,
+                    shared: true,
+                });
             }
         }
         *spend = next;
@@ -134,16 +145,14 @@ impl GlobalBudget {
 /// One job's view of the budget: its own cap plus the shared global ledger.
 #[derive(Debug, Clone)]
 pub(crate) struct JobBudget {
-    job: JobId,
     cap: Option<u64>,
     global: Arc<GlobalBudget>,
     spend: Arc<Mutex<Spend>>,
 }
 
 impl JobBudget {
-    pub(crate) fn new(job: JobId, cap: Option<u64>, global: Arc<GlobalBudget>) -> Self {
+    pub(crate) fn new(cap: Option<u64>, global: Arc<GlobalBudget>) -> Self {
         Self {
-            job,
             cap,
             global,
             spend: Arc::new(Mutex::new(Spend::default())),
@@ -160,7 +169,10 @@ impl JobBudget {
     }
 
     /// The job's crowd spend as a [`TaskLedger`] (point tasks amortized at
-    /// the dispatcher's batch size).
+    /// the dispatcher's batch size). The job runner reports the engine's
+    /// live logical ledger instead (the fallible ask path keeps the engine
+    /// alive through exhaustion), so this view is for inspection only.
+    #[cfg(test)]
     pub(crate) fn ledger(&self) -> TaskLedger {
         let spend = *self.lock();
         let mut ledger = TaskLedger::new();
@@ -174,11 +186,11 @@ impl JobBudget {
         ledger
     }
 
-    /// Charges this job (and the global ledger); panics with
-    /// [`BudgetExhausted`] when a cap would be crossed.
-    fn charge(&self, sets: u64, points: u64) {
+    /// Charges this job (and the global ledger); `Err` with
+    /// [`AskError::BudgetExhausted`] when a cap would be crossed.
+    fn charge(&self, sets: u64, points: u64) -> Result<(), AskError> {
         // A rejected question must not count toward the job's spend on
-        // either abort path, so the local commit happens only after both
+        // either refusal path, so the local commit happens only after both
         // caps admit it. Lock order is job → global; nothing takes them in
         // reverse, and the job lock is effectively uncontended (one thread
         // runs a job).
@@ -188,21 +200,19 @@ impl JobBudget {
         next.point_labels += points;
         if let Some(cap) = self.cap {
             if next.tasks(self.global.batch) > cap {
-                drop(spend);
-                std::panic::panic_any(BudgetExhausted {
-                    job: self.job,
-                    scope: BudgetScope::Job,
-                });
+                let snapshot = BudgetSnapshot {
+                    spent: spend.tasks(self.global.batch),
+                    cap,
+                    shared: false,
+                };
+                return Err(AskError::BudgetExhausted(snapshot));
             }
         }
-        if self.global.charge(sets, points).is_err() {
-            drop(spend);
-            std::panic::panic_any(BudgetExhausted {
-                job: self.job,
-                scope: BudgetScope::Global,
-            });
+        if let Err(snapshot) = self.global.charge(sets, points) {
+            return Err(AskError::BudgetExhausted(snapshot));
         }
         *spend = next;
+        Ok(())
     }
 }
 
@@ -221,19 +231,23 @@ impl<S> GovernedSource<S> {
 }
 
 impl<S: AnswerSource> AnswerSource for GovernedSource<S> {
-    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
-        self.budget.charge(1, 0);
-        self.inner.answer_set(objects, target)
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
+        self.budget.charge(1, 0)?;
+        self.inner.try_answer_set(objects, target)
     }
 
-    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
-        self.budget.charge(0, 1);
-        self.inner.answer_point_labels(object)
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+        self.budget.charge(0, 1)?;
+        self.inner.try_answer_point_labels(object)
     }
 
-    fn answer_membership(&mut self, object: ObjectId, target: &Target) -> bool {
-        self.budget.charge(0, 1);
-        self.inner.answer_membership(object, target)
+    fn try_answer_membership(
+        &mut self,
+        object: ObjectId,
+        target: &Target,
+    ) -> Result<bool, AskError> {
+        self.budget.charge(0, 1)?;
+        self.inner.try_answer_membership(object, target)
     }
 }
 
@@ -268,12 +282,12 @@ mod tests {
     fn under_budget_passes_through() {
         let t = truth(100, 10);
         let global = GlobalBudget::new(Some(100), 50);
-        let budget = JobBudget::new(JobId(0), Some(10), Arc::clone(&global));
+        let budget = JobBudget::new(Some(10), Arc::clone(&global));
         let mut src = GovernedSource::new(PerfectSource::new(&t), budget.clone());
         let ids = t.all_ids();
-        assert!(src.answer_set(&ids, &female()));
+        assert!(src.try_answer_set(&ids, &female()).unwrap());
         for id in &ids[..50] {
-            src.answer_point_labels(*id);
+            src.try_answer_point_labels(*id).unwrap();
         }
         assert_eq!(budget.tasks_spent(), 2); // 1 set + ceil(50/50)
         assert_eq!(global.tasks_spent(), 2);
@@ -284,22 +298,25 @@ mod tests {
     }
 
     #[test]
-    fn job_cap_aborts_with_payload() {
+    fn job_cap_refuses_with_snapshot() {
         let t = truth(10, 2);
         let global = GlobalBudget::new(None, 50);
-        let budget = JobBudget::new(JobId(7), Some(2), global);
+        let budget = JobBudget::new(Some(2), global);
         let mut src = GovernedSource::new(PerfectSource::new(&t), budget.clone());
         let ids = t.all_ids();
-        src.answer_set(&ids, &female());
-        src.answer_set(&ids[..5], &female());
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            src.answer_set(&ids[5..], &female());
-        }))
-        .unwrap_err();
-        let exhausted = err.downcast::<BudgetExhausted>().expect("typed payload");
-        assert_eq!(exhausted.job, JobId(7));
-        assert_eq!(exhausted.scope, BudgetScope::Job);
-        // The failed question was not charged.
+        src.try_answer_set(&ids, &female()).unwrap();
+        src.try_answer_set(&ids[..5], &female()).unwrap();
+        let err = src.try_answer_set(&ids[5..], &female()).unwrap_err();
+        match err {
+            AskError::BudgetExhausted(snapshot) => {
+                assert_eq!(snapshot.spent, 2);
+                assert_eq!(snapshot.cap, 2);
+                assert!(!snapshot.shared);
+                assert_eq!(BudgetScope::from_snapshot(&snapshot), BudgetScope::Job);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // The refused question was not charged.
         assert_eq!(budget.tasks_spent(), 2);
     }
 
@@ -309,29 +326,32 @@ mod tests {
         let global = GlobalBudget::new(Some(3), 50);
         let mut a = GovernedSource::new(
             PerfectSource::new(&t),
-            JobBudget::new(JobId(0), None, Arc::clone(&global)),
+            JobBudget::new(None, Arc::clone(&global)),
         );
         let mut b = GovernedSource::new(
             PerfectSource::new(&t),
-            JobBudget::new(JobId(1), None, Arc::clone(&global)),
+            JobBudget::new(None, Arc::clone(&global)),
         );
         let ids = t.all_ids();
-        a.answer_set(&ids, &female());
-        b.answer_set(&ids, &female());
-        a.answer_set(&ids, &female());
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            b.answer_set(&ids, &female());
-        }))
-        .unwrap_err();
-        let exhausted = err.downcast::<BudgetExhausted>().expect("typed payload");
-        assert_eq!(exhausted.scope, BudgetScope::Global);
+        a.try_answer_set(&ids, &female()).unwrap();
+        b.try_answer_set(&ids, &female()).unwrap();
+        a.try_answer_set(&ids, &female()).unwrap();
+        let err = b.try_answer_set(&ids, &female()).unwrap_err();
+        match err {
+            AskError::BudgetExhausted(snapshot) => {
+                assert!(snapshot.shared);
+                assert_eq!(snapshot.cap, 3);
+                assert_eq!(BudgetScope::from_snapshot(&snapshot), BudgetScope::Global);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
         assert_eq!(global.tasks_spent(), 3);
         // The rejected question is charged on neither ledger: per-job spend
         // sums to the global bill.
         let spent_a = a.budget.tasks_spent();
         let spent_b = b.budget.tasks_spent();
         assert_eq!(spent_a, 2);
-        assert_eq!(spent_b, 1, "global abort must not charge the job");
+        assert_eq!(spent_b, 1, "global refusal must not charge the job");
         assert_eq!(spent_a + spent_b, global.tasks_spent());
     }
 }

@@ -9,6 +9,7 @@
 //! serializes, so a future HTTP front-end can accept specs and publish
 //! reports without new plumbing.
 
+use crate::governor::BudgetScope;
 use coverage_core::classifier::ClassifierOutcome;
 use coverage_core::engine::ObjectId;
 use coverage_core::group_coverage::GroupCoverageOutcome;
@@ -204,18 +205,108 @@ impl JobSpec {
 }
 
 /// Lifecycle of a job inside the service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
     /// Accepted, waiting for a worker.
     Queued,
     /// Executing on a worker thread.
     Running,
-    /// Finished with an outcome.
+    /// Finished with a complete outcome.
     Done,
-    /// Stopped by the budget governor before finishing.
-    Exhausted,
-    /// Panicked (a bug or an invalid spec reaching an algorithm assert).
+    /// Stopped by the budget governor before finishing; the report's
+    /// `outcome` holds the partial result proven before the cut.
+    Exhausted {
+        /// Which cap refused the next question.
+        scope: BudgetScope,
+        /// Crowd tasks charged on that cap's ledger at the refusal.
+        spent: u64,
+        /// The cap itself.
+        cap: u64,
+    },
+    /// Cancelled via [`CancelHandle`](crate::service::CancelHandle); the
+    /// report's `outcome` holds the partial result proven before the stop.
+    Cancelled,
+    /// The job failed: an invalid spec, or the platform could not answer
+    /// one of its questions (the report's `error` has the message).
     Failed,
+}
+
+impl JobStatus {
+    /// Did the job run to completion?
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobStatus::Done)
+    }
+
+    /// Was the job stopped by a budget cap (any scope)?
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, JobStatus::Exhausted { .. })
+    }
+
+    /// Was the job cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobStatus::Cancelled)
+    }
+
+    /// Did the job fail?
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobStatus::Failed)
+    }
+
+    /// Same lifecycle stage, ignoring any per-variant detail (an
+    /// `Exhausted` matches any other `Exhausted` regardless of scope).
+    pub fn same_kind(&self, other: &JobStatus) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+}
+
+// `Exhausted` carries data, which the vendored serde derive does not
+// support — serialize by hand: unit variants as plain strings (the
+// pre-existing wire shape), `Exhausted` as a tagged object.
+impl Serialize for JobStatus {
+    fn to_value(&self) -> Value {
+        match self {
+            JobStatus::Queued => Value::Str("Queued".to_string()),
+            JobStatus::Running => Value::Str("Running".to_string()),
+            JobStatus::Done => Value::Str("Done".to_string()),
+            JobStatus::Cancelled => Value::Str("Cancelled".to_string()),
+            JobStatus::Failed => Value::Str("Failed".to_string()),
+            JobStatus::Exhausted { scope, spent, cap } => Value::Object(vec![
+                ("status".to_string(), Value::Str("Exhausted".to_string())),
+                ("scope".to_string(), scope.to_value()),
+                ("spent".to_string(), spent.to_value()),
+                ("cap".to_string(), cap.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for JobStatus {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => match s.as_str() {
+                "Queued" => Ok(JobStatus::Queued),
+                "Running" => Ok(JobStatus::Running),
+                "Done" => Ok(JobStatus::Done),
+                "Cancelled" => Ok(JobStatus::Cancelled),
+                "Failed" => Ok(JobStatus::Failed),
+                other => Err(Error::unknown_variant("JobStatus", other)),
+            },
+            Value::Object(_) => {
+                let tag = String::from_value(value.get_field("status")?)?;
+                match tag.as_str() {
+                    "Exhausted" => Ok(JobStatus::Exhausted {
+                        scope: BudgetScope::from_value(value.get_field("scope")?)?,
+                        spent: u64::from_value(value.get_field("spent")?)?,
+                        cap: u64::from_value(value.get_field("cap")?)?,
+                    }),
+                    other => Err(Error::unknown_variant("JobStatus", other)),
+                }
+            }
+            other => Err(Error::new(format!(
+                "expected JobStatus string or object, found {other:?}"
+            ))),
+        }
+    }
 }
 
 /// The algorithm result carried by a finished job.
@@ -282,17 +373,19 @@ pub struct JobReport {
     pub name: String,
     /// Algorithm short name.
     pub algorithm: String,
-    /// Terminal status: [`JobStatus::Done`], [`JobStatus::Exhausted`] or
-    /// [`JobStatus::Failed`].
+    /// Terminal status: [`JobStatus::Done`], [`JobStatus::Exhausted`],
+    /// [`JobStatus::Cancelled`] or [`JobStatus::Failed`].
     pub status: JobStatus,
-    /// The algorithm's result (present iff `status == Done`).
+    /// The algorithm's result: the complete outcome when `Done`, the
+    /// **partial** outcome proven before the stop when `Exhausted` or
+    /// `Cancelled`, absent when `Failed`.
     pub outcome: Option<AuditOutcome>,
-    /// Panic message (present iff `status == Failed`).
+    /// Failure message (present iff `status == Failed`).
     pub error: Option<String>,
     /// The job's *logical* crowd work, metered by its engine: every question
-    /// the algorithm asked, whether or not the shared cache absorbed it.
-    /// For exhausted jobs this is reconstructed from the governor's
-    /// crowd-spend view (the engine state is lost in the abort unwind).
+    /// the algorithm asked and got answered, whether or not the shared cache
+    /// absorbed it. For exhausted and cancelled jobs this covers exactly the
+    /// partial run (the refused question is never counted).
     pub ledger: TaskLedger,
     /// Crowd tasks this job actually charged past the shared cache, as
     /// metered by the budget governor (set queries + batched point labels).
@@ -387,5 +480,100 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_n_rejected() {
         JobSpec::new("x", vec![], AuditKind::BaseCoverage { target: target() }).n(0);
+    }
+
+    fn partial_coverage_outcome() -> AuditOutcome {
+        AuditOutcome::Coverage(GroupCoverageOutcome {
+            covered: false,
+            count: 17,
+            set_queries: 23,
+            witnesses: vec![ObjectId(4), ObjectId(9)],
+        })
+    }
+
+    /// Golden round-trip: an `Exhausted` report — status detail, partial
+    /// outcome, ledger — survives JSON serialization losslessly.
+    #[test]
+    fn exhausted_report_round_trips_losslessly() {
+        for scope in [BudgetScope::Job, BudgetScope::Global] {
+            let mut ledger = TaskLedger::new();
+            ledger.record_set_query();
+            ledger.record_point_work(30, 1);
+            let report = JobReport {
+                id: JobId(11),
+                name: "starved".into(),
+                algorithm: "group_coverage".into(),
+                status: JobStatus::Exhausted {
+                    scope,
+                    spent: 40,
+                    cap: 40,
+                },
+                outcome: Some(partial_coverage_outcome()),
+                error: None,
+                ledger,
+                crowd_tasks: 40,
+                wall_ms: 7,
+            };
+            let json = report.to_json();
+            let back: JobReport = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.status, report.status, "via {json}");
+            assert!(back.status.is_exhausted());
+            assert_eq!(back.ledger, report.ledger);
+            assert_eq!(back.crowd_tasks, 40);
+            match &back.outcome {
+                Some(AuditOutcome::Coverage(o)) => {
+                    assert!(!o.covered);
+                    assert_eq!(o.count, 17);
+                    assert_eq!(o.witnesses, vec![ObjectId(4), ObjectId(9)]);
+                }
+                other => panic!("partial outcome lost: {other:?}"),
+            }
+            // Second round trip is byte-identical (canonical form).
+            let json2 = serde_json::to_string_pretty(&back).unwrap();
+            assert_eq!(json, json2);
+        }
+    }
+
+    /// Golden round-trip: a `Cancelled` report with its partial outcome.
+    #[test]
+    fn cancelled_report_round_trips_losslessly() {
+        let report = JobReport {
+            id: JobId(3),
+            name: "stopped".into(),
+            algorithm: "base_coverage".into(),
+            status: JobStatus::Cancelled,
+            outcome: Some(partial_coverage_outcome()),
+            error: None,
+            ledger: TaskLedger::new(),
+            crowd_tasks: 9,
+            wall_ms: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"status\": \"Cancelled\""), "{json}");
+        let back: JobReport = serde_json::from_str(&json).unwrap();
+        assert!(back.status.is_cancelled());
+        assert_eq!(back.status, report.status);
+        assert!(back.outcome.is_some());
+        let json2 = serde_json::to_string_pretty(&back).unwrap();
+        assert_eq!(json, json2);
+    }
+
+    #[test]
+    fn status_kind_comparison_ignores_detail() {
+        let a = JobStatus::Exhausted {
+            scope: BudgetScope::Job,
+            spent: 1,
+            cap: 2,
+        };
+        let b = JobStatus::Exhausted {
+            scope: BudgetScope::Global,
+            spent: 9,
+            cap: 9,
+        };
+        assert!(a.same_kind(&b));
+        assert_ne!(a, b);
+        assert!(!a.same_kind(&JobStatus::Done));
+        assert!(JobStatus::Done.is_done());
+        assert!(JobStatus::Failed.is_failed());
     }
 }

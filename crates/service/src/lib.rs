@@ -18,7 +18,14 @@
 //!   (the paper's HIT layout) and sharing simulated round-trip latency
 //!   across jobs;
 //! * a **budget governor** ([`governor`]): per-job and global crowd-task
-//!   caps with graceful [`JobStatus::Exhausted`] outcomes.
+//!   caps with graceful [`JobStatus::Exhausted`] outcomes carrying the
+//!   partial result discovered before the cut.
+//!
+//! The whole ask path is **fallible**: budget exhaustion, cancellation
+//! (see [`AuditService::cancel_handle`]) and platform failures travel as
+//! `Err(AskError)` values from the answer source up through the algorithm
+//! drivers — never as panics — so every terminal [`JobStatus`] is ordinary
+//! data and exhausted/cancelled jobs still report partial progress.
 //!
 //! Specs, statuses and reports all serialize (`serde` + `serde_json`), so a
 //! network front-end can bolt on without touching the orchestration core.
@@ -66,9 +73,9 @@ pub mod job;
 pub mod service;
 
 pub use dispatch::{DispatchStats, DispatcherConfig};
-pub use governor::{BudgetExhausted, BudgetPolicy, BudgetScope};
+pub use governor::{BudgetPolicy, BudgetScope};
 pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
-pub use service::{AuditService, ServiceConfig, ServiceReport};
+pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport};
 
 #[cfg(test)]
 mod tests {
@@ -202,10 +209,32 @@ mod tests {
         );
         let (report, _) = service.run(PerfectSource::new(&truth));
         let starved = report.job(JobId(0)).unwrap();
-        assert_eq!(starved.status, JobStatus::Exhausted);
-        assert!(starved.outcome.is_none());
+        match starved.status {
+            JobStatus::Exhausted { scope, spent, cap } => {
+                assert_eq!(scope, BudgetScope::Job);
+                assert_eq!(cap, 40);
+                assert!(spent <= 40);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        // Exhaustion now carries the partial scan: witnesses found so far.
+        match starved.outcome.as_ref() {
+            Some(AuditOutcome::Coverage(partial)) => {
+                assert!(!partial.covered);
+                assert!(partial.count < 50);
+            }
+            other => panic!("expected partial coverage outcome, got {other:?}"),
+        }
         assert!(starved.crowd_tasks <= 40, "spent {}", starved.crowd_tasks);
-        assert!(starved.ledger.total_tasks() <= 40);
+        // The logical ledger now survives exhaustion (the engine is never
+        // unwound): it counts every *answered* membership question, whose
+        // crowd spend amortizes at the 50-image dispatcher batch.
+        assert!(starved.ledger.point_labels() > 0);
+        assert_eq!(
+            starved.crowd_tasks,
+            starved.ledger.point_labels().div_ceil(50),
+            "crowd spend is the amortized view of the answered questions"
+        );
         let fine = report.job(JobId(1)).unwrap();
         assert_eq!(fine.status, JobStatus::Done);
     }
@@ -235,11 +264,25 @@ mod tests {
         let (report, _) = service.run(PerfectSource::new(&truth));
         assert!(report.crowd_tasks <= 30, "spent {}", report.crowd_tasks);
         assert_eq!(report.job(JobId(0)).unwrap().status, JobStatus::Done);
+        let exhausted: Vec<_> = report
+            .jobs
+            .iter()
+            .filter(|j| j.status.is_exhausted())
+            .collect();
         assert!(
-            report.count_status(JobStatus::Exhausted) >= 2,
+            exhausted.len() >= 2,
             "global cap must starve later jobs: {}",
             report.to_json()
         );
+        for job in exhausted {
+            match job.status {
+                JobStatus::Exhausted { scope, cap, .. } => {
+                    assert_eq!(scope, BudgetScope::Global);
+                    assert_eq!(cap, 30);
+                }
+                _ => unreachable!(),
+            }
+        }
     }
 
     #[test]
@@ -275,11 +318,51 @@ mod tests {
         assert_eq!(report.job(JobId(1)).unwrap().status, JobStatus::Done);
     }
 
-    /// A question that makes the *platform itself* panic (here: an
-    /// out-of-range object id reaching the dataset) must fail only the job
-    /// that asked it — the dispatcher keeps serving everyone else.
+    /// A source whose answers validate object ids — the fallible analogue
+    /// of a platform that rejects malformed HITs instead of crashing.
+    struct CheckedSource<'a> {
+        truth: &'a VecGroundTruth,
+    }
+
+    impl CheckedSource<'_> {
+        fn check(&self, objects: &[ObjectId]) -> Result<(), coverage_core::AskError> {
+            let n = self.truth.num_objects();
+            match objects.iter().find(|o| o.index() >= n) {
+                Some(bad) => Err(coverage_core::AskError::SourceFailed(format!(
+                    "the platform failed to answer this question: {bad} out of range"
+                ))),
+                None => Ok(()),
+            }
+        }
+    }
+
+    impl AnswerSource for CheckedSource<'_> {
+        fn try_answer_set(
+            &mut self,
+            objects: &[ObjectId],
+            target: &Target,
+        ) -> Result<bool, coverage_core::AskError> {
+            self.check(objects)?;
+            Ok(PerfectSource::new(self.truth).answer_set(objects, target))
+        }
+
+        fn try_answer_point_labels(
+            &mut self,
+            object: ObjectId,
+        ) -> Result<Labels, coverage_core::AskError> {
+            self.check(&[object])?;
+            Ok(self.truth.labels_of(object))
+        }
+    }
+
+    impl BatchAnswerSource for CheckedSource<'_> {}
+
+    /// A question the platform cannot answer (here: an out-of-range object
+    /// id) must fail only the job that asked it — the error travels as
+    /// `Err(SourceFailed)` through the dispatcher while everyone else keeps
+    /// being served.
     #[test]
-    fn platform_panic_fails_only_the_asking_job() {
+    fn platform_failure_fails_only_the_asking_job() {
         let truth = minority_truth(100, 10);
         let pool = truth.all_ids();
         let mut service = AuditService::new(ServiceConfig {
@@ -302,7 +385,7 @@ mod tests {
             )
             .tau(5),
         );
-        let (report, _) = service.run(PerfectSource::new(&truth));
+        let (report, _) = service.run(CheckedSource { truth: &truth });
         let poisoned = report.job(JobId(0)).unwrap();
         assert_eq!(poisoned.status, JobStatus::Failed);
         assert!(
@@ -315,6 +398,42 @@ mod tests {
             poisoned.error
         );
         assert_eq!(report.job(JobId(1)).unwrap().status, JobStatus::Done);
+    }
+
+    /// Cancelling via the handle: a queued job reports `Cancelled` without
+    /// running; the others are untouched.
+    #[test]
+    fn cancel_before_run_reports_cancelled() {
+        let truth = minority_truth(500, 60);
+        let pool = truth.all_ids();
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        service.submit(
+            JobSpec::new(
+                "doomed",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(5),
+        );
+        let keep = service.submit(
+            JobSpec::new(
+                "kept",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(5),
+        );
+        let handle = service.cancel_handle();
+        assert!(handle.cancel(JobId(0)));
+        assert!(!handle.cancel(JobId(99)), "unknown job is a no-op");
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        let doomed = report.job(JobId(0)).unwrap();
+        assert!(doomed.status.is_cancelled());
+        assert_eq!(doomed.ledger.total_tasks(), 0, "never ran");
+        assert_eq!(report.job(keep).unwrap().status, JobStatus::Done);
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //! answer source itself (so callers can inspect e.g. `MTurkSim` stats).
 
 use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchStats, DispatcherConfig};
-use crate::governor::{BudgetExhausted, BudgetPolicy, GlobalBudget, GovernedSource, JobBudget};
+use crate::governor::{BudgetPolicy, BudgetScope, GlobalBudget, GovernedSource, JobBudget};
 use crate::job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
 use coverage_core::base_coverage::base_coverage;
 use coverage_core::classifier::{classifier_coverage, ClassifierConfig};
-use coverage_core::engine::{AnswerSource, BatchAnswerSource, Engine};
+use coverage_core::engine::{AnswerSource, BatchAnswerSource, CancelToken, Engine};
+use coverage_core::error::{AskError, Interrupted};
 use coverage_core::group_coverage::{group_coverage, DncConfig};
 use coverage_core::intersectional::intersectional_coverage;
 use coverage_core::ledger::TaskLedger;
@@ -30,8 +31,8 @@ use coverage_core::multiple::{multiple_coverage, MultipleConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Service tuning.
@@ -96,12 +97,40 @@ impl ServiceReport {
     }
 }
 
+/// Cancels submitted jobs from outside the run — any thread, any time.
+///
+/// Obtained from [`AuditService::cancel_handle`] **before** the (blocking)
+/// [`AuditService::run`]. Cancellation is cooperative: a running job
+/// observes it at its next question and reports
+/// [`JobStatus::Cancelled`] with the partial result discovered so far; a
+/// job still queued reports `Cancelled` without running at all.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    tokens: Arc<Mutex<Vec<CancelToken>>>,
+}
+
+impl CancelHandle {
+    /// Requests cancellation of one job. Returns `false` when no such job
+    /// has been submitted.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let tokens = lock(&self.tokens);
+        match tokens.get(id.0 as usize) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// A multi-tenant audit orchestrator: submit jobs, then run them all
 /// concurrently over one shared answer source.
 #[derive(Debug)]
 pub struct AuditService {
     config: ServiceConfig,
     jobs: Vec<JobSpec>,
+    cancel_tokens: Arc<Mutex<Vec<CancelToken>>>,
 }
 
 impl AuditService {
@@ -112,6 +141,7 @@ impl AuditService {
         Self {
             config,
             jobs: Vec::new(),
+            cancel_tokens: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -128,6 +158,7 @@ impl AuditService {
         assert!(spec.n > 0, "subset size n must be positive");
         let id = JobId(self.jobs.len() as u64);
         self.jobs.push(spec);
+        lock(&self.cancel_tokens).push(CancelToken::new());
         id
     }
 
@@ -136,14 +167,22 @@ impl AuditService {
         self.jobs.len()
     }
 
+    /// A handle for cancelling jobs while [`AuditService::run`] executes
+    /// (take it before calling `run`, which consumes the service).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            tokens: Arc::clone(&self.cancel_tokens),
+        }
+    }
+
     /// Runs every queued job to completion on the worker pool and returns
     /// the report together with the answer source (e.g. to read platform
     /// statistics afterwards).
     pub fn run<S: BatchAnswerSource + Send>(self, source: S) -> (ServiceReport, S) {
-        quiet_budget_aborts();
         let start = Instant::now();
         let config = self.config;
         let jobs = self.jobs;
+        let cancel_tokens: Vec<CancelToken> = lock(&self.cancel_tokens).clone();
 
         let (dispatch_handle, dispatch_rx) = dispatch_channel();
         let dispatcher_config = DispatcherConfig {
@@ -182,11 +221,17 @@ impl AuditService {
                             let spec = &jobs[index];
                             let id = JobId(index as u64);
                             let budget = JobBudget::new(
-                                id,
                                 spec.budget.or(config.budget.per_job),
-                                std::sync::Arc::clone(&global_budget),
+                                Arc::clone(&global_budget),
                             );
-                            let report = run_job(id, spec, &memo_root, &dispatch_handle, budget);
+                            let report = run_job(
+                                id,
+                                spec,
+                                &memo_root,
+                                &dispatch_handle,
+                                budget,
+                                cancel_tokens[index].clone(),
+                            );
                             lock(&reports)[index] = Some(report);
                         }
                     })
@@ -226,25 +271,39 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Runs one job end to end, absorbing budget aborts and panics into the
-/// report instead of crashing the worker.
+/// Rejects specs that would trip an algorithm's programmer-error asserts
+/// (core treats those as bugs; at the service boundary they are tenant
+/// input and must fail only the offending job).
+fn validate_spec(spec: &JobSpec) -> Result<(), String> {
+    match &spec.kind {
+        AuditKind::MultipleCoverage { groups } if groups.is_empty() => {
+            Err("multiple_coverage needs at least one group".to_string())
+        }
+        AuditKind::ClassifierCoverage { predicted, .. } => {
+            let pool: HashSet<_> = spec.pool.iter().copied().collect();
+            if predicted.iter().all(|id| pool.contains(id)) {
+                Ok(())
+            } else {
+                Err("classifier predicted set must be a subset of the pool".to_string())
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Runs one job end to end. Budget exhaustion, cancellation and platform
+/// failures arrive as `Err(Interrupted)` values from the algorithm driver —
+/// nothing panics and nothing is caught: the partial result and the live
+/// engine ledger go straight into the report.
 fn run_job(
     id: JobId,
     spec: &JobSpec,
     memo_root: &SharedMemoizedSource<()>,
     dispatch_handle: &crate::dispatch::DispatchHandle,
     budget: JobBudget,
+    cancel: CancelToken,
 ) -> JobReport {
     let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let governed = GovernedSource::new(dispatch_handle.clone(), budget.clone());
-        let source = memo_root.with_inner(governed);
-        let mut engine = Engine::with_point_batch(source, spec.n);
-        let outcome = execute_algorithm(spec, &mut engine);
-        (outcome, *engine.ledger())
-    }));
-    let crowd_tasks = budget.tasks_spent();
-    let wall_ms = start.elapsed().as_millis() as u64;
     let base = JobReport {
         id,
         name: spec.name.clone(),
@@ -253,52 +312,91 @@ fn run_job(
         outcome: None,
         error: None,
         ledger: TaskLedger::new(),
+        crowd_tasks: 0,
+        wall_ms: 0,
+    };
+    if let Err(message) = validate_spec(spec) {
+        return JobReport {
+            error: Some(message),
+            wall_ms: start.elapsed().as_millis() as u64,
+            ..base
+        };
+    }
+    if cancel.is_cancelled() {
+        // Cancelled while still queued: report without running.
+        return JobReport {
+            status: JobStatus::Cancelled,
+            wall_ms: start.elapsed().as_millis() as u64,
+            ..base
+        };
+    }
+
+    let governed = GovernedSource::new(dispatch_handle.clone(), budget.clone());
+    let source = memo_root.with_inner(governed);
+    let mut engine = Engine::with_point_batch(source, spec.n).with_cancel_token(cancel);
+    let result = execute_algorithm(spec, &mut engine);
+    let ledger = *engine.ledger();
+    let crowd_tasks = budget.tasks_spent();
+    let wall_ms = start.elapsed().as_millis() as u64;
+    let base = JobReport {
+        ledger,
         crowd_tasks,
         wall_ms,
+        ..base
     };
     match result {
-        Ok((outcome, ledger)) => JobReport {
+        Ok(outcome) => JobReport {
             status: JobStatus::Done,
             outcome: Some(outcome),
-            ledger,
             ..base
         },
-        Err(payload) => {
-            if payload.downcast_ref::<BudgetExhausted>().is_some() {
-                JobReport {
-                    status: JobStatus::Exhausted,
-                    // The engine unwound with the abort; report the
-                    // governor's crowd-spend view of the partial run.
-                    ledger: budget.ledger(),
-                    ..base
-                }
-            } else {
-                let message = panic_message(payload.as_ref());
-                JobReport {
-                    status: JobStatus::Failed,
-                    error: Some(message),
-                    ..base
-                }
-            }
-        }
+        Err(Interrupted { error, partial }) => match error {
+            AskError::BudgetExhausted(snapshot) => JobReport {
+                status: JobStatus::Exhausted {
+                    scope: BudgetScope::from_snapshot(&snapshot),
+                    spent: snapshot.spent,
+                    cap: snapshot.cap,
+                },
+                outcome: Some(partial),
+                ..base
+            },
+            AskError::Cancelled => JobReport {
+                status: JobStatus::Cancelled,
+                outcome: Some(partial),
+                ..base
+            },
+            AskError::SourceFailed(message) => JobReport {
+                status: JobStatus::Failed,
+                error: Some(message),
+                ..base
+            },
+        },
     }
 }
 
-fn execute_algorithm<S: AnswerSource>(spec: &JobSpec, engine: &mut Engine<S>) -> AuditOutcome {
+/// Dispatches to the spec's algorithm driver, wrapping both the complete
+/// and the partial (interrupted) result into [`AuditOutcome`].
+#[allow(clippy::result_large_err)] // the Err carries the partial outcome by design
+fn execute_algorithm<S: AnswerSource>(
+    spec: &JobSpec,
+    engine: &mut Engine<S>,
+) -> Result<AuditOutcome, Interrupted<AuditOutcome>> {
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     match &spec.kind {
-        AuditKind::BaseCoverage { target } => {
-            AuditOutcome::Coverage(base_coverage(engine, &spec.pool, target, spec.tau))
-        }
-        AuditKind::GroupCoverage { target } => AuditOutcome::Coverage(group_coverage(
+        AuditKind::BaseCoverage { target } => base_coverage(engine, &spec.pool, target, spec.tau)
+            .map(AuditOutcome::Coverage)
+            .map_err(|i| i.map_partial(AuditOutcome::Coverage)),
+        AuditKind::GroupCoverage { target } => group_coverage(
             engine,
             &spec.pool,
             target,
             spec.tau,
             spec.n,
             &DncConfig::default(),
-        )),
-        AuditKind::MultipleCoverage { groups } => AuditOutcome::Multiple(multiple_coverage(
+        )
+        .map(AuditOutcome::Coverage)
+        .map_err(|i| i.map_partial(AuditOutcome::Coverage)),
+        AuditKind::MultipleCoverage { groups } => multiple_coverage(
             engine,
             &spec.pool,
             groups,
@@ -308,58 +406,35 @@ fn execute_algorithm<S: AnswerSource>(spec: &JobSpec, engine: &mut Engine<S>) ->
                 ..MultipleConfig::default()
             },
             &mut rng,
-        )),
-        AuditKind::IntersectionalCoverage { schema } => {
-            AuditOutcome::Intersectional(intersectional_coverage(
-                engine,
-                &spec.pool,
-                schema,
-                &MultipleConfig {
-                    tau: spec.tau,
-                    n: spec.n,
-                    ..MultipleConfig::default()
-                },
-                &mut rng,
-            ))
-        }
-        AuditKind::ClassifierCoverage { target, predicted } => {
-            AuditOutcome::Classifier(classifier_coverage(
-                engine,
-                &spec.pool,
-                predicted,
-                target,
-                &ClassifierConfig {
-                    tau: spec.tau,
-                    n: spec.n,
-                    ..ClassifierConfig::default()
-                },
-                &mut rng,
-            ))
-        }
+        )
+        .map(AuditOutcome::Multiple)
+        .map_err(|i| i.map_partial(AuditOutcome::Multiple)),
+        AuditKind::IntersectionalCoverage { schema } => intersectional_coverage(
+            engine,
+            &spec.pool,
+            schema,
+            &MultipleConfig {
+                tau: spec.tau,
+                n: spec.n,
+                ..MultipleConfig::default()
+            },
+            &mut rng,
+        )
+        .map(AuditOutcome::Intersectional)
+        .map_err(|i| i.map_partial(AuditOutcome::Intersectional)),
+        AuditKind::ClassifierCoverage { target, predicted } => classifier_coverage(
+            engine,
+            &spec.pool,
+            predicted,
+            target,
+            &ClassifierConfig {
+                tau: spec.tau,
+                n: spec.n,
+                ..ClassifierConfig::default()
+            },
+            &mut rng,
+        )
+        .map(AuditOutcome::Classifier)
+        .map_err(|i| i.map_partial(AuditOutcome::Classifier)),
     }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else {
-        "job panicked with a non-string payload".to_string()
-    }
-}
-
-/// Installs (once) a panic hook that silences the expected
-/// [`BudgetExhausted`] aborts while delegating every other panic to the
-/// previous hook.
-fn quiet_budget_aborts() {
-    static INSTALLED: OnceLock<()> = OnceLock::new();
-    INSTALLED.get_or_init(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<BudgetExhausted>().is_none() {
-                previous(info);
-            }
-        }));
-    });
 }

@@ -41,7 +41,8 @@ fn main() {
         n,
         ..MultipleConfig::default()
     };
-    let report = intersectional_coverage(&mut engine, &dataset.all_ids(), &schema, &cfg, &mut rng);
+    let report =
+        intersectional_coverage(&mut engine, &dataset.all_ids(), &schema, &cfg, &mut rng).unwrap();
     let ledger = *engine.ledger();
     println!(
         "audit: {} tasks, ${:.2} under this scheme",

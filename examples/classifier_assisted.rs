@@ -48,7 +48,8 @@ fn audit(name: &str, females: usize, males: usize, accuracy: f64, precision: f64
         &female,
         &ClassifierConfig::default(),
         &mut rng,
-    );
+    )
+    .unwrap();
     println!(
         "Classifier-Coverage: strategy {:?}, verdict {}, {} HITs",
         out.strategy,
@@ -65,7 +66,8 @@ fn audit(name: &str, females: usize, males: usize, accuracy: f64, precision: f64
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     println!(
         "Group-Coverage alone: {} HITs\n",
         engine.ledger().total_tasks()

@@ -41,7 +41,8 @@ fn main() {
             50,
             50,
             &DncConfig::default(),
-        );
+        )
+        .unwrap();
         let stats = *engine.source().stats();
         println!("{name}:");
         println!("  eligible workers:        {eligible}/100");

@@ -34,7 +34,8 @@ fn main() {
         n: 50,
         ..MultipleConfig::default()
     };
-    let report = intersectional_coverage(&mut engine, &dataset.all_ids(), &schema, &cfg, &mut rng);
+    let report =
+        intersectional_coverage(&mut engine, &dataset.all_ids(), &schema, &cfg, &mut rng).unwrap();
 
     println!("fully-specified subgroup verdicts:");
     for r in &report.full_groups {

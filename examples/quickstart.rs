@@ -35,7 +35,8 @@ fn main() {
         tau,
         n,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
 
     println!("group:        female");
     println!("threshold τ:  {tau}");
@@ -56,7 +57,7 @@ fn main() {
 
     // Compare with the naive baseline: one image per task.
     let mut engine = Engine::new(PerfectSource::new(&dataset));
-    base_coverage(&mut engine, &dataset.all_ids(), &female, tau);
+    base_coverage(&mut engine, &dataset.all_ids(), &female, tau).unwrap();
     println!(
         "baseline:     {} tasks (Base-Coverage, one image per HIT)",
         engine.ledger().total_tasks()

@@ -34,7 +34,8 @@ fn all_presets_verdicts_and_strategies() {
                 &female(),
                 &ClassifierConfig::default(),
                 &mut rng,
-            );
+            )
+            .unwrap();
             if out.covered == (preset.females >= 50) {
                 correct += 1;
             }
@@ -86,7 +87,8 @@ fn high_precision_saves_most_of_the_bill() {
         &female(),
         &ClassifierConfig::default(),
         &mut rng,
-    );
+    )
+    .unwrap();
     let cc_tasks = cc.tasks.total_tasks();
 
     let mut engine = Engine::with_point_batch(PerfectSource::new(&data), 50);
@@ -97,7 +99,8 @@ fn high_precision_saves_most_of_the_bill() {
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     let gc_tasks = engine.ledger().total_tasks();
     assert!(
         (cc_tasks as f64) < 0.4 * gc_tasks as f64,
@@ -120,7 +123,8 @@ fn all_positive_classifier_still_correct() {
         &female(),
         &ClassifierConfig::default(),
         &mut rng,
-    );
+    )
+    .unwrap();
     assert!(!out.covered);
     assert_eq!(out.count, 30);
 }
@@ -139,7 +143,8 @@ fn all_negative_classifier_still_correct() {
         &female(),
         &ClassifierConfig::default(),
         &mut rng,
-    );
+    )
+    .unwrap();
     assert!(out.covered);
 }
 
@@ -161,7 +166,8 @@ fn inverted_classifier_still_correct() {
         &female(),
         &ClassifierConfig::default(),
         &mut rng,
-    );
+    )
+    .unwrap();
     assert!(
         out.covered,
         "the 70 females hide in D − G but must be found"
@@ -187,7 +193,8 @@ fn audit_then_fix_reduces_disparity() {
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(!audit.covered, "audit must flag the spectacled gap");
 
     // Fix: add spectacled samples; disparity shrinks.

@@ -18,7 +18,8 @@ fn gc_tasks(data: &dataset_sim::Dataset, tau: usize, n: usize) -> (bool, u64) {
         tau,
         n,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     (out.covered, engine.ledger().total_tasks())
 }
 
@@ -71,7 +72,7 @@ proptest! {
         let (covered, gc) = gc_tasks(&data, tau, 50);
         prop_assert!(!covered);
         let mut engine = Engine::new(PerfectSource::new(&data));
-        base_coverage(&mut engine, &data.all_ids(), &female(), tau);
+        base_coverage(&mut engine, &data.all_ids(), &female(), tau).unwrap();
         let base = engine.ledger().total_tasks();
         prop_assert!(gc <= base, "gc {} > base {}", gc, base);
     }
@@ -120,7 +121,7 @@ proptest! {
         let truth = VecGroundTruth::new(labels);
         let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), b);
         let ids: Vec<ObjectId> = (0..k as u32).map(ObjectId).collect();
-        engine.ask_point_labels_batched(&ids);
+        engine.ask_point_labels_batched(&ids).unwrap();
         prop_assert_eq!(engine.ledger().point_tasks(), k.div_ceil(b) as u64);
     }
 }

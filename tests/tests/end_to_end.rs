@@ -31,7 +31,8 @@ fn feret_crowd_run_beats_baseline_and_bound() {
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     assert_verdict(&data, &female(), 50, out.covered);
     let gc_tasks = engine.ledger().total_tasks();
     let bound = group_coverage_upper_bound(data.len(), 50, 50, LogBase::Ten);
@@ -48,7 +49,7 @@ fn feret_crowd_run_beats_baseline_and_bound() {
         5,
     );
     let mut engine = Engine::with_point_batch(sim, 50);
-    base_coverage(&mut engine, &data.all_ids(), &female(), 50);
+    base_coverage(&mut engine, &data.all_ids(), &female(), 50).unwrap();
     let base_tasks = engine.ledger().total_tasks();
     assert!(
         gc_tasks * 3 < base_tasks,
@@ -78,7 +79,8 @@ fn multiple_coverage_on_noisy_crowd() {
         &groups,
         &MultipleConfig::default(),
         &mut rng,
-    );
+    )
+    .unwrap();
     let covered: Vec<bool> = report.results.iter().map(|r| r.covered).collect();
     assert_eq!(covered, vec![true, true, false, false]);
 }
@@ -108,7 +110,8 @@ fn intersectional_crowd_audit_matches_offline_mups() {
         tau: 50,
         ..MultipleConfig::default()
     };
-    let report = intersectional_coverage(&mut engine, &data.all_ids(), &schema, &cfg, &mut rng);
+    let report =
+        intersectional_coverage(&mut engine, &data.all_ids(), &schema, &cfg, &mut rng).unwrap();
     let mut got: Vec<String> = report.mups.iter().map(|m| m.to_string()).collect();
     let mut want: Vec<String> = mups_from_labels(data.labels(), &schema, 50)
         .iter()
@@ -132,7 +135,8 @@ fn pricing_end_to_end() {
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     let pricing = PricingModel::amt_five_cents();
     let wages = pricing.wages(engine.ledger());
     let total = pricing.total_cost(engine.ledger());
@@ -154,7 +158,8 @@ fn report_roundtrip_through_json() {
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     let report = CoverageReport::new(
         "roundtrip",
         data.schema().clone(),

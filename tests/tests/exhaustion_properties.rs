@@ -1,0 +1,406 @@
+//! Budget-exhaustion properties of the fallible ask path: for every one of
+//! the paper's five algorithm drivers, a budget cap injected at an
+//! *arbitrary* ask count must surface as `Err(Interrupted)` with
+//! `AskError::BudgetExhausted` — never a panic — with (a) ledger spend
+//! within the cap and (b) the partial report a prefix-consistent subset of
+//! the uncapped run (same answers, same seed ⇒ the partial run is literally
+//! the first `cap` questions of the full run).
+
+use coverage_core::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A perfect oracle that refuses every question past `cap` answers — the
+/// core-level analogue of the service's budget governor (each answered
+/// question counts as one task, whatever its shape).
+struct CappedSource<'a> {
+    truth: &'a VecGroundTruth,
+    served: u64,
+    cap: u64,
+}
+
+impl<'a> CappedSource<'a> {
+    fn new(truth: &'a VecGroundTruth, cap: u64) -> Self {
+        Self {
+            truth,
+            served: 0,
+            cap,
+        }
+    }
+
+    fn charge(&mut self) -> Result<(), AskError> {
+        if self.served >= self.cap {
+            return Err(AskError::BudgetExhausted(BudgetSnapshot {
+                spent: self.served,
+                cap: self.cap,
+                shared: false,
+            }));
+        }
+        self.served += 1;
+        Ok(())
+    }
+}
+
+impl AnswerSource for CappedSource<'_> {
+    fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
+        self.charge()?;
+        Ok(PerfectSource::new(self.truth).answer_set(objects, target))
+    }
+
+    fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+        self.charge()?;
+        Ok(self.truth.labels_of(object))
+    }
+}
+
+/// Interleaved two-group dataset: `minority` positives spread through `n`.
+fn truth(n: usize, minority: usize) -> VecGroundTruth {
+    let labels: Vec<Labels> = (0..n)
+        .map(|i| {
+            let spread = n.div_ceil(minority.max(1));
+            Labels::single(u8::from(
+                minority > 0 && i % spread == 0 && i / spread < minority,
+            ))
+        })
+        .collect();
+    VecGroundTruth::new(labels)
+}
+
+fn female() -> Target {
+    Target::group(Pattern::parse("1").unwrap())
+}
+
+fn schema() -> AttributeSchema {
+    AttributeSchema::single_binary("attr", "majority", "minority")
+}
+
+fn groups() -> Vec<Pattern> {
+    vec![Pattern::parse("0").unwrap(), Pattern::parse("1").unwrap()]
+}
+
+/// One algorithm run against a capped engine. Returns the `Ok` report and
+/// partial report as JSON (for cross-run comparison) plus the raw pieces
+/// the prefix checks need.
+enum RunOutput {
+    Completed {
+        json: String,
+    },
+    Interrupted {
+        error: AskError,
+        witnesses: Option<Vec<ObjectId>>,
+        group_results_json: Option<Vec<(String, String)>>,
+        mups: Option<Vec<Pattern>>,
+        count: usize,
+    },
+}
+
+fn run_algorithm(
+    alg: usize,
+    data: &VecGroundTruth,
+    tau: usize,
+    n: usize,
+    seed: u64,
+    cap: u64,
+) -> (RunOutput, u64) {
+    let mut engine = Engine::with_point_batch(CappedSource::new(data, cap), n);
+    let pool = data.all_ids();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cfg = MultipleConfig {
+        tau,
+        n,
+        ..MultipleConfig::default()
+    };
+    let out = match alg {
+        0 => match base_coverage(&mut engine, &pool, &female(), tau) {
+            Ok(out) => RunOutput::Completed {
+                json: serde_json::to_string(&out).unwrap(),
+            },
+            Err(i) => RunOutput::Interrupted {
+                error: i.error,
+                witnesses: Some(i.partial.witnesses),
+                group_results_json: None,
+                mups: None,
+                count: i.partial.count,
+            },
+        },
+        1 => match group_coverage(
+            &mut engine,
+            &pool,
+            &female(),
+            tau,
+            n,
+            &DncConfig::with_witnesses(),
+        ) {
+            Ok(out) => RunOutput::Completed {
+                json: serde_json::to_string(&out).unwrap(),
+            },
+            Err(i) => RunOutput::Interrupted {
+                error: i.error,
+                witnesses: Some(i.partial.witnesses),
+                group_results_json: None,
+                mups: None,
+                count: i.partial.count,
+            },
+        },
+        2 => match multiple_coverage(&mut engine, &pool, &groups(), &cfg, &mut rng) {
+            Ok(out) => RunOutput::Completed {
+                json: serde_json::to_string(&out).unwrap(),
+            },
+            Err(i) => RunOutput::Interrupted {
+                error: i.error,
+                witnesses: None,
+                group_results_json: Some(
+                    i.partial
+                        .results
+                        .iter()
+                        .map(|r| {
+                            (
+                                serde_json::to_string(&r.group).unwrap(),
+                                serde_json::to_string(r).unwrap(),
+                            )
+                        })
+                        .collect(),
+                ),
+                mups: None,
+                count: 0,
+            },
+        },
+        3 => match intersectional_coverage(&mut engine, &pool, &schema(), &cfg, &mut rng) {
+            Ok(out) => RunOutput::Completed {
+                json: serde_json::to_string(&out).unwrap(),
+            },
+            Err(i) => RunOutput::Interrupted {
+                error: i.error,
+                witnesses: None,
+                group_results_json: Some(
+                    i.partial
+                        .full_groups
+                        .iter()
+                        .map(|r| {
+                            (
+                                serde_json::to_string(&r.group).unwrap(),
+                                serde_json::to_string(r).unwrap(),
+                            )
+                        })
+                        .collect(),
+                ),
+                mups: Some(i.partial.mups),
+                count: 0,
+            },
+        },
+        _ => {
+            let predicted: Vec<ObjectId> = pool
+                .iter()
+                .copied()
+                .filter(|id| data.labels_of(*id) == Labels::single(1))
+                .take(tau / 2 + 1)
+                .collect();
+            let ccfg = ClassifierConfig {
+                tau,
+                n,
+                ..ClassifierConfig::default()
+            };
+            match classifier_coverage(&mut engine, &pool, &predicted, &female(), &ccfg, &mut rng) {
+                Ok(out) => RunOutput::Completed {
+                    json: serde_json::to_string(&out).unwrap(),
+                },
+                Err(i) => RunOutput::Interrupted {
+                    error: i.error,
+                    witnesses: None,
+                    group_results_json: None,
+                    mups: None,
+                    count: i.partial.count,
+                },
+            }
+        }
+    };
+    (out, engine.ledger().total_tasks())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Inject a cap at an arbitrary ask count into each of the five
+    /// algorithms: no panic, `Err(BudgetExhausted)` (or clean completion
+    /// identical to the uncapped run), ledger spend ≤ cap, and the partial
+    /// report prefix-consistent with the uncapped run.
+    #[test]
+    fn budget_cut_yields_consistent_partial(
+        alg in 0usize..5,
+        n_total in 60usize..600,
+        minority_frac in 0.0f64..0.4,
+        tau in 1usize..60,
+        n in 2usize..64,
+        cap in 0u64..400,
+        seed in 0u64..1000,
+    ) {
+        let minority = ((n_total as f64) * minority_frac) as usize;
+        let data = truth(n_total, minority);
+
+        // The uncapped reference run (same seed, same answers).
+        let (full, _) = run_algorithm(alg, &data, tau, n, seed, u64::MAX);
+        let full_json = match &full {
+            RunOutput::Completed { json } => json.clone(),
+            RunOutput::Interrupted { .. } => unreachable!("uncapped run cannot exhaust"),
+        };
+
+        let (capped, ledger_tasks) = run_algorithm(alg, &data, tau, n, seed, cap);
+
+        // (b) ledger spend never exceeds the cap: set queries are 1 task
+        // each and point labels amortize, so total ≤ answers served ≤ cap.
+        prop_assert!(
+            ledger_tasks <= cap,
+            "alg {} spent {} tasks over cap {}", alg, ledger_tasks, cap
+        );
+
+        match capped {
+            // Cap was generous enough: byte-identical to the uncapped run.
+            RunOutput::Completed { json } => prop_assert_eq!(json, full_json),
+            RunOutput::Interrupted { error, witnesses, group_results_json, mups, count } => {
+                // (a) exhaustion arrives as a typed error, not a panic.
+                prop_assert!(
+                    matches!(error, AskError::BudgetExhausted(BudgetSnapshot { cap: c, shared: false, .. }) if c == cap),
+                    "alg {} returned {:?}", alg, error
+                );
+                prop_assert!(count <= n_total);
+
+                // (c) prefix consistency against the uncapped reference.
+                match alg {
+                    0 | 1 => {
+                        // Witness-based drivers: the partial's witnesses
+                        // are literally the first k of the full run's.
+                        let full_witnesses = witness_list(&full_json);
+                        let got = witnesses.unwrap();
+                        prop_assert!(
+                            got.len() <= full_witnesses.len()
+                                && got[..] == full_witnesses[..got.len()],
+                            "partial witnesses {:?} not a prefix of {:?}", got, full_witnesses
+                        );
+                    }
+                    2 | 3 => {
+                        // Group-verdict drivers: every group decided before
+                        // the cut matches the uncapped verdict exactly.
+                        for (group, verdict) in group_results_json.unwrap() {
+                            prop_assert!(
+                                full_json.contains(&verdict),
+                                "partial verdict for {} diverged: {}", group, verdict
+                            );
+                        }
+                        if let Some(mups) = mups {
+                            // Anytime MUPs: every partial MUP is a MUP of
+                            // the complete run.
+                            for m in mups {
+                                let tagged = serde_json::to_string(&m).unwrap();
+                                prop_assert!(
+                                    full_json.contains(&tagged),
+                                    "partial MUP {} absent from full run", m
+                                );
+                            }
+                        }
+                    }
+                    _ => {
+                        // Classifier: the partial's lower bound never
+                        // exceeds the group's true population.
+                        prop_assert!(count <= data.count_matching(&female()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the witness id list from a serialized `GroupCoverageOutcome`.
+fn witness_list(json: &str) -> Vec<ObjectId> {
+    let out: GroupCoverageOutcome = serde_json::from_str(json).unwrap();
+    out.witnesses
+}
+
+/// A budget cut during the classifier's partition pass must not discard a
+/// coverage proof already in hand: once the verified members reach `τ`,
+/// the run completes `Ok(covered)` even though the next question was
+/// refused.
+#[test]
+fn classifier_cut_after_tau_verified_still_covers() {
+    // 200 positives at the front, all predicted with perfect precision.
+    let labels: Vec<Labels> = (0..1000)
+        .map(|i| Labels::single(u8::from(i < 200)))
+        .collect();
+    let data = VecGroundTruth::new(labels);
+    let pool = data.all_ids();
+    let predicted: Vec<ObjectId> = (0..200).map(ObjectId).collect();
+    let cfg = ClassifierConfig {
+        tau: 50,
+        n: 50,
+        ..ClassifierConfig::default()
+    };
+    // Budget: 20 sample labels + 2 partition root queries (verifying 100
+    // members, past τ = 50) — the 3rd root query is refused.
+    let mut engine = Engine::with_point_batch(CappedSource::new(&data, 22), 50);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let out = classifier_coverage(&mut engine, &pool, &predicted, &female(), &cfg, &mut rng)
+        .expect("answers in hand already prove coverage");
+    assert!(out.covered);
+    assert_eq!(out.strategy, FpElimination::Partition);
+    assert!(out.verified_in_predicted >= 50);
+}
+
+/// A cancelled token interrupts every algorithm with `AskError::Cancelled`
+/// before the first question — and the refusal charges nothing.
+#[test]
+fn pre_cancelled_token_stops_every_algorithm() {
+    let data = truth(300, 40);
+    let pool = data.all_ids();
+    let token = CancelToken::new();
+    token.cancel();
+    for alg in 0..5 {
+        let mut engine = Engine::with_point_batch(CappedSource::new(&data, u64::MAX), 25)
+            .with_cancel_token(token.clone());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = MultipleConfig {
+            tau: 20,
+            n: 25,
+            ..MultipleConfig::default()
+        };
+        let error = match alg {
+            0 => {
+                base_coverage(&mut engine, &pool, &female(), 20)
+                    .unwrap_err()
+                    .error
+            }
+            1 => {
+                group_coverage(&mut engine, &pool, &female(), 20, 25, &DncConfig::default())
+                    .unwrap_err()
+                    .error
+            }
+            2 => {
+                multiple_coverage(&mut engine, &pool, &groups(), &cfg, &mut rng)
+                    .unwrap_err()
+                    .error
+            }
+            3 => {
+                intersectional_coverage(&mut engine, &pool, &schema(), &cfg, &mut rng)
+                    .unwrap_err()
+                    .error
+            }
+            _ => {
+                classifier_coverage(
+                    &mut engine,
+                    &pool,
+                    &pool[..10],
+                    &female(),
+                    &ClassifierConfig {
+                        tau: 20,
+                        n: 25,
+                        ..ClassifierConfig::default()
+                    },
+                    &mut rng,
+                )
+                .unwrap_err()
+                .error
+            }
+        };
+        assert_eq!(error, AskError::Cancelled, "alg {alg}");
+        assert_eq!(engine.ledger().total_tasks(), 0, "alg {alg} charged work");
+    }
+}

@@ -35,7 +35,7 @@ proptest! {
         let cfg = MultipleConfig { tau, ..MultipleConfig::default() };
         let report = intersectional_coverage(
             &mut engine, &data.all_ids(), &schema, &cfg, &mut rng,
-        );
+        ).unwrap();
         let mut got: Vec<String> = report.mups.iter().map(|m| m.to_string()).collect();
         let mut want: Vec<String> = mups_from_labels(data.labels(), &schema, tau)
             .iter().map(|m| m.to_string()).collect();
@@ -60,7 +60,7 @@ proptest! {
         let cfg = MultipleConfig { tau, ..MultipleConfig::default() };
         let report = intersectional_coverage(
             &mut engine, &data.all_ids(), &schema, &cfg, &mut rng,
-        );
+        ).unwrap();
         for pc in &report.patterns {
             let true_count = data.count(&Target::group(pc.pattern));
             prop_assert_eq!(
@@ -95,7 +95,7 @@ proptest! {
         let cfg = MultipleConfig { tau, ..MultipleConfig::default() };
         let report = multiple_coverage(
             &mut engine, &data.all_ids(), &groups, &cfg, &mut rng,
-        );
+        ).unwrap();
         for (v, want) in counts.iter().enumerate() {
             let r = report.result_for(&Pattern::single(1, 0, v as u8)).unwrap();
             prop_assert_eq!(

@@ -25,7 +25,8 @@ fn run_gc(
         50,
         50,
         &DncConfig::default(),
-    );
+    )
+    .unwrap();
     let err = engine.source().stats().aggregated_error_rate();
     (out.covered, err)
 }

@@ -6,12 +6,16 @@
 //! not leak into results.
 
 use coverage_core::prelude::*;
-use coverage_service::{AuditKind, AuditService, JobSpec, JobStatus, ServiceConfig, ServiceReport};
+use coverage_service::{
+    AuditKind, AuditOutcome, AuditService, BudgetScope, JobSpec, JobStatus, ServiceConfig,
+    ServiceReport,
+};
 use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
 use dataset_sim::{binary_dataset, Placement};
 use integration_tests::female;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 const SEED: u64 = 424_242;
 
@@ -164,6 +168,174 @@ fn shared_platform_publishes_fewer_hits() {
         shared_hits as f64 <= 0.9 * isolated_hits as f64,
         "saving too small: {shared_hits} vs {isolated_hits}"
     );
+}
+
+/// Serial single-job baseline: the job's outcome JSON when run alone.
+fn solo_outcome(data: &dataset_sim::Dataset, spec: JobSpec) -> String {
+    let mut service = AuditService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let id = service.submit(spec);
+    let (report, _) = service.run(platform(data));
+    let job = report.job(id).unwrap();
+    assert_eq!(job.status, JobStatus::Done, "baseline must complete");
+    serde_json::to_string(job.outcome.as_ref().unwrap()).unwrap()
+}
+
+/// Mid-run cancellation: the cancelled job reports `Cancelled` with a
+/// partial report, while its sibling finishes byte-identical to a serial
+/// run — a cancellation never leaks into other tenants' answers.
+#[test]
+fn mid_run_cancel_spares_siblings() {
+    let data = dataset();
+    let pool = data.all_ids();
+    let victim_spec = JobSpec::new(
+        "victim",
+        pool.clone(),
+        AuditKind::GroupCoverage { target: female() },
+    )
+    .tau(120)
+    .seed(2);
+    let sibling_spec = JobSpec::new(
+        "sibling",
+        pool[..1200].to_vec(),
+        AuditKind::GroupCoverage { target: female() },
+    )
+    .tau(40)
+    .seed(3);
+    let sibling_baseline = solo_outcome(&data, sibling_spec.clone());
+
+    // ~150 set queries through a 4 ms-per-round dispatcher give the victim
+    // a wall time far past the 40 ms cancellation point.
+    let mut service = AuditService::new(ServiceConfig {
+        workers: 2,
+        round_latency: Duration::from_millis(4),
+        ..ServiceConfig::default()
+    });
+    let victim = service.submit(victim_spec);
+    let sibling = service.submit(sibling_spec);
+    let handle = service.cancel_handle();
+
+    let report = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| {
+            let (report, _) = service.run(platform(&data));
+            report
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(handle.cancel(victim));
+        runner.join().expect("service run panicked")
+    });
+
+    let cancelled = report.job(victim).unwrap();
+    assert!(
+        cancelled.status.is_cancelled(),
+        "victim ended {:?}",
+        cancelled.status
+    );
+    if let Some(AuditOutcome::Coverage(partial)) = cancelled.outcome.as_ref() {
+        assert!(!partial.covered, "a cut run can never certify coverage");
+        assert!(partial.count < 120);
+    }
+
+    let kept = report.job(sibling).unwrap();
+    assert_eq!(kept.status, JobStatus::Done);
+    let kept_json = serde_json::to_string(kept.outcome.as_ref().unwrap()).unwrap();
+    assert_eq!(
+        kept_json, sibling_baseline,
+        "sibling outcome must be byte-identical to its serial run"
+    );
+}
+
+/// Coalesced-waiter isolation: a budget-starved job failing its claimed
+/// in-flight question must not poison a sibling asking the *identical*
+/// question — the waiter re-claims, pays with its own (unlimited) budget
+/// and finishes byte-identical to a serial run.
+#[test]
+fn exhausted_job_does_not_poison_identical_in_flight_question() {
+    let data = dataset();
+    let pool = data.all_ids();
+    let make_spec = |name: &str| {
+        JobSpec::new(
+            name,
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .tau(120)
+        .seed(5)
+    };
+    let baseline = solo_outcome(&data, make_spec("baseline"));
+
+    let mut service = AuditService::new(ServiceConfig {
+        workers: 2,
+        round_latency: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let starved = service.submit(make_spec("starved").budget(5));
+    let healthy = service.submit(make_spec("healthy"));
+    let (report, _) = service.run(platform(&data));
+
+    let starved_job = report.job(starved).unwrap();
+    match starved_job.status {
+        JobStatus::Exhausted { scope, cap, .. } => {
+            assert_eq!(scope, BudgetScope::Job);
+            assert_eq!(cap, 5);
+        }
+        other => panic!("starved job ended {other:?}"),
+    }
+    assert!(starved_job.crowd_tasks <= 5);
+
+    let healthy_job = report.job(healthy).unwrap();
+    assert_eq!(healthy_job.status, JobStatus::Done, "{}", report.to_json());
+    let healthy_json = serde_json::to_string(healthy_job.outcome.as_ref().unwrap()).unwrap();
+    assert_eq!(
+        healthy_json, baseline,
+        "healthy twin must match its serial run despite the sibling's failures"
+    );
+}
+
+/// Cancelling one of two identical jobs: the survivor still completes with
+/// serial-identical output even when the cancelled twin had questions in
+/// flight that both jobs coalesced on.
+#[test]
+fn cancelled_twin_leaves_survivor_byte_identical() {
+    let data = dataset();
+    let pool = data.all_ids();
+    let make_spec = |name: &str| {
+        JobSpec::new(
+            name,
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .tau(120)
+        .seed(7)
+    };
+    let baseline = solo_outcome(&data, make_spec("baseline"));
+
+    let mut service = AuditService::new(ServiceConfig {
+        workers: 2,
+        round_latency: Duration::from_millis(2),
+        ..ServiceConfig::default()
+    });
+    let doomed = service.submit(make_spec("doomed"));
+    let survivor = service.submit(make_spec("survivor"));
+    let handle = service.cancel_handle();
+
+    let report = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| {
+            let (report, _) = service.run(platform(&data));
+            report
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(handle.cancel(doomed));
+        runner.join().expect("service run panicked")
+    });
+
+    assert!(report.job(doomed).unwrap().status.is_cancelled());
+    let survivor_job = report.job(survivor).unwrap();
+    assert_eq!(survivor_job.status, JobStatus::Done);
+    let survivor_json = serde_json::to_string(survivor_job.outcome.as_ref().unwrap()).unwrap();
+    assert_eq!(survivor_json, baseline);
 }
 
 /// Outcomes routed through the service agree with auditing the ground truth

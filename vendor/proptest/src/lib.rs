@@ -2,7 +2,7 @@
 //!
 //! Implements the property-testing surface this workspace uses — the
 //! [`proptest!`] macro, range/tuple strategies, [`collection::vec`],
-//! [`option::of`], [`bool::ANY`](crate::bool::ANY), `prop_assert*!` and
+//! [`option::of`], [`ANY`](crate::bool::ANY), `prop_assert*!` and
 //! [`ProptestConfig::with_cases`] — over a deterministic seeded generator.
 //! Unlike upstream there is **no shrinking**: a failing case reports its
 //! inputs verbatim.
@@ -123,7 +123,7 @@ pub mod collection {
     use rand::Rng as _;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
