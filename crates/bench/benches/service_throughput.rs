@@ -14,10 +14,12 @@ use coverage_core::prelude::*;
 use coverage_service::{AuditService, ServiceConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use cvg_bench::report::{bench_reuse_path, json_object, update_json_report};
 use cvg_bench::scenarios::service_mixed_workload;
 use dataset_sim::{binary_dataset, Dataset, Placement};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::Value;
 use std::time::Duration;
 
 const JOBS: usize = 8;
@@ -106,9 +108,66 @@ fn bench_disjoint_pools(c: &mut Criterion) {
     group.finish();
 }
 
+/// Not a timing benchmark: one instrumented run of the mixed workload,
+/// recorded as the `service_throughput` section of
+/// `results/BENCH_reuse.json` — questions asked, HITs published, and the
+/// knowledge store's hit/narrow/forward disposition — so the reuse
+/// trajectory is tracked across PRs by CI's bench smoke step.
+fn emit_reuse_report(_c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let data = binary_dataset(4_000, 400, Placement::Shuffled, &mut rng);
+    let pool = data.all_ids();
+    let mut service = AuditService::new(ServiceConfig {
+        workers: JOBS,
+        ..ServiceConfig::default()
+    });
+    for spec in service_mixed_workload(&pool, JOBS, 50) {
+        service.submit(spec);
+    }
+    let (report, platform) = service.run(deterministic_platform(&data, 17));
+    let section = json_object(vec![
+        ("jobs", Value::UInt(JOBS as u64)),
+        (
+            "questions_asked",
+            Value::UInt(report.total_logical.total_tasks()),
+        ),
+        ("crowd_tasks", Value::UInt(report.crowd_tasks)),
+        (
+            "hits_published",
+            Value::UInt(platform.stats().hits_published),
+        ),
+        ("store_hits", Value::UInt(report.reuse.hits)),
+        ("store_narrowed", Value::UInt(report.reuse.narrowed)),
+        ("store_forwarded", Value::UInt(report.reuse.forwarded)),
+        (
+            "store_objects_pruned",
+            Value::UInt(report.reuse.objects_pruned),
+        ),
+        ("dispatch_rounds", Value::UInt(report.dispatch.rounds)),
+        (
+            "dispatch_set_batches",
+            Value::UInt(report.dispatch.set_batches),
+        ),
+        (
+            "dispatch_point_hits",
+            Value::UInt(report.dispatch.point_hits),
+        ),
+    ]);
+    update_json_report(bench_reuse_path(), "service_throughput", section)
+        .expect("write BENCH_reuse.json");
+    println!(
+        "service_throughput reuse: {} questions -> {} forwarded ({} store hits, {} narrowed), recorded in {}",
+        report.total_logical.total_tasks(),
+        report.reuse.forwarded,
+        report.reuse.hits,
+        report.reuse.narrowed,
+        bench_reuse_path().display(),
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serial_vs_concurrent, bench_disjoint_pools
+    targets = bench_serial_vs_concurrent, bench_disjoint_pools, emit_reuse_report
 }
 criterion_main!(benches);

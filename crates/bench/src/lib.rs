@@ -6,6 +6,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
 pub mod scenarios;
 pub mod table;
 

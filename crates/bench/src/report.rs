@@ -1,0 +1,94 @@
+//! Machine-readable benchmark reports: small JSON files under `results/`
+//! that record the perf trajectory across PRs (e.g. `BENCH_reuse.json`,
+//! written by both the `service_throughput` bench and the
+//! `concurrent_audits` example, each under its own top-level key).
+
+use crate::table::results_dir;
+use serde::Value;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The canonical reuse-metrics report file: `results/BENCH_reuse.json` in
+/// the repository (resolved via [`results_dir`], so benches — which run
+/// with the package directory as CWD — and examples agree on one file).
+pub fn bench_reuse_path() -> PathBuf {
+    results_dir().join("BENCH_reuse.json")
+}
+
+/// Upserts `key` in the JSON object stored at `path`, creating the file
+/// (and its parent directory) if needed. Other writers' keys are preserved,
+/// so several harnesses can share one report file; a corrupt or non-object
+/// file is replaced rather than appended to.
+pub fn update_json_report(path: impl AsRef<Path>, key: &str, value: Value) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut pairs: Vec<(String, Value)> = match fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<RawValue>(&text) {
+            Ok(RawValue(Value::Object(pairs))) => pairs,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    match pairs.iter_mut().find(|(k, _)| k == key) {
+        Some((_, slot)) => *slot = value,
+        None => pairs.push((key.to_string(), value)),
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let rendered =
+        serde_json::to_string_pretty(&RawValue(Value::Object(pairs))).expect("report serializes");
+    fs::write(path, rendered + "\n")
+}
+
+/// Builds a JSON object from `(key, value)` pairs — a small convenience so
+/// call sites stay readable without a macro.
+pub fn json_object(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// A raw [`Value`] viewed through the vendored serde traits.
+struct RawValue(Value);
+
+impl serde::Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl serde::Deserialize for RawValue {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(RawValue(value.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_preserves_other_keys() {
+        let dir = std::env::temp_dir().join(format!("bench_report_{}", std::process::id()));
+        let path = dir.join("report.json");
+        update_json_report(&path, "a", json_object(vec![("x", Value::UInt(1))])).unwrap();
+        update_json_report(&path, "b", Value::UInt(2)).unwrap();
+        update_json_report(&path, "a", json_object(vec![("x", Value::UInt(9))])).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"b\""), "{text}");
+        assert!(text.contains("9"), "{text}");
+        assert!(!text.contains(": 1"), "old value must be replaced: {text}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_replaced() {
+        let dir = std::env::temp_dir().join(format!("bench_report_bad_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        fs::write(&path, "not json at all").unwrap();
+        update_json_report(&path, "fresh", Value::Bool(true)).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"fresh\""), "{text}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

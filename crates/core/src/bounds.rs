@@ -12,6 +12,7 @@
 //! (`1522/50 + 50·log10(50) ≈ 115`); the asymptotic analysis uses base 2.
 //! Both are provided.
 
+use crate::error::require_positive_n;
 use serde::{Deserialize, Serialize};
 
 /// Logarithm base used when evaluating the bound formulas.
@@ -41,7 +42,7 @@ impl LogBase {
 /// # Panics
 /// Panics when `n == 0`.
 pub fn group_coverage_upper_bound(n_total: usize, n: usize, tau: usize, base: LogBase) -> f64 {
-    assert!(n > 0, "subset size upper bound n must be positive");
+    require_positive_n(n);
     let roots = n_total as f64 / n as f64;
     let split_cost = tau as f64 * base.log((n.max(2)) as f64);
     roots + split_cost
@@ -50,14 +51,15 @@ pub fn group_coverage_upper_bound(n_total: usize, n: usize, tau: usize, base: Lo
 /// Lower bound for any algorithm that must certify an uncovered group:
 /// `N/n` set queries (every object must appear in at least one query).
 pub fn scan_lower_bound(n_total: usize, n: usize) -> f64 {
-    assert!(n > 0, "subset size upper bound n must be positive");
+    require_positive_n(n);
     n_total as f64 / n as f64
 }
 
 /// The adversarial-instance cost of the tightness proof of Theorem 3.2:
 /// `Θ(τ·log(n/τ))` — τ−1 members uniformly spread over a single tree.
 pub fn tightness_adversarial_cost(n: usize, tau: usize, base: LogBase) -> f64 {
-    assert!(n > 0 && tau > 0, "n and tau must be positive");
+    require_positive_n(n);
+    assert!(tau > 0, "tau must be positive");
     let ratio = (n as f64 / tau as f64).max(2.0);
     tau as f64 * base.log(ratio)
 }

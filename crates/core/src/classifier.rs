@@ -19,7 +19,7 @@
 //! *partition when sample precision ≥ 0.75* (see DESIGN.md §2).
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
-use crate::error::{try_ask, Interrupted};
+use crate::error::{require_positive_n, try_ask, Interrupted};
 use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome};
 use crate::ledger::TaskLedger;
 use crate::target::Target;
@@ -143,7 +143,7 @@ pub fn classifier_coverage<S: AnswerSource, R: Rng + ?Sized>(
     cfg: &ClassifierConfig,
     rng: &mut R,
 ) -> Result<ClassifierOutcome, Interrupted<ClassifierOutcome>> {
-    assert!(cfg.n > 0, "subset size upper bound n must be positive");
+    require_positive_n(cfg.n);
     assert!(
         cfg.sample_fraction > 0.0 && cfg.sample_fraction <= 1.0,
         "sample_fraction must be in (0, 1]"
@@ -336,7 +336,7 @@ pub fn partition<S: AnswerSource>(
     n: usize,
     early_stop: Option<usize>,
 ) -> Result<Vec<ObjectId>, Interrupted<Vec<ObjectId>>> {
-    assert!(n > 0, "subset size upper bound n must be positive");
+    require_positive_n(n);
     let reverse = target.negated();
     let mut verified = Vec::new();
     let mut queue: VecDeque<(usize, usize)> = VecDeque::new();

@@ -16,6 +16,14 @@
 //! flipped, or the source itself failed. Sources that can never fail
 //! implement [`InfallibleSource`] and pick up the fallible [`AnswerSource`]
 //! interface through a zero-cost blanket adapter.
+//!
+//! The ledger meters **logical** work: every question the algorithm asked
+//! and had answered, regardless of how the answer was produced. Answer
+//! *reuse* — [`crate::memo::KnowledgeSource`] answering a set query from
+//! known facts, or forwarding only its unknown residual — happens inside
+//! the source, below the engine, so reports and outcomes are identical
+//! with and without reuse while the *crowd-side* spend (metered by
+//! whatever budget layer sits inside the reuse wrapper) drops.
 
 use crate::error::AskError;
 use crate::ledger::{batched_tasks, TaskLedger};
@@ -229,6 +237,14 @@ pub trait BatchAnswerSource: AnswerSource {
     }
 
     /// Answers a batch of independent set queries, one answer per query.
+    ///
+    /// Serving layers that recover from a failed batch by re-asking its
+    /// questions individually (the `coverage-service` dispatcher does)
+    /// require `Err` to mean **nothing was served or charged**. Overriders
+    /// with side effects must therefore validate the whole batch before
+    /// serving any of it (as `MTurkSim` does); the default implementation
+    /// below serves sequentially, which satisfies the contract only for
+    /// side-effect-free sources.
     fn try_answer_sets_batch(
         &mut self,
         queries: &[(Vec<ObjectId>, Target)],
@@ -360,7 +376,9 @@ impl<S: AnswerSource> Engine<S> {
         }
     }
 
-    /// Issues a set query (one task).
+    /// Issues a set query (one logical task — charged here even when a
+    /// reuse layer inside the source answers it without crowd contact, so
+    /// outcomes stay byte-identical with and without reuse).
     pub fn ask_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
         self.checkpoint()?;
         let ans = self.source.try_answer_set(objects, target)?;

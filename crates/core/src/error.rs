@@ -118,6 +118,19 @@ macro_rules! try_ask {
 
 pub(crate) use try_ask;
 
+/// The one typed panic shared by every algorithmic entry point that takes a
+/// subset-size upper bound `n`: passing `n == 0` is a programmer error, not
+/// a data-dependent failure (serving layers validate tenant-supplied specs
+/// *before* they can reach this assert — see `coverage-service`'s
+/// `JobSpec::validate`).
+///
+/// # Panics
+/// Panics when `n == 0`.
+#[track_caller]
+pub fn require_positive_n(n: usize) {
+    assert!(n > 0, "subset size n must be positive");
+}
+
 /// Errors raised while building schemas, labels, or patterns.
 ///
 /// Algorithmic entry points use typed panics (`assert!`) for programmer

@@ -16,7 +16,7 @@
 //! additive `Θ(τ·log n)` above the trivial `N/n` lower bound (§3.2).
 
 use crate::engine::{AnswerSource, Engine, ObjectId};
-use crate::error::{try_ask, Interrupted};
+use crate::error::{require_positive_n, try_ask, Interrupted};
 use crate::target::Target;
 use crate::tree::{Arena, Frontier, Node, NO_NODE};
 use serde::{Deserialize, Serialize};
@@ -121,7 +121,7 @@ pub fn group_coverage<S: AnswerSource>(
     n: usize,
     config: &DncConfig,
 ) -> Result<GroupCoverageOutcome, Interrupted<GroupCoverageOutcome>> {
-    assert!(n > 0, "subset size upper bound n must be positive");
+    require_positive_n(n);
     let before = engine.ledger_snapshot();
     let mut witnesses = Vec::new();
 

@@ -132,7 +132,7 @@ impl PricingModel {
 
     /// Wages paid to workers for the ledger's tasks.
     pub fn wages(&self, ledger: &TaskLedger) -> f64 {
-        ledger.total_tasks() as f64 * self.reward_per_task * f64::from(self.assignments_per_task)
+        self.wages_for_tasks(ledger.total_tasks())
     }
 
     /// Platform fees on top of wages.
@@ -143,6 +143,18 @@ impl PricingModel {
     /// Total cost: wages + fees.
     pub fn total_cost(&self, ledger: &TaskLedger) -> f64 {
         self.wages(ledger) + self.fees(ledger)
+    }
+
+    /// Wages for a raw task count (HIT-equivalents) — for callers that
+    /// price platform-side statistics rather than an engine ledger, e.g.
+    /// `crowd-sim`'s `PlatformStats::wage_tasks`.
+    pub fn wages_for_tasks(&self, tasks: u64) -> f64 {
+        tasks as f64 * self.reward_per_task * f64::from(self.assignments_per_task)
+    }
+
+    /// Total cost (wages + fees) for a raw task count.
+    pub fn total_cost_for_tasks(&self, tasks: u64) -> f64 {
+        self.wages_for_tasks(tasks) * (1.0 + self.fee_rate)
     }
 }
 

@@ -102,7 +102,10 @@ pub mod prelude {
     pub use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome, Traversal};
     pub use crate::intersectional::{intersectional_coverage, IntersectionalReport};
     pub use crate::ledger::{PricingModel, TaskLedger};
-    pub use crate::memo::{MemoizedSource, SharedMemoizedSource};
+    pub use crate::memo::{
+        KnowledgeSource, KnowledgeStore, MemoizedSource, ReuseStats, SetResolution,
+        SharedKnowledgeSource,
+    };
     pub use crate::multiple::{multiple_coverage, GroupResult, MultipleConfig, MultipleReport};
     pub use crate::mup::{mups_from_counts, mups_from_labels};
     pub use crate::pattern::Pattern;

@@ -11,6 +11,7 @@
 //! surcharge, ever-larger `n` stops being free, and the optimum moves to
 //! an interior value.
 
+use crate::error::require_positive_n;
 use crate::ledger::TaskLedger;
 use serde::{Deserialize, Serialize};
 
@@ -71,7 +72,7 @@ impl CostScheme {
     /// Expected worst-case dollar cost of a Group-Coverage run at subset
     /// size `n`: the task bound `N/n + τ·log2(n)` priced per set query.
     pub fn bound_cost(&self, n_total: usize, n: usize, tau: usize) -> f64 {
-        assert!(n > 0, "subset size must be positive");
+        require_positive_n(n);
         let tasks = n_total as f64 / n as f64 + tau as f64 * ((n.max(2)) as f64).log2();
         tasks
             * (self.set_query_base + self.set_query_per_image * n as f64)

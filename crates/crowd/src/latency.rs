@@ -7,6 +7,7 @@
 //! and the worker pool's parallelism, letting the benches compare "cheap
 //! but deep" against "expensive but flat" strategies.
 
+use coverage_core::error::require_positive_n;
 use serde::{Deserialize, Serialize};
 
 /// Timing parameters of a worker marketplace.
@@ -66,7 +67,7 @@ impl LatencyModel {
     /// `⌈N/n⌉` root queries followed by `log2(n)` dependent halving rounds
     /// whose width shrinks geometrically from `width0` (≈ 2·min(f, τ)).
     pub fn group_coverage_rounds(&self, n_total: usize, n: usize, width0: usize) -> Vec<Round> {
-        assert!(n > 0, "subset size must be positive");
+        require_positive_n(n);
         let mut rounds = vec![Round {
             hits: n_total.div_ceil(n),
             images_per_hit: n,

@@ -13,11 +13,13 @@ use crate::quality::QualityControl;
 use crate::truth::{majority_label, majority_vote};
 use coverage_core::engine::{AnswerSource, BatchAnswerSource, GroundTruth, ObjectId};
 use coverage_core::error::AskError;
+use coverage_core::ledger::batched_tasks;
 use coverage_core::schema::{AttributeSchema, Labels};
 use coverage_core::target::Target;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// How the platform draws per-answer randomness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -27,18 +29,29 @@ pub enum SeedMode {
     /// questions arrive.
     #[default]
     Stream,
-    /// Each answer's randomness derives from `(platform seed, question)`:
-    /// worker assignment and worker errors become a pure function of the
-    /// question itself. Answers are then **order-independent** — the
-    /// property `coverage-service` relies on to make concurrent audits
-    /// reproducible against one shared platform.
+    /// Every answer derives from one **latent crowd labeling**: for each
+    /// object, the `k` assigned workers and their (possibly wrong) label
+    /// votes are a pure function of `(platform seed, object)`, and every
+    /// question type answers from the aggregated latent label — a point
+    /// query returns it, a membership question matches the target against
+    /// it, and a set query reports whether *any* image's latent label
+    /// matches. The platform thus behaves as a **consistent noisy oracle**:
+    /// answers are order-independent *and* mutually consistent, which is
+    /// what lets `coverage-service` both reproduce concurrent audits
+    /// exactly and decompose set queries through the shared
+    /// `KnowledgeStore` (a pruned known-non-member can never change the
+    /// answer). The trade-off versus [`SeedMode::Stream`]: worker rotation
+    /// and the per-scan `set_miss`/`set_false_alarm` error channels are
+    /// given up for that consistency.
     PerQuestion,
 }
 
 /// Counters the platform keeps while serving HITs.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlatformStats {
-    /// HITs published (one per question).
+    /// HITs physically published (one per question, or one per coalesced
+    /// point batch). Compare across runs of the *same* path only; for
+    /// path-independent dollar accounting use [`PlatformStats::wage_tasks`].
     pub hits_published: u64,
     /// Assignments collected (HITs × assignments each).
     pub assignments_collected: u64,
@@ -47,9 +60,25 @@ pub struct PlatformStats {
     pub wrong_individual_answers: u64,
     /// Aggregated (post-majority-vote) answers disagreeing with ground truth.
     pub wrong_aggregated_answers: u64,
+    /// Set-query and membership HITs published (always one question each).
+    pub query_hits: u64,
+    /// Individual images labeled through point HITs, whether they arrived
+    /// one per HIT or coalesced into a batch.
+    pub point_images: u64,
 }
 
 impl PlatformStats {
+    /// The run's wage bill in HIT-equivalents at the canonical batch size:
+    /// one task per set/membership query plus `⌈images / point_batch⌉`
+    /// point tasks. Unlike [`PlatformStats::hits_published`], this is
+    /// **independent of how point questions were grouped into calls**, so
+    /// the coalesced-batch path and one-question-at-a-time serving price
+    /// the same answered questions identically (feed it to
+    /// [`coverage_core::ledger::PricingModel::total_cost_for_tasks`]).
+    pub fn wage_tasks(&self, point_batch: usize) -> u64 {
+        self.query_hits + batched_tasks(self.point_images as usize, point_batch)
+    }
+
     /// Fraction of individual answers that were wrong.
     pub fn individual_error_rate(&self) -> f64 {
         if self.assignments_collected == 0 {
@@ -81,6 +110,11 @@ pub struct MTurkSim<'a, G: GroundTruth> {
     seed: u64,
     mode: SeedMode,
     stats: PlatformStats,
+    // Memo of the latent per-object votes and their aggregated label under
+    // `SeedMode::PerQuestion`: both are pure functions of (seed, object),
+    // and set queries revisit the same objects many times as group_coverage
+    // halves its sets.
+    vote_cache: HashMap<ObjectId, (Vec<Labels>, Labels)>,
 }
 
 impl<'a, G: GroundTruth> MTurkSim<'a, G> {
@@ -127,15 +161,20 @@ impl<'a, G: GroundTruth> MTurkSim<'a, G> {
             seed,
             mode: SeedMode::default(),
             stats: PlatformStats::default(),
+            vote_cache: HashMap::new(),
         }
     }
 
-    /// Builds a platform in [`SeedMode::PerQuestion`]: answers are a pure
-    /// function of `(seed, question)`, so any interleaving of questions —
-    /// including concurrent audits multiplexed through `coverage-service` —
-    /// reproduces the same answers. Worker assignment is drawn per question
-    /// from the derived stream (rather than rotating through one sequential
-    /// stream), which trades a little assignment realism for reproducibility.
+    /// Builds a platform in [`SeedMode::PerQuestion`]: every answer derives
+    /// from one latent crowd labeling that is a pure function of
+    /// `(seed, object)`, so any interleaving of questions — including
+    /// concurrent audits multiplexed through `coverage-service` — reproduces
+    /// the same answers, and set/membership/point answers about the same
+    /// objects never contradict each other (the consistency the
+    /// `KnowledgeStore` reuse layer relies on to narrow set queries).
+    /// Worker assignment is drawn per object from the derived stream
+    /// (rather than rotating through one sequential stream), which trades a
+    /// little assignment realism for reproducibility.
     pub fn new_deterministic(
         truth: &'a G,
         schema: AttributeSchema,
@@ -171,6 +210,33 @@ impl<'a, G: GroundTruth> MTurkSim<'a, G> {
     /// The RNG for one question under [`SeedMode::PerQuestion`].
     fn question_rng(&self, question_hash: u64) -> SmallRng {
         SmallRng::seed_from_u64(self.seed ^ question_hash)
+    }
+
+    /// The `k` individual label votes for one object and their
+    /// majority-aggregated label under [`SeedMode::PerQuestion`] — the
+    /// latent crowd labeling from which every deterministic answer (point,
+    /// membership, set) is derived. Worker assignment and their errors are
+    /// a pure function of `(seed, object)`, so both are computed once per
+    /// object, memoized, and handed out by reference (set queries revisit
+    /// the same objects on every halving).
+    fn latent(&mut self, object: ObjectId) -> &(Vec<Labels>, Labels) {
+        if !self.vote_cache.contains_key(&object) {
+            let truth_labels = self.truth.labels_of(object);
+            let k = self.qc.assignments_per_hit.get();
+            let rng = &mut self.question_rng(point_question_hash(object));
+            let workers = self.pool.assign(&self.eligible, k, rng);
+            let votes: Vec<Labels> = workers
+                .iter()
+                .map(|&w| {
+                    self.pool
+                        .worker(w)
+                        .answer_point(&truth_labels, &self.schema, rng)
+                })
+                .collect();
+            let agg = majority_label(&votes);
+            self.vote_cache.insert(object, (votes, agg));
+        }
+        &self.vote_cache[&object]
     }
 
     /// Rejects questions about objects the dataset does not contain. A bad
@@ -214,8 +280,11 @@ fn vote_round<A: PartialEq>(
     (aggregate(&votes), wrong)
 }
 
-// Stable FNV-1a question fingerprints for per-question seeding. These only
-// need to be deterministic across runs and distinct across questions.
+// Stable FNV-1a fingerprint for per-object seeding: under
+// `SeedMode::PerQuestion` all randomness derives from the *object* (not the
+// question shape), which is what makes set, membership and point answers
+// mutually consistent. Only needs to be deterministic across runs and
+// distinct across objects.
 
 fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -226,39 +295,8 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
-fn target_bytes(target: &Target) -> Vec<u8> {
-    let mut out = vec![u8::from(target.is_negated())];
-    for p in target.patterns() {
-        out.push(p.d() as u8);
-        for i in 0..p.d() {
-            out.push(p.get(i).map_or(0xFE, |v| v));
-        }
-        out.push(0xFD);
-    }
-    out
-}
-
 fn point_question_hash(object: ObjectId) -> u64 {
     fnv1a([0x50].into_iter().chain(object.0.to_le_bytes()))
-}
-
-fn membership_question_hash(object: ObjectId, target: &Target) -> u64 {
-    fnv1a(
-        [0x4D]
-            .into_iter()
-            .chain(object.0.to_le_bytes())
-            .chain(target_bytes(target)),
-    )
-}
-
-fn set_question_hash(objects: &[ObjectId], target: &Target) -> u64 {
-    fnv1a(
-        [0x53]
-            .into_iter()
-            .chain(objects.iter().flat_map(|o| o.0.to_le_bytes()))
-            .chain([0xFF])
-            .chain(target_bytes(target)),
-    )
 }
 
 impl<G: GroundTruth> AnswerSource for MTurkSim<'_, G> {
@@ -292,26 +330,39 @@ impl<G: GroundTruth> MTurkSim<'_, G> {
             .count();
         let truth_answer = members_present > 0;
         let k = self.qc.assignments_per_hit.get();
-        let round = |rng: &mut SmallRng| {
-            vote_round(
+        let (agg, wrong) = match self.mode {
+            SeedMode::Stream => vote_round(
                 &self.pool,
                 &self.eligible,
                 k,
-                rng,
+                &mut self.rng,
                 &truth_answer,
                 majority_vote,
                 |pool, w, rng| pool.worker(w).answer_set(members_present, rng),
-            )
-        };
-        let (agg, wrong) = match self.mode {
-            SeedMode::Stream => round(&mut self.rng),
+            ),
             SeedMode::PerQuestion => {
-                round(&mut self.question_rng(set_question_hash(objects, target)))
+                // The consistent-crowd model: the set holds a member iff
+                // some image's latent label matches the target. Each
+                // assignment slot's own scan (slot j spotting a member iff
+                // its vote on some image matches) is reconstructed for the
+                // per-worker error statistics.
+                let mut slot_yes = vec![false; k];
+                let mut agg = false;
+                for &object in objects {
+                    let (votes, latent_label) = self.latent(object);
+                    for (slot, vote) in votes.iter().enumerate() {
+                        slot_yes[slot] |= target.matches(vote);
+                    }
+                    agg |= target.matches(latent_label);
+                }
+                let wrong = slot_yes.iter().filter(|y| **y != truth_answer).count() as u64;
+                (agg, wrong)
             }
         };
         self.stats.assignments_collected += k as u64;
         self.stats.wrong_individual_answers += wrong;
         self.stats.hits_published += 1;
+        self.stats.query_hits += 1;
         if agg != truth_answer {
             self.stats.wrong_aggregated_answers += 1;
         }
@@ -321,27 +372,29 @@ impl<G: GroundTruth> MTurkSim<'_, G> {
     fn serve_point_labels(&mut self, object: ObjectId) -> Labels {
         let truth_labels = self.truth.labels_of(object);
         let k = self.qc.assignments_per_hit.get();
-        let round = |rng: &mut SmallRng| {
-            vote_round(
+        let (agg, wrong) = match self.mode {
+            SeedMode::Stream => vote_round(
                 &self.pool,
                 &self.eligible,
                 k,
-                rng,
+                &mut self.rng,
                 &truth_labels,
                 majority_label,
                 |pool, w, rng| {
                     pool.worker(w)
                         .answer_point(&truth_labels, &self.schema, rng)
                 },
-            )
-        };
-        let (agg, wrong) = match self.mode {
-            SeedMode::Stream => round(&mut self.rng),
-            SeedMode::PerQuestion => round(&mut self.question_rng(point_question_hash(object))),
+            ),
+            SeedMode::PerQuestion => {
+                let (votes, latent_label) = self.latent(object);
+                let wrong = votes.iter().filter(|v| **v != truth_labels).count() as u64;
+                (*latent_label, wrong)
+            }
         };
         self.stats.assignments_collected += k as u64;
         self.stats.wrong_individual_answers += wrong;
         self.stats.hits_published += 1;
+        self.stats.point_images += 1;
         if agg != truth_labels {
             self.stats.wrong_aggregated_answers += 1;
         }
@@ -352,29 +405,34 @@ impl<G: GroundTruth> MTurkSim<'_, G> {
         let truth_labels = self.truth.labels_of(object);
         let truth_answer = target.matches(&truth_labels);
         let k = self.qc.assignments_per_hit.get();
-        let round = |rng: &mut SmallRng| {
-            vote_round(
+        let (agg, wrong) = match self.mode {
+            SeedMode::Stream => vote_round(
                 &self.pool,
                 &self.eligible,
                 k,
-                rng,
+                &mut self.rng,
                 &truth_answer,
                 majority_vote,
                 |pool, w, rng| {
                     pool.worker(w)
                         .answer_membership(&truth_labels, target, &self.schema, rng)
                 },
-            )
-        };
-        let (agg, wrong) = match self.mode {
-            SeedMode::Stream => round(&mut self.rng),
+            ),
             SeedMode::PerQuestion => {
-                round(&mut self.question_rng(membership_question_hash(object, target)))
+                // Derived from the same latent labeling as a point query,
+                // so a membership answer can never contradict a label.
+                let (votes, latent_label) = self.latent(object);
+                let wrong = votes
+                    .iter()
+                    .filter(|v| target.matches(v) != truth_answer)
+                    .count() as u64;
+                (target.matches(latent_label), wrong)
             }
         };
         self.stats.assignments_collected += k as u64;
         self.stats.wrong_individual_answers += wrong;
         self.stats.hits_published += 1;
+        self.stats.query_hits += 1;
         if agg != truth_answer {
             self.stats.wrong_aggregated_answers += 1;
         }
@@ -434,28 +492,43 @@ impl<G: GroundTruth> BatchAnswerSource for MTurkSim<'_, G> {
             SeedMode::PerQuestion => {
                 for &object in objects {
                     let truth_labels = self.truth.labels_of(object);
-                    let rng = &mut self.question_rng(point_question_hash(object));
-                    let workers = self.pool.assign(&self.eligible, k, rng);
-                    let mut votes = Vec::with_capacity(k);
-                    for (slot, &w) in workers.iter().enumerate() {
-                        let ans =
-                            self.pool
-                                .worker(w)
-                                .answer_point(&truth_labels, &self.schema, rng);
-                        wrong_slots[slot] |= ans != truth_labels;
-                        votes.push(ans);
+                    let (votes, latent_label) = self.latent(object);
+                    for (slot, ans) in votes.iter().enumerate() {
+                        wrong_slots[slot] |= *ans != truth_labels;
                     }
-                    let agg = majority_label(&votes);
-                    any_agg_wrong |= agg != truth_labels;
-                    out.push(agg);
+                    any_agg_wrong |= *latent_label != truth_labels;
+                    out.push(*latent_label);
                 }
             }
         }
         self.stats.hits_published += 1;
+        self.stats.point_images += objects.len() as u64;
         self.stats.assignments_collected += k as u64;
         self.stats.wrong_individual_answers += wrong_slots.iter().filter(|w| **w).count() as u64;
         self.stats.wrong_aggregated_answers += u64::from(any_agg_wrong);
         Ok(out)
+    }
+
+    /// Serves a round of independent set queries — the shape the
+    /// `coverage-service` dispatcher hands over after the knowledge layer
+    /// has narrowed each query to its residual.
+    ///
+    /// Every object id in every query is validated *before* any HIT is
+    /// published, so an `Err` means nothing was served and nothing was
+    /// charged — which lets a dispatcher fall back to per-question serving
+    /// (isolating the failure to the offending job) without double-counting
+    /// platform work.
+    fn try_answer_sets_batch(
+        &mut self,
+        queries: &[(Vec<ObjectId>, Target)],
+    ) -> Result<Vec<bool>, AskError> {
+        for (objects, _) in queries {
+            self.check_ids(objects)?;
+        }
+        Ok(queries
+            .iter()
+            .map(|(objects, target)| self.serve_set(objects, target))
+            .collect())
     }
 }
 
@@ -730,6 +803,114 @@ mod tests {
             .map(|id| single.try_answer_point_labels(*id).unwrap())
             .collect();
         assert_eq!(batch_answers, single_answers);
+    }
+
+    /// Consistent-crowd model: under per-question seeding, a set query is
+    /// exactly the OR of the latent per-object labels — so singleton sets,
+    /// membership questions and point labels can never contradict each
+    /// other, and pruning a known non-member can never change a set answer.
+    #[test]
+    fn per_question_set_answers_derive_from_latent_labels() {
+        let truth = truth_with_minority(300, 40);
+        let ids = truth.all_ids();
+        let mut sim = deterministic_platform(&truth, 5);
+        let latent: Vec<Labels> = ids
+            .iter()
+            .map(|id| sim.try_answer_point_labels(*id).unwrap())
+            .collect();
+        for chunk in ids.chunks(30) {
+            let want = chunk.iter().any(|id| female().matches(&latent[id.index()]));
+            assert_eq!(sim.try_answer_set(chunk, &female()).unwrap(), want);
+        }
+        for id in &ids[..50] {
+            assert_eq!(
+                sim.try_answer_membership(*id, &female()).unwrap(),
+                female().matches(&latent[id.index()]),
+            );
+            assert_eq!(
+                sim.try_answer_set(&[*id], &female()).unwrap(),
+                female().matches(&latent[id.index()]),
+            );
+        }
+        // Narrowing transparency: dropping latent non-members from a set
+        // leaves the answer unchanged.
+        let full = &ids[..60];
+        let residual: Vec<ObjectId> = full
+            .iter()
+            .copied()
+            .filter(|id| female().matches(&latent[id.index()]))
+            .collect();
+        if !residual.is_empty() {
+            assert_eq!(
+                sim.try_answer_set(full, &female()).unwrap(),
+                sim.try_answer_set(&residual, &female()).unwrap(),
+            );
+        }
+    }
+
+    /// The wage-accounting satellite: the same answered questions cost the
+    /// same dollars whether they were served one per HIT or coalesced into
+    /// many-images-per-HIT batches — `wage_tasks` normalizes both paths to
+    /// the canonical batch size even though the physical HIT counts differ.
+    #[test]
+    fn wage_accounting_is_consistent_across_hit_paths() {
+        let truth = truth_with_minority(120, 30);
+        let ids = truth.all_ids();
+        let target = female();
+
+        let mut singles = deterministic_platform(&truth, 21);
+        for id in &ids[..60] {
+            singles.try_answer_point_labels(*id).unwrap();
+        }
+        singles.try_answer_set(&ids[..50], &target).unwrap();
+        singles.try_answer_membership(ObjectId(3), &target).unwrap();
+
+        let mut batched = deterministic_platform(&truth, 21);
+        batched.try_answer_point_labels_batch(&ids[..50]).unwrap();
+        batched.try_answer_point_labels_batch(&ids[50..60]).unwrap();
+        batched.try_answer_set(&ids[..50], &target).unwrap();
+        batched.try_answer_membership(ObjectId(3), &target).unwrap();
+
+        // Physically very different HIT counts...
+        assert_eq!(singles.stats().hits_published, 62);
+        assert_eq!(batched.stats().hits_published, 4);
+        // ...but identical canonical wage accounting: 2 queries +
+        // ceil(60/50) point tasks.
+        let single_tasks = singles.stats().wage_tasks(50);
+        let batch_tasks = batched.stats().wage_tasks(50);
+        assert_eq!(single_tasks, 2 + 2);
+        assert_eq!(single_tasks, batch_tasks);
+        let pricing = coverage_core::ledger::PricingModel::amt_ten_cents();
+        let single_cost = pricing.total_cost_for_tasks(single_tasks);
+        let batch_cost = pricing.total_cost_for_tasks(batch_tasks);
+        assert!((single_cost - batch_cost).abs() < 1e-12);
+        assert!((single_cost - 4.0 * 0.10 * 3.0 * 1.2).abs() < 1e-9);
+    }
+
+    /// The round-batch set path answers exactly like per-question serving
+    /// and validates every id before publishing anything.
+    #[test]
+    fn sets_batch_matches_singles_and_prevalidates() {
+        let truth = truth_with_minority(100, 20);
+        let ids = truth.all_ids();
+        let queries: Vec<(Vec<ObjectId>, Target)> =
+            ids.chunks(25).map(|c| (c.to_vec(), female())).collect();
+        let mut batched = deterministic_platform(&truth, 9);
+        let batch_answers = batched.try_answer_sets_batch(&queries).unwrap();
+        let mut single = deterministic_platform(&truth, 9);
+        let single_answers: Vec<bool> = queries
+            .iter()
+            .map(|(objects, target)| single.try_answer_set(objects, target).unwrap())
+            .collect();
+        assert_eq!(batch_answers, single_answers);
+        assert_eq!(batched.stats().query_hits, 4);
+
+        // A bad id anywhere in the round: nothing is published at all.
+        let mut bad = deterministic_platform(&truth, 9);
+        let mut poisoned = queries.clone();
+        poisoned.push((vec![ObjectId(999)], female()));
+        assert!(bad.try_answer_sets_batch(&poisoned).is_err());
+        assert_eq!(bad.stats().hits_published, 0, "err must precede serving");
     }
 
     #[test]

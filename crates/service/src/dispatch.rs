@@ -5,10 +5,15 @@
 //! over a channel to the dispatcher thread, which owns the real
 //! [`BatchAnswerSource`]. Per round the dispatcher drains everything
 //! pending, coalesces the point queries into `point_batch`-image HITs (the
-//! paper's HIT layout), serves the set queries, and replies. Questions from
-//! *different* jobs thus share HITs and — when a simulated platform
-//! round-trip latency is configured — share waiting time: the concurrency
-//! win the `service_throughput` bench measures.
+//! paper's HIT layout), serves the round's set queries as one batch, and
+//! replies. Questions from *different* jobs thus share HITs and — when a
+//! simulated platform round-trip latency is configured — share waiting
+//! time: the concurrency win the `service_throughput` bench measures.
+//!
+//! In the full service stack the set queries arriving here are the
+//! **residuals** left after the shared knowledge store decided or narrowed
+//! each query — the dispatcher publishes exactly the crowd work that no
+//! accumulated fact could avoid.
 
 use coverage_core::engine::{AnswerSource, BatchAnswerSource, ObjectId};
 use coverage_core::error::AskError;
@@ -48,6 +53,9 @@ pub struct DispatchStats {
     pub points_served: u64,
     /// Set-query HITs served.
     pub set_queries_served: u64,
+    /// Rounds whose pending set queries went to the platform as one
+    /// coalesced [`BatchAnswerSource::try_answer_sets_batch`] call.
+    pub set_batches: u64,
     /// Yes/no membership HITs served.
     pub memberships_served: u64,
     /// The largest number of questions drained in one round.
@@ -178,16 +186,12 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
         // relayed as `Answer::Failed` to exactly those jobs — the job
         // runner turns it into `JobStatus::Failed`.
         let mut point_replies: Vec<(ObjectId, mpsc::Sender<Answer>)> = Vec::new();
+        let mut set_replies: Vec<(Vec<ObjectId>, Target, mpsc::Sender<Answer>)> = Vec::new();
         for request in pending {
             match request.question {
                 Question::Point { object } => point_replies.push((object, request.reply)),
                 Question::Set { objects, target } => {
-                    stats.set_queries_served += 1;
-                    let answer = match source.try_answer_set(&objects, &target) {
-                        Ok(ans) => Answer::Bool(ans),
-                        Err(e) => Answer::Failed(e),
-                    };
-                    let _ = request.reply.send(answer);
+                    set_replies.push((objects, target, request.reply));
                 }
                 Question::Membership { object, target } => {
                     stats.memberships_served += 1;
@@ -198,6 +202,41 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
                     let _ = request.reply.send(answer);
                 }
             }
+        }
+
+        // The round's set queries (post-narrowing residuals) go to the
+        // platform as one batch. `try_answer_sets_batch`'s contract says a
+        // conforming source serves and charges *nothing* on `Err`
+        // (`MTurkSim` pre-validates every id for exactly this reason), so
+        // the per-question fallback below re-serves the round without
+        // double-publishing — isolating a data-dependent failure (one
+        // job's out-of-range id) to the asking job instead of failing
+        // everyone coalesced into the batch.
+        stats.set_queries_served += set_replies.len() as u64;
+        let mut individually: Vec<(Vec<ObjectId>, Target, mpsc::Sender<Answer>)> = Vec::new();
+        if set_replies.len() > 1 {
+            let queries: Vec<(Vec<ObjectId>, Target)> = set_replies
+                .iter()
+                .map(|(objects, target, _)| (objects.clone(), target.clone()))
+                .collect();
+            match source.try_answer_sets_batch(&queries) {
+                Ok(answers) => {
+                    stats.set_batches += 1;
+                    for ((_, _, reply), ans) in set_replies.into_iter().zip(answers) {
+                        let _ = reply.send(Answer::Bool(ans));
+                    }
+                }
+                Err(_) => individually = set_replies,
+            }
+        } else {
+            individually = set_replies;
+        }
+        for (objects, target, reply) in individually {
+            let answer = match source.try_answer_set(&objects, &target) {
+                Ok(ans) => Answer::Bool(ans),
+                Err(e) => Answer::Failed(e),
+            };
+            let _ = reply.send(answer);
         }
 
         for chunk in point_replies.chunks(cfg.point_batch) {

@@ -1,10 +1,12 @@
 //! The budget governor: per-job and platform-wide crowd-spend caps.
 //!
-//! Budgets meter **crowd spend** — questions that actually reach the
-//! platform after the shared cache — in HIT-equivalents: a set query is one
-//! task, point labels amortize to `1/batch` of a task each (the dispatcher
-//! really does coalesce them into `batch`-image HITs). Cache hits are free;
-//! a job can only exhaust its budget with fresh questions.
+//! Budgets meter **crowd spend** — the residual questions that actually
+//! reach the platform after the shared knowledge store has answered what it
+//! can and narrowed what it half-knows — in HIT-equivalents: a set query is
+//! one task (narrowed or not), point labels amortize to `1/batch` of a task
+//! each (the dispatcher really does coalesce them into `batch`-image HITs).
+//! Questions the store decides from facts never get here and are free; a
+//! job can only exhaust its budget with genuinely fresh crowd work.
 //!
 //! Coverage algorithms ask questions through the fallible [`AnswerSource`]
 //! interface, so exhaustion is *data*, not control flow: `GovernedSource`
@@ -217,7 +219,8 @@ impl JobBudget {
 }
 
 /// Wraps a job's connection to the platform with budget enforcement. Sits
-/// **below** the shared cache, so only fresh questions are charged.
+/// **below** the shared knowledge store, so only the residual questions the
+/// store could not answer are charged.
 #[derive(Debug, Clone)]
 pub(crate) struct GovernedSource<S> {
     inner: S,

@@ -15,11 +15,13 @@ use coverage_core::engine::ObjectId;
 use coverage_core::group_coverage::GroupCoverageOutcome;
 use coverage_core::intersectional::IntersectionalReport;
 use coverage_core::ledger::TaskLedger;
+use coverage_core::memo::ReuseStats;
 use coverage_core::multiple::MultipleReport;
 use coverage_core::pattern::Pattern;
 use coverage_core::schema::AttributeSchema;
 use coverage_core::target::Target;
 use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::HashSet;
 
 /// Identifier of a submitted job (dense, in submission order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -181,12 +183,10 @@ impl JobSpec {
         self
     }
 
-    /// Sets the set-query / point-batch size `n`.
-    ///
-    /// # Panics
-    /// Panics when `n == 0`.
+    /// Sets the set-query / point-batch size `n`. Zero is representable (a
+    /// spec is tenant *input*, not a programmer contract) and rejected by
+    /// [`JobSpec::validate`] when the job is about to run.
     pub fn n(mut self, n: usize) -> Self {
-        assert!(n > 0, "subset size n must be positive");
         self.n = n;
         self
     }
@@ -201,6 +201,31 @@ impl JobSpec {
     pub fn budget(mut self, tasks: u64) -> Self {
         self.budget = Some(tasks);
         self
+    }
+
+    /// The one place a spec is validated — used by the service before a job
+    /// runs (and callable by drivers or front-ends before submission).
+    /// Rejects anything that would trip a `coverage-core` programmer-error
+    /// assert: at the service boundary a spec is tenant input and must fail
+    /// only the offending job, as an `Err`, never a panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("subset size n must be positive".to_string());
+        }
+        match &self.kind {
+            AuditKind::MultipleCoverage { groups } if groups.is_empty() => {
+                Err("multiple_coverage needs at least one group".to_string())
+            }
+            AuditKind::ClassifierCoverage { predicted, .. } => {
+                let pool: HashSet<_> = self.pool.iter().copied().collect();
+                if predicted.iter().all(|id| pool.contains(id)) {
+                    Ok(())
+                } else {
+                    Err("classifier predicted set must be a subset of the pool".to_string())
+                }
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -387,9 +412,13 @@ pub struct JobReport {
     /// absorbed it. For exhausted and cancelled jobs this covers exactly the
     /// partial run (the refused question is never counted).
     pub ledger: TaskLedger,
-    /// Crowd tasks this job actually charged past the shared cache, as
-    /// metered by the budget governor (set queries + batched point labels).
+    /// Crowd tasks this job actually charged past the shared knowledge
+    /// store, as metered by the budget governor (residual set queries +
+    /// batched point labels).
     pub crowd_tasks: u64,
+    /// How the shared knowledge store disposed of this job's questions:
+    /// answered from facts, narrowed to a residual, or forwarded untouched.
+    pub reuse: ReuseStats,
     /// Wall-clock milliseconds from first schedule to completion.
     pub wall_ms: u64,
 }
@@ -467,6 +496,7 @@ mod tests {
             error: None,
             ledger: TaskLedger::new(),
             crowd_tasks: 71,
+            reuse: ReuseStats::default(),
             wall_ms: 12,
         };
         let json = report.to_json();
@@ -477,9 +507,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_n_rejected() {
-        JobSpec::new("x", vec![], AuditKind::BaseCoverage { target: target() }).n(0);
+    fn validate_is_the_single_gate() {
+        let zero_n = JobSpec::new("x", vec![], AuditKind::BaseCoverage { target: target() }).n(0);
+        assert!(zero_n.validate().unwrap_err().contains("positive"));
+
+        let no_groups = JobSpec::new("y", vec![], AuditKind::MultipleCoverage { groups: vec![] });
+        assert!(no_groups.validate().unwrap_err().contains("at least one"));
+
+        let stray = JobSpec::new(
+            "z",
+            vec![ObjectId(0)],
+            AuditKind::ClassifierCoverage {
+                target: target(),
+                predicted: vec![ObjectId(9)],
+            },
+        );
+        assert!(stray.validate().unwrap_err().contains("subset"));
+
+        let fine = JobSpec::new(
+            "ok",
+            vec![ObjectId(0), ObjectId(9)],
+            AuditKind::ClassifierCoverage {
+                target: target(),
+                predicted: vec![ObjectId(9)],
+            },
+        );
+        assert!(fine.validate().is_ok());
     }
 
     fn partial_coverage_outcome() -> AuditOutcome {
@@ -512,6 +565,12 @@ mod tests {
                 error: None,
                 ledger,
                 crowd_tasks: 40,
+                reuse: ReuseStats {
+                    hits: 3,
+                    narrowed: 1,
+                    forwarded: 40,
+                    objects_pruned: 12,
+                },
                 wall_ms: 7,
             };
             let json = report.to_json();
@@ -546,6 +605,7 @@ mod tests {
             error: None,
             ledger: TaskLedger::new(),
             crowd_tasks: 9,
+            reuse: ReuseStats::default(),
             wall_ms: 2,
         };
         let json = report.to_json();

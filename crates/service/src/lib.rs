@@ -10,13 +10,17 @@
 //! `intersectional_coverage`, `classifier_coverage`) — on a pool of worker
 //! threads, multiplexed onto one platform through three shared layers:
 //!
-//! * a **platform-wide answer cache**
-//!   ([`SharedMemoizedSource`](coverage_core::memo::SharedMemoizedSource)):
-//!   a question any job has paid for is free for every other job;
+//! * a **platform-wide knowledge store**
+//!   ([`SharedKnowledgeSource`](coverage_core::memo::SharedKnowledgeSource)):
+//!   an object-level fact base of labels, membership verdicts and set
+//!   verdicts. Questions are *decomposed* against it — a set query with a
+//!   known member is answered outright, known non-members are pruned and
+//!   only the residual is forwarded — so a label any job has paid for
+//!   shrinks every other job's queries, across algorithms and targets;
 //! * a **batched dispatcher** ([`dispatch`]): one thread owns the platform,
 //!   coalescing concurrent point queries into many-images-per-HIT batches
-//!   (the paper's HIT layout) and sharing simulated round-trip latency
-//!   across jobs;
+//!   (the paper's HIT layout), serving each round's residual set queries as
+//!   one batch, and sharing simulated round-trip latency across jobs;
 //! * a **budget governor** ([`governor`]): per-job and global crowd-task
 //!   caps with graceful [`JobStatus::Exhausted`] outcomes carrying the
 //!   partial result discovered before the cut.

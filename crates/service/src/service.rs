@@ -1,19 +1,24 @@
-//! The orchestrator: N worker threads, one dispatcher, one shared cache.
+//! The orchestrator: N worker threads, one dispatcher, one shared
+//! knowledge store.
 //!
 //! [`AuditService`] collects submitted [`JobSpec`]s and [`AuditService::run`]
 //! executes them concurrently against one shared [`BatchAnswerSource`]:
 //!
 //! ```text
-//!  job thread 1 ─ Engine ─ SharedMemoizedSource ─ GovernedSource ─┐
-//!  job thread 2 ─ Engine ─ SharedMemoizedSource ─ GovernedSource ─┤   one
-//!      ...                        (one cache)       (budget caps) ├─ dispatcher ─ platform
-//!  job thread W ─ Engine ─ SharedMemoizedSource ─ GovernedSource ─┘   (batches HITs)
+//!  job thread 1 ─ Engine ─ SharedKnowledgeSource ─ GovernedSource ─┐
+//!  job thread 2 ─ Engine ─ SharedKnowledgeSource ─ GovernedSource ─┤   one
+//!      ...                    (one fact base)        (budget caps) ├─ dispatcher ─ platform
+//!  job thread W ─ Engine ─ SharedKnowledgeSource ─ GovernedSource ─┘   (batches HITs)
 //! ```
 //!
-//! Every job meters its own logical [`TaskLedger`] through its engine;
-//! questions the cache cannot answer are budget-checked, then coalesced by
-//! the dispatcher into many-images-per-HIT batches before reaching the
-//! platform. The run returns a serializable [`ServiceReport`] plus the
+//! Every job meters its own logical [`TaskLedger`] through its engine. The
+//! shared knowledge layer then *decomposes* each question: a set query any
+//! known fact decides is answered on the spot, one that overlaps known
+//! non-members is narrowed to its residual, and only residuals are
+//! budget-checked and coalesced by the dispatcher into many-images-per-HIT
+//! batches before reaching the platform — so the governor meters exactly
+//! the residual crowd spend, and one job's labels shrink every other job's
+//! queries. The run returns a serializable [`ServiceReport`] plus the
 //! answer source itself (so callers can inspect e.g. `MTurkSim` stats).
 
 use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchStats, DispatcherConfig};
@@ -26,12 +31,11 @@ use coverage_core::error::{AskError, Interrupted};
 use coverage_core::group_coverage::{group_coverage, DncConfig};
 use coverage_core::intersectional::intersectional_coverage;
 use coverage_core::ledger::TaskLedger;
-use coverage_core::memo::SharedMemoizedSource;
+use coverage_core::memo::{ReuseStats, SharedKnowledgeSource};
 use coverage_core::multiple::{multiple_coverage, MultipleConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -67,13 +71,16 @@ pub struct ServiceReport {
     pub jobs: Vec<JobReport>,
     /// Sum of the jobs' logical ledgers — the work the audits *asked for*.
     pub total_logical: TaskLedger,
-    /// Crowd tasks actually charged past the shared cache (the platform
-    /// bill for the whole run).
+    /// Crowd tasks actually charged past the shared knowledge store (the
+    /// platform bill for the whole run).
     pub crowd_tasks: u64,
-    /// Questions answered by the shared cache.
+    /// Questions answered entirely by the shared knowledge store.
     pub cache_hits: u64,
-    /// Questions that had to reach the platform.
+    /// Questions that had to reach the platform (narrowed ones included).
     pub cache_misses: u64,
+    /// Full disposition tally of the shared knowledge store: answered from
+    /// facts, narrowed to residuals, forwarded untouched.
+    pub reuse: ReuseStats,
     /// Dispatcher activity (rounds, coalesced HITs).
     pub dispatch: DispatchStats,
     /// Wall-clock milliseconds for the whole run.
@@ -150,12 +157,11 @@ impl AuditService {
         Self::new(ServiceConfig::default())
     }
 
-    /// Queues a job; its [`JobId`] indexes the eventual report.
-    ///
-    /// # Panics
-    /// Panics when `spec.n == 0`.
+    /// Queues a job; its [`JobId`] indexes the eventual report. The spec is
+    /// validated by [`JobSpec::validate`] when the job is about to run; an
+    /// invalid spec fails only its own job (`JobStatus::Failed`), never the
+    /// submission.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
-        assert!(spec.n > 0, "subset size n must be positive");
         let id = JobId(self.jobs.len() as u64);
         self.jobs.push(spec);
         lock(&self.cancel_tokens).push(CancelToken::new());
@@ -190,7 +196,7 @@ impl AuditService {
             round_latency: config.round_latency,
         };
         let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
-        let memo_root: SharedMemoizedSource<()> = SharedMemoizedSource::new(());
+        let memo_root: SharedKnowledgeSource<()> = SharedKnowledgeSource::new(());
 
         let reports: Mutex<Vec<Option<JobReport>>> =
             Mutex::new((0..jobs.len()).map(|_| None).collect());
@@ -254,11 +260,13 @@ impl AuditService {
         for job in &jobs {
             total_logical.absorb(&job.ledger);
         }
+        let reuse = memo_root.reuse_stats();
         let report = ServiceReport {
             total_logical,
             crowd_tasks: global_budget.tasks_spent(),
-            cache_hits: memo_root.cache_hits(),
-            cache_misses: memo_root.cache_misses(),
+            cache_hits: reuse.hits,
+            cache_misses: reuse.forwarded,
+            reuse,
             dispatch: dispatch_stats,
             wall_ms: start.elapsed().as_millis() as u64,
             jobs,
@@ -271,26 +279,6 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Rejects specs that would trip an algorithm's programmer-error asserts
-/// (core treats those as bugs; at the service boundary they are tenant
-/// input and must fail only the offending job).
-fn validate_spec(spec: &JobSpec) -> Result<(), String> {
-    match &spec.kind {
-        AuditKind::MultipleCoverage { groups } if groups.is_empty() => {
-            Err("multiple_coverage needs at least one group".to_string())
-        }
-        AuditKind::ClassifierCoverage { predicted, .. } => {
-            let pool: HashSet<_> = spec.pool.iter().copied().collect();
-            if predicted.iter().all(|id| pool.contains(id)) {
-                Ok(())
-            } else {
-                Err("classifier predicted set must be a subset of the pool".to_string())
-            }
-        }
-        _ => Ok(()),
-    }
-}
-
 /// Runs one job end to end. Budget exhaustion, cancellation and platform
 /// failures arrive as `Err(Interrupted)` values from the algorithm driver —
 /// nothing panics and nothing is caught: the partial result and the live
@@ -298,7 +286,7 @@ fn validate_spec(spec: &JobSpec) -> Result<(), String> {
 fn run_job(
     id: JobId,
     spec: &JobSpec,
-    memo_root: &SharedMemoizedSource<()>,
+    memo_root: &SharedKnowledgeSource<()>,
     dispatch_handle: &crate::dispatch::DispatchHandle,
     budget: JobBudget,
     cancel: CancelToken,
@@ -313,9 +301,10 @@ fn run_job(
         error: None,
         ledger: TaskLedger::new(),
         crowd_tasks: 0,
+        reuse: ReuseStats::default(),
         wall_ms: 0,
     };
-    if let Err(message) = validate_spec(spec) {
+    if let Err(message) = spec.validate() {
         return JobReport {
             error: Some(message),
             wall_ms: start.elapsed().as_millis() as u64,
@@ -337,10 +326,12 @@ fn run_job(
     let result = execute_algorithm(spec, &mut engine);
     let ledger = *engine.ledger();
     let crowd_tasks = budget.tasks_spent();
+    let reuse = engine.source().local_reuse_stats();
     let wall_ms = start.elapsed().as_millis() as u64;
     let base = JobReport {
         ledger,
         crowd_tasks,
+        reuse,
         wall_ms,
         ..base
     };

@@ -21,13 +21,19 @@
 use coverage_core::prelude::*;
 use coverage_service::{AuditKind, AuditService, JobSpec, ServiceConfig};
 use crowd_sim::{MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use cvg_bench::report::{bench_reuse_path, json_object, update_json_report};
 use dataset_sim::{Dataset, DatasetBuilder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::Value;
 use std::time::Duration;
 
 const SEED: u64 = 2024;
 const ROUND_LATENCY: Duration = Duration::from_micros(500);
+/// HITs the shared platform published for this workload under PR 1's
+/// exact-match answer cache — the baseline the object-level
+/// `KnowledgeStore` has to beat.
+const PR1_EXACT_MATCH_HITS: u64 = 1306;
 
 fn schema() -> AttributeSchema {
     AttributeSchema::new(vec![
@@ -188,6 +194,13 @@ fn main() {
         shared.cache_misses,
     );
     println!(
+        "knowledge store: {} answered from facts, {} narrowed ({} objects pruned), {} forwarded",
+        shared.reuse.hits,
+        shared.reuse.narrowed,
+        shared.reuse.objects_pruned,
+        shared.reuse.forwarded,
+    );
+    println!(
         "dispatcher: {} rounds, {} coalesced point HITs ({} labels), max {} questions/round",
         shared.dispatch.rounds,
         shared.dispatch.point_hits,
@@ -224,4 +237,53 @@ fn main() {
         shared_stats.hits_published < isolated_hits,
         "the shared cache must reduce published HITs"
     );
+    println!(
+        "vs PR 1 exact-match cache ({PR1_EXACT_MATCH_HITS} HITs): {} HITs, {} fewer ({:.1}% reduction)",
+        shared_stats.hits_published,
+        PR1_EXACT_MATCH_HITS.saturating_sub(shared_stats.hits_published),
+        100.0 * (PR1_EXACT_MATCH_HITS.saturating_sub(shared_stats.hits_published)) as f64
+            / PR1_EXACT_MATCH_HITS as f64,
+    );
+    // `hits_published` is mildly schedule-dependent (narrowing and point
+    // coalescing vary with thread timing), but the assert cannot realistically
+    // flake: even with point coalescing fully degraded (every one of the ~440
+    // labels its own HIT instead of ~190 coalesced ones) the total stays
+    // under the baseline, and observed run-to-run variance is single-digit.
+    assert!(
+        shared_stats.hits_published < PR1_EXACT_MATCH_HITS,
+        "the knowledge store must beat the exact-match baseline ({} vs {PR1_EXACT_MATCH_HITS})",
+        shared_stats.hits_published,
+    );
+
+    let section = json_object(vec![
+        ("tenants", Value::UInt(shared.jobs.len() as u64)),
+        (
+            "questions_asked",
+            Value::UInt(shared.total_logical.total_tasks()),
+        ),
+        ("crowd_tasks", Value::UInt(shared.crowd_tasks)),
+        (
+            "hits_published_shared",
+            Value::UInt(shared_stats.hits_published),
+        ),
+        ("hits_published_isolated", Value::UInt(isolated_hits)),
+        (
+            "hits_published_pr1_exact_match",
+            Value::UInt(PR1_EXACT_MATCH_HITS),
+        ),
+        (
+            "hits_saved_vs_pr1",
+            Value::UInt(PR1_EXACT_MATCH_HITS.saturating_sub(shared_stats.hits_published)),
+        ),
+        ("store_hits", Value::UInt(shared.reuse.hits)),
+        ("store_narrowed", Value::UInt(shared.reuse.narrowed)),
+        ("store_forwarded", Value::UInt(shared.reuse.forwarded)),
+        (
+            "store_objects_pruned",
+            Value::UInt(shared.reuse.objects_pruned),
+        ),
+    ]);
+    update_json_report(bench_reuse_path(), "concurrent_audits", section)
+        .expect("write BENCH_reuse.json");
+    println!("reuse metrics recorded in {}", bench_reuse_path().display());
 }
