@@ -25,6 +25,35 @@ fn bench_mups_from_labels(c: &mut Criterion) {
     });
 }
 
+/// The regression guard for the dense lattice rewrite: `mups_from_counts`
+/// (dense ids, one bottom-up pass) against `mups_from_counts_baseline`
+/// (the historical `HashMap`-keyed per-pattern descendant scans), on the
+/// same 3-attribute counts. The dense path must stay visibly ahead; the
+/// two timings converging in the bench output is the regression signal.
+fn bench_dense_vs_hashmap_mups(c: &mut Criterion) {
+    let schema = AttributeSchema::new(vec![
+        Attribute::new("a", ["0", "1", "2", "3", "4"]).unwrap(),
+        Attribute::new("b", ["0", "1", "2", "3", "4"]).unwrap(),
+        Attribute::new("c", ["0", "1", "2", "3", "4"]).unwrap(),
+    ])
+    .unwrap();
+    let graph = PatternGraph::new(&schema);
+    let counts: coverage_core::mup::FullGroupCounts = graph
+        .full_groups()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, if i % 7 == 0 { 12 } else { 80 + i % 40 }))
+        .collect();
+    let mut group = c.benchmark_group("mup/from_counts_5x5x5");
+    group.bench_function("dense_ids", |b| {
+        b.iter(|| mups_from_counts(&schema, &counts, 50))
+    });
+    group.bench_function("hashmap_baseline", |b| {
+        b.iter(|| mups_from_counts_baseline(&schema, &counts, 50))
+    });
+    group.finish();
+}
+
 fn bench_pattern_count(c: &mut Criterion) {
     let schema = AttributeSchema::new(vec![
         Attribute::binary("gender", "m", "f").unwrap(),
@@ -46,6 +75,6 @@ fn bench_pattern_count(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_mups_from_labels, bench_pattern_count
+    targets = bench_mups_from_labels, bench_dense_vs_hashmap_mups, bench_pattern_count
 }
 criterion_main!(benches);

@@ -16,6 +16,14 @@ pub fn bench_reuse_path() -> PathBuf {
     results_dir().join("BENCH_reuse.json")
 }
 
+/// The canonical scale-out report file: `results/BENCH_scaleout.json`,
+/// written by the `giant_audit` bench and example — intra-audit shard
+/// scaling of one high-arity tenant plus the dense-vs-HashMap
+/// `mups_from_counts` comparison.
+pub fn bench_scaleout_path() -> PathBuf {
+    results_dir().join("BENCH_scaleout.json")
+}
+
 /// Upserts `key` in the JSON object stored at `path`, creating the file
 /// (and its parent directory) if needed. Other writers' keys are preserved,
 /// so several harnesses can share one report file; a corrupt or non-object

@@ -14,7 +14,7 @@
 
 use coverage_core::engine::ObjectId;
 use coverage_core::pattern::Pattern;
-use coverage_core::schema::AttributeSchema;
+use coverage_core::schema::{Attribute, AttributeSchema};
 use coverage_core::target::Target;
 use coverage_service::{AuditKind, JobSpec};
 use serde::{Deserialize, Serialize};
@@ -142,6 +142,42 @@ pub fn intersectional_scenario_2x4() -> Scenario {
         description: "uncovered sibling cells; merged unions uncovered",
         counts: vec![N - 1544, 500, 12, 12, 500, 500, 10, 10],
     }
+}
+
+/// The high-arity schema of the `giant_audit` scale-out scenario:
+/// gender (2) × race (4) × age (3) — 24 fully-specified cells, 60 lattice
+/// patterns. Arity is what blows up Intersectional-Coverage, so this is
+/// the regime where intra-audit parallelism has to earn its keep.
+pub fn giant_audit_schema() -> AttributeSchema {
+    AttributeSchema::new(vec![
+        Attribute::binary("gender", "male", "female").expect("attribute"),
+        Attribute::new("race", ["white", "black", "hispanic", "asian"]).expect("attribute"),
+        Attribute::new("age", ["child", "adult", "senior"]).expect("attribute"),
+    ])
+    .expect("schema")
+}
+
+/// Cell counts for the `giant_audit` tenant, in `full_groups()` order.
+///
+/// The composition is chosen so the super-group scan fans out into many
+/// independent work items at `τ = 50`: a few large cells the `c·τ` sample
+/// certifies nearly for free, a band of moderate cells that each need
+/// their own Group-Coverage run (singleton super-groups — the parallel
+/// meat), and tiny sibling cells that merge into uncovered super-groups
+/// whose members get exact counts via witness resolution.
+pub fn giant_audit_counts() -> Vec<usize> {
+    vec![
+        // male: white, black, hispanic, asian × child, adult, senior
+        700, 90, 75, // white
+        110, 18, 85, // black
+        95, 12, 70, // hispanic
+        80, 10, 65, // asian
+        // female
+        650, 100, 80, // white
+        105, 15, 90, // black
+        85, 8, 75, // hispanic
+        70, 14, 60, // asian
+    ]
 }
 
 /// A mixed multi-tenant workload for the `coverage-service` benchmarks and

@@ -36,7 +36,8 @@ impl AcquisitionPlan {
         self.additions.values().sum()
     }
 
-    /// Post-acquisition count of an arbitrary pattern.
+    /// Post-acquisition count of an arbitrary pattern (one pass over the
+    /// graph's precomputed descendant slice).
     pub fn resolved_count(
         &self,
         graph: &PatternGraph,
@@ -109,41 +110,77 @@ pub fn acquisition_plan(
         assert_eq!(t.d(), schema.d(), "target arity must match the schema");
     }
     let graph = PatternGraph::new(schema);
-    let mut plan = AcquisitionPlan::default();
+    // Dense working state: everything below is keyed by the graph's leaf
+    // index (position in `full_groups()`) — no pattern is hashed inside
+    // the greedy loop.
+    let base = graph.dense_leaf_counts(counts);
+    let mut added = vec![0usize; base.len()];
+    let target_ids: Vec<u32> = targets
+        .iter()
+        .map(|t| {
+            graph
+                .pattern_id(t)
+                .expect("every pattern has at least one full descendant")
+        })
+        .collect();
+    let resolved = |added: &[usize], id: u32| -> usize {
+        graph
+            .full_descendant_leaves(id)
+            .iter()
+            .map(|l| base[*l as usize] + added[*l as usize])
+            .sum()
+    };
 
     loop {
         // Deficits under the current plan.
-        let mut deficits: Vec<(Pattern, usize)> = targets
+        let mut deficits: Vec<(Pattern, u32, usize)> = targets
             .iter()
-            .filter_map(|t| {
-                let have = plan.resolved_count(&graph, counts, t);
-                (have < tau).then(|| (*t, tau - have))
+            .zip(&target_ids)
+            .filter_map(|(t, id)| {
+                let have = resolved(&added, *id);
+                (have < tau).then(|| (*t, *id, tau - have))
             })
             .collect();
         if deficits.is_empty() {
-            return plan;
+            let additions = graph
+                .full_groups()
+                .iter()
+                .zip(&added)
+                .filter(|(_, k)| **k > 0)
+                .map(|(p, k)| (*p, *k))
+                .collect();
+            return AcquisitionPlan { additions };
         }
         // Repair the largest deficit first.
-        deficits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.to_string().cmp(&b.0.to_string())));
-        let (target, deficit) = deficits[0];
+        deficits.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.to_string().cmp(&b.0.to_string())));
+        let (_, target_id, deficit) = deficits[0];
 
         // Pick the descendant cell that appears under the most deficient
         // targets (ties: thinnest cell, then lexicographic for
         // determinism).
-        let deficient: Vec<Pattern> = deficits.iter().map(|(p, _)| *p).collect();
-        let cell = graph
-            .full_descendants(&target)
-            .into_iter()
+        let deficient: Vec<Pattern> = deficits.iter().map(|(p, _, _)| *p).collect();
+        let full_groups = graph.full_groups();
+        let cell_leaf = graph
+            .full_descendant_leaves(target_id)
+            .iter()
+            .copied()
             .max_by(|a, b| {
-                let synergy = |c: &Pattern| deficient.iter().filter(|t| t.generalizes(c)).count();
-                let thin = |c: &Pattern| std::cmp::Reverse(plan.resolved_count(&graph, counts, c));
-                synergy(a)
-                    .cmp(&synergy(b))
-                    .then(thin(a).cmp(&thin(b)))
-                    .then(b.to_string().cmp(&a.to_string()))
+                let synergy = |l: u32| {
+                    let c = &full_groups[l as usize];
+                    deficient.iter().filter(|t| t.generalizes(c)).count()
+                };
+                let thin = |l: u32| std::cmp::Reverse(base[l as usize] + added[l as usize]);
+                synergy(*a)
+                    .cmp(&synergy(*b))
+                    .then(thin(*a).cmp(&thin(*b)))
+                    .then(
+                        full_groups[*b as usize]
+                            .to_string()
+                            .cmp(&full_groups[*a as usize].to_string()),
+                    )
             })
             .expect("every pattern has at least one full descendant");
-        *plan.additions.entry(cell).or_insert(0) += deficit;
+        added[cell_leaf as usize] += deficit;
     }
 }
 
@@ -161,10 +198,13 @@ pub fn full_repair_plan(
     tau: usize,
 ) -> AcquisitionPlan {
     let graph = PatternGraph::new(schema);
+    // One bottom-up pass prices every pattern at once (O(edges)).
+    let pattern_counts = graph.pattern_counts(counts);
     let uncovered: Vec<Pattern> = graph
         .iter()
-        .filter(|p| pattern_count(&graph, counts, p) < tau)
-        .copied()
+        .zip(&pattern_counts)
+        .filter(|(_, count)| **count < tau)
+        .map(|(p, _)| *p)
         .collect();
     acquisition_plan(schema, counts, tau, &uncovered)
 }

@@ -316,6 +316,37 @@ impl<G: GroundTruth> InfallibleSource for PerfectSource<'_, G> {
 
 impl<G: GroundTruth> BatchAnswerSource for PerfectSource<'_, G> {}
 
+/// An answer source that intra-audit parallel drivers can split across
+/// worker threads and merge back.
+///
+/// [`multiple_coverage_par`](crate::multiple::multiple_coverage_par) shards
+/// its super-group scan over `std::thread::scope` workers; each worker asks
+/// through its own **fork** of the job's source and, when the scan joins,
+/// the fork is handed back so per-handle state (e.g. the local
+/// [`ReuseStats`](crate::memo::ReuseStats) tally of a
+/// [`SharedKnowledgeSource`](crate::memo::SharedKnowledgeSource) handle)
+/// is folded into the original. Forks must answer **consistently** with
+/// the original — the same fixed labeling behind every handle — which is
+/// what makes parallel scans byte-identical to sequential ones.
+pub trait ForkableSource: AnswerSource + Send + Sized {
+    /// A handle over the same underlying answers for another thread.
+    fn fork(&self) -> Self;
+
+    /// Folds a fork's per-handle state back in once its thread is done.
+    /// The default drops the fork (nothing to merge).
+    fn join(&mut self, forked: Self) {
+        drop(forked);
+    }
+}
+
+impl<G: GroundTruth + Sync> ForkableSource for PerfectSource<'_, G> {
+    fn fork(&self) -> Self {
+        // Not `clone()`: the derived bound would demand `G: Clone`; a fork
+        // only needs another handle on the same borrowed truth.
+        Self { truth: self.truth }
+    }
+}
+
 /// Default number of images per point-query HIT, matching the paper's
 /// HIT layout (`n = 50` images per HIT).
 pub const DEFAULT_POINT_BATCH: usize = 50;
@@ -366,6 +397,12 @@ impl<S: AnswerSource> Engine<S> {
     pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.set_cancel_token(token);
         self
+    }
+
+    /// The installed cancellation token, if any — so intra-audit parallel
+    /// drivers can propagate cancellation into their worker engines.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.clone()
     }
 
     /// `Err(Cancelled)` once the installed token has been flipped.
@@ -458,6 +495,13 @@ impl<S: AnswerSource> Engine<S> {
     /// Resets the ledger to zero, e.g. between experiment repetitions.
     pub fn reset_ledger(&mut self) {
         self.ledger = TaskLedger::new();
+    }
+
+    /// Folds another ledger's totals into this engine's — how intra-audit
+    /// parallel drivers merge their worker engines' metering back into the
+    /// job's engine so callers keep reading one authoritative ledger.
+    pub fn absorb_ledger(&mut self, other: &TaskLedger) {
+        self.ledger.absorb(other);
     }
 
     /// Read access to the wrapped source.

@@ -9,15 +9,17 @@
 //! ancestor without further crowd work. The uncovered region is reported as
 //! maximal uncovered patterns (MUPs).
 
-use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::engine::{AnswerSource, Engine, ForkableSource, ObjectId};
 use crate::error::Interrupted;
 use crate::ledger::TaskLedger;
-use crate::multiple::{multiple_coverage, GroupResult, MultipleConfig};
+use crate::multiple::{
+    multiple_coverage, multiple_coverage_par, GroupResult, IntraJobParallelism, MultipleConfig,
+};
 use crate::pattern::Pattern;
 use crate::pattern_graph::PatternGraph;
 use crate::schema::AttributeSchema;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 
 /// Coverage verdict for one pattern of the lattice.
@@ -34,7 +36,7 @@ pub struct PatternCoverage {
 }
 
 /// Output of [`intersectional_coverage`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntersectionalReport {
     /// Verdicts for the fully-specified subgroups (the crowd-searched level).
     pub full_groups: Vec<GroupResult>,
@@ -44,12 +46,66 @@ pub struct IntersectionalReport {
     pub mups: Vec<Pattern>,
     /// Crowd work consumed.
     pub tasks: TaskLedger,
+    /// Pattern → slot in `patterns`, built once at assembly so repeated
+    /// [`IntersectionalReport::coverage_of`] lookups are O(1) instead of a
+    /// linear lattice scan. Rebuilt on deserialization; not serialized.
+    slots: HashMap<Pattern, u32>,
 }
 
 impl IntersectionalReport {
-    /// The verdict for one pattern, if present.
+    /// Assembles a report, indexing the verdicts for O(1) lookup. The slot
+    /// index mirrors `patterns`; callers mutating `patterns` afterwards
+    /// should rebuild via `IntersectionalReport::new`.
+    pub fn new(
+        full_groups: Vec<GroupResult>,
+        patterns: Vec<PatternCoverage>,
+        mups: Vec<Pattern>,
+        tasks: TaskLedger,
+    ) -> Self {
+        let slots = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.pattern, i as u32))
+            .collect();
+        Self {
+            full_groups,
+            patterns,
+            mups,
+            tasks,
+            slots,
+        }
+    }
+
+    /// The verdict for one pattern, if present — one indexed lookup, O(1)
+    /// however often it is called (partial reports omit undecided patterns,
+    /// which return `None`).
     pub fn coverage_of(&self, p: &Pattern) -> Option<&PatternCoverage> {
-        self.patterns.iter().find(|c| &c.pattern == p)
+        self.slots.get(p).map(|slot| &self.patterns[*slot as usize])
+    }
+}
+
+// The slot index is derived data: serialize only the four payload fields
+// (the vendored serde derive cannot skip a field) and rebuild the index on
+// the way back in.
+impl Serialize for IntersectionalReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("full_groups".to_string(), self.full_groups.to_value()),
+            ("patterns".to_string(), self.patterns.to_value()),
+            ("mups".to_string(), self.mups.to_value()),
+            ("tasks".to_string(), self.tasks.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for IntersectionalReport {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Self::new(
+            Vec::from_value(value.get_field("full_groups")?)?,
+            Vec::from_value(value.get_field("patterns")?)?,
+            Vec::from_value(value.get_field("mups")?)?,
+            TaskLedger::from_value(value.get_field("tasks")?)?,
+        ))
     }
 }
 
@@ -131,75 +187,154 @@ pub fn intersectional_coverage<S: AnswerSource, R: Rng + ?Sized>(
     }
 }
 
+/// [`intersectional_coverage`] with the fully-specified-subgroup scan
+/// sharded across `parallelism` threads inside this one audit (via
+/// [`multiple_coverage_par`]); verdicts, counts, MUPs and the logical
+/// ledger are byte-identical to the sequential run for any worker count.
+///
+/// # Panics
+/// Panics when `cfg.n == 0`.
+///
+/// # Errors
+/// As [`intersectional_coverage`].
+#[allow(clippy::result_large_err)]
+pub fn intersectional_coverage_par<S: ForkableSource, R: Rng + ?Sized>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    schema: &AttributeSchema,
+    cfg: &MultipleConfig,
+    rng: &mut R,
+    parallelism: IntraJobParallelism,
+) -> Result<IntersectionalReport, Interrupted<IntersectionalReport>> {
+    let mut cfg = cfg.clone();
+    cfg.multi = true;
+    cfg.resolve_supergroup_members = true;
+
+    let graph = PatternGraph::new(schema);
+    let full_groups: Vec<Pattern> = graph.full_groups().to_vec();
+    match multiple_coverage_par(engine, pool, &full_groups, &cfg, rng, parallelism) {
+        Ok(report) => Ok(propagate(&graph, report, cfg.tau)),
+        Err(interrupted) => {
+            Err(interrupted.map_partial(|partial| propagate(&graph, partial, cfg.tau)))
+        }
+    }
+}
+
+/// Per-pattern aggregate over fully-specified descendants, composed
+/// bottom-up: AND/OR/sum are associative and commutative with the right
+/// neutral elements, so combining prime children reproduces the flat
+/// descendant fold exactly — in O(edges) instead of O(patterns × cells).
+#[derive(Clone, Copy)]
+struct Fold {
+    any_covered: bool,
+    all_exact: bool,
+    all_decided: bool,
+    sum: usize,
+}
+
+impl Fold {
+    /// The neutral element — also exactly what an *undecided* cell
+    /// contributes (it only clears `all_decided`).
+    const UNDECIDED: Fold = Fold {
+        any_covered: false,
+        all_exact: true,
+        all_decided: false,
+        sum: 0,
+    };
+
+    fn of_leaf(r: &GroupResult) -> Fold {
+        Fold {
+            any_covered: r.covered,
+            all_exact: r.count_exact,
+            all_decided: true,
+            sum: r.count,
+        }
+    }
+
+    fn absorb(&mut self, other: &Fold) {
+        self.any_covered |= other.any_covered;
+        self.all_exact &= other.all_exact;
+        self.all_decided &= other.all_decided;
+        self.sum += other.sum;
+    }
+}
+
 /// Upward propagation over (possibly partial) full-group verdicts: a
 /// pattern's population is the disjoint sum of its fully-specified
 /// descendants'. With every group decided this is the paper's Algorithm 3
 /// propagation; with a partial verdict set it reports only what is sound —
 /// covered as soon as one decided descendant is covered, uncovered only
 /// when all descendants are decided, undecided patterns omitted.
+///
+/// Everything runs on dense [`PatternGraph`] ids: leaves initialize from
+/// the group verdicts, one reverse pass over prime-child edges folds the
+/// aggregates for every pattern, and the MUP check reads parents through
+/// the id-indexed CSR — no `HashMap<Pattern, _>` anywhere.
 fn propagate(
     graph: &PatternGraph,
     report: crate::multiple::MultipleReport,
     tau: usize,
 ) -> IntersectionalReport {
-    let by_group: HashMap<Pattern, &GroupResult> =
-        report.results.iter().map(|r| (r.group, r)).collect();
-
-    let mut patterns = Vec::with_capacity(graph.len());
-    for p in graph.iter() {
-        let descendants = graph.full_descendants(p);
-        let mut any_covered = false;
-        let mut all_exact = true;
-        let mut all_decided = true;
-        let mut sum = 0usize;
-        for fg in &descendants {
-            match by_group.get(fg) {
-                Some(r) => {
-                    any_covered |= r.covered;
-                    all_exact &= r.count_exact;
-                    sum += r.count;
-                }
-                None => all_decided = false,
-            }
+    let n = graph.len();
+    let full_start = n - graph.full_groups().len();
+    let mut folds = vec![Fold::UNDECIDED; n];
+    for r in &report.results {
+        if let Some(id) = graph.pattern_id(&r.group) {
+            folds[id as usize] = Fold::of_leaf(r);
         }
-        if !all_decided && !any_covered && sum < tau {
+    }
+    // `all_decided` starts true for interior patterns (it is an AND).
+    for fold in folds.iter_mut().take(full_start) {
+        fold.all_decided = true;
+    }
+    for id in (0..full_start).rev() {
+        let mut fold = folds[id];
+        for child in graph.prime_children_ids(id as u32) {
+            fold.absorb(&folds[*child as usize]);
+        }
+        folds[id] = fold;
+    }
+
+    let mut patterns = Vec::with_capacity(n);
+    let mut pattern_ids = Vec::with_capacity(n);
+    // Dense verdict map: `None` = undecided/omitted (keeps children out of
+    // the MUP set on partial knowledge).
+    let mut covered_by_id: Vec<Option<bool>> = vec![None; n];
+    for (id, p) in graph.iter().enumerate() {
+        let fold = &folds[id];
+        if !fold.all_decided && !fold.any_covered && fold.sum < tau {
             // Cannot be proven covered or uncovered from what was decided.
             continue;
         }
-        let covered = any_covered || sum >= tau;
+        let covered = fold.any_covered || fold.sum >= tau;
+        covered_by_id[id] = Some(covered);
+        pattern_ids.push(id as u32);
         patterns.push(PatternCoverage {
             pattern: *p,
             covered,
-            count: sum,
+            count: fold.sum,
             // A covered descendant's count is a stopped lower bound; an
             // undecided descendant leaves the sum a lower bound too.
-            exact: all_exact && !any_covered && all_decided,
+            exact: fold.all_exact && !fold.any_covered && fold.all_decided,
         });
     }
 
     // MUPs: uncovered with every parent covered (the root qualifies when
-    // the dataset itself is below τ). On partial knowledge a pattern missing
-    // from `covered_map` keeps its children out of the MUP set.
-    let covered_map: HashMap<Pattern, bool> =
-        patterns.iter().map(|c| (c.pattern, c.covered)).collect();
+    // the dataset itself is below τ).
     let mups: Vec<Pattern> = patterns
         .iter()
-        .filter(|c| {
+        .zip(&pattern_ids)
+        .filter(|(c, id)| {
             !c.covered
-                && c.pattern
-                    .parents()
+                && graph
+                    .parents_of(**id)
                     .iter()
-                    .all(|p| covered_map.get(p).copied().unwrap_or(false))
+                    .all(|p| covered_by_id[*p as usize].unwrap_or(false))
         })
-        .map(|c| c.pattern)
+        .map(|(c, _)| c.pattern)
         .collect();
 
-    IntersectionalReport {
-        full_groups: report.results,
-        patterns,
-        mups,
-        tasks: report.tasks,
-    }
+    IntersectionalReport::new(report.results, patterns, mups, report.tasks)
 }
 
 #[cfg(test)]

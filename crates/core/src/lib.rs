@@ -95,21 +95,26 @@ pub mod prelude {
         classifier_coverage, ClassifierConfig, ClassifierOutcome, FpElimination,
     };
     pub use crate::engine::{
-        AnswerSource, BatchAnswerSource, CancelToken, Engine, GroundTruth, InfallibleSource,
-        ObjectId, ObjectIds, PerfectSource, VecGroundTruth,
+        AnswerSource, BatchAnswerSource, CancelToken, Engine, ForkableSource, GroundTruth,
+        InfallibleSource, ObjectId, ObjectIds, PerfectSource, VecGroundTruth,
     };
     pub use crate::error::{AskError, BudgetSnapshot, CoverageError, Interrupted};
     pub use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome, Traversal};
-    pub use crate::intersectional::{intersectional_coverage, IntersectionalReport};
+    pub use crate::intersectional::{
+        intersectional_coverage, intersectional_coverage_par, IntersectionalReport,
+    };
     pub use crate::ledger::{PricingModel, TaskLedger};
     pub use crate::memo::{
         KnowledgeSource, KnowledgeStore, MemoizedSource, ReuseStats, SetResolution,
         SharedKnowledgeSource,
     };
-    pub use crate::multiple::{multiple_coverage, GroupResult, MultipleConfig, MultipleReport};
-    pub use crate::mup::{mups_from_counts, mups_from_labels};
+    pub use crate::multiple::{
+        multiple_coverage, multiple_coverage_par, GroupResult, IntraJobParallelism, MultipleConfig,
+        MultipleReport,
+    };
+    pub use crate::mup::{mups_from_counts, mups_from_counts_baseline, mups_from_labels};
     pub use crate::pattern::Pattern;
-    pub use crate::pattern_graph::PatternGraph;
+    pub use crate::pattern_graph::{PatternGraph, PatternId};
     pub use crate::report::CoverageReport;
     pub use crate::sampling::{label_samples, LabeledStore};
     pub use crate::schema::{Attribute, AttributeSchema, Labels, MAX_ATTRS};

@@ -45,12 +45,14 @@
 //! [`ReuseStats`] counts how questions were disposed of — answered from
 //! facts, narrowed, or forwarded untouched.
 
-use crate::engine::{AnswerSource, BatchAnswerSource, ObjectId};
+use crate::engine::{AnswerSource, BatchAnswerSource, ForkableSource, ObjectId};
 use crate::error::AskError;
 use crate::schema::Labels;
 use crate::target::Target;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// How a reuse layer disposed of the questions it saw.
@@ -71,6 +73,16 @@ impl ReuseStats {
     /// Total questions the layer has seen.
     pub fn questions(&self) -> u64 {
         self.hits + self.forwarded
+    }
+
+    /// Adds another tally into this one (e.g. folding a forked handle's
+    /// local stats back into its parent when an intra-audit parallel scan
+    /// joins).
+    pub fn absorb(&mut self, other: &ReuseStats) {
+        self.hits += other.hits;
+        self.narrowed += other.narrowed;
+        self.forwarded += other.forwarded;
+        self.objects_pruned += other.objects_pruned;
     }
 }
 
@@ -452,21 +464,19 @@ impl<S: AnswerSource> AnswerSource for MemoizedSource<S> {
 
 impl<S: AnswerSource> BatchAnswerSource for MemoizedSource<S> {}
 
-#[derive(Debug, Default)]
-struct SharedKnowledgeState {
-    store: KnowledgeStore,
-    set_in_flight: HashSet<(Vec<ObjectId>, Target)>,
-    label_in_flight: HashSet<ObjectId>,
-}
+/// How many lock stripes a [`SharedKnowledgeSource`] uses by default for
+/// its object-keyed facts and its set-verdict/coalescing maps.
+pub const DEFAULT_STORE_SHARDS: usize = 8;
 
+/// A mutex + condvar pair guarding one stripe of shared state.
 #[derive(Debug, Default)]
-struct SharedKnowledge {
-    state: Mutex<SharedKnowledgeState>,
+struct Stripe<T> {
+    state: Mutex<T>,
     ready: Condvar,
 }
 
-impl SharedKnowledge {
-    fn lock(&self) -> MutexGuard<'_, SharedKnowledgeState> {
+impl<T> Stripe<T> {
+    fn lock(&self) -> MutexGuard<'_, T> {
         // A genuinely panicking job (a bug) must not poison the
         // platform-wide store for every other job; expected failures
         // (budget, cancellation) travel as `Err` and never unwind here.
@@ -474,63 +484,299 @@ impl SharedKnowledge {
     }
 }
 
-/// Removes claimed in-flight keys and wakes waiters if the claiming handle
-/// exits without committing an answer — an `Err` from the inner source or
-/// a genuine panic; a waiter then re-claims the question instead of
-/// blocking forever.
-struct FlightGuard<'a> {
-    shared: &'a SharedKnowledge,
-    set_key: Option<(Vec<ObjectId>, Target)>,
-    label_keys: Vec<ObjectId>,
+/// One shard of the object-keyed facts: labels and per-target membership
+/// verdicts for the objects hashing here, plus the in-flight set for label
+/// claims on those objects. The embedded [`KnowledgeStore`] uses only its
+/// object-level maps (set verdicts live in the set stripes).
+#[derive(Debug, Default)]
+struct FactShardState {
+    facts: KnowledgeStore,
+    label_in_flight: HashSet<ObjectId>,
 }
 
-impl FlightGuard<'_> {
-    fn disarm(&mut self) {
-        self.set_key = None;
-        self.label_keys.clear();
+/// One stripe of the whole-query state: exact `(objects, target)` verdicts
+/// and the in-flight set coalescing concurrent identical set queries.
+#[derive(Debug, Default)]
+struct SetStripeState {
+    verdicts: HashMap<Target, HashMap<Vec<ObjectId>, bool>>,
+    in_flight: HashSet<(Vec<ObjectId>, Target)>,
+}
+
+impl SetStripeState {
+    fn verdict(&self, objects: &[ObjectId], target: &Target) -> Option<bool> {
+        self.verdicts
+            .get(target)
+            .and_then(|m| m.get(objects))
+            .copied()
     }
 }
 
-impl Drop for FlightGuard<'_> {
-    fn drop(&mut self) {
-        if self.set_key.is_none() && self.label_keys.is_empty() {
+/// The platform-wide reuse tally, updated lock-free so no stripe becomes a
+/// metering bottleneck. Counters are monotone; `snapshot` is exact once the
+/// handles reading it have quiesced (which is when reports read it).
+#[derive(Debug, Default)]
+struct SharedStats {
+    hits: AtomicU64,
+    narrowed: AtomicU64,
+    forwarded: AtomicU64,
+    objects_pruned: AtomicU64,
+}
+
+impl SharedStats {
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_forwarded(&self, count: u64, pruned: u64) {
+        self.forwarded.fetch_add(count, Ordering::Relaxed);
+        if pruned > 0 {
+            self.narrowed.fetch_add(1, Ordering::Relaxed);
+            self.objects_pruned.fetch_add(pruned, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> ReuseStats {
+        ReuseStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            narrowed: self.narrowed.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            objects_pruned: self.objects_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The sharded platform-wide knowledge state behind every
+/// [`SharedKnowledgeSource`] handle: object facts striped by `ObjectId`,
+/// whole-query verdicts and in-flight coalescing striped by query hash,
+/// and one atomic stats tally. No operation ever holds two stripe locks at
+/// once (per-object scans take shard locks one at a time), so there is no
+/// lock ordering to get wrong and no global serialization point.
+#[derive(Debug)]
+struct ShardedKnowledge {
+    fact_shards: Vec<Stripe<FactShardState>>,
+    set_stripes: Vec<Stripe<SetStripeState>>,
+    stats: SharedStats,
+}
+
+impl ShardedKnowledge {
+    fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            fact_shards: (0..shards).map(|_| Stripe::default()).collect(),
+            set_stripes: (0..shards).map(|_| Stripe::default()).collect(),
+            stats: SharedStats::default(),
+        }
+    }
+
+    fn fact_shard(&self, object: ObjectId) -> &Stripe<FactShardState> {
+        &self.fact_shards[object.index() % self.fact_shards.len()]
+    }
+
+    fn set_stripe(&self, objects: &[ObjectId], target: &Target) -> &Stripe<SetStripeState> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        objects.hash(&mut hasher);
+        target.hash(&mut hasher);
+        &self.set_stripes[(hasher.finish() as usize) % self.set_stripes.len()]
+    }
+
+    /// Resolves a set query against the *object-level* facts (the exact
+    /// whole-query verdict is checked separately against its set stripe).
+    /// Scans shard by shard, taking one shard lock at a time; facts only
+    /// accumulate, so the non-atomic scan can only under-report knowledge —
+    /// never invent any — and a consistent source answers the (possibly
+    /// slightly stale) residual exactly like the full query.
+    fn resolve_objects(&self, objects: &[ObjectId], target: &Target) -> SetResolution {
+        let shards = self.fact_shards.len();
+        let mut non_member = vec![false; objects.len()];
+        for (shard_index, shard) in self.fact_shards.iter().enumerate() {
+            if objects.iter().all(|o| o.index() % shards != shard_index) {
+                continue;
+            }
+            let state = shard.lock();
+            for (slot, object) in objects.iter().enumerate() {
+                if object.index() % shards != shard_index {
+                    continue;
+                }
+                if state.facts.is_known_member(*object, target) {
+                    return SetResolution::Known(true);
+                }
+                if state.facts.is_known_non_member(*object, target) {
+                    non_member[slot] = true;
+                }
+            }
+        }
+        let residual: Vec<ObjectId> = objects
+            .iter()
+            .zip(&non_member)
+            .filter(|(_, pruned)| !**pruned)
+            .map(|(o, _)| *o)
+            .collect();
+        if residual.is_empty() {
+            return SetResolution::Known(false);
+        }
+        let pruned = objects.len() - residual.len();
+        SetResolution::Ask { residual, pruned }
+    }
+
+    /// Absorbs the per-object consequences of a delivered set answer into
+    /// the fact shards (the whole-query verdict is recorded by the caller
+    /// under its set stripe): `false` marks every residual object a
+    /// non-member, `true` on a singleton residual marks it a member.
+    fn absorb_set_consequences(&self, residual: &[ObjectId], target: &Target, answer: bool) {
+        if answer {
+            if let [only] = residual {
+                let mut state = self.fact_shard(*only).lock();
+                state
+                    .facts
+                    .members
+                    .entry(target.clone())
+                    .or_default()
+                    .insert(*only);
+            }
             return;
         }
-        let mut state = self.shared.lock();
-        if let Some(key) = self.set_key.take() {
-            state.set_in_flight.remove(&key);
+        let shards = self.fact_shards.len();
+        for (shard_index, shard) in self.fact_shards.iter().enumerate() {
+            let mut pending = residual
+                .iter()
+                .filter(|o| o.index() % shards == shard_index)
+                .peekable();
+            if pending.peek().is_none() {
+                continue;
+            }
+            let mut state = shard.lock();
+            state
+                .facts
+                .non_members
+                .entry(target.clone())
+                .or_default()
+                .extend(pending);
         }
-        for key in self.label_keys.drain(..) {
+    }
+
+    /// Merges every shard and stripe into one plain [`KnowledgeStore`].
+    fn snapshot(&self) -> KnowledgeStore {
+        let mut store = KnowledgeStore::new();
+        for shard in &self.fact_shards {
+            let state = shard.lock();
+            store.labels.extend(&state.facts.labels);
+            for (target, members) in &state.facts.members {
+                store
+                    .members
+                    .entry(target.clone())
+                    .or_default()
+                    .extend(members);
+            }
+            for (target, non_members) in &state.facts.non_members {
+                store
+                    .non_members
+                    .entry(target.clone())
+                    .or_default()
+                    .extend(non_members);
+            }
+        }
+        for stripe in &self.set_stripes {
+            let state = stripe.lock();
+            for (target, verdicts) in &state.verdicts {
+                store
+                    .set_verdicts
+                    .entry(target.clone())
+                    .or_default()
+                    .extend(verdicts.iter().map(|(k, v)| (k.clone(), *v)));
+            }
+        }
+        store.stats = self.stats.snapshot();
+        store
+    }
+}
+
+/// Removes a claimed set-query key and wakes its stripe if the claiming
+/// handle exits without committing an answer — an `Err` from the inner
+/// source or a genuine panic; a waiter then re-claims the question instead
+/// of blocking forever.
+struct SetFlightGuard<'a> {
+    stripe: &'a Stripe<SetStripeState>,
+    key: Option<(Vec<ObjectId>, Target)>,
+}
+
+impl SetFlightGuard<'_> {
+    fn disarm(&mut self) {
+        self.key = None;
+    }
+}
+
+impl Drop for SetFlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut state = self.stripe.lock();
+            state.in_flight.remove(&key);
+            drop(state);
+            self.stripe.ready.notify_all();
+        }
+    }
+}
+
+/// The label-claim analogue of [`SetFlightGuard`]: releases every claimed
+/// object in its own fact shard and wakes that shard's waiters.
+struct LabelFlightGuard<'a> {
+    shared: &'a ShardedKnowledge,
+    keys: Vec<ObjectId>,
+}
+
+impl LabelFlightGuard<'_> {
+    fn disarm(&mut self) {
+        self.keys.clear();
+    }
+}
+
+impl Drop for LabelFlightGuard<'_> {
+    fn drop(&mut self) {
+        for key in self.keys.drain(..) {
+            let shard = self.shared.fact_shard(key);
+            let mut state = shard.lock();
             state.label_in_flight.remove(&key);
+            drop(state);
+            shard.ready.notify_all();
         }
-        drop(state);
-        self.shared.ready.notify_all();
     }
 }
 
 /// The thread-safe, platform-wide knowledge layer: every clone consults and
-/// fills one shared [`KnowledgeStore`].
+/// fills one shared, **sharded** fact base.
 ///
 /// Each clone carries its **own** inner source (so per-handle state such as
 /// a dispatcher connection stays private) but all clones share one fact
-/// base behind a mutex. This is the reuse layer the `coverage-service`
-/// crate threads through concurrent audit jobs: once any job has paid for a
-/// label or a set verdict, it answers or narrows every other job's
-/// questions for free.
+/// base. This is the reuse layer the `coverage-service` crate threads
+/// through concurrent audit jobs: once any job has paid for a label or a
+/// set verdict, it answers or narrows every other job's questions for free.
 ///
-/// Concurrent misses on the same question are **coalesced**: the first
-/// asker claims it and forwards the residual to its inner source (the lock
-/// is not held across that call); every other asker waits on a condvar and
-/// re-resolves against the committed facts. If the claiming handle *fails*
-/// — its budget refuses the question, its job is cancelled, its connection
-/// drops — the failure stays its own: waiters are woken, re-claim the
-/// question and pay for it with their own budget instead of inheriting the
-/// error or blocking forever.
+/// ## Sharding
+///
+/// The shared state is **lock-striped** ([`SharedKnowledgeSource::with_shards`],
+/// default [`DEFAULT_STORE_SHARDS`]): object-level facts (labels, per-target
+/// membership verdicts) and label coalescing live in shards keyed by
+/// `ObjectId`; whole-query set verdicts and set-query coalescing live in a
+/// separate stripe map keyed by the query hash; the [`ReuseStats`] tally is
+/// atomic. Handles touching different objects or different queries
+/// therefore never contend on a lock, where the former design funneled
+/// every question of every worker through one global mutex. Facts only
+/// accumulate, so cross-shard scans need no global lock to stay sound, and
+/// the shard count never changes any answer — for a single-threaded run it
+/// does not even change the metered [`ReuseStats`].
+///
+/// Concurrent misses on the same question are still **coalesced**: the
+/// first asker claims it in its stripe and forwards the residual to its
+/// inner source (no lock held across that call); every other asker waits on
+/// that stripe's condvar and re-resolves against the committed facts. If
+/// the claiming handle *fails* — its budget refuses the question, its job
+/// is cancelled, its connection drops — the failure stays its own: waiters
+/// are woken, re-claim the question and pay for it with their own budget
+/// instead of inheriting the error or blocking forever.
 #[derive(Debug)]
 pub struct SharedKnowledgeSource<S> {
     inner: S,
     local: ReuseStats,
-    shared: Arc<SharedKnowledge>,
+    shared: Arc<ShardedKnowledge>,
 }
 
 impl<S: Clone> Clone for SharedKnowledgeSource<S> {
@@ -545,13 +791,30 @@ impl<S: Clone> Clone for SharedKnowledgeSource<S> {
 }
 
 impl<S> SharedKnowledgeSource<S> {
-    /// Wraps a source with a fresh shared store.
+    /// Wraps a source with a fresh shared store striped over
+    /// [`DEFAULT_STORE_SHARDS`] locks.
     pub fn new(inner: S) -> Self {
+        Self::with_shards(inner, DEFAULT_STORE_SHARDS)
+    }
+
+    /// Wraps a source with a fresh shared store striped over `shards`
+    /// locks (facts by object, set verdicts by query hash). One shard
+    /// reproduces the former single-mutex behaviour; more shards reduce
+    /// contention under concurrent workers without changing any answer.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn with_shards(inner: S, shards: usize) -> Self {
         Self {
             inner,
             local: ReuseStats::default(),
-            shared: Arc::new(SharedKnowledge::default()),
+            shared: Arc::new(ShardedKnowledge::new(shards)),
         }
+    }
+
+    /// How many lock stripes the shared store uses.
+    pub fn shard_count(&self) -> usize {
+        self.shared.fact_shards.len()
     }
 
     /// A handle over the **same** shared store but a different inner source
@@ -568,7 +831,7 @@ impl<S> SharedKnowledgeSource<S> {
 
     /// The shared store's reuse tally across all handles.
     pub fn reuse_stats(&self) -> ReuseStats {
-        self.shared.lock().store.stats
+        self.shared.stats.snapshot()
     }
 
     /// This handle's own reuse tally (since creation).
@@ -576,9 +839,9 @@ impl<S> SharedKnowledgeSource<S> {
         self.local
     }
 
-    /// A snapshot of the shared fact base.
+    /// A snapshot of the shared fact base, merged across every shard.
     pub fn store_snapshot(&self) -> KnowledgeStore {
-        self.shared.lock().store.clone()
+        self.shared.snapshot()
     }
 
     /// Questions answered from shared knowledge (including coalesced waits
@@ -602,100 +865,150 @@ impl<S> SharedKnowledgeSource<S> {
     pub fn into_inner(self) -> S {
         self.inner
     }
+
+    fn record_hit(&mut self) {
+        self.shared.stats.record_hit();
+        self.local.hits += 1;
+    }
+
+    fn record_hits(&mut self, count: u64) {
+        self.shared.stats.hits.fetch_add(count, Ordering::Relaxed);
+        self.local.hits += count;
+    }
+
+    fn record_forwarded(&mut self, count: u64, pruned: u64) {
+        self.shared.stats.record_forwarded(count, pruned);
+        self.local.forwarded += count;
+        if pruned > 0 {
+            self.local.narrowed += 1;
+            self.local.objects_pruned += pruned;
+        }
+    }
+}
+
+/// Intra-audit parallel scans fork a handle per worker (sharing the fact
+/// base) and fold each worker's local tally back in at the join, so
+/// per-job reuse accounting stays complete.
+impl<S: AnswerSource + Clone + Send> ForkableSource for SharedKnowledgeSource<S> {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    fn join(&mut self, forked: Self) {
+        self.local.absorb(&forked.local);
+    }
 }
 
 impl<S: AnswerSource> AnswerSource for SharedKnowledgeSource<S> {
     fn try_answer_set(&mut self, objects: &[ObjectId], target: &Target) -> Result<bool, AskError> {
+        let shared = Arc::clone(&self.shared);
+        let stripe = shared.set_stripe(objects, target);
         let key = (objects.to_vec(), target.clone());
-        let mut state = self.shared.lock();
         let (residual, pruned) = loop {
-            match state.store.resolve_set(objects, target) {
+            // Exact whole-query verdict first (one stripe lock)...
+            {
+                let state = stripe.lock();
+                if let Some(ans) = state.verdict(objects, target) {
+                    self.record_hit();
+                    return Ok(ans);
+                }
+            }
+            // ...then the object-level facts (shard locks, one at a time).
+            let resolution = shared.resolve_objects(objects, target);
+            match resolution {
                 SetResolution::Known(ans) => {
-                    state.store.stats.hits += 1;
-                    self.local.hits += 1;
+                    self.record_hit();
                     return Ok(ans);
                 }
                 SetResolution::Ask { residual, pruned } => {
-                    if !state.set_in_flight.contains(&key) {
+                    let mut state = stripe.lock();
+                    // A verdict may have been committed between the fact
+                    // scan and this claim; re-check before claiming.
+                    if let Some(ans) = state.verdict(objects, target) {
+                        self.record_hit();
+                        return Ok(ans);
+                    }
+                    if !state.in_flight.contains(&key) {
                         // Claim the question; the residual is frozen at
                         // claim time (facts arriving mid-flight cannot
                         // change a consistent source's answer).
-                        state.set_in_flight.insert(key.clone());
+                        state.in_flight.insert(key.clone());
                         break (residual, pruned);
                     }
+                    // Coalesce behind the claimer, then re-resolve from
+                    // scratch against whatever it committed.
+                    drop(
+                        stripe
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner),
+                    );
                 }
             }
-            state = self
-                .shared
-                .ready
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
         };
-        drop(state);
-        let mut guard = FlightGuard {
-            shared: &self.shared,
-            set_key: Some(key.clone()),
-            label_keys: Vec::new(),
+        let mut guard = SetFlightGuard {
+            stripe,
+            key: Some(key.clone()),
         };
         let result = self.inner.try_answer_set(&residual, target);
-        let mut state = self.shared.lock();
-        state.set_in_flight.remove(&key);
+        let mut state = stripe.lock();
+        state.in_flight.remove(&key);
         if let Ok(ans) = &result {
             // Failed questions are not recorded: a coalesced waiter wakes,
             // re-claims the question and pays for it itself — one handle's
             // budget abort must not poison another handle's identical ask.
-            let s = &mut state.store;
-            s.stats.forwarded += 1;
-            self.local.forwarded += 1;
-            if pruned > 0 {
-                s.stats.narrowed += 1;
-                s.stats.objects_pruned += pruned as u64;
-                self.local.narrowed += 1;
-                self.local.objects_pruned += pruned as u64;
-            }
-            s.record_set_answer(objects, &residual, target, *ans);
+            state
+                .verdicts
+                .entry(target.clone())
+                .or_default()
+                .insert(key.0.clone(), *ans);
         }
         drop(state);
         guard.disarm();
-        self.shared.ready.notify_all();
+        stripe.ready.notify_all();
+        if let Ok(ans) = &result {
+            shared.absorb_set_consequences(&residual, target, *ans);
+            self.record_forwarded(1, pruned as u64);
+        }
         result
     }
 
     fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
-        let mut state = self.shared.lock();
+        let shared = Arc::clone(&self.shared);
+        let shard = shared.fact_shard(object);
+        let mut state = shard.lock();
         loop {
-            if let Some(l) = state.store.label_of(object) {
-                state.store.stats.hits += 1;
-                self.local.hits += 1;
+            if let Some(l) = state.facts.label_of(object) {
+                drop(state);
+                self.record_hit();
                 return Ok(l);
             }
             if !state.label_in_flight.contains(&object) {
                 state.label_in_flight.insert(object);
                 break;
             }
-            state = self
-                .shared
+            state = shard
                 .ready
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
         drop(state);
-        let mut guard = FlightGuard {
-            shared: &self.shared,
-            set_key: None,
-            label_keys: vec![object],
+        let mut guard = LabelFlightGuard {
+            shared: &shared,
+            keys: vec![object],
         };
         let result = self.inner.try_answer_point_labels(object);
-        let mut state = self.shared.lock();
+        let mut state = shard.lock();
         state.label_in_flight.remove(&object);
         if let Ok(l) = &result {
-            state.store.stats.forwarded += 1;
-            self.local.forwarded += 1;
-            state.store.record_labels(object, *l);
+            state.facts.record_labels(object, *l);
         }
         drop(state);
         guard.disarm();
-        self.shared.ready.notify_all();
+        shard.ready.notify_all();
+        if result.is_ok() {
+            self.record_forwarded(1, 0);
+        }
         result
     }
 
@@ -715,49 +1028,53 @@ impl<S: BatchAnswerSource> BatchAnswerSource for SharedKnowledgeSource<S> {
     /// inner batch path in one coalesced request, and waits out objects
     /// another handle already has in flight. On `Err` every claimed object
     /// is released (and waiters woken) without recording anything.
+    ///
+    /// Classification walks the batch in input order, taking each object's
+    /// shard lock as it goes, so the forwarded id order — and therefore the
+    /// inner source's view of the batch — is identical to the single-mutex
+    /// design whatever the shard count.
     fn try_answer_point_labels_batch(
         &mut self,
         objects: &[ObjectId],
     ) -> Result<Vec<Labels>, AskError> {
+        let shared = Arc::clone(&self.shared);
         let mut answers: Vec<Option<Labels>> = vec![None; objects.len()];
         let mut claimed: Vec<(usize, ObjectId)> = Vec::new();
         let mut deferred: Vec<(usize, ObjectId)> = Vec::new();
-        {
-            let mut state = self.shared.lock();
-            for (i, o) in objects.iter().enumerate() {
-                if let Some(l) = state.store.label_of(*o) {
-                    state.store.stats.hits += 1;
-                    self.local.hits += 1;
-                    answers[i] = Some(l);
-                } else if state.label_in_flight.contains(o) || claimed.iter().any(|(_, c)| c == o) {
-                    deferred.push((i, *o));
-                } else {
-                    state.label_in_flight.insert(*o);
-                    claimed.push((i, *o));
-                }
+        let mut hits = 0u64;
+        for (i, o) in objects.iter().enumerate() {
+            let mut state = shared.fact_shard(*o).lock();
+            if let Some(l) = state.facts.label_of(*o) {
+                hits += 1;
+                answers[i] = Some(l);
+            } else if state.label_in_flight.contains(o) || claimed.iter().any(|(_, c)| c == o) {
+                deferred.push((i, *o));
+            } else {
+                state.label_in_flight.insert(*o);
+                claimed.push((i, *o));
             }
         }
+        self.record_hits(hits);
         if !claimed.is_empty() {
-            let mut guard = FlightGuard {
-                shared: &self.shared,
-                set_key: None,
-                label_keys: claimed.iter().map(|(_, o)| *o).collect(),
+            let mut guard = LabelFlightGuard {
+                shared: &shared,
+                keys: claimed.iter().map(|(_, o)| *o).collect(),
             };
             let fresh_ids: Vec<ObjectId> = claimed.iter().map(|(_, o)| *o).collect();
             // On Err the guard's Drop releases every claimed key and wakes
             // the waiters, who then re-claim those objects themselves.
             let fresh = self.inner.try_answer_point_labels_batch(&fresh_ids)?;
-            let mut state = self.shared.lock();
-            state.store.stats.forwarded += fresh_ids.len() as u64;
-            self.local.forwarded += fresh_ids.len() as u64;
             for ((i, o), l) in claimed.into_iter().zip(fresh) {
+                let shard = shared.fact_shard(o);
+                let mut state = shard.lock();
                 state.label_in_flight.remove(&o);
-                state.store.record_labels(o, l);
+                state.facts.record_labels(o, l);
+                drop(state);
+                shard.ready.notify_all();
                 answers[i] = Some(l);
             }
-            drop(state);
             guard.disarm();
-            self.shared.ready.notify_all();
+            self.record_forwarded(fresh_ids.len() as u64, 0);
         }
         // Objects someone else had in flight: the single path waits for the
         // committed answer (or re-claims it if that flight failed).
@@ -1190,6 +1507,58 @@ mod tests {
             assert_eq!(waited, Ok(true), "waiter must re-claim and succeed");
             assert!(claimer.join().unwrap().is_err());
         });
+    }
+
+    /// Single-threaded determinism: the shard count is a pure contention
+    /// knob — answers *and* the metered `ReuseStats` are identical for any
+    /// striping of the same question sequence.
+    #[test]
+    fn shard_count_never_changes_answers_or_stats() {
+        let t = truth(300, 40);
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let run = |shards: usize| -> (Vec<bool>, Vec<Labels>, ReuseStats) {
+            let mut src = SharedKnowledgeSource::with_shards(PerfectSource::new(&t), shards);
+            assert_eq!(src.shard_count(), shards);
+            let mut sets = Vec::new();
+            let mut labels = Vec::new();
+            for chunk in ids.chunks(37) {
+                sets.push(src.try_answer_set(chunk, &female).unwrap());
+            }
+            for id in &ids[..90] {
+                labels.push(src.try_answer_point_labels(*id).unwrap());
+            }
+            for chunk in ids.chunks(23) {
+                sets.push(src.try_answer_set(chunk, &female.negated()).unwrap());
+            }
+            labels.extend(src.try_answer_point_labels_batch(&ids[50..150]).unwrap());
+            (sets, labels, src.reuse_stats())
+        };
+        let baseline = run(1);
+        for shards in [2, 3, 8, 64] {
+            assert_eq!(run(shards), baseline, "{shards} shards diverged");
+        }
+    }
+
+    /// Forked handles share the fact base; joining folds the fork's local
+    /// tally back so per-job accounting stays complete.
+    #[test]
+    fn fork_and_join_merge_local_tallies() {
+        use crate::engine::ForkableSource;
+        let t = truth(40, 10);
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let mut root = SharedKnowledgeSource::new(PerfectSource::new(&t));
+        root.try_answer_set(&ids[..10], &female).unwrap();
+        let mut fork = root.fork();
+        assert_eq!(fork.local_reuse_stats(), ReuseStats::default());
+        fork.try_answer_set(&ids[..10], &female).unwrap(); // hit via shared facts
+        fork.try_answer_set(&ids[10..], &female).unwrap(); // fresh forward
+        root.join(fork);
+        let local = root.local_reuse_stats();
+        assert_eq!(local.hits, 1);
+        assert_eq!(local.forwarded, 2);
+        assert_eq!(root.reuse_stats(), local, "one handle saw all traffic");
     }
 
     #[test]

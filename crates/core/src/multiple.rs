@@ -8,9 +8,25 @@
 //! an uncovered super-group certifies *all* its members uncovered at once,
 //! while a covered super-group pays a penalty (each member must be re-run
 //! individually, §4's "drawback").
+//!
+//! ## Scan independence & intra-audit parallelism
+//!
+//! Every super-group in step (3) is decided from the **phase-1 state**
+//! alone — the sampled label store `L` and the residual pool — never from
+//! another super-group's intermediate results (super-groups partition the
+//! groups, so one super-group's witnesses can neither match nor mis-count
+//! another's members). That makes the scan a set of independent work items:
+//! [`multiple_coverage`] runs them in submission order on the caller's
+//! engine, and [`multiple_coverage_par`] shards the very same items across
+//! [`IntraJobParallelism`] worker threads inside one audit, each asking
+//! through a fork of the job's source (see
+//! [`ForkableSource`]). Because each item's
+//! control flow depends only on the (consistent) source's answers, verdicts,
+//! counts **and the logical ledger** are byte-identical for any worker
+//! count; only wall-clock changes.
 
 use crate::aggregate::{aggregate, SuperGroup};
-use crate::engine::{AnswerSource, Engine, ObjectId};
+use crate::engine::{AnswerSource, Engine, ForkableSource, ObjectId};
 use crate::error::{try_ask, AskError, Interrupted};
 use crate::group_coverage::{group_coverage, DncConfig};
 use crate::ledger::TaskLedger;
@@ -19,7 +35,34 @@ use crate::sampling::{label_samples, LabeledStore};
 use crate::target::Target;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::sync::{Mutex, PoisonError};
+
+/// How many worker threads one audit may use for its super-group scan.
+///
+/// `1` (the default) keeps the scan on the calling thread; higher values
+/// let [`multiple_coverage_par`] / `intersectional_coverage_par` run that
+/// many scan items concurrently inside a single job — the scale-out knob
+/// the `coverage-service` plumbs through
+/// `JobSpec` for one giant audit. Whatever the value, outcomes and logical
+/// ledgers are byte-identical; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntraJobParallelism(pub usize);
+
+impl IntraJobParallelism {
+    /// The sequential default.
+    pub const SERIAL: IntraJobParallelism = IntraJobParallelism(1);
+
+    /// The effective worker count: at least one.
+    pub fn workers(self) -> usize {
+        self.0.max(1)
+    }
+}
+
+impl Default for IntraJobParallelism {
+    fn default() -> Self {
+        Self::SERIAL
+    }
+}
 
 /// Parameters for [`multiple_coverage`] (and, via the intersectional
 /// wrapper, Algorithm 3).
@@ -101,10 +144,12 @@ impl MultipleReport {
 ///
 /// # Errors
 /// When the ask path fails, the [`Interrupted`] error carries a partial
-/// [`MultipleReport`]: the verdicts of every group fully decided before the
-/// cut (in caller order), the super-groups formed, and the tasks spent. The
-/// group in flight when the failure hit is *not* included — a partial
-/// verdict would not be sound.
+/// [`MultipleReport`]: the verdicts of every group fully decided (in caller
+/// order), the super-groups formed, and the tasks spent. A group whose scan
+/// item hit the failure is *not* included — a partial verdict would not be
+/// sound — but the scan keeps going, so groups decidable without the
+/// refused crowd work (e.g. certified by the phase-1 sample alone) still
+/// appear; the first failing item's error is the one reported.
 ///
 /// # Example
 ///
@@ -142,13 +187,167 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
     cfg: &MultipleConfig,
     rng: &mut R,
 ) -> Result<MultipleReport, Interrupted<MultipleReport>> {
+    let phase1 = phase_one(engine, pool, groups, cfg, rng)?;
+
+    // Step (3): scan the super-groups in order on the caller's engine.
+    let (results, first_error) = scan_serial(engine, &phase1, cfg);
+    finish_scan(engine, groups, phase1, results, first_error)
+}
+
+/// [`multiple_coverage`] with the super-group scan sharded across
+/// `parallelism` worker threads inside this one audit.
+///
+/// Each worker asks through a [fork](ForkableSource::fork) of the job's
+/// source and meters a private engine; when the scan joins, worker ledgers
+/// are folded back into `engine` **in super-group order** and forks are
+/// [joined](ForkableSource::join) so per-handle reuse tallies survive.
+/// Outcomes and the merged logical ledger are byte-identical to the
+/// sequential scan for any worker count (see the module docs); under a
+/// *shared* budget the partial outcome of an exhausted run may differ in
+/// which groups got decided first, but every reported verdict is still
+/// exact.
+///
+/// # Panics
+/// Panics when `groups` is empty or `cfg.n == 0`.
+///
+/// # Errors
+/// As [`multiple_coverage`]; with several failing items the error of the
+/// earliest super-group (submission order) is reported.
+pub fn multiple_coverage_par<S: ForkableSource, R: Rng + ?Sized>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    groups: &[Pattern],
+    cfg: &MultipleConfig,
+    rng: &mut R,
+    parallelism: IntraJobParallelism,
+) -> Result<MultipleReport, Interrupted<MultipleReport>> {
+    let phase1 = phase_one(engine, pool, groups, cfg, rng)?;
+    let workers = parallelism.workers().min(phase1.super_groups.len()).max(1);
+    if workers <= 1 {
+        // Degenerate scan: the sequential driver, literally.
+        let (results, first_error) = scan_serial(engine, &phase1, cfg);
+        return finish_scan(engine, groups, phase1, results, first_error);
+    }
+
+    let cancel = engine.cancel_token();
+    let point_batch = engine.point_batch();
+    let forks: Vec<S> = (0..workers).map(|_| engine.source().fork()).collect();
+    let next_item = Mutex::new(0usize);
+    let mut slots: Vec<Option<(ScanItem, TaskLedger)>> =
+        (0..phase1.super_groups.len()).map(|_| None).collect();
+
+    let worker_outputs: Vec<WorkerOutput<S>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = forks
+            .into_iter()
+            .map(|fork| {
+                let next_item = &next_item;
+                let phase1 = &phase1;
+                let cancel = cancel.clone();
+                scope.spawn(move || {
+                    let mut worker_engine = Engine::with_point_batch(fork, point_batch);
+                    if let Some(token) = cancel {
+                        worker_engine.set_cancel_token(token);
+                    }
+                    let mut items = Vec::new();
+                    loop {
+                        let index = {
+                            let mut next = next_item.lock().unwrap_or_else(PoisonError::into_inner);
+                            if *next >= phase1.super_groups.len() {
+                                break;
+                            }
+                            let index = *next;
+                            *next += 1;
+                            index
+                        };
+                        let before = worker_engine.ledger_snapshot();
+                        let item = scan_super_group(
+                            &mut worker_engine,
+                            &phase1.pool,
+                            &phase1.labeled,
+                            &phase1.super_groups[index],
+                            cfg,
+                        );
+                        items.push((index, item, worker_engine.ledger().since(&before)));
+                    }
+                    (items, worker_engine.into_source())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker never panics"))
+            .collect()
+    });
+
+    for (items, fork) in worker_outputs {
+        engine.source_mut().join(fork);
+        for (index, item, ledger) in items {
+            slots[index] = Some((item, ledger));
+        }
+    }
+    let mut results: Vec<GroupResult> = Vec::with_capacity(groups.len());
+    let mut first_error: Option<AskError> = None;
+    for slot in slots {
+        let (item, ledger) = slot.expect("every scan item completes");
+        engine.absorb_ledger(&ledger);
+        results.extend(item.results);
+        if first_error.is_none() {
+            first_error = item.error;
+        }
+    }
+    finish_scan(engine, groups, phase1, results, first_error)
+}
+
+/// Step (3), sequentially: scans every super-group in order on the
+/// caller's engine, collecting decided verdicts and the first failing
+/// item's error. Shared by [`multiple_coverage`] and the one-worker path
+/// of [`multiple_coverage_par`] so the two can never drift apart. A failed
+/// item leaves its undecided groups out and the scan moves on — groups
+/// decidable without the refused crowd work (e.g. certified by the sample
+/// alone) still land in the partial.
+fn scan_serial<S: AnswerSource>(
+    engine: &mut Engine<S>,
+    phase1: &PhaseOne,
+    cfg: &MultipleConfig,
+) -> (Vec<GroupResult>, Option<AskError>) {
+    let mut results: Vec<GroupResult> = Vec::new();
+    let mut first_error: Option<AskError> = None;
+    for sg in &phase1.super_groups {
+        let item = scan_super_group(engine, &phase1.pool, &phase1.labeled, sg, cfg);
+        results.extend(item.results);
+        if first_error.is_none() {
+            first_error = item.error;
+        }
+    }
+    (results, first_error)
+}
+
+/// Everything steps (1)–(2) produce: the labeled sample `L`, the residual
+/// pool, the super-groups, and the ledger snapshot taken before any work.
+struct PhaseOne {
+    labeled: LabeledStore,
+    pool: Vec<ObjectId>,
+    super_groups: Vec<SuperGroup>,
+    before: TaskLedger,
+}
+
+/// Steps (1)–(2) of Algorithm 2, sequential on the caller's engine (the
+/// sample consumes the RNG; everything after is RNG-free).
+#[allow(clippy::result_large_err)] // the Err carries the partial report by design
+fn phase_one<S: AnswerSource, R: Rng + ?Sized>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    groups: &[Pattern],
+    cfg: &MultipleConfig,
+    rng: &mut R,
+) -> Result<PhaseOne, Interrupted<MultipleReport>> {
     assert!(!groups.is_empty(), "need at least one group");
     let before = engine.ledger_snapshot();
     let n_total = pool.len();
     let mut pool: Vec<ObjectId> = pool.to_vec();
 
     // Line 1: obtain c·τ random labels.
-    let mut labeled = try_ask!(
+    let labeled = try_ask!(
         label_samples(engine, &mut pool, cfg.sample_factor * cfg.tau, rng),
         partial_report(
             groups,
@@ -160,99 +359,148 @@ pub fn multiple_coverage<S: AnswerSource, R: Rng + ?Sized>(
 
     // Line 2: form the super-groups.
     let super_groups = aggregate(&labeled, n_total, cfg.tau, groups, cfg.multi);
+    Ok(PhaseOne {
+        labeled,
+        pool,
+        super_groups,
+        before,
+    })
+}
 
-    let mut results: Vec<GroupResult> = Vec::with_capacity(groups.len());
-    for sg in &super_groups {
-        if sg.is_singleton() {
-            let g = sg.members[0];
-            let result = try_ask!(
-                check_single_group(engine, &pool, &labeled, &g, cfg),
-                partial_report(
-                    groups,
-                    results,
-                    super_groups.clone(),
-                    engine.ledger().since(&before)
-                )
-            );
-            results.push(result);
-            continue;
-        }
+/// Orders the collected verdicts and wraps up the report (`Ok` when every
+/// item succeeded, `Err(Interrupted)` carrying the partial otherwise).
+#[allow(clippy::result_large_err)] // the Err carries the partial report by design
+fn finish_scan<S: AnswerSource>(
+    engine: &Engine<S>,
+    groups: &[Pattern],
+    phase1: PhaseOne,
+    mut results: Vec<GroupResult>,
+    first_error: Option<AskError>,
+) -> Result<MultipleReport, Interrupted<MultipleReport>> {
+    sort_by_caller_order(&mut results, groups);
+    let report = MultipleReport {
+        results,
+        super_groups: phase1.super_groups,
+        tasks: engine.ledger().since(&phase1.before),
+    };
+    match first_error {
+        None => Ok(report),
+        Some(error) => Err(Interrupted {
+            error,
+            partial: report,
+        }),
+    }
+}
 
-        // Lines 5-6: search the union with the residual threshold.
-        let sample_total: usize = sg
-            .members
-            .iter()
-            .map(|g| labeled.count(&Target::group(*g)))
-            .sum();
-        let tau_prime = cfg.tau.saturating_sub(sample_total);
-        let mut dnc = cfg.dnc.clone();
-        dnc.collect_witnesses = cfg.resolve_supergroup_members;
-        let out = try_ask!(
-            group_coverage(engine, &pool, &sg.target(), tau_prime, cfg.n, &dnc)
-                .map_err(|i| i.error),
-            partial_report(
-                groups,
+/// What one scan worker hands back at the join: its decided items (with
+/// per-item ledgers, tagged by super-group index) and its source fork.
+type WorkerOutput<S> = (Vec<(usize, ScanItem, TaskLedger)>, S);
+
+/// One scan item's outcome: the verdicts it decided, and the first error it
+/// ran into (undecided groups are simply absent — a partial verdict would
+/// not be sound).
+struct ScanItem {
+    results: Vec<GroupResult>,
+    error: Option<AskError>,
+}
+
+/// Decides one super-group (lines 3–13 of Algorithm 2) from the phase-1
+/// state alone. Self-contained by construction: it reads the shared sample
+/// `L` and pool but owns every intermediate it produces, so items can run
+/// in any order — or concurrently — without changing any verdict.
+fn scan_super_group<S: AnswerSource>(
+    engine: &mut Engine<S>,
+    pool: &[ObjectId],
+    labeled: &LabeledStore,
+    sg: &SuperGroup,
+    cfg: &MultipleConfig,
+) -> ScanItem {
+    let mut results = Vec::with_capacity(sg.members.len());
+    if sg.is_singleton() {
+        let g = sg.members[0];
+        return match check_single_group(engine, pool, labeled, &g, cfg) {
+            Ok(result) => ScanItem {
+                results: vec![result],
+                error: None,
+            },
+            Err(error) => ScanItem {
                 results,
-                super_groups.clone(),
-                engine.ledger().since(&before)
-            )
-        );
-
-        if out.covered {
-            // Lines 8-12: penalty — the union is covered, so nothing is
-            // known about individual members; re-run each one.
-            for g in &sg.members {
-                let result = try_ask!(
-                    check_single_group(engine, &pool, &labeled, g, cfg),
-                    partial_report(
-                        groups,
-                        results,
-                        super_groups.clone(),
-                        engine.ledger().since(&before)
-                    )
-                );
-                results.push(result);
-            }
-        } else {
-            // Line 13: the union is uncovered ⇒ every member is uncovered.
-            if cfg.resolve_supergroup_members && !out.witnesses.is_empty() {
-                // Attribute exact counts: the witnesses are *all* union
-                // members remaining in the pool; one batched point pass
-                // labels them and moves them into `L`.
-                let labels = try_ask!(
-                    engine.ask_point_labels_batched(&out.witnesses),
-                    partial_report(
-                        groups,
-                        results,
-                        super_groups.clone(),
-                        engine.ledger().since(&before)
-                    )
-                );
-                let witness_set: HashSet<ObjectId> = out.witnesses.iter().copied().collect();
-                for (id, l) in out.witnesses.iter().zip(labels) {
-                    labeled.add(*id, l);
-                }
-                pool.retain(|id| !witness_set.contains(id));
-            }
-            for g in &sg.members {
-                let known = labeled.count(&Target::group(*g));
-                results.push(GroupResult {
-                    group: *g,
-                    covered: false,
-                    count: known,
-                    count_exact: cfg.resolve_supergroup_members,
-                });
-            }
-        }
+                error: Some(error),
+            },
+        };
     }
 
-    sort_by_caller_order(&mut results, groups);
+    // Lines 5-6: search the union with the residual threshold.
+    let sample_total: usize = sg
+        .members
+        .iter()
+        .map(|g| labeled.count(&Target::group(*g)))
+        .sum();
+    let tau_prime = cfg.tau.saturating_sub(sample_total);
+    let mut dnc = cfg.dnc.clone();
+    dnc.collect_witnesses = cfg.resolve_supergroup_members;
+    let out = match group_coverage(engine, pool, &sg.target(), tau_prime, cfg.n, &dnc) {
+        Ok(out) => out,
+        Err(interrupted) => {
+            return ScanItem {
+                results,
+                error: Some(interrupted.error),
+            }
+        }
+    };
 
-    Ok(MultipleReport {
+    if out.covered {
+        // Lines 8-12: penalty — the union is covered, so nothing is known
+        // about individual members; re-run each one. A member whose re-run
+        // fails stays undecided, but cheaper siblings (e.g. certified by
+        // the sample) are still decided.
+        let mut error = None;
+        for g in &sg.members {
+            match check_single_group(engine, pool, labeled, g, cfg) {
+                Ok(result) => results.push(result),
+                Err(e) => {
+                    if error.is_none() {
+                        error = Some(e);
+                    }
+                }
+            }
+        }
+        return ScanItem { results, error };
+    }
+
+    // Line 13: the union is uncovered ⇒ every member is uncovered.
+    let witness_labels = if cfg.resolve_supergroup_members && !out.witnesses.is_empty() {
+        // Attribute exact counts: the witnesses are *all* union members
+        // remaining in the pool; one batched point pass labels them.
+        match engine.ask_point_labels_batched(&out.witnesses) {
+            Ok(labels) => labels,
+            Err(error) => {
+                return ScanItem {
+                    results,
+                    error: Some(error),
+                }
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    for g in &sg.members {
+        let target = Target::group(*g);
+        // The sample's members plus this union's freshly-labeled witnesses
+        // (witnesses come from the pool, so the two sets are disjoint).
+        let known =
+            labeled.count(&target) + witness_labels.iter().filter(|l| target.matches(l)).count();
+        results.push(GroupResult {
+            group: *g,
+            covered: false,
+            count: known,
+            count_exact: cfg.resolve_supergroup_members,
+        });
+    }
+    ScanItem {
         results,
-        super_groups,
-        tasks: engine.ledger().since(&before),
-    })
+        error: None,
+    }
 }
 
 /// Orders verdicts by the caller's group order (undecided groups absent).
@@ -488,6 +736,55 @@ mod tests {
         let (report, _) = run(&truth, 3, &cfg, 1);
         let order: Vec<Pattern> = report.results.iter().map(|r| r.group).collect();
         assert_eq!(order, groups_1d(3));
+    }
+
+    /// The sharded scan is a pure wall-clock knob: outcomes, super-groups
+    /// and the logical ledger are byte-identical for any worker count,
+    /// including the degenerate 1-worker path and the plain sequential
+    /// driver.
+    #[test]
+    fn parallel_scan_is_byte_identical_to_serial() {
+        let truth = truth_1d(&[900, 60, 30, 25, 10, 40]);
+        for resolve in [false, true] {
+            let cfg = MultipleConfig {
+                resolve_supergroup_members: resolve,
+                ..MultipleConfig::default()
+            };
+            let mut serial_engine = Engine::with_point_batch(PerfectSource::new(&truth), cfg.n);
+            let mut rng = SmallRng::seed_from_u64(42);
+            let serial = multiple_coverage(
+                &mut serial_engine,
+                &truth.all_ids(),
+                &groups_1d(6),
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+            let serial_json = serde_json::to_string(&serial).unwrap();
+            for workers in [1usize, 2, 4, 8] {
+                let mut engine = Engine::with_point_batch(PerfectSource::new(&truth), cfg.n);
+                let mut rng = SmallRng::seed_from_u64(42);
+                let parallel = multiple_coverage_par(
+                    &mut engine,
+                    &truth.all_ids(),
+                    &groups_1d(6),
+                    &cfg,
+                    &mut rng,
+                    IntraJobParallelism(workers),
+                )
+                .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&parallel).unwrap(),
+                    serial_json,
+                    "workers {workers}, resolve {resolve}"
+                );
+                assert_eq!(
+                    engine.ledger(),
+                    serial_engine.ledger(),
+                    "ledger diverged at workers {workers}, resolve {resolve}"
+                );
+            }
+        }
     }
 
     #[test]

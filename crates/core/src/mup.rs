@@ -15,6 +15,15 @@
 //!   baseline's second step: label everything, then detect).
 //! * [`mups_from_counts`] — from exact counts of the fully-specified
 //!   subgroups, as produced by the crowd algorithms.
+//!
+//! Detection runs on the **dense lattice index** (see
+//! [`PatternGraph`]): one bottom-up prime-child pass aggregates every
+//! pattern's population in O(edges), and one forward pass over dense ids
+//! folds the coverage flags and the parent check together — no pattern is
+//! ever hashed. The historical `HashMap`-keyed implementation survives as
+//! [`mups_from_counts_baseline`], the reference the dense path is verified
+//! against (equivalence proptest below) and benchmarked against
+//! (`cvg-bench`'s `mup` bench and the `giant_audit` example).
 
 use crate::pattern::Pattern;
 use crate::pattern_graph::PatternGraph;
@@ -35,7 +44,8 @@ pub fn count_full_groups(labels: &[Labels], schema: &AttributeSchema) -> FullGro
 }
 
 /// Population of an arbitrary pattern = sum over its fully-specified
-/// descendants' counts.
+/// descendants' counts (served from the graph's precomputed descendant
+/// slice — no allocation).
 pub fn pattern_count(graph: &PatternGraph, counts: &FullGroupCounts, p: &Pattern) -> usize {
     graph
         .full_descendants(p)
@@ -46,11 +56,48 @@ pub fn pattern_count(graph: &PatternGraph, counts: &FullGroupCounts, p: &Pattern
 
 /// Finds all MUPs given exact fully-specified subgroup counts.
 ///
-/// Walks the pattern lattice top-down, level by level. A pattern is a MUP
-/// when its own count is below `tau` and every parent's count reaches `tau`.
-/// The root (all-`X`) pattern has no parents; it is a MUP when the whole
-/// dataset is smaller than `tau`.
+/// Dense-lattice formulation: every pattern's population comes from one
+/// bottom-up prime-child sum ([`PatternGraph::pattern_counts`], O(edges)),
+/// then a single forward pass over dense ids folds each pattern's coverage
+/// flag and its parents' (parents always carry smaller ids, so the flag
+/// vector is already filled where the parent check reads it). A pattern is
+/// a MUP when its own count is below `tau` and every parent's count reaches
+/// `tau`; the root (all-`X`) pattern has no parents and is a MUP when the
+/// whole dataset is smaller than `tau`. Output order is id order — the same
+/// root-first, level-major order the `HashMap` formulation produced, so
+/// verdicts are byte-identical to [`mups_from_counts_baseline`].
 pub fn mups_from_counts(
+    schema: &AttributeSchema,
+    counts: &FullGroupCounts,
+    tau: usize,
+) -> Vec<Pattern> {
+    let graph = PatternGraph::new(schema);
+    let pattern_counts = graph.pattern_counts(counts);
+    let mut covered = vec![false; graph.len()];
+    let mut mups = Vec::new();
+    for (id, p) in graph.iter().enumerate() {
+        let is_covered = pattern_counts[id] >= tau;
+        covered[id] = is_covered;
+        if !is_covered
+            && graph
+                .parents_of(id as u32)
+                .iter()
+                .all(|parent| covered[*parent as usize])
+        {
+            mups.push(*p);
+        }
+    }
+    mups
+}
+
+/// The historical `HashMap`-keyed MUP detector: per-pattern descendant
+/// scans (O(patterns × full groups)) with patterns re-hashed as map keys.
+///
+/// Kept as the reference implementation the dense path is proptested
+/// against, and as the baseline of the `mup` criterion bench and the
+/// `giant_audit` example — a regression in the dense path surfaces as the
+/// two timings converging.
+pub fn mups_from_counts_baseline(
     schema: &AttributeSchema,
     counts: &FullGroupCounts,
     tau: usize,
@@ -210,6 +257,32 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The dense-id detector and the HashMap baseline return the
+        /// byte-identical MUP list (content *and* order) on random
+        /// compositions over a 2×4×3 schema.
+        #[test]
+        fn prop_dense_equals_baseline(
+            cells in proptest::collection::vec(0usize..120, 24),
+            tau in 1usize..80,
+        ) {
+            let schema = AttributeSchema::new(vec![
+                Attribute::binary("gender", "m", "f").unwrap(),
+                Attribute::new("race", ["w", "b", "h", "a"]).unwrap(),
+                Attribute::new("age", ["c", "ad", "s"]).unwrap(),
+            ]).unwrap();
+            let graph = PatternGraph::new(&schema);
+            let counts: FullGroupCounts = graph
+                .full_groups()
+                .iter()
+                .zip(&cells)
+                .map(|(p, c)| (*p, *c))
+                .collect();
+            prop_assert_eq!(
+                mups_from_counts(&schema, &counts, tau),
+                mups_from_counts_baseline(&schema, &counts, tau)
+            );
+        }
 
         /// MUP soundness & completeness on random datasets over a 2×3 schema:
         /// 1. every MUP is uncovered with all parents covered;

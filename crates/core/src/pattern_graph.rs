@@ -1,30 +1,80 @@
 //! The pattern graph (paper Figure 5): every pattern over a schema,
-//! organized by level.
+//! organized by level — with a **dense index** over the whole lattice.
 //!
 //! For a schema with cardinalities `c1..cd` there are `Π (ci + 1)` patterns
 //! (each cell is a value or `X`). Level `ℓ` holds the patterns with exactly
 //! `ℓ` specified cells; level 0 is the root `XX…X`, level `d` the
 //! fully-specified subgroups.
+//!
+//! ## The dense lattice index
+//!
+//! Construction assigns every pattern a stable **[`PatternId`]**: a dense
+//! `u32` in root-first, level-major order — exactly the order
+//! [`PatternGraph::iter`] yields — so algorithms can replace
+//! `HashMap<Pattern, _>` keying with plain `Vec` indexing. Around the ids
+//! the graph precomputes CSR-style index vectors (one flat edge array plus
+//! an offsets array per relation):
+//!
+//! * **parents / children** — the lattice adjacency
+//!   ([`PatternGraph::parents_of`], [`PatternGraph::children_of`]);
+//! * **prime children** — the children along the *first unspecified*
+//!   attribute only ([`PatternGraph::prime_children_ids`]). These partition a
+//!   pattern's fully-specified descendants, so one bottom-up pass over
+//!   prime-child edges aggregates any per-cell quantity (counts, coverage
+//!   flags) for **every** pattern in O(edges) — the engine behind
+//!   [`PatternGraph::pattern_counts`] and the dense rewrite of
+//!   [`mups_from_counts`](crate::mup::mups_from_counts) and the
+//!   intersectional propagation;
+//! * **full descendants** — the fully-specified subgroups each pattern
+//!   generalizes, as a borrowed slice ([`PatternGraph::full_descendants`])
+//!   and as leaf indices into [`PatternGraph::full_groups`]
+//!   ([`PatternGraph::full_descendant_leaves`]). No call allocates.
+//!
+//! Id lookup is O(d) and hash-free: a pattern's cells form a mixed-radix
+//! *code* (`X` is the extra digit), and a `code → id` table maps it to the
+//! level-major id ([`PatternGraph::pattern_id`]).
 
+use crate::mup::FullGroupCounts;
 use crate::pattern::Pattern;
 use crate::schema::AttributeSchema;
 
-/// Materialized pattern lattice for one schema.
+/// Dense identifier of a pattern within one [`PatternGraph`]: `0..len()`,
+/// assigned in root-first, level-major iteration order (the root `XX…X` is
+/// id 0; the fully-specified subgroups occupy the last ids).
+pub type PatternId = u32;
+
+/// Materialized pattern lattice for one schema, with dense ids and
+/// precomputed adjacency (see the module docs).
 #[derive(Debug, Clone)]
 pub struct PatternGraph {
     d: usize,
-    by_level: Vec<Vec<Pattern>>,
+    cards: Vec<usize>,
+    /// Every pattern, root first, level by level (index = [`PatternId`]).
+    patterns: Vec<Pattern>,
+    /// `level_offsets[ℓ]..level_offsets[ℓ+1]` spans level `ℓ` in `patterns`.
+    level_offsets: Vec<usize>,
+    /// Mixed-radix pattern code → dense id (a bijection; see `code_of`).
+    id_by_code: Vec<PatternId>,
+    parent_edges: Vec<PatternId>,
+    parent_offsets: Vec<u32>,
+    child_edges: Vec<PatternId>,
+    child_offsets: Vec<u32>,
+    prime_edges: Vec<PatternId>,
+    prime_offsets: Vec<u32>,
+    full_desc: Vec<Pattern>,
+    full_desc_leaves: Vec<u32>,
+    full_desc_offsets: Vec<u32>,
 }
 
 impl PatternGraph {
-    /// Enumerates every pattern over `schema`.
+    /// Enumerates every pattern over `schema` and builds the dense index.
     pub fn new(schema: &AttributeSchema) -> Self {
         let d = schema.d();
         let cards = schema.cardinalities();
         let mut by_level: Vec<Vec<Pattern>> = vec![Vec::new(); d + 1];
         // Odometer over (card + 1) symbols per cell; the extra symbol is X.
         let mut cells = vec![0usize; d];
-        loop {
+        'enumerate: loop {
             let mut p = Pattern::all_unspecified(d);
             for (i, &c) in cells.iter().enumerate() {
                 if c < cards[i] {
@@ -35,7 +85,7 @@ impl PatternGraph {
             let mut i = d;
             loop {
                 if i == 0 {
-                    return Self { d, by_level };
+                    break 'enumerate;
                 }
                 i -= 1;
                 cells[i] += 1;
@@ -45,6 +95,200 @@ impl PatternGraph {
                 cells[i] = 0;
             }
         }
+
+        let mut level_offsets = Vec::with_capacity(d + 2);
+        level_offsets.push(0);
+        let mut patterns: Vec<Pattern> = Vec::new();
+        for level in &by_level {
+            patterns.extend_from_slice(level);
+            level_offsets.push(patterns.len());
+        }
+
+        let mut graph = Self {
+            d,
+            cards,
+            patterns,
+            level_offsets,
+            id_by_code: Vec::new(),
+            parent_edges: Vec::new(),
+            parent_offsets: Vec::new(),
+            child_edges: Vec::new(),
+            child_offsets: Vec::new(),
+            prime_edges: Vec::new(),
+            prime_offsets: Vec::new(),
+            full_desc: Vec::new(),
+            full_desc_leaves: Vec::new(),
+            full_desc_offsets: Vec::new(),
+        };
+        graph.build_code_index();
+        graph.build_adjacency();
+        graph.build_full_descendants();
+        graph
+    }
+
+    /// The mixed-radix code of a pattern: cell `i` contributes its value (or
+    /// `cards[i]` for `X`) at the cell's stride. Codes are a bijection onto
+    /// `0..len()`, so the code table replaces a `HashMap<Pattern, id>`.
+    /// `None` when the pattern does not belong to this lattice (wrong arity
+    /// or a value outside the schema's cardinality).
+    fn code_of(&self, p: &Pattern) -> Option<usize> {
+        if p.d() != self.d {
+            return None;
+        }
+        let mut code = 0usize;
+        for i in 0..self.d {
+            let radix = self.cards[i] + 1;
+            let symbol = match p.get(i) {
+                None => self.cards[i],
+                Some(v) => {
+                    let v = usize::from(v);
+                    if v >= self.cards[i] {
+                        return None;
+                    }
+                    v
+                }
+            };
+            code = code * radix + symbol;
+        }
+        Some(code)
+    }
+
+    fn build_code_index(&mut self) {
+        self.id_by_code = vec![0; self.patterns.len()];
+        for (id, p) in self.patterns.iter().enumerate() {
+            let code = {
+                // Inline of `code_of` over known-valid patterns.
+                let mut code = 0usize;
+                for i in 0..self.d {
+                    let radix = self.cards[i] + 1;
+                    let symbol = p.get(i).map_or(self.cards[i], usize::from);
+                    code = code * radix + symbol;
+                }
+                code
+            };
+            self.id_by_code[code] = id as PatternId;
+        }
+    }
+
+    fn build_adjacency(&mut self) {
+        let n = self.patterns.len();
+        let mut parent_offsets = Vec::with_capacity(n + 1);
+        let mut parent_edges = Vec::new();
+        let mut child_offsets = vec![0u32; n + 1];
+        let mut prime_offsets = Vec::with_capacity(n + 1);
+        let mut prime_edges = Vec::new();
+
+        parent_offsets.push(0u32);
+        for p in &self.patterns {
+            for i in 0..self.d {
+                if p.get(i).is_some() {
+                    let parent = p.with(i, None);
+                    parent_edges.push(self.must_id(&parent));
+                }
+            }
+            parent_offsets.push(parent_edges.len() as u32);
+        }
+
+        // Children are the reverse of parents; count then fill keeps the
+        // edges grouped per parent in (attribute, value) order.
+        for p in &self.patterns {
+            let id = self.must_id(p) as usize;
+            let children: u32 = (0..self.d)
+                .filter(|i| p.get(*i).is_none())
+                .map(|i| self.cards[i] as u32)
+                .sum();
+            child_offsets[id + 1] = children;
+        }
+        for i in 0..n {
+            child_offsets[i + 1] += child_offsets[i];
+        }
+        let mut child_edges = vec![0 as PatternId; child_offsets[n] as usize];
+        let mut cursor: Vec<u32> = child_offsets[..n].to_vec();
+        for (id, p) in self.patterns.iter().enumerate() {
+            for i in 0..self.d {
+                if p.get(i).is_none() {
+                    for v in 0..self.cards[i] {
+                        let child = p.with(i, Some(v as u8));
+                        child_edges[cursor[id] as usize] = self.must_id(&child);
+                        cursor[id] += 1;
+                    }
+                }
+            }
+        }
+
+        prime_offsets.push(0u32);
+        for p in &self.patterns {
+            if let Some(i) = (0..self.d).find(|i| p.get(*i).is_none()) {
+                for v in 0..self.cards[i] {
+                    prime_edges.push(self.must_id(&p.with(i, Some(v as u8))));
+                }
+            }
+            prime_offsets.push(prime_edges.len() as u32);
+        }
+
+        self.parent_edges = parent_edges;
+        self.parent_offsets = parent_offsets;
+        self.child_edges = child_edges;
+        self.child_offsets = child_offsets;
+        self.prime_edges = prime_edges;
+        self.prime_offsets = prime_offsets;
+    }
+
+    /// Builds the full-descendant CSR bottom-up over prime children: a full
+    /// pattern's list is itself; any other pattern's list is the
+    /// concatenation of its prime children's lists — which reproduces
+    /// `full_groups()` order (lexicographic over the free cells) because
+    /// prime children split on the first unspecified attribute.
+    fn build_full_descendants(&mut self) {
+        let n = self.patterns.len();
+        let mut counts = vec![0u32; n];
+        for id in (0..n).rev() {
+            let prime = self.prime_children_ids(id as PatternId);
+            counts[id] = if prime.is_empty() {
+                1
+            } else {
+                prime.iter().map(|c| counts[*c as usize]).sum()
+            };
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for id in 0..n {
+            offsets.push(offsets[id] + counts[id]);
+        }
+        let total = offsets[n] as usize;
+        let mut full_desc = vec![Pattern::all_unspecified(self.d); total];
+        let mut full_desc_leaves = vec![0u32; total];
+        let full_start = self.level_offsets[self.d];
+        for id in (0..n).rev() {
+            let at = offsets[id] as usize;
+            let prime: &[PatternId] = {
+                let lo = self.prime_offsets[id] as usize;
+                let hi = self.prime_offsets[id + 1] as usize;
+                &self.prime_edges[lo..hi]
+            };
+            if prime.is_empty() {
+                full_desc[at] = self.patterns[id];
+                full_desc_leaves[at] = (id - full_start) as u32;
+            } else {
+                let mut cursor = at;
+                // Children carry higher ids, so their segments are filled
+                // already when iterating ids in reverse.
+                for &c in prime {
+                    let lo = offsets[c as usize] as usize;
+                    let len = counts[c as usize] as usize;
+                    full_desc.copy_within(lo..lo + len, cursor);
+                    full_desc_leaves.copy_within(lo..lo + len, cursor);
+                    cursor += len;
+                }
+            }
+        }
+        self.full_desc = full_desc;
+        self.full_desc_leaves = full_desc_leaves;
+        self.full_desc_offsets = offsets;
+    }
+
+    fn must_id(&self, p: &Pattern) -> PatternId {
+        self.id_by_code[self.code_of(p).expect("pattern belongs to the lattice")]
     }
 
     /// Arity `d` of the underlying schema.
@@ -54,37 +298,151 @@ impl PatternGraph {
 
     /// Total number of patterns.
     pub fn len(&self) -> usize {
-        self.by_level.iter().map(Vec::len).sum()
+        self.patterns.len()
     }
 
     /// True when the graph holds no patterns (never, for valid schemas).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.patterns.is_empty()
     }
 
     /// Patterns with exactly `level` specified cells.
     pub fn at_level(&self, level: usize) -> &[Pattern] {
-        &self.by_level[level]
+        &self.patterns[self.level_offsets[level]..self.level_offsets[level + 1]]
     }
 
-    /// Every pattern, root first, level by level.
+    /// Every pattern, root first, level by level — i.e. in [`PatternId`]
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = &Pattern> {
-        self.by_level.iter().flatten()
+        self.patterns.iter()
     }
 
-    /// The fully-specified subgroups (bottom level).
+    /// The fully-specified subgroups (bottom level). Their [`PatternId`]s
+    /// are the last `full_groups().len()` ids; position `k` in this slice
+    /// is **leaf index** `k` (see [`PatternGraph::full_descendant_leaves`]).
     pub fn full_groups(&self) -> &[Pattern] {
-        &self.by_level[self.d]
+        self.at_level(self.d)
+    }
+
+    /// The dense id of `p`, or `None` when `p` is not a pattern of this
+    /// lattice (wrong arity, or a value outside the schema). O(d), hash-free.
+    pub fn pattern_id(&self, p: &Pattern) -> Option<PatternId> {
+        self.code_of(p).map(|code| self.id_by_code[code])
+    }
+
+    /// The pattern with dense id `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn pattern_at(&self, id: PatternId) -> Pattern {
+        self.patterns[id as usize]
+    }
+
+    /// The leaf index of a fully-specified pattern — its position in
+    /// [`PatternGraph::full_groups`] — or `None` for non-full or foreign
+    /// patterns.
+    pub fn leaf_index(&self, p: &Pattern) -> Option<usize> {
+        let id = self.pattern_id(p)? as usize;
+        let full_start = self.level_offsets[self.d];
+        (id >= full_start).then(|| id - full_start)
+    }
+
+    /// Ids of the parents of pattern `id` (one per specified cell).
+    pub fn parents_of(&self, id: PatternId) -> &[PatternId] {
+        let lo = self.parent_offsets[id as usize] as usize;
+        let hi = self.parent_offsets[id as usize + 1] as usize;
+        &self.parent_edges[lo..hi]
+    }
+
+    /// Ids of the children of pattern `id` (one per unspecified cell ×
+    /// value of that attribute).
+    pub fn children_of(&self, id: PatternId) -> &[PatternId] {
+        let lo = self.child_offsets[id as usize] as usize;
+        let hi = self.child_offsets[id as usize + 1] as usize;
+        &self.child_edges[lo..hi]
+    }
+
+    /// Ids of the children along the **first unspecified** attribute only.
+    /// Empty exactly for fully-specified patterns. Prime children partition
+    /// a pattern's fully-specified descendants, so summing any per-pattern
+    /// quantity over prime children bottom-up aggregates it exactly — the
+    /// O(edges) replacement for per-pattern descendant scans.
+    pub fn prime_children_ids(&self, id: PatternId) -> &[PatternId] {
+        let lo = self.prime_offsets[id as usize] as usize;
+        let hi = self.prime_offsets[id as usize + 1] as usize;
+        &self.prime_edges[lo..hi]
     }
 
     /// The fully-specified descendants of `p` (every full group that `p`
-    /// generalizes). For a fully-specified `p` this is `[p]` itself.
-    pub fn full_descendants(&self, p: &Pattern) -> Vec<Pattern> {
-        self.full_groups()
-            .iter()
-            .filter(|fg| p.generalizes(fg))
-            .copied()
-            .collect()
+    /// generalizes), as a **borrowed slice** of the precomputed index — no
+    /// allocation, ordered like [`PatternGraph::full_groups`]. For a
+    /// fully-specified `p` this is `[p]` itself; for a pattern that does not
+    /// belong to this lattice it is empty.
+    pub fn full_descendants(&self, p: &Pattern) -> &[Pattern] {
+        match self.pattern_id(p) {
+            Some(id) => self.full_descendants_of(id),
+            None => &[],
+        }
+    }
+
+    /// [`PatternGraph::full_descendants`] by dense id.
+    pub fn full_descendants_of(&self, id: PatternId) -> &[Pattern] {
+        let lo = self.full_desc_offsets[id as usize] as usize;
+        let hi = self.full_desc_offsets[id as usize + 1] as usize;
+        &self.full_desc[lo..hi]
+    }
+
+    /// Leaf indices (positions in [`PatternGraph::full_groups`]) of the
+    /// fully-specified descendants of pattern `id` — the index to use
+    /// against dense per-cell vectors.
+    pub fn full_descendant_leaves(&self, id: PatternId) -> &[u32] {
+        let lo = self.full_desc_offsets[id as usize] as usize;
+        let hi = self.full_desc_offsets[id as usize + 1] as usize;
+        &self.full_desc_leaves[lo..hi]
+    }
+
+    /// Converts sparse full-group counts into the dense per-leaf vector
+    /// (indexed like [`PatternGraph::full_groups`]). Foreign keys — patterns
+    /// not in this lattice or not fully specified — are ignored, matching
+    /// the historical behaviour of summing only known descendants.
+    pub fn dense_leaf_counts(&self, counts: &FullGroupCounts) -> Vec<usize> {
+        let mut leaves = vec![0usize; self.full_groups().len()];
+        for (p, k) in counts {
+            if let Some(leaf) = self.leaf_index(p) {
+                leaves[leaf] += k;
+            }
+        }
+        leaves
+    }
+
+    /// The population of **every** pattern (indexed by [`PatternId`]) from
+    /// dense per-leaf counts, via one bottom-up prime-child sum pass —
+    /// O(edges) total, replacing the O(patterns × full groups) per-pattern
+    /// descendant scans.
+    pub fn pattern_counts_from_leaves(&self, leaves: &[usize]) -> Vec<usize> {
+        assert_eq!(
+            leaves.len(),
+            self.full_groups().len(),
+            "leaf count vector must cover every fully-specified subgroup"
+        );
+        let n = self.patterns.len();
+        let full_start = self.level_offsets[self.d];
+        let mut counts = vec![0usize; n];
+        counts[full_start..].copy_from_slice(leaves);
+        for id in (0..full_start).rev() {
+            counts[id] = self
+                .prime_children_ids(id as PatternId)
+                .iter()
+                .map(|c| counts[*c as usize])
+                .sum();
+        }
+        counts
+    }
+
+    /// The population of every pattern from sparse full-group counts (see
+    /// [`PatternGraph::pattern_counts_from_leaves`]).
+    pub fn pattern_counts(&self, counts: &FullGroupCounts) -> Vec<usize> {
+        self.pattern_counts_from_leaves(&self.dense_leaf_counts(counts))
     }
 }
 
@@ -135,7 +493,7 @@ mod tests {
         let female_x = schema.pattern(&[("gender", "female")]).unwrap();
         let desc = g.full_descendants(&female_x);
         assert_eq!(desc.len(), 4); // female-{white,black,hispanic,asian}
-        for d in &desc {
+        for d in desc {
             assert!(female_x.generalizes(d));
             assert!(d.is_fully_specified());
         }
@@ -160,5 +518,91 @@ mod tests {
         assert_eq!(g.full_groups().len(), 8);
         assert_eq!(g.at_level(1).len(), 6);
         assert_eq!(g.at_level(2).len(), 12);
+    }
+
+    #[test]
+    fn ids_are_iteration_order_and_lookup_roundtrips() {
+        let g = PatternGraph::new(&schema_gender_race());
+        for (i, p) in g.iter().enumerate() {
+            assert_eq!(g.pattern_id(p), Some(i as PatternId), "{p}");
+            assert_eq!(g.pattern_at(i as PatternId), *p);
+        }
+        // Foreign patterns resolve to no id.
+        assert_eq!(g.pattern_id(&Pattern::parse("XXX").unwrap()), None);
+        assert_eq!(g.pattern_id(&Pattern::parse("X9").unwrap()), None);
+        assert!(g
+            .full_descendants(&Pattern::parse("X9").unwrap())
+            .is_empty());
+    }
+
+    #[test]
+    fn adjacency_matches_pattern_arithmetic() {
+        let schema = schema_gender_race();
+        let g = PatternGraph::new(&schema);
+        for (id, p) in g.iter().enumerate() {
+            let id = id as PatternId;
+            let parents: Vec<Pattern> = g.parents_of(id).iter().map(|i| g.pattern_at(*i)).collect();
+            assert_eq!(parents, p.parents(), "parents of {p}");
+            let children: Vec<Pattern> =
+                g.children_of(id).iter().map(|i| g.pattern_at(*i)).collect();
+            assert_eq!(children, p.children(&schema), "children of {p}");
+            // Prime children: the slice of children along the first
+            // unspecified attribute; empty iff fully specified.
+            let prime = g.prime_children_ids(id);
+            if p.is_fully_specified() {
+                assert!(prime.is_empty());
+            } else {
+                let first_unspec = (0..p.d()).find(|i| p.get(*i).is_none()).unwrap();
+                let expected: Vec<PatternId> = (0..schema.attr(first_unspec).cardinality())
+                    .map(|v| g.pattern_id(&p.with(first_unspec, Some(v as u8))).unwrap())
+                    .collect();
+                assert_eq!(prime, expected, "prime children of {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_descendants_preserve_full_group_order() {
+        let schema = schema_gender_race();
+        let g = PatternGraph::new(&schema);
+        for (id, p) in g.iter().enumerate() {
+            let via_filter: Vec<Pattern> = g
+                .full_groups()
+                .iter()
+                .filter(|fg| p.generalizes(fg))
+                .copied()
+                .collect();
+            assert_eq!(
+                g.full_descendants_of(id as PatternId),
+                via_filter.as_slice(),
+                "descendants of {p}"
+            );
+            // Leaf indices point at the same patterns.
+            let via_leaves: Vec<Pattern> = g
+                .full_descendant_leaves(id as PatternId)
+                .iter()
+                .map(|l| g.full_groups()[*l as usize])
+                .collect();
+            assert_eq!(via_leaves, via_filter, "leaves of {p}");
+        }
+    }
+
+    #[test]
+    fn pattern_counts_match_descendant_sums() {
+        let schema = schema_gender_race();
+        let g = PatternGraph::new(&schema);
+        // Distinct count per cell so any aggregation slip shows.
+        let leaves: Vec<usize> = (0..g.full_groups().len()).map(|i| 1 << i).collect();
+        let counts = g.pattern_counts_from_leaves(&leaves);
+        for (id, p) in g.iter().enumerate() {
+            let expected: usize = g
+                .full_descendant_leaves(id as PatternId)
+                .iter()
+                .map(|l| leaves[*l as usize])
+                .sum();
+            assert_eq!(counts[id], expected, "count of {p}");
+        }
+        // Root sums everything.
+        assert_eq!(counts[0], leaves.iter().sum::<usize>());
     }
 }

@@ -160,6 +160,13 @@ pub struct JobSpec {
     /// Optional per-job crowd-task budget; `None` defers to the service's
     /// default policy.
     pub budget: Option<u64>,
+    /// Worker threads this one job may use for its super-group scan
+    /// (`multiple_coverage` / `intersectional_coverage` only — the other
+    /// algorithms are single scans). `None` defers to the service's
+    /// [`ServiceConfig::intra_job_parallelism`](crate::ServiceConfig)
+    /// default; outcomes and logical ledgers are identical whatever the
+    /// value, only the job's wall-clock changes.
+    pub intra_parallelism: Option<usize>,
 }
 
 impl JobSpec {
@@ -174,6 +181,7 @@ impl JobSpec {
             n: 50,
             seed: 0,
             budget: None,
+            intra_parallelism: None,
         }
     }
 
@@ -203,6 +211,14 @@ impl JobSpec {
         self
     }
 
+    /// Lets this job shard its super-group scan across `workers` threads
+    /// (see [`JobSpec::intra_parallelism`]). Zero is representable and
+    /// rejected by [`JobSpec::validate`] when the job is about to run.
+    pub fn intra_parallelism(mut self, workers: usize) -> Self {
+        self.intra_parallelism = Some(workers);
+        self
+    }
+
     /// The one place a spec is validated — used by the service before a job
     /// runs (and callable by drivers or front-ends before submission).
     /// Rejects anything that would trip a `coverage-core` programmer-error
@@ -211,6 +227,9 @@ impl JobSpec {
     pub fn validate(&self) -> Result<(), String> {
         if self.n == 0 {
             return Err("subset size n must be positive".to_string());
+        }
+        if self.intra_parallelism == Some(0) {
+            return Err("intra-job parallelism must be positive".to_string());
         }
         match &self.kind {
             AuditKind::MultipleCoverage { groups } if groups.is_empty() => {

@@ -25,6 +25,13 @@
 //!   caps with graceful [`JobStatus::Exhausted`] outcomes carrying the
 //!   partial result discovered before the cut.
 //!
+//! Scale-out works along both axes: the worker pool runs many jobs at
+//! once, and a single giant job can shard its own super-group scan across
+//! [`JobSpec::intra_parallelism`] threads (service default:
+//! [`ServiceConfig::intra_job_parallelism`]) while the shared store is
+//! lock-striped over [`ServiceConfig::store_shards`] shards — neither knob
+//! changes any verdict or logical ledger, only wall-clock.
+//!
 //! The whole ask path is **fallible**: budget exhaustion, cancellation
 //! (see [`AuditService::cancel_handle`]) and platform failures travel as
 //! `Err(AskError)` values from the answer source up through the algorithm

@@ -26,13 +26,13 @@ use crate::governor::{BudgetPolicy, BudgetScope, GlobalBudget, GovernedSource, J
 use crate::job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
 use coverage_core::base_coverage::base_coverage;
 use coverage_core::classifier::{classifier_coverage, ClassifierConfig};
-use coverage_core::engine::{AnswerSource, BatchAnswerSource, CancelToken, Engine};
+use coverage_core::engine::{BatchAnswerSource, CancelToken, Engine, ForkableSource};
 use coverage_core::error::{AskError, Interrupted};
 use coverage_core::group_coverage::{group_coverage, DncConfig};
-use coverage_core::intersectional::intersectional_coverage;
+use coverage_core::intersectional::intersectional_coverage_par;
 use coverage_core::ledger::TaskLedger;
 use coverage_core::memo::{ReuseStats, SharedKnowledgeSource};
-use coverage_core::multiple::{multiple_coverage, MultipleConfig};
+use coverage_core::multiple::{multiple_coverage_par, IntraJobParallelism, MultipleConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -51,6 +51,14 @@ pub struct ServiceConfig {
     /// Simulated platform round-trip latency per dispatch round; zero for
     /// compute-bound runs (unit tests), nonzero to model a real crowd.
     pub round_latency: Duration,
+    /// Lock stripes of the shared knowledge store (facts by object, set
+    /// verdicts by query hash). Purely a contention knob: any count yields
+    /// identical answers, and identical `ReuseStats` for serial runs.
+    pub store_shards: usize,
+    /// Default super-group-scan threads per job, for specs that leave
+    /// [`JobSpec::intra_parallelism`] unset. `1` keeps every job on its own
+    /// single runner thread (the pre-scale-out behaviour).
+    pub intra_job_parallelism: usize,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +68,8 @@ impl Default for ServiceConfig {
             point_batch: coverage_core::engine::DEFAULT_POINT_BATCH,
             budget: BudgetPolicy::unlimited(),
             round_latency: Duration::ZERO,
+            store_shards: coverage_core::memo::DEFAULT_STORE_SHARDS,
+            intra_job_parallelism: 1,
         }
     }
 }
@@ -145,6 +155,11 @@ impl AuditService {
     pub fn new(config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.point_batch > 0, "point batch must be positive");
+        assert!(config.store_shards > 0, "need at least one store shard");
+        assert!(
+            config.intra_job_parallelism > 0,
+            "intra-job parallelism must be positive"
+        );
         Self {
             config,
             jobs: Vec::new(),
@@ -196,7 +211,8 @@ impl AuditService {
             round_latency: config.round_latency,
         };
         let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
-        let memo_root: SharedKnowledgeSource<()> = SharedKnowledgeSource::new(());
+        let memo_root: SharedKnowledgeSource<()> =
+            SharedKnowledgeSource::with_shards((), config.store_shards);
 
         let reports: Mutex<Vec<Option<JobReport>>> =
             Mutex::new((0..jobs.len()).map(|_| None).collect());
@@ -237,6 +253,7 @@ impl AuditService {
                                 &dispatch_handle,
                                 budget,
                                 cancel_tokens[index].clone(),
+                                config.intra_job_parallelism,
                             );
                             lock(&reports)[index] = Some(report);
                         }
@@ -290,6 +307,7 @@ fn run_job(
     dispatch_handle: &crate::dispatch::DispatchHandle,
     budget: JobBudget,
     cancel: CancelToken,
+    default_parallelism: usize,
 ) -> JobReport {
     let start = Instant::now();
     let base = JobReport {
@@ -323,7 +341,8 @@ fn run_job(
     let governed = GovernedSource::new(dispatch_handle.clone(), budget.clone());
     let source = memo_root.with_inner(governed);
     let mut engine = Engine::with_point_batch(source, spec.n).with_cancel_token(cancel);
-    let result = execute_algorithm(spec, &mut engine);
+    let parallelism = IntraJobParallelism(spec.intra_parallelism.unwrap_or(default_parallelism));
+    let result = execute_algorithm(spec, &mut engine, parallelism);
     let ledger = *engine.ledger();
     let crowd_tasks = budget.tasks_spent();
     let reuse = engine.source().local_reuse_stats();
@@ -366,11 +385,16 @@ fn run_job(
 }
 
 /// Dispatches to the spec's algorithm driver, wrapping both the complete
-/// and the partial (interrupted) result into [`AuditOutcome`].
+/// and the partial (interrupted) result into [`AuditOutcome`]. The
+/// multi-group drivers shard their super-group scan across
+/// `parallelism` threads *inside* this job, each worker asking through a
+/// fork of the job's shared-store handle (outcomes and logical ledgers are
+/// parallelism-invariant; see `coverage_core::multiple`).
 #[allow(clippy::result_large_err)] // the Err carries the partial outcome by design
-fn execute_algorithm<S: AnswerSource>(
+fn execute_algorithm<S: ForkableSource>(
     spec: &JobSpec,
     engine: &mut Engine<S>,
+    parallelism: IntraJobParallelism,
 ) -> Result<AuditOutcome, Interrupted<AuditOutcome>> {
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     match &spec.kind {
@@ -387,7 +411,7 @@ fn execute_algorithm<S: AnswerSource>(
         )
         .map(AuditOutcome::Coverage)
         .map_err(|i| i.map_partial(AuditOutcome::Coverage)),
-        AuditKind::MultipleCoverage { groups } => multiple_coverage(
+        AuditKind::MultipleCoverage { groups } => multiple_coverage_par(
             engine,
             &spec.pool,
             groups,
@@ -397,10 +421,11 @@ fn execute_algorithm<S: AnswerSource>(
                 ..MultipleConfig::default()
             },
             &mut rng,
+            parallelism,
         )
         .map(AuditOutcome::Multiple)
         .map_err(|i| i.map_partial(AuditOutcome::Multiple)),
-        AuditKind::IntersectionalCoverage { schema } => intersectional_coverage(
+        AuditKind::IntersectionalCoverage { schema } => intersectional_coverage_par(
             engine,
             &spec.pool,
             schema,
@@ -410,6 +435,7 @@ fn execute_algorithm<S: AnswerSource>(
                 ..MultipleConfig::default()
             },
             &mut rng,
+            parallelism,
         )
         .map(AuditOutcome::Intersectional)
         .map_err(|i| i.map_partial(AuditOutcome::Intersectional)),

@@ -1,0 +1,268 @@
+//! Scale-out equivalence: sharding the knowledge store and parallelizing
+//! the super-group scan inside one audit are pure wall-clock knobs.
+//!
+//! The contract under test (ISSUE 4): for a consistent answer source,
+//! every one of the paper's five drivers run against a **sharded**
+//! [`SharedKnowledgeSource`] with an **intra-audit-parallel** scan produces
+//! outcomes and logical [`TaskLedger`]s **byte-identical** to the serial,
+//! single-shard baseline; and for a serial service run, the shard count
+//! does not move the [`ReuseStats`]-metered crowd spend by a single task.
+
+use coverage_core::classifier::{classifier_coverage, ClassifierConfig};
+use coverage_core::prelude::*;
+use coverage_service::{AuditKind, AuditService, JobSpec, JobStatus, ServiceConfig, ServiceReport};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deterministic pseudo-random two-attribute labeling (gender × skin).
+fn synth_truth(n_total: usize, density_pct: u64, seed: u64) -> VecGroundTruth {
+    let mut labels = Vec::with_capacity(n_total);
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(99991);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for _ in 0..n_total {
+        let a = u8::from(next() % 100 < density_pct);
+        let b = u8::from(next() % 100 < 50);
+        labels.push(Labels::new(&[a, b]));
+    }
+    VecGroundTruth::new(labels)
+}
+
+fn schema() -> AttributeSchema {
+    AttributeSchema::new(vec![
+        Attribute::binary("gender", "male", "female").unwrap(),
+        Attribute::binary("skin", "light", "dark").unwrap(),
+    ])
+    .unwrap()
+}
+
+fn female() -> Target {
+    Target::group(Pattern::parse("1X").unwrap())
+}
+
+/// Runs the paper's five drivers back to back on ONE engine and returns
+/// every outcome serialized, ready for byte comparison. `parallelism`
+/// applies to the two multi-group drivers (the other three are single
+/// scans by construction).
+fn full_audit<S: ForkableSource>(
+    engine: &mut Engine<S>,
+    truth: &VecGroundTruth,
+    tau: usize,
+    n: usize,
+    seed: u64,
+    parallelism: IntraJobParallelism,
+) -> Vec<String> {
+    let pool = truth.all_ids();
+    let target = female();
+    let predicted: Vec<ObjectId> = pool
+        .iter()
+        .copied()
+        .filter(|id| target.matches(&truth.labels_of(*id)))
+        .take(3 * tau)
+        .collect();
+    let groups = vec![Pattern::parse("0X").unwrap(), Pattern::parse("1X").unwrap()];
+    let multiple_cfg = MultipleConfig {
+        tau,
+        n,
+        ..MultipleConfig::default()
+    };
+    let classifier_cfg = ClassifierConfig {
+        tau,
+        n,
+        ..ClassifierConfig::default()
+    };
+
+    let mut outcomes = Vec::new();
+    outcomes
+        .push(serde_json::to_string(&base_coverage(engine, &pool, &target, tau).unwrap()).unwrap());
+    outcomes.push(
+        serde_json::to_string(
+            &group_coverage(engine, &pool, &target, tau, n, &DncConfig::with_witnesses()).unwrap(),
+        )
+        .unwrap(),
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    outcomes.push(
+        serde_json::to_string(
+            &multiple_coverage_par(engine, &pool, &groups, &multiple_cfg, &mut rng, parallelism)
+                .unwrap(),
+        )
+        .unwrap(),
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    outcomes.push(
+        serde_json::to_string(
+            &intersectional_coverage_par(
+                engine,
+                &pool,
+                &schema(),
+                &multiple_cfg,
+                &mut rng,
+                parallelism,
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    outcomes.push(
+        serde_json::to_string(
+            &classifier_coverage(
+                engine,
+                &pool,
+                &predicted,
+                &target,
+                &classifier_cfg,
+                &mut rng,
+            )
+            .unwrap(),
+        )
+        .unwrap(),
+    );
+    outcomes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All five drivers: a sharded store plus an intra-audit-parallel scan
+    /// yields outcomes and logical ledgers byte-identical to the serial
+    /// single-shard baseline.
+    #[test]
+    fn sharded_parallel_audit_matches_serial_single_shard(
+        n_total in 1usize..300,
+        density_pct in 0u64..40,
+        tau in 1usize..50,
+        n in 1usize..64,
+        seed in 0u64..1000,
+        shards in 2usize..16,
+        workers in 2usize..6,
+    ) {
+        let truth = synth_truth(n_total, density_pct, seed);
+
+        let mut serial = Engine::with_point_batch(
+            SharedKnowledgeSource::with_shards(PerfectSource::new(&truth), 1), n);
+        let serial_outcomes =
+            full_audit(&mut serial, &truth, tau, n, seed, IntraJobParallelism::SERIAL);
+
+        let mut sharded = Engine::with_point_batch(
+            SharedKnowledgeSource::with_shards(PerfectSource::new(&truth), shards), n);
+        let sharded_outcomes =
+            full_audit(&mut sharded, &truth, tau, n, seed, IntraJobParallelism(workers));
+
+        prop_assert_eq!(&serial_outcomes, &sharded_outcomes);
+        prop_assert_eq!(serial.ledger(), sharded.ledger());
+        // Both layers answer every logical question exactly once.
+        let a = serial.source().reuse_stats();
+        let b = sharded.source().reuse_stats();
+        prop_assert_eq!(a.questions(), b.questions());
+    }
+}
+
+/// One high-arity audit job, submitted twice to a single-worker service —
+/// once scanning serially, once sharded over 8 intra-job threads. The
+/// outcome and the job's logical ledger must be byte-identical; only
+/// wall-clock may move.
+#[test]
+fn intra_parallel_job_reports_identical_outcome() {
+    let truth = synth_truth(2500, 22, 11);
+    let pool = truth.all_ids();
+    let run = |workers: usize| {
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        service.submit(
+            JobSpec::new(
+                "giant",
+                pool.clone(),
+                AuditKind::IntersectionalCoverage { schema: schema() },
+            )
+            .tau(40)
+            .seed(7)
+            .intra_parallelism(workers),
+        );
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        let job = report.job(coverage_service::JobId(0)).unwrap().clone();
+        assert_eq!(job.status, JobStatus::Done, "{}", report.to_json());
+        job
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        serde_json::to_string(serial.outcome.as_ref().unwrap()).unwrap(),
+        serde_json::to_string(parallel.outcome.as_ref().unwrap()).unwrap(),
+        "outcome must not depend on intra-job parallelism"
+    );
+    assert_eq!(serial.ledger, parallel.ledger);
+    // The scan forked handles, so the job-level reuse tally still covers
+    // every logical question the audit asked.
+    assert_eq!(serial.reuse.questions(), parallel.reuse.questions());
+}
+
+/// Shard count never changes the `ReuseStats`-metered crowd spend: a
+/// serial (one-worker, one-thread-per-job) service run is bitwise
+/// deterministic, so 1, 2 and 8 store shards must produce the same
+/// disposition tally, the same crowd bill, and the same job reports.
+#[test]
+fn shard_count_never_changes_metered_crowd_spend() {
+    let truth = synth_truth(1800, 18, 3);
+    let pool = truth.all_ids();
+    let run = |store_shards: usize| -> ServiceReport {
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 1,
+            store_shards,
+            ..ServiceConfig::default()
+        });
+        service.submit(
+            JobSpec::new(
+                "group",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(30)
+            .seed(1),
+        );
+        service.submit(
+            JobSpec::new(
+                "base",
+                pool[..400].to_vec(),
+                AuditKind::BaseCoverage { target: female() },
+            )
+            .tau(25)
+            .seed(2),
+        );
+        service.submit(
+            JobSpec::new(
+                "lattice",
+                pool.clone(),
+                AuditKind::IntersectionalCoverage { schema: schema() },
+            )
+            .tau(35)
+            .seed(3),
+        );
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        assert_eq!(report.count_status(JobStatus::Done), 3);
+        report
+    };
+    let baseline = run(1);
+    for shards in [2usize, 8] {
+        let sharded = run(shards);
+        assert_eq!(
+            sharded.reuse, baseline.reuse,
+            "{shards} shards moved the reuse tally"
+        );
+        assert_eq!(sharded.crowd_tasks, baseline.crowd_tasks);
+        assert_eq!(sharded.total_logical, baseline.total_logical);
+        for (a, b) in baseline.jobs.iter().zip(&sharded.jobs) {
+            assert_eq!(a.reuse, b.reuse, "job {} reuse moved", a.name);
+            assert_eq!(a.crowd_tasks, b.crowd_tasks, "job {} bill moved", a.name);
+            assert_eq!(a.ledger, b.ledger, "job {} ledger moved", a.name);
+        }
+    }
+}
