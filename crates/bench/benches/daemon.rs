@@ -1,0 +1,155 @@
+//! Daemon serving latency: how long does a newly submitted job wait for
+//! its first result when the pool is already loaded?
+//!
+//! A long-lived [`AuditDaemon`] is saturated with background audits, then a
+//! probe job is submitted and the **submit-to-first-result** interval is
+//! measured — once at the background jobs' own priority (the probe queues
+//! behind everything already waiting) and once at a higher priority (the
+//! probe jumps the queue and waits only for a worker to free up). The gap
+//! between the two numbers is what priority scheduling buys a paying
+//! tenant; the `emit_daemon_report` target records both in
+//! `results/BENCH_daemon.json` (the `daemon_audit` example writes its own
+//! section; CI surfaces both).
+//!
+//! [`AuditDaemon`]: coverage_service::AuditDaemon
+
+use coverage_core::prelude::*;
+use coverage_service::{AuditDaemon, AuditKind, JobId, JobSpec, ServiceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvg_bench::report::{bench_daemon_path, json_object, update_json_report};
+use serde::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 77;
+const ROUND_LATENCY: Duration = Duration::from_micros(300);
+const BACKGROUND_JOBS: usize = 12;
+const WORKERS: usize = 2;
+
+/// Deterministic single-attribute truth: ~6% minority.
+fn truth() -> Arc<VecGroundTruth> {
+    let mut state = SEED;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    Arc::new(VecGroundTruth::new(
+        (0..24_000)
+            .map(|_| Labels::single(u8::from(next() % 100 < 6)))
+            .collect(),
+    ))
+}
+
+fn female() -> Target {
+    Target::group(Pattern::parse("1").unwrap())
+}
+
+/// A fresh daemon pre-loaded with `BACKGROUND_JOBS` disjoint audits.
+fn loaded_daemon(
+    truth: &Arc<VecGroundTruth>,
+) -> (
+    AuditDaemon<SharedTruthSource<VecGroundTruth>>,
+    Vec<ObjectId>,
+) {
+    let pool = truth.all_ids();
+    let daemon = AuditDaemon::start(
+        ServiceConfig {
+            workers: WORKERS,
+            round_latency: ROUND_LATENCY,
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(truth)),
+    );
+    let slice = 20_000 / BACKGROUND_JOBS;
+    for i in 0..BACKGROUND_JOBS {
+        daemon
+            .submit(
+                JobSpec::new(
+                    format!("background-{i}"),
+                    pool[i * slice..(i + 1) * slice].to_vec(),
+                    AuditKind::GroupCoverage { target: female() },
+                )
+                .tau(30)
+                .seed(i as u64)
+                .priority(5),
+            )
+            .expect("background spec is valid");
+    }
+    (daemon, pool)
+}
+
+/// Submits the probe at `priority` into a loaded daemon and returns the
+/// submit-to-first-result latency in microseconds.
+fn probe_latency_us(truth: &Arc<VecGroundTruth>, priority: u32) -> u64 {
+    let (daemon, pool) = loaded_daemon(truth);
+    let spec = JobSpec::new(
+        "probe",
+        pool[20_000..].to_vec(),
+        AuditKind::GroupCoverage { target: female() },
+    )
+    .tau(20)
+    .priority(priority);
+    let started = Instant::now();
+    let id: JobId = daemon.submit(spec).expect("probe spec is valid");
+    while daemon.report(id).is_none() {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let latency = started.elapsed().as_micros() as u64;
+    assert!(
+        daemon.report(id).unwrap().status.is_done(),
+        "probe must complete"
+    );
+    daemon.drain();
+    daemon.shutdown().expect("first shutdown");
+    latency
+}
+
+/// Not a timing benchmark: one instrumented run recorded as the
+/// `daemon_bench` section of `results/BENCH_daemon.json`, so the daemon's
+/// serving-latency trajectory is tracked across PRs by CI's bench smoke
+/// step.
+fn emit_daemon_report(_c: &mut Criterion) {
+    let truth = truth();
+    let in_line_us = probe_latency_us(&truth, 5);
+    let jump_us = probe_latency_us(&truth, 9);
+    assert!(
+        jump_us < in_line_us,
+        "a queue-jumping probe ({jump_us} µs) must beat one waiting in line ({in_line_us} µs)"
+    );
+    let section = json_object(vec![
+        ("workers", Value::UInt(WORKERS as u64)),
+        ("background_jobs", Value::UInt(BACKGROUND_JOBS as u64)),
+        (
+            "round_latency_us",
+            Value::UInt(ROUND_LATENCY.as_micros() as u64),
+        ),
+        ("submit_to_first_result_us_in_line", Value::UInt(in_line_us)),
+        ("submit_to_first_result_us_priority", Value::UInt(jump_us)),
+        (
+            "priority_speedup",
+            Value::Float(in_line_us as f64 / jump_us.max(1) as f64),
+        ),
+    ]);
+    update_json_report(bench_daemon_path(), "daemon_bench", section)
+        .expect("write BENCH_daemon.json");
+    println!(
+        "daemon submit-to-first-result under load: in line {in_line_us} µs, priority {jump_us} µs \
+         ({:.1}x), recorded in {}",
+        in_line_us as f64 / jump_us.max(1) as f64,
+        bench_daemon_path().display(),
+    );
+}
+
+// No wall-clock Criterion group here: timing the closure would measure the
+// whole daemon lifecycle (startup + 12 background audits + drain), which is
+// identical for both priorities and would bury the submit-to-first-result
+// signal. The emit target measures exactly the interval of interest and
+// asserts the priority win, so a scheduling regression fails the bench.
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = emit_daemon_report
+}
+criterion_main!(benches);

@@ -24,6 +24,14 @@ pub fn bench_scaleout_path() -> PathBuf {
     results_dir().join("BENCH_scaleout.json")
 }
 
+/// The canonical daemon report file: `results/BENCH_daemon.json`, written
+/// by the `daemon` bench and the `daemon_audit` example —
+/// submit-to-first-result latency of a prioritized probe job under
+/// background load, high- vs low-priority.
+pub fn bench_daemon_path() -> PathBuf {
+    results_dir().join("BENCH_daemon.json")
+}
+
 /// Upserts `key` in the JSON object stored at `path`, creating the file
 /// (and its parent directory) if needed. Other writers' keys are preserved,
 /// so several harnesses can share one report file; a corrupt or non-object

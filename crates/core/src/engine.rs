@@ -347,6 +347,75 @@ impl<G: GroundTruth + Sync> ForkableSource for PerfectSource<'_, G> {
     }
 }
 
+/// An **owned** error-free answer source: [`PerfectSource`] semantics over
+/// an `Arc`-shared ground truth, with no borrowed lifetime.
+///
+/// `PerfectSource` borrows its truth, which ties every run to the stack
+/// frame that owns the dataset — fine for a scoped
+/// `AuditService::run`, impossible for a long-lived daemon whose worker
+/// and dispatcher threads outlive any caller's frame. `SharedTruthSource`
+/// owns an `Arc<G>` instead, so it is `'static` whenever `G` is: the
+/// `coverage-service` `AuditDaemon` can hold it (and fork it, see
+/// [`ForkableSource`]) across arbitrarily many job runs.
+///
+/// ```
+/// use coverage_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let truth = VecGroundTruth::new(vec![Labels::single(1), Labels::single(0)]);
+/// let mut source = SharedTruthSource::new(Arc::new(truth));
+/// let target = Target::group(Pattern::parse("1").unwrap());
+/// assert!(source.answer_set(&[ObjectId(0), ObjectId(1)], &target));
+/// assert!(!source.answer_membership(ObjectId(1), &target));
+/// ```
+#[derive(Debug)]
+pub struct SharedTruthSource<G> {
+    truth: Arc<G>,
+}
+
+// Not derived: the derive would demand `G: Clone`, but a clone only needs
+// another `Arc` handle on the same truth.
+impl<G> Clone for SharedTruthSource<G> {
+    fn clone(&self) -> Self {
+        Self {
+            truth: Arc::clone(&self.truth),
+        }
+    }
+}
+
+impl<G: GroundTruth> SharedTruthSource<G> {
+    /// Wraps a shared ground truth.
+    pub fn new(truth: Arc<G>) -> Self {
+        Self { truth }
+    }
+
+    /// The underlying ground truth (evaluation only — never hand it to an
+    /// algorithm).
+    pub fn truth(&self) -> &G {
+        &self.truth
+    }
+}
+
+impl<G: GroundTruth> InfallibleSource for SharedTruthSource<G> {
+    fn answer_set(&mut self, objects: &[ObjectId], target: &Target) -> bool {
+        objects
+            .iter()
+            .any(|o| target.matches(&self.truth.labels_of(*o)))
+    }
+
+    fn answer_point_labels(&mut self, object: ObjectId) -> Labels {
+        self.truth.labels_of(object)
+    }
+}
+
+impl<G: GroundTruth> BatchAnswerSource for SharedTruthSource<G> {}
+
+impl<G: GroundTruth + Send + Sync> ForkableSource for SharedTruthSource<G> {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+}
+
 /// Default number of images per point-query HIT, matching the paper's
 /// HIT layout (`n = 50` images per HIT).
 pub const DEFAULT_POINT_BATCH: usize = 50;
@@ -675,6 +744,36 @@ mod tests {
             Err(AskError::SourceFailed(_))
         ));
         assert_eq!(engine.ledger().total_tasks(), 2);
+    }
+
+    #[test]
+    fn shared_truth_source_matches_perfect_source() {
+        let truth = truth_with_minority(30, 7);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = truth.all_ids();
+        let shared = Arc::new(truth.clone());
+        let mut owned = SharedTruthSource::new(Arc::clone(&shared));
+        let mut borrowed = PerfectSource::new(&truth);
+        assert_eq!(
+            owned.answer_set(&ids, &target),
+            borrowed.answer_set(&ids, &target)
+        );
+        for id in &ids {
+            assert_eq!(
+                owned.answer_point_labels(*id),
+                borrowed.answer_point_labels(*id)
+            );
+            assert_eq!(
+                owned.answer_membership(*id, &target),
+                borrowed.answer_membership(*id, &target)
+            );
+        }
+        // A fork answers from the same truth; the handle is 'static-capable.
+        let mut fork = owned.fork();
+        assert!(fork.answer_set(&ids[..7], &target));
+        assert_eq!(owned.truth().num_objects(), 30);
+        fn assert_static<T: 'static>(_: &T) {}
+        assert_static(&owned);
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub mod prelude {
     };
     pub use crate::engine::{
         AnswerSource, BatchAnswerSource, CancelToken, Engine, ForkableSource, GroundTruth,
-        InfallibleSource, ObjectId, ObjectIds, PerfectSource, VecGroundTruth,
+        InfallibleSource, ObjectId, ObjectIds, PerfectSource, SharedTruthSource, VecGroundTruth,
     };
     pub use crate::error::{AskError, BudgetSnapshot, CoverageError, Interrupted};
     pub use crate::group_coverage::{group_coverage, DncConfig, GroupCoverageOutcome, Traversal};

@@ -1,0 +1,611 @@
+//! The long-lived audit daemon: submit any time, query live, drain, stop.
+//!
+//! [`AuditService::run`](crate::AuditService::run) is a *scoped batch*: it
+//! consumes the service, runs everything queued, and returns. The paper,
+//! though, frames coverage auditing as a standing service a dataset owner
+//! consults on demand — which is what an [`AuditDaemon`] is. It owns the
+//! worker pool, the batching dispatcher and the sharded platform-wide
+//! [`SharedKnowledgeSource`] for its **whole lifetime**, so facts bought
+//! by a job today keep
+//! shrinking the queries of every job submitted tomorrow:
+//!
+//! ```text
+//!             submit(JobSpec) ──▶ PriorityQueue ──▶ worker 1..W ─┐
+//!  any thread  status(JobId)  ◀── job table                     │ run_job
+//!  any time    report(JobId)  ◀── (Queued → Running → terminal) │   │
+//!             cancel(JobId) ───▶ CancelToken per job            ▼   ▼
+//!                       SharedKnowledgeSource ─ GovernedSource ─ dispatcher ─ platform
+//! ```
+//!
+//! Scheduling is the same priority queue the scoped pool uses
+//! ([`crate::scheduler`]): free workers pick the highest
+//! [`JobSpec::priority`] (service default for unset specs), ties go to the
+//! earlier submission, and queued jobs age upward so newcomers can delay
+//! but never starve them. Because the daemon reuses the scoped path's
+//! `run_job` verbatim, a report produced here is **byte-identical** (up to
+//! wall-clock) to the same spec run through `AuditService::run` —
+//! the `daemon_service` integration tests pin exactly that.
+//!
+//! Lifecycle verbs: [`AuditDaemon::cancel`] flips one job's
+//! [`CancelToken`] (a queued job reports `Cancelled` without running, a
+//! running one stops at its next question with the partial result);
+//! [`AuditDaemon::drain`] blocks until nothing is queued or running;
+//! [`AuditDaemon::shutdown`] stops intake, drains, joins every thread and
+//! returns the final [`ServiceReport`] plus the answer source. The HTTP
+//! front-end over this API lives in [`crate::http`].
+//!
+//! # Example: submit, poll, cancel
+//!
+//! ```
+//! use coverage_core::prelude::*;
+//! use coverage_service::{AuditDaemon, AuditKind, JobSpec, JobStatus, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! // An owned ('static) source: the daemon's threads outlive this frame.
+//! let labels: Vec<Labels> = (0..600).map(|i| Labels::single(u8::from(i % 6 == 0))).collect();
+//! let truth = Arc::new(VecGroundTruth::new(labels));
+//! let pool = truth.all_ids();
+//! let target = Target::group(Pattern::parse("1").unwrap());
+//!
+//! let daemon = AuditDaemon::start(
+//!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+//!     SharedTruthSource::new(Arc::clone(&truth)),
+//! );
+//!
+//! // Submit at any time; invalid specs are refused at the door.
+//! let urgent = daemon
+//!     .submit(JobSpec::new("urgent", pool.clone(), AuditKind::GroupCoverage { target: target.clone() }).priority(9))
+//!     .unwrap();
+//! let doomed = daemon
+//!     .submit(JobSpec::new("doomed", pool, AuditKind::GroupCoverage { target }).priority(1))
+//!     .unwrap();
+//! assert!(daemon.submit(JobSpec::new("bad", vec![], AuditKind::MultipleCoverage { groups: vec![] })).is_err());
+//!
+//! // Live queries: every submitted job has a status right now...
+//! assert!(daemon.status(urgent).is_some());
+//! daemon.cancel(doomed);
+//! daemon.drain(); // ...and a report once it is terminal.
+//! assert!(daemon.report(urgent).unwrap().status.is_done());
+//! assert!(daemon.report(doomed).unwrap().status.is_cancelled());
+//!
+//! let (summary, _source) = daemon.shutdown().expect("first shutdown");
+//! assert_eq!(summary.jobs.len(), 2);
+//! ```
+
+use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchHandle, DispatcherConfig};
+use crate::governor::{GlobalBudget, JobBudget};
+use crate::job::{JobId, JobReport, JobSpec, JobStatus};
+use crate::scheduler::PriorityQueue;
+use crate::service::{lock, run_job, ServiceConfig, ServiceReport};
+use coverage_core::engine::{BatchAnswerSource, CancelToken};
+use coverage_core::ledger::TaskLedger;
+use coverage_core::memo::{ReuseStats, SharedKnowledgeSource};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One line of the daemon's job table, as served by `GET /jobs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// The job's id.
+    pub id: JobId,
+    /// The spec's label.
+    pub name: String,
+    /// Algorithm short name.
+    pub algorithm: String,
+    /// Live status — [`JobStatus::Queued`] / [`JobStatus::Running`] while
+    /// the job is in flight, the terminal status afterwards.
+    pub status: JobStatus,
+}
+
+/// A live snapshot of the whole daemon, as served by `GET /stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Jobs accepted since start (== size of the job table).
+    pub submitted: u64,
+    /// Jobs waiting for a worker right now.
+    pub queued: u64,
+    /// Jobs executing right now.
+    pub running: u64,
+    /// Jobs with a terminal status (done, exhausted, cancelled or failed).
+    pub finished: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Crowd tasks charged past the knowledge store since start.
+    pub crowd_tasks: u64,
+    /// Lifetime disposition tally of the shared knowledge store.
+    pub reuse: ReuseStats,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+}
+
+/// What each worker thread needs to run jobs forever.
+#[derive(Debug)]
+struct WorkerContext {
+    shared: Arc<Shared>,
+    dispatch: DispatchHandle,
+    memo_root: SharedKnowledgeSource<()>,
+    global_budget: Arc<GlobalBudget>,
+    per_job_budget: Option<u64>,
+    intra_job_parallelism: usize,
+}
+
+#[derive(Debug)]
+struct JobSlot {
+    /// Immutable after submission; `Arc` so a worker's pop clones a
+    /// refcount, not a pool vector, under the daemon-wide lock.
+    spec: Arc<JobSpec>,
+    status: JobStatus,
+    report: Option<JobReport>,
+    cancel: CancelToken,
+}
+
+#[derive(Debug)]
+struct DaemonState {
+    jobs: Vec<JobSlot>,
+    queue: PriorityQueue,
+    running: usize,
+    /// Ids in the order their reports landed — the scheduler's observable
+    /// output, pinned by the priority-order tests.
+    finished_order: Vec<JobId>,
+    /// Flipped once by [`AuditDaemon::shutdown`]: no further submissions,
+    /// workers exit when the queue runs dry.
+    accepting: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<DaemonState>,
+    wakeup: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, DaemonState> {
+        lock(&self.state)
+    }
+}
+
+/// A long-lived, concurrently-shareable audit service: the worker pool,
+/// dispatcher and platform-wide knowledge store live as long as the daemon
+/// does. All methods take `&self`, so wrap it in an [`Arc`] to serve many
+/// clients (the HTTP front-end in [`crate::http`] does exactly that).
+///
+/// See the [module docs](self) for the lifecycle and a full example.
+#[derive(Debug)]
+pub struct AuditDaemon<S> {
+    shared: Arc<Shared>,
+    config: ServiceConfig,
+    memo_root: SharedKnowledgeSource<()>,
+    global_budget: Arc<GlobalBudget>,
+    /// The daemon's own dispatcher connection; dropped at shutdown so the
+    /// dispatcher (whose other handles die with the workers) can exit.
+    dispatch: Mutex<Option<DispatchHandle>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    dispatcher: Mutex<Option<JoinHandle<(crate::dispatch::DispatchStats, S)>>>,
+    started: Instant,
+}
+
+impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
+    /// Starts the daemon: spawns the dispatcher (which takes ownership of
+    /// `source`) and `config.workers` worker threads, all idle until the
+    /// first [`AuditDaemon::submit`].
+    ///
+    /// # Panics
+    /// Panics on non-positive `config` counts (workers, point batch, store
+    /// shards, intra-job parallelism) — daemon configuration is operator
+    /// input, not tenant input.
+    pub fn start(config: ServiceConfig, source: S) -> Self {
+        config.assert_valid();
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(DaemonState {
+                jobs: Vec::new(),
+                queue: PriorityQueue::new(config.priority_aging),
+                running: 0,
+                finished_order: Vec::new(),
+                accepting: true,
+            }),
+            wakeup: Condvar::new(),
+        });
+        let (dispatch_handle, dispatch_rx) = dispatch_channel();
+        let dispatcher_config = DispatcherConfig {
+            point_batch: config.point_batch,
+            round_latency: config.round_latency,
+        };
+        let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
+        let memo_root: SharedKnowledgeSource<()> =
+            SharedKnowledgeSource::with_shards((), config.store_shards);
+
+        let dispatcher = std::thread::spawn(move || {
+            let mut source = source;
+            let stats = run_dispatcher(&mut source, dispatch_rx, &dispatcher_config);
+            (stats, source)
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let context = WorkerContext {
+                    shared: Arc::clone(&shared),
+                    dispatch: dispatch_handle.clone(),
+                    memo_root: memo_root.clone(),
+                    global_budget: Arc::clone(&global_budget),
+                    per_job_budget: config.budget.per_job,
+                    intra_job_parallelism: config.intra_job_parallelism,
+                };
+                std::thread::spawn(move || worker_loop(context))
+            })
+            .collect();
+
+        Self {
+            shared,
+            config,
+            memo_root,
+            global_budget,
+            dispatch: Mutex::new(Some(dispatch_handle)),
+            workers: Mutex::new(workers),
+            dispatcher: Mutex::new(Some(dispatcher)),
+            started: Instant::now(),
+        }
+    }
+
+    /// The refusal message for submissions after [`AuditDaemon::shutdown`]
+    /// began — the HTTP layer maps exactly this to `503 Service
+    /// Unavailable` (a server condition), keeping `400` for spec errors.
+    pub const SHUTTING_DOWN: &'static str = "daemon is shutting down";
+
+    /// Submits a job for execution; callable from any thread at any time.
+    ///
+    /// The spec is validated **at the door** ([`JobSpec::validate`]): the
+    /// daemon's submission boundary is a tenant API, so an invalid spec is
+    /// refused with the reason instead of occupying a queue slot (the HTTP
+    /// front-end maps the `Err` to a `400`). Also refused once
+    /// [`AuditDaemon::shutdown`] has begun.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
+        spec.validate()?;
+        let priority = spec.priority.unwrap_or(self.config.default_priority);
+        let id = {
+            let mut state = self.shared.lock();
+            if !state.accepting {
+                return Err(Self::SHUTTING_DOWN.to_string());
+            }
+            let id = JobId(state.jobs.len() as u64);
+            state.queue.push(id.0 as usize, priority);
+            state.jobs.push(JobSlot {
+                spec: Arc::new(spec),
+                status: JobStatus::Queued,
+                report: None,
+                cancel: CancelToken::new(),
+            });
+            id
+        };
+        self.shared.wakeup.notify_all();
+        Ok(id)
+    }
+
+    /// The job's status **right now** — `Queued`, `Running`, or terminal.
+    /// `None` for an id the daemon never issued.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.lock().jobs.get(id.0 as usize).map(|j| j.status)
+    }
+
+    /// The job's terminal report, once it has one (`None` while the job is
+    /// still queued or running, or for an unknown id).
+    pub fn report(&self, id: JobId) -> Option<JobReport> {
+        self.shared
+            .lock()
+            .jobs
+            .get(id.0 as usize)
+            .and_then(|j| j.report.clone())
+    }
+
+    /// One summary line per submitted job, in submission order.
+    pub fn jobs(&self) -> Vec<JobSummary> {
+        self.shared
+            .lock()
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| JobSummary {
+                id: JobId(index as u64),
+                name: job.spec.name.clone(),
+                algorithm: job.spec.kind.name().to_string(),
+                status: job.status,
+            })
+            .collect()
+    }
+
+    /// One job's summary and report under a **single** lock acquisition —
+    /// a consistent snapshot, so a `Running` status can never be paired
+    /// with an already-published report (and one status poll costs one
+    /// slot clone, not a scan of the whole job table). `None` for an id
+    /// the daemon never issued. This is what `GET /jobs/{id}` serves.
+    pub fn snapshot(&self, id: JobId) -> Option<(JobSummary, Option<JobReport>)> {
+        let state = self.shared.lock();
+        let job = state.jobs.get(id.0 as usize)?;
+        Some((
+            JobSummary {
+                id,
+                name: job.spec.name.clone(),
+                algorithm: job.spec.kind.name().to_string(),
+                status: job.status,
+            },
+            job.report.clone(),
+        ))
+    }
+
+    /// Requests cancellation of one job; `false` for an unknown id.
+    ///
+    /// Cooperative, exactly as in the scoped run: a queued job reports
+    /// [`JobStatus::Cancelled`] without running, a running job observes the
+    /// token at its next question and reports `Cancelled` with the partial
+    /// result, and a job already terminal is unaffected.
+    pub fn cancel(&self, id: JobId) -> bool {
+        match self.shared.lock().jobs.get(id.0 as usize) {
+            Some(job) => {
+                job.cancel.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids in the order their reports landed — the scheduler's observable
+    /// execution order (priority first, then submission, modulo worker
+    /// concurrency).
+    pub fn finished_order(&self) -> Vec<JobId> {
+        self.shared.lock().finished_order.clone()
+    }
+
+    /// Blocks until no job is queued or running. Jobs submitted *after*
+    /// drain returns are of course not waited for.
+    pub fn drain(&self) {
+        let mut state = self.shared.lock();
+        while !(state.queue.is_empty() && state.running == 0) {
+            state = self
+                .shared
+                .wakeup
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A live snapshot of the daemon's counters.
+    pub fn stats(&self) -> DaemonStats {
+        let (submitted, queued, running, finished) = {
+            let state = self.shared.lock();
+            (
+                state.jobs.len() as u64,
+                state.queue.len() as u64,
+                state.running as u64,
+                state.finished_order.len() as u64,
+            )
+        };
+        DaemonStats {
+            submitted,
+            queued,
+            running,
+            finished,
+            workers: self.config.workers as u64,
+            crowd_tasks: self.global_budget.tasks_spent(),
+            reuse: self.memo_root.reuse_stats(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Graceful stop: refuses further submissions, lets the workers drain
+    /// the queue, joins every thread and returns the lifetime
+    /// [`ServiceReport`] together with the answer source (e.g. to read
+    /// platform statistics). `None` on any call after the first.
+    pub fn shutdown(&self) -> Option<(ServiceReport, S)> {
+        {
+            let mut state = self.shared.lock();
+            if !state.accepting {
+                return None;
+            }
+            state.accepting = false;
+        }
+        self.shared.wakeup.notify_all();
+        let workers: Vec<_> = std::mem::take(&mut *lock(&self.workers));
+        for worker in workers {
+            worker.join().expect("daemon worker never panics");
+        }
+        // Workers are gone; dropping the daemon's own handle disconnects
+        // the dispatcher's channel and lets it exit with its stats.
+        drop(lock(&self.dispatch).take());
+        let dispatcher = lock(&self.dispatcher).take()?;
+        let (dispatch_stats, source) = dispatcher.join().expect("dispatcher exits cleanly");
+
+        let state = self.shared.lock();
+        let jobs: Vec<JobReport> = state
+            .jobs
+            .iter()
+            .map(|job| job.report.clone().expect("drained daemon job reported"))
+            .collect();
+        let mut total_logical = TaskLedger::new();
+        for job in &jobs {
+            total_logical.absorb(&job.ledger);
+        }
+        let reuse = self.memo_root.reuse_stats();
+        let report = ServiceReport {
+            total_logical,
+            crowd_tasks: self.global_budget.tasks_spent(),
+            cache_hits: reuse.hits,
+            cache_misses: reuse.forwarded,
+            reuse,
+            dispatch: dispatch_stats,
+            wall_ms: self.started.elapsed().as_millis() as u64,
+            jobs,
+        };
+        Some((report, source))
+    }
+}
+
+/// Dropping a daemon without [`AuditDaemon::shutdown`] (early return,
+/// panic unwind) must not leak its threads: flag the state, wake the
+/// workers (they exit once the queue is dry) and drop the dispatcher
+/// handle (it exits when the last worker does). Best-effort and
+/// non-blocking — no joins in `drop`, the threads retire on their own.
+impl<S> Drop for AuditDaemon<S> {
+    fn drop(&mut self) {
+        self.shared.lock().accepting = false;
+        self.shared.wakeup.notify_all();
+        drop(lock(&self.dispatch).take());
+    }
+}
+
+/// One worker thread: pop the highest-priority job, run it with the scoped
+/// path's `run_job`, publish the report, repeat — until shutdown empties
+/// the queue.
+fn worker_loop(context: WorkerContext) {
+    loop {
+        let (index, spec, cancel) = {
+            let mut state = context.shared.lock();
+            loop {
+                if let Some(index) = state.queue.pop() {
+                    // A job cancelled while queued must never be observed
+                    // `Running` — the documented contract is that it
+                    // reports `Cancelled` without running (`run_job` sees
+                    // the pre-flipped token and returns immediately), so
+                    // its last live status stays `Queued`.
+                    if !state.jobs[index].cancel.is_cancelled() {
+                        state.jobs[index].status = JobStatus::Running;
+                    }
+                    state.running += 1;
+                    let job = &state.jobs[index];
+                    break (index, Arc::clone(&job.spec), job.cancel.clone());
+                }
+                if !state.accepting {
+                    return;
+                }
+                state = context
+                    .shared
+                    .wakeup
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // `status` now answers `Running`; the next submission or cancel can
+        // land concurrently — the job table lock is free while we work.
+        let budget = JobBudget::new(
+            spec.budget.or(context.per_job_budget),
+            Arc::clone(&context.global_budget),
+        );
+        let report = run_job(
+            JobId(index as u64),
+            &spec,
+            &context.memo_root,
+            &context.dispatch,
+            budget,
+            cancel,
+            context.intra_job_parallelism,
+        );
+        {
+            let mut state = context.shared.lock();
+            state.jobs[index].status = report.status;
+            state.jobs[index].report = Some(report);
+            state.finished_order.push(JobId(index as u64));
+            state.running -= 1;
+        }
+        context.shared.wakeup.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::AuditKind;
+    use coverage_core::prelude::*;
+
+    fn truth(n: usize, minority: usize) -> Arc<VecGroundTruth> {
+        Arc::new(VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        ))
+    }
+
+    fn female() -> Target {
+        Target::group(Pattern::parse("1").unwrap())
+    }
+
+    fn group_job(name: &str, pool: Vec<ObjectId>) -> JobSpec {
+        JobSpec::new(name, pool, AuditKind::GroupCoverage { target: female() }).tau(5)
+    }
+
+    #[test]
+    fn lifecycle_submit_drain_report_shutdown() {
+        let truth = truth(400, 60);
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        let a = daemon.submit(group_job("a", truth.all_ids())).unwrap();
+        let b = daemon.submit(group_job("b", truth.all_ids())).unwrap();
+        assert!(daemon.status(a).is_some());
+        assert_eq!(daemon.status(JobId(99)), None);
+        daemon.drain();
+        assert!(daemon.report(a).unwrap().status.is_done());
+        assert!(daemon.report(b).unwrap().status.is_done());
+        // The twin job was answered from the daemon's knowledge store.
+        let stats = daemon.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.finished, 2);
+        assert!(stats.reuse.hits > 0, "{stats:?}");
+        let (summary, _source) = daemon.shutdown().expect("first shutdown");
+        assert_eq!(summary.jobs.len(), 2);
+        assert!(daemon.shutdown().is_none(), "second shutdown is a no-op");
+    }
+
+    #[test]
+    fn invalid_spec_is_refused_at_the_door() {
+        let truth = truth(50, 5);
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        let err = daemon
+            .submit(group_job("zero-n", truth.all_ids()).n(0))
+            .unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        assert_eq!(daemon.stats().submitted, 0);
+        let (summary, _) = daemon.shutdown().unwrap();
+        assert!(summary.jobs.is_empty());
+        // Submission after shutdown is refused too.
+        let err = daemon
+            .submit(group_job("late", truth.all_ids()))
+            .unwrap_err();
+        assert!(err.contains("shutting down"), "{err}");
+    }
+
+    #[test]
+    fn queued_job_cancels_without_running() {
+        let truth = truth(300, 40);
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 1,
+                round_latency: std::time::Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        // Keep the single worker busy, then cancel a job stuck behind it.
+        let blocker = daemon
+            .submit(group_job("blocker", truth.all_ids()))
+            .unwrap();
+        let doomed = daemon.submit(group_job("doomed", truth.all_ids())).unwrap();
+        assert!(daemon.cancel(doomed));
+        assert!(!daemon.cancel(JobId(42)));
+        daemon.drain();
+        assert!(daemon.report(blocker).unwrap().status.is_done());
+        let report = daemon.report(doomed).unwrap();
+        assert!(report.status.is_cancelled());
+        let (summary, _) = daemon.shutdown().unwrap();
+        assert_eq!(summary.jobs.len(), 2);
+    }
+}

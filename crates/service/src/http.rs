@@ -1,0 +1,639 @@
+//! The HTTP/JSON front-end: an [`AuditDaemon`] on a TCP port.
+//!
+//! A minimal, dependency-free HTTP/1.1 server over [`std::net::TcpListener`]
+//! — the same offline discipline as `vendor/`: no crates.io, just enough
+//! protocol for a JSON API. Every request body and response body is the
+//! crate's existing hand-rolled serde wire format, so what a tenant `POST`s
+//! is exactly a [`JobSpec`] and what they read back is exactly a
+//! [`JobReport`] — no second schema to drift.
+//!
+//! | Method & path      | Body           | Replies                                             |
+//! |--------------------|----------------|-----------------------------------------------------|
+//! | `POST /jobs`       | [`JobSpec`]    | `201` `{"id", "status"}`; `400` on an invalid spec  |
+//! | `GET /jobs`        | —              | `200` `{"jobs": [`[`JobSummary`]`…]}`               |
+//! | `GET /jobs/{id}`   | —              | `200` `{"id","name","status","report"}`; `404`      |
+//! | `DELETE /jobs/{id}`| —              | `200` `{"id","cancelled"}` (cooperative); `404`     |
+//! | `GET /stats`       | —              | `200` [`DaemonStats`]                               |
+//!
+//! Errors are **structured bodies**, never bare status lines: a validation
+//! failure arrives as `400 {"error": "<JobSpec::validate message>"}`, an
+//! unknown id as `404 {"error": …}`, a wrong method as `405`, a malformed
+//! body as `400`, an oversized body as `413` (bodies are capped before
+//! allocation — `Content-Length` is client input). Budget exhaustion,
+//! cancellation and platform failures are
+//! *not* transport errors — they are regular [`JobStatus`] data inside the
+//! `200` report, exactly as the fallible ask path produced them.
+//!
+//! Connections are one-request-one-connection (`Connection: close`), each
+//! served on its own thread; [`http_request`] is the matching
+//! one-call client used by the tests, the doctests and the `daemon_audit`
+//! example.
+//!
+//! # Example: the whole API over a real socket
+//!
+//! ```
+//! use coverage_core::prelude::*;
+//! use coverage_service::http::{http_request, HttpServer};
+//! use coverage_service::{AuditDaemon, AuditKind, JobSpec, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let labels: Vec<Labels> = (0..400).map(|i| Labels::single(u8::from(i % 8 == 0))).collect();
+//! let truth = Arc::new(VecGroundTruth::new(labels));
+//! let daemon = Arc::new(AuditDaemon::start(
+//!     ServiceConfig::default(),
+//!     SharedTruthSource::new(Arc::clone(&truth)),
+//! ));
+//! let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+//! let addr = server.local_addr();
+//!
+//! // Submit a spec as raw JSON…
+//! let spec = JobSpec::new(
+//!     "probe",
+//!     truth.all_ids(),
+//!     AuditKind::GroupCoverage { target: Target::group(Pattern::parse("1").unwrap()) },
+//! )
+//! .tau(10)
+//! .priority(5);
+//! let (code, body) = http_request(addr, "POST", "/jobs", Some(&serde_json::to_string(&spec).unwrap())).unwrap();
+//! assert_eq!(code, 201, "{body}");
+//!
+//! // …poll it, list it, read the stats.
+//! daemon.drain();
+//! let (code, body) = http_request(addr, "GET", "/jobs/0", None).unwrap();
+//! assert_eq!(code, 200);
+//! assert!(body.contains("\"Done\""), "{body}");
+//! let (code, _) = http_request(addr, "GET", "/stats", None).unwrap();
+//! assert_eq!(code, 200);
+//! // A bad spec is a structured 400, an unknown id a structured 404.
+//! let (code, body) = http_request(addr, "POST", "/jobs", Some("{")).unwrap();
+//! assert_eq!(code, 400);
+//! assert!(body.contains("error"), "{body}");
+//! let (code, _) = http_request(addr, "DELETE", "/jobs/77", None).unwrap();
+//! assert_eq!(code, 404);
+//!
+//! server.shutdown();
+//! daemon.shutdown();
+//! ```
+//!
+//! [`JobStatus`]: crate::JobStatus
+//! [`JobReport`]: crate::JobReport
+
+use crate::daemon::{AuditDaemon, DaemonStats, JobSummary};
+use crate::job::{JobId, JobSpec};
+use coverage_core::engine::BatchAnswerSource;
+use serde::{Serialize, Value};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket timeout: a stalled client must not pin a handler
+/// thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on an accepted request body. `Content-Length` is
+/// client-controlled; without a cap a single request could ask the server
+/// to allocate gigabytes before a byte arrives. 16 MiB comfortably holds
+/// any real `JobSpec` (pools are `u32` ids) while bounding what one
+/// connection can pin.
+const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Upper bound on the request line + header section. Headers are client
+/// input too: without a cap, a newline-free flood (or millions of header
+/// lines) grows `read_line`'s buffer without bound before the body cap is
+/// ever consulted.
+const MAX_HEAD_BYTES: u64 = 64 << 10;
+
+/// Upper bound on concurrently-served connections. Each connection is a
+/// thread that an idle client can pin for the full [`IO_TIMEOUT`]; beyond
+/// the cap new connections get an immediate `503` instead of a thread —
+/// a connect burst must not be able to spawn unbounded OS threads.
+const MAX_CONNECTIONS: usize = 256;
+
+/// The daemon's TCP front door. Construct with [`HttpServer::serve`]; stop
+/// with [`HttpServer::shutdown`] (stopping the server does **not** stop the
+/// daemon — jobs keep running until [`AuditDaemon::shutdown`]).
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Decrements the live-connection count when a handler thread finishes,
+/// however it exits.
+struct ConnectionPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port `0` for an OS-assigned port, see
+    /// [`HttpServer::local_addr`]) and starts serving the daemon's API.
+    /// Each connection is handled on its own short-lived thread.
+    pub fn serve<S>(addr: impl ToSocketAddrs, daemon: Arc<AuditDaemon<S>>) -> io::Result<Self>
+    where
+        S: BatchAnswerSource + Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let live = Arc::new(AtomicUsize::new(0));
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Bound the handler-thread count: a connect burst gets
+                    // fast 503s, never unbounded OS threads.
+                    if live.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
+                        live.fetch_sub(1, Ordering::AcqRel);
+                        let _ = respond(stream, 503, error_body("too many connections"));
+                        continue;
+                    }
+                    let permit = ConnectionPermit(Arc::clone(&live));
+                    let daemon = Arc::clone(&daemon);
+                    std::thread::spawn(move || {
+                        let _permit = permit;
+                        // Socket errors (reset, timeout) only end this
+                        // connection; the served state lives in the daemon.
+                        let _ = handle_connection(stream, &daemon);
+                    });
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address — the one to dial after binding port `0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the acceptor thread.
+    /// In-flight connection handlers finish their single request.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The acceptor sits in `accept`; one throwaway connection wakes it
+        // to observe the flag. A wildcard bind (0.0.0.0 / ::) is not
+        // directly connectable everywhere, so fall back to loopback on the
+        // same port.
+        let port = self.addr.port();
+        let woke = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT).is_ok()
+            || TcpStream::connect(("127.0.0.1", port)).is_ok()
+            || TcpStream::connect(("::1", port)).is_ok();
+        if let Some(acceptor) = self.acceptor.take() {
+            if woke {
+                let _ = acceptor.join();
+            }
+            // No wake-up reached the acceptor (firewalled loopback?): it
+            // will observe `stop` on the next real connection; joining now
+            // would block shutdown indefinitely, so let it retire on its
+            // own rather than hang the caller.
+        }
+    }
+}
+
+/// Dropping the server without [`HttpServer::shutdown`] (early return,
+/// panic unwind) still stops the acceptor: best-effort flag + wake-up, no
+/// join — so the port is released and the `Arc<AuditDaemon>` is freed
+/// instead of leaking for the process lifetime.
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(("127.0.0.1", self.addr.port()));
+        }
+    }
+}
+
+/// One-call HTTP/1.1 client for the daemon's API: sends `method path` with
+/// an optional JSON body, returns `(status code, response body)`. This is
+/// deliberately the same plain-socket dialect the server speaks — tests,
+/// doctests and the `daemon_audit` example drive the real wire format with
+/// it, no HTTP library required.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection<S: BatchAnswerSource + Send + 'static>(
+    stream: TcpStream,
+    daemon: &AuditDaemon<S>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // The whole head (request line + headers) reads through a hard byte
+    // limit: a flood simply runs out of budget and parses as malformed,
+    // allocating at most MAX_HEAD_BYTES. The limit is raised to the
+    // (separately capped) body length once the head is parsed.
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES));
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return respond(
+            into_stream(reader),
+            400,
+            error_body("malformed request line"),
+        );
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+
+    // Headers: only Content-Length matters to this API.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse() {
+                    Ok(length) => content_length = length,
+                    Err(_) => {
+                        return respond(
+                            into_stream(reader),
+                            400,
+                            error_body(&format!("malformed Content-Length `{}`", value.trim())),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The length is client-controlled: refuse before allocating, or one
+    // request could pin (or fail to allocate) gigabytes.
+    if content_length > MAX_BODY_BYTES {
+        return respond(
+            into_stream(reader),
+            413,
+            error_body(&format!(
+                "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )),
+        );
+    }
+    reader.get_mut().set_limit(content_length as u64);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    let (code, reply) = route(daemon, &method, &path, &body);
+    respond(into_stream(reader), code, reply)
+}
+
+/// Unwraps the limited reader back to the raw stream for the reply.
+fn into_stream(reader: BufReader<io::Take<TcpStream>>) -> TcpStream {
+    reader.into_inner().into_inner()
+}
+
+/// Maps one parsed request onto the daemon API. Pure apart from the daemon
+/// calls, so unit tests can drive it without a socket.
+fn route<S: BatchAnswerSource + Send + 'static>(
+    daemon: &AuditDaemon<S>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Value) {
+    match (method, path) {
+        ("POST", "/jobs") => match serde_json::from_str::<JobSpec>(body) {
+            Ok(spec) => match daemon.submit(spec) {
+                Ok(id) => (
+                    201,
+                    Value::Object(vec![
+                        ("id".to_string(), id.to_value()),
+                        ("status".to_string(), Value::Str("Queued".to_string())),
+                    ]),
+                ),
+                // A refusal because the daemon is stopping is a *server*
+                // condition (retry elsewhere), not a client error.
+                Err(message) if message == AuditDaemon::<S>::SHUTTING_DOWN => {
+                    (503, error_body(&message))
+                }
+                Err(message) => (400, error_body(&message)),
+            },
+            Err(e) => (400, error_body(&format!("invalid job spec: {e}"))),
+        },
+        ("GET", "/jobs") => {
+            let jobs: Vec<JobSummary> = daemon.jobs();
+            (
+                200,
+                Value::Object(vec![("jobs".to_string(), jobs.to_value())]),
+            )
+        }
+        ("GET", "/stats") => {
+            let stats: DaemonStats = daemon.stats();
+            (200, stats.to_value())
+        }
+        (_, "/jobs") | (_, "/stats") => (405, error_body("method not allowed")),
+        (method, path) => match path.strip_prefix("/jobs/") {
+            Some(rest) => match rest.parse::<u64>() {
+                Ok(id) => job_route(daemon, method, JobId(id)),
+                Err(_) => (400, error_body(&format!("malformed job id `{rest}`"))),
+            },
+            None => (404, error_body(&format!("no such route: {method} {path}"))),
+        },
+    }
+}
+
+/// `GET`/`DELETE /jobs/{id}`.
+fn job_route<S: BatchAnswerSource + Send + 'static>(
+    daemon: &AuditDaemon<S>,
+    method: &str,
+    id: JobId,
+) -> (u16, Value) {
+    match method {
+        "GET" => {
+            // One consistent snapshot: status and report come from a single
+            // lock acquisition, so `Running` is never served next to an
+            // already-published report.
+            let Some((summary, report)) = daemon.snapshot(id) else {
+                return (404, error_body(&format!("no such job: {id}")));
+            };
+            (
+                200,
+                Value::Object(vec![
+                    ("id".to_string(), id.to_value()),
+                    ("name".to_string(), Value::Str(summary.name)),
+                    ("algorithm".to_string(), Value::Str(summary.algorithm)),
+                    ("status".to_string(), summary.status.to_value()),
+                    (
+                        "report".to_string(),
+                        match report {
+                            Some(report) => report.to_value(),
+                            None => Value::Null,
+                        },
+                    ),
+                ]),
+            )
+        }
+        "DELETE" => {
+            if !daemon.cancel(id) {
+                return (404, error_body(&format!("no such job: {id}")));
+            }
+            (
+                200,
+                Value::Object(vec![
+                    ("id".to_string(), id.to_value()),
+                    ("cancelled".to_string(), Value::Bool(true)),
+                ]),
+            )
+        }
+        _ if daemon.status(id).is_none() => (404, error_body(&format!("no such job: {id}"))),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+fn error_body(message: &str) -> Value {
+    Value::Object(vec![("error".to_string(), Value::Str(message.to_string()))])
+}
+
+fn respond(mut stream: TcpStream, code: u16, body: Value) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let body = serde_json::to_string_pretty(&Raw(body)).expect("reply serializes");
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// A raw [`Value`] viewed through the vendored serde traits.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::AuditKind;
+    use crate::service::ServiceConfig;
+    use coverage_core::prelude::*;
+
+    fn daemon(
+        n: usize,
+        minority: usize,
+    ) -> (
+        Arc<AuditDaemon<SharedTruthSource<VecGroundTruth>>>,
+        Vec<ObjectId>,
+    ) {
+        let truth = Arc::new(VecGroundTruth::new(
+            (0..n)
+                .map(|i| Labels::single(u8::from(i < minority)))
+                .collect(),
+        ));
+        let pool = truth.all_ids();
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(truth),
+        );
+        (Arc::new(daemon), pool)
+    }
+
+    fn spec(name: &str, pool: Vec<ObjectId>) -> JobSpec {
+        JobSpec::new(
+            name,
+            pool,
+            AuditKind::GroupCoverage {
+                target: Target::group(Pattern::parse("1").unwrap()),
+            },
+        )
+        .tau(5)
+    }
+
+    #[test]
+    fn full_api_over_a_socket() {
+        let (daemon, pool) = daemon(300, 40);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let body = serde_json::to_string(&spec("wire", pool)).unwrap();
+        let (code, reply) = http_request(addr, "POST", "/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 201, "{reply}");
+        assert!(reply.contains("\"id\""), "{reply}");
+
+        daemon.drain();
+        let (code, reply) = http_request(addr, "GET", "/jobs/0", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(reply.contains("\"Done\""), "{reply}");
+        assert!(reply.contains("\"report\""), "{reply}");
+
+        let (code, reply) = http_request(addr, "GET", "/jobs", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(reply.contains("wire"), "{reply}");
+
+        let (code, reply) = http_request(addr, "GET", "/stats", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(reply.contains("\"submitted\": 1"), "{reply}");
+
+        let (code, _) = http_request(addr, "DELETE", "/jobs/0", None).unwrap();
+        assert_eq!(
+            code, 200,
+            "cancel of a terminal job is a no-op, not an error"
+        );
+
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn errors_are_structured_bodies() {
+        let (daemon, pool) = daemon(100, 10);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        // Malformed JSON.
+        let (code, reply) = http_request(addr, "POST", "/jobs", Some("{nope")).unwrap();
+        assert_eq!(code, 400);
+        assert!(reply.contains("\"error\""), "{reply}");
+        // A spec that fails validation — the message travels to the body.
+        let bad = serde_json::to_string(&spec("bad", pool).n(0)).unwrap();
+        let (code, reply) = http_request(addr, "POST", "/jobs", Some(&bad)).unwrap();
+        assert_eq!(code, 400);
+        assert!(reply.contains("positive"), "{reply}");
+        // Unknown id, malformed id, unknown route, wrong method.
+        let (code, reply) = http_request(addr, "GET", "/jobs/9", None).unwrap();
+        assert_eq!(code, 404);
+        assert!(reply.contains("no such job"), "{reply}");
+        let (code, _) = http_request(addr, "GET", "/jobs/xyz", None).unwrap();
+        assert_eq!(code, 400);
+        let (code, _) = http_request(addr, "GET", "/nope", None).unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_request(addr, "DELETE", "/jobs", None).unwrap();
+        assert_eq!(code, 405);
+        // Wrong method on an id that exists (the id check runs first: a
+        // missing job is 404 whatever the method).
+        let ok = serde_json::to_string(&spec("ok", vec![ObjectId(0)])).unwrap();
+        let (code, _) = http_request(addr, "POST", "/jobs", Some(&ok)).unwrap();
+        assert_eq!(code, 201);
+        let (code, _) = http_request(addr, "POST", "/jobs/0", None).unwrap();
+        assert_eq!(code, 405);
+
+        // A valid spec refused because the daemon is stopping is a server
+        // condition: 503, not 400.
+        daemon.drain();
+        daemon.shutdown().unwrap();
+        let (code, reply) = http_request(addr, "POST", "/jobs", Some(&ok)).unwrap();
+        assert_eq!(code, 503, "{reply}");
+        assert!(reply.contains("shutting down"), "{reply}");
+
+        server.shutdown();
+    }
+
+    /// A huge claimed `Content-Length` must be refused before any
+    /// allocation happens — one request must not be able to pin gigabytes.
+    #[test]
+    fn oversized_body_is_refused_with_413() {
+        let (daemon, _pool) = daemon(20, 2);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        write!(
+            stream,
+            "POST /jobs HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: 99999999999\r\n\r\n"
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        assert!(response.contains("exceeds"), "{response}");
+
+        // The server is still healthy afterwards.
+        let (code, _) = http_request(addr, "GET", "/stats", None).unwrap();
+        assert_eq!(code, 200);
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+
+    /// A newline-free flood in the request/header section runs out of the
+    /// head byte budget and is answered as malformed — it cannot grow the
+    /// line buffer without bound.
+    #[test]
+    fn header_flood_is_bounded_and_rejected() {
+        let (daemon, _pool) = daemon(20, 2);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        // Exactly the head budget, no newline: the server consumes it all,
+        // hits the cap, and answers malformed. (Overshooting instead would
+        // leave unread bytes and turn the close into an RST — the request
+        // is still refused, just without a readable reply.)
+        let flood = vec![b'A'; MAX_HEAD_BYTES as usize];
+        stream.write_all(&flood).unwrap();
+        stream.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        let (code, _) = http_request(addr, "GET", "/stats", None).unwrap();
+        assert_eq!(code, 200, "server healthy after the flood");
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+}

@@ -2,12 +2,34 @@
 //!
 //! A [`JobSpec`] names a pool of objects (indices into the platform's shared
 //! dataset), the audit to run over it — any of the paper's five algorithms,
-//! chosen by [`AuditKind`] — and the job's `τ`, set-query size `n`, RNG seed
-//! and optional task budget. The service answers with a [`JobReport`]: the
-//! terminal [`JobStatus`], the algorithm's outcome, per-job [`TaskLedger`]
-//! accounting and the job's actual (post-cache) crowd spend. Every type here
-//! serializes, so a future HTTP front-end can accept specs and publish
-//! reports without new plumbing.
+//! chosen by [`AuditKind`] — and the job's `τ`, set-query size `n`, RNG seed,
+//! optional task budget and optional scheduling priority. The service
+//! answers with a [`JobReport`]: the terminal [`JobStatus`], the algorithm's
+//! outcome, per-job [`TaskLedger`] accounting and the job's actual
+//! (post-cache) crowd spend. Every type here serializes; the daemon's HTTP
+//! front-end ([`crate::http`]) accepts specs and publishes statuses and
+//! reports as exactly these shapes.
+//!
+//! ```
+//! use coverage_core::prelude::*;
+//! use coverage_service::{AuditKind, JobSpec};
+//!
+//! let spec = JobSpec::new(
+//!     "press/female-50",
+//!     vec![ObjectId(0), ObjectId(1), ObjectId(2)],
+//!     AuditKind::GroupCoverage {
+//!         target: Target::group(Pattern::parse("1").unwrap()),
+//!     },
+//! )
+//! .tau(25)
+//! .budget(500)
+//! .priority(7);
+//! assert!(spec.validate().is_ok());
+//! // The spec is wire-ready: what `POST /jobs` accepts is this JSON.
+//! let json = serde_json::to_string(&spec).unwrap();
+//! let back: JobSpec = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back, spec);
+//! ```
 
 use crate::governor::BudgetScope;
 use coverage_core::classifier::ClassifierOutcome;
@@ -167,6 +189,17 @@ pub struct JobSpec {
     /// default; outcomes and logical ledgers are identical whatever the
     /// value, only the job's wall-clock changes.
     pub intra_parallelism: Option<usize>,
+    /// Scheduling priority: a higher value runs earlier when workers are
+    /// contended. `None` defers to the service's
+    /// [`ServiceConfig::default_priority`](crate::ServiceConfig); `Some(0)`
+    /// is **valid** (the least urgent class — unlike
+    /// [`JobSpec::intra_parallelism`], where zero workers is meaningless,
+    /// every `u32` names a legitimate priority, so [`JobSpec::validate`]
+    /// accepts the full range). Ties run in submission order, and waiting
+    /// jobs age upward so a low priority delays a job but never starves it
+    /// (see [`ServiceConfig::priority_aging`](crate::ServiceConfig)).
+    /// Priority never changes a job's outcome — only when it runs.
+    pub priority: Option<u32>,
 }
 
 impl JobSpec {
@@ -182,6 +215,7 @@ impl JobSpec {
             seed: 0,
             budget: None,
             intra_parallelism: None,
+            priority: None,
         }
     }
 
@@ -219,18 +253,33 @@ impl JobSpec {
         self
     }
 
+    /// Sets the scheduling priority (higher runs earlier; zero is the
+    /// valid least-urgent class — see [`JobSpec::priority`]).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
     /// The one place a spec is validated — used by the service before a job
-    /// runs (and callable by drivers or front-ends before submission).
-    /// Rejects anything that would trip a `coverage-core` programmer-error
-    /// assert: at the service boundary a spec is tenant input and must fail
-    /// only the offending job, as an `Err`, never a panic.
+    /// runs (and callable by drivers or front-ends before submission; the
+    /// daemon's HTTP boundary maps an `Err` to a `400` body). Rejects
+    /// anything that would trip a `coverage-core` programmer-error assert:
+    /// at the service boundary a spec is tenant input and must fail only
+    /// the offending job, as an `Err`, never a panic.
+    ///
+    /// Optional knobs validate uniformly: an **absent** (`None`) knob is
+    /// always fine (the service default applies), and a **present** value
+    /// is checked only against that knob's own domain —
+    /// [`JobSpec::intra_parallelism`] via [`require_positive_knob`] (zero
+    /// threads cannot run anything), while [`JobSpec::priority`] and
+    /// [`JobSpec::budget`] accept their full ranges (priority `0` is the
+    /// least-urgent class; budget `0` is an immediately-exhausted cap —
+    /// both are meaningful tenant choices, not spec errors).
     pub fn validate(&self) -> Result<(), String> {
         if self.n == 0 {
             return Err("subset size n must be positive".to_string());
         }
-        if self.intra_parallelism == Some(0) {
-            return Err("intra-job parallelism must be positive".to_string());
-        }
+        require_positive_knob("intra-job parallelism", self.intra_parallelism)?;
         match &self.kind {
             AuditKind::MultipleCoverage { groups } if groups.is_empty() => {
                 Err("multiple_coverage needs at least one group".to_string())
@@ -245,6 +294,18 @@ impl JobSpec {
             }
             _ => Ok(()),
         }
+    }
+}
+
+/// The uniform gate for optional positive-count knobs on a [`JobSpec`]:
+/// `None` (knob unset, service default applies) passes, `Some(0)` is
+/// rejected with a consistent message, any positive value passes. Knobs
+/// whose whole range is meaningful (priority, budget) don't go through
+/// this — see [`JobSpec::validate`] for the per-knob domains.
+pub fn require_positive_knob(name: &str, value: Option<usize>) -> Result<(), String> {
+    match value {
+        Some(0) => Err(format!("{name} must be positive when set")),
+        _ => Ok(()),
     }
 }
 
@@ -491,12 +552,50 @@ mod tests {
         .tau(25)
         .n(10)
         .seed(9)
-        .budget(500);
+        .budget(500)
+        .priority(3);
         assert_eq!(spec.tau, 25);
         assert_eq!(spec.budget, Some(500));
+        assert_eq!(spec.priority, Some(3));
         let json = serde_json::to_string(&spec).unwrap();
         let back: JobSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    /// Regression: optional knobs validate uniformly. A present-but-zero
+    /// value is rejected only where zero is outside the knob's domain
+    /// (`intra_parallelism` — zero threads run nothing); `priority: 0` and
+    /// `budget: 0` are legitimate tenant choices and must pass, and every
+    /// absent knob passes.
+    #[test]
+    fn optional_knob_validation_is_uniform() {
+        let base = || {
+            JobSpec::new(
+                "k",
+                vec![ObjectId(0)],
+                AuditKind::BaseCoverage { target: target() },
+            )
+        };
+        assert!(base().validate().is_ok(), "all knobs absent");
+        assert!(
+            base().priority(0).validate().is_ok(),
+            "zero priority is the valid least-urgent class"
+        );
+        assert!(
+            base().budget(0).validate().is_ok(),
+            "zero budget is a valid immediately-exhausted cap"
+        );
+        let err = base().intra_parallelism(0).validate().unwrap_err();
+        assert_eq!(err, "intra-job parallelism must be positive when set");
+        assert!(base().intra_parallelism(1).validate().is_ok());
+        assert!(base().priority(u32::MAX).validate().is_ok());
+        // The shared gate itself.
+        assert!(require_positive_knob("x", None).is_ok());
+        assert!(require_positive_knob("x", Some(2)).is_ok());
+        assert_eq!(
+            require_positive_knob("x", Some(0)).unwrap_err(),
+            "x must be positive when set"
+        );
     }
 
     #[test]

@@ -32,14 +32,28 @@
 //! lock-striped over [`ServiceConfig::store_shards`] shards — neither knob
 //! changes any verdict or logical ledger, only wall-clock.
 //!
+//! The pool dispatches by **priority** ([`JobSpec::priority`], default
+//! [`ServiceConfig::default_priority`]): higher runs first, ties in
+//! submission order, and queued jobs age upward so nothing starves (see
+//! [`scheduler`]). Priority moves *when* a job runs, never what it
+//! reports.
+//!
 //! The whole ask path is **fallible**: budget exhaustion, cancellation
 //! (see [`AuditService::cancel_handle`]) and platform failures travel as
 //! `Err(AskError)` values from the answer source up through the algorithm
 //! drivers — never as panics — so every terminal [`JobStatus`] is ordinary
 //! data and exhausted/cancelled jobs still report partial progress.
 //!
-//! Specs, statuses and reports all serialize (`serde` + `serde_json`), so a
-//! network front-end can bolt on without touching the orchestration core.
+//! Two front doors share all of the above machinery:
+//!
+//! * **scoped batch** — [`AuditService::run`] consumes the queued specs,
+//!   runs them to completion and returns one [`ServiceReport`];
+//! * **daemon** — [`AuditDaemon`](daemon) keeps the pool, dispatcher and
+//!   knowledge store alive indefinitely: submit at any time, query live
+//!   [`JobStatus`]es, cancel, drain, shut down — and serve it all over
+//!   HTTP/JSON via [`HttpServer`](http) (`POST /jobs`, `GET /jobs/{id}`,
+//!   …), since specs, statuses and reports already serialize
+//!   (`serde` + `serde_json`).
 //!
 //! ## Quick example
 //!
@@ -78,13 +92,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
 pub mod dispatch;
 pub mod governor;
+pub mod http;
 pub mod job;
+pub mod scheduler;
 pub mod service;
 
+pub use daemon::{AuditDaemon, DaemonStats, JobSummary};
 pub use dispatch::{DispatchStats, DispatcherConfig};
 pub use governor::{BudgetPolicy, BudgetScope};
+pub use http::HttpServer;
 pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
 pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport};
 
@@ -445,6 +464,47 @@ mod tests {
         assert!(doomed.status.is_cancelled());
         assert_eq!(doomed.ledger.total_tasks(), 0, "never ran");
         assert_eq!(report.job(keep).unwrap().status, JobStatus::Done);
+    }
+
+    /// Priority steers the scoped pool too: with one worker and a global
+    /// budget that funds exactly one audit, the job that completes is the
+    /// highest-priority one — even though it was submitted last.
+    #[test]
+    fn priority_orders_the_scoped_pool() {
+        let truth = minority_truth(4000, 20);
+        let pool = truth.all_ids();
+        // Each base job labels 1 000 objects = 20 crowd tasks; a global cap
+        // of 25 funds one job and cuts off whichever runs second.
+        let mut service = AuditService::new(ServiceConfig {
+            workers: 1,
+            budget: BudgetPolicy::global(25),
+            ..ServiceConfig::default()
+        });
+        for i in 0..4 {
+            service.submit(
+                JobSpec::new(
+                    format!("base-{i}"),
+                    pool[(i * 1000)..(i + 1) * 1000].to_vec(),
+                    AuditKind::BaseCoverage {
+                        target: Target::group(Pattern::parse("1").unwrap()),
+                    },
+                )
+                .tau(50)
+                .priority(if i == 3 { 9 } else { 1 }),
+            );
+        }
+        let (report, _) = service.run(PerfectSource::new(&truth));
+        assert_eq!(
+            report.job(JobId(3)).unwrap().status,
+            JobStatus::Done,
+            "the high-priority job must run first: {}",
+            report.to_json()
+        );
+        assert!(
+            report.jobs[..3].iter().all(|j| j.status.is_exhausted()),
+            "the low-priority jobs hit the drained global cap: {}",
+            report.to_json()
+        );
     }
 
     #[test]

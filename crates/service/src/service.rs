@@ -20,6 +20,35 @@
 //! the residual crowd spend, and one job's labels shrink every other job's
 //! queries. The run returns a serializable [`ServiceReport`] plus the
 //! answer source itself (so callers can inspect e.g. `MTurkSim` stats).
+//!
+//! ```
+//! use coverage_core::prelude::*;
+//! use coverage_service::{AuditKind, AuditService, JobSpec, JobStatus, ServiceConfig};
+//!
+//! let truth = VecGroundTruth::new(
+//!     (0..800).map(|i| Labels::single(u8::from(i % 10 == 0))).collect(),
+//! );
+//! let mut service = AuditService::new(ServiceConfig {
+//!     workers: 2,          // two concurrent job runners
+//!     default_priority: 1, // specs without an explicit priority run here
+//!     ..ServiceConfig::default()
+//! });
+//! let target = Target::group(Pattern::parse("1").unwrap());
+//! let fast = service.submit(
+//!     JobSpec::new("fast", truth.all_ids(), AuditKind::GroupCoverage { target: target.clone() })
+//!         .tau(20)
+//!         .priority(9), // jumps the queue when workers are contended
+//! );
+//! let doomed = service.submit(
+//!     JobSpec::new("doomed", truth.all_ids(), AuditKind::GroupCoverage { target }).tau(20),
+//! );
+//! // Cancel the second job before the (blocking) run even starts it.
+//! let handle = service.cancel_handle();
+//! handle.cancel(doomed);
+//! let (report, _source) = service.run(PerfectSource::new(&truth));
+//! assert_eq!(report.job(fast).unwrap().status, JobStatus::Done);
+//! assert!(report.job(doomed).unwrap().status.is_cancelled());
+//! ```
 
 use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchStats, DispatcherConfig};
 use crate::governor::{BudgetPolicy, BudgetScope, GlobalBudget, GovernedSource, JobBudget};
@@ -59,6 +88,36 @@ pub struct ServiceConfig {
     /// [`JobSpec::intra_parallelism`] unset. `1` keeps every job on its own
     /// single runner thread (the pre-scale-out behaviour).
     pub intra_job_parallelism: usize,
+    /// Base scheduling priority for specs that leave [`JobSpec::priority`]
+    /// unset. Higher runs earlier; with every job at the same priority the
+    /// pool dispatches in pure submission order.
+    pub default_priority: u32,
+    /// Effective-priority boost a queued job gains per scheduling decision
+    /// it waits through — the starvation-freedom knob (see
+    /// [`crate::scheduler`]). `0` disables aging (strict priority order);
+    /// the default `1` means a job out-prioritized by `Δ` waits at most
+    /// `Δ` further pops. Aging never reorders jobs submitted together, so
+    /// scoped [`AuditService::run`] batches see pure (priority,
+    /// submission-order) scheduling whatever the value.
+    pub priority_aging: u64,
+}
+
+impl ServiceConfig {
+    /// Asserts the count knobs are in domain — the one gate both front
+    /// doors ([`AuditService::new`] and
+    /// [`AuditDaemon::start`](crate::AuditDaemon::start)) go through, so a
+    /// future constraint cannot be enforced on one and forgotten on the
+    /// other. Config is operator input, not tenant input, hence asserts
+    /// rather than `Result` (contrast [`JobSpec::validate`]).
+    pub(crate) fn assert_valid(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.point_batch > 0, "point batch must be positive");
+        assert!(self.store_shards > 0, "need at least one store shard");
+        assert!(
+            self.intra_job_parallelism > 0,
+            "intra-job parallelism must be positive"
+        );
+    }
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +129,8 @@ impl Default for ServiceConfig {
             round_latency: Duration::ZERO,
             store_shards: coverage_core::memo::DEFAULT_STORE_SHARDS,
             intra_job_parallelism: 1,
+            default_priority: 0,
+            priority_aging: 1,
         }
     }
 }
@@ -153,13 +214,7 @@ pub struct AuditService {
 impl AuditService {
     /// A service with the given tuning.
     pub fn new(config: ServiceConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.point_batch > 0, "point batch must be positive");
-        assert!(config.store_shards > 0, "need at least one store shard");
-        assert!(
-            config.intra_job_parallelism > 0,
-            "intra-job parallelism must be positive"
-        );
+        config.assert_valid();
         Self {
             config,
             jobs: Vec::new(),
@@ -216,7 +271,16 @@ impl AuditService {
 
         let reports: Mutex<Vec<Option<JobReport>>> =
             Mutex::new((0..jobs.len()).map(|_| None).collect());
-        let next_job = Mutex::new(0usize);
+        // Priority dispatch: every queued spec competes on (priority,
+        // submission order) each time a worker frees up — with default
+        // priorities this is exactly the old FIFO.
+        let queue = Mutex::new({
+            let mut queue = crate::scheduler::PriorityQueue::new(config.priority_aging);
+            for (index, spec) in jobs.iter().enumerate() {
+                queue.push(index, spec.priority.unwrap_or(config.default_priority));
+            }
+            queue
+        });
 
         let (dispatch_stats, source) = std::thread::scope(|scope| {
             let dispatcher = scope.spawn(|| {
@@ -231,14 +295,9 @@ impl AuditService {
                     scope.spawn(|| {
                         let dispatch_handle = dispatch_handle;
                         loop {
-                            let index = {
-                                let mut next = lock(&next_job);
-                                if *next >= jobs.len() {
-                                    break;
-                                }
-                                let i = *next;
-                                *next += 1;
-                                i
+                            let index = match lock(&queue).pop() {
+                                Some(index) => index,
+                                None => break,
                             };
                             let spec = &jobs[index];
                             let id = JobId(index as u64);
@@ -292,15 +351,21 @@ impl AuditService {
     }
 }
 
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+/// Locks ignoring poison: a job failing with `Err` never unwinds, but a
+/// genuine panic elsewhere must not wedge the service's shared state.
+/// Shared by this module and the daemon.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Runs one job end to end. Budget exhaustion, cancellation and platform
 /// failures arrive as `Err(Interrupted)` values from the algorithm driver —
 /// nothing panics and nothing is caught: the partial result and the live
-/// engine ledger go straight into the report.
-fn run_job(
+/// engine ledger go straight into the report. Shared by the scoped
+/// [`AuditService::run`] pool and the [`crate::daemon::AuditDaemon`]
+/// workers — one execution path is what makes daemon reports byte-identical
+/// to scoped ones.
+pub(crate) fn run_job(
     id: JobId,
     spec: &JobSpec,
     memo_root: &SharedKnowledgeSource<()>,

@@ -11,6 +11,14 @@
 //! * `crowd_platform_tour` — the crowdsourcing substrate itself: worker
 //!   pools, quality control regimes, truth inference, and what they do to
 //!   answer quality.
+//! * `budgeted_audit` — budget caps and graceful `Exhausted` outcomes.
+//! * `concurrent_audits` — nine tenants share one platform through the
+//!   scoped service: latency overlap + cross-job reuse wins.
+//! * `giant_audit` — one high-arity audit scaled inside itself (store
+//!   shards + intra-job parallelism).
+//! * `daemon_audit` — the long-lived daemon behind its HTTP/JSON API:
+//!   prioritized submissions, live statuses, a mid-run cancellation and a
+//!   byte-identity check against the scoped run.
 //!
 //! Run any of them with `cargo run -p cvg-examples --bin <name>`.
 

@@ -1,0 +1,348 @@
+//! The daemon is the scoped batch, kept alive: live statuses, priority
+//! scheduling and drain/shutdown must add **zero** result drift.
+//!
+//! The contract under test (ISSUE 5):
+//!
+//! * a spec run through [`AuditDaemon`] reports **byte-identically** (up
+//!   to wall-clock and job id) to the same spec run through the scoped
+//!   [`AuditService::run`] — whatever the submission interleaving, the
+//!   priorities, or how many jobs share the daemon (proptested);
+//! * the worker pool dispatches by priority with submission-order ties —
+//!   observable through the daemon's finished order;
+//! * [`AuditDaemon::drain`] returns only when every submitted job has a
+//!   terminal report;
+//! * the full HTTP loop — submit three prioritized jobs, watch
+//!   `Queued → Running → terminal` live, cancel one mid-run — matches the
+//!   scoped path on every surviving job.
+
+use coverage_core::prelude::*;
+use coverage_service::http::{http_request, HttpServer};
+use coverage_service::{
+    AuditDaemon, AuditKind, AuditService, JobId, JobReport, JobSpec, JobStatus, ServiceConfig,
+};
+use integration_tests::female;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic pseudo-random single-attribute labeling.
+fn synth_truth(n_total: usize, density_pct: u64, seed: u64) -> VecGroundTruth {
+    let mut labels = Vec::with_capacity(n_total);
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for _ in 0..n_total {
+        labels.push(Labels::single(u8::from(next() % 100 < density_pct)));
+    }
+    VecGroundTruth::new(labels)
+}
+
+/// A report with the schedule-dependent surface normalized away: wall-clock
+/// always differs between runs, and the daemon keeps its own id sequence.
+/// Everything else — status, outcome, ledger, crowd spend, reuse tally —
+/// must match byte for byte.
+fn normalized(report: &JobReport) -> String {
+    let mut report = report.clone();
+    report.id = JobId(0);
+    report.wall_ms = 0;
+    report.to_json()
+}
+
+/// `k` group-coverage jobs over pairwise-disjoint pool slices (disjoint so
+/// per-job reuse and crowd spend cannot depend on which sibling ran first
+/// — full-report byte-identity is then well-defined under any schedule).
+fn disjoint_workload(truth: &VecGroundTruth, k: usize, tau: usize) -> Vec<JobSpec> {
+    let pool = truth.all_ids();
+    let slice = pool.len() / k;
+    (0..k)
+        .map(|i| {
+            JobSpec::new(
+                format!("tenant-{i}"),
+                pool[i * slice..(i + 1) * slice].to_vec(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(tau)
+            .seed(i as u64)
+        })
+        .collect()
+}
+
+/// Runs the workload through the scoped batch path and returns the reports.
+fn scoped_reports_on(
+    truth: &Arc<VecGroundTruth>,
+    workload: &[JobSpec],
+    workers: usize,
+) -> Vec<JobReport> {
+    let mut service = AuditService::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    for spec in workload {
+        service.submit(spec.clone());
+    }
+    let (report, _source) = service.run(SharedTruthSource::new(Arc::clone(truth)));
+    report.jobs
+}
+
+/// Polls `f` every millisecond until it returns `Some`, bounded by a
+/// generous timeout so a broken daemon fails the test instead of hanging
+/// it.
+fn poll_until<T>(mut f: impl FnMut() -> Option<T>) -> T {
+    for _ in 0..60_000 {
+        if let Some(value) = f() {
+            return value;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("polling timed out after 60s");
+}
+
+/// Drain blocks until every job is terminal — reports exist the moment it
+/// returns, with live statuses visible beforehand.
+#[test]
+fn drain_waits_for_every_report() {
+    let truth = Arc::new(synth_truth(2_000, 8, 7));
+    let workload = disjoint_workload(&truth, 4, 10);
+    let daemon = AuditDaemon::start(
+        ServiceConfig {
+            workers: 2,
+            round_latency: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(&truth)),
+    );
+    let ids: Vec<JobId> = workload
+        .iter()
+        .map(|spec| daemon.submit(spec.clone()).unwrap())
+        .collect();
+    daemon.drain();
+    for id in &ids {
+        let report = daemon
+            .report(*id)
+            .expect("drain returned before a report landed");
+        assert!(report.status.is_done(), "{}", report.to_json());
+        assert_eq!(daemon.status(*id), Some(report.status));
+    }
+    let stats = daemon.stats();
+    assert_eq!(stats.finished, ids.len() as u64);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.running, 0);
+    let (summary, _) = daemon.shutdown().unwrap();
+    assert_eq!(summary.jobs.len(), ids.len());
+}
+
+/// With one worker pinned by a blocker job, queued jobs finish in strict
+/// (priority, submission-order) sequence — the scheduler's core promise.
+#[test]
+fn priority_orders_the_daemon_pool() {
+    let truth = Arc::new(synth_truth(6_000, 6, 11));
+    let pool = truth.all_ids();
+    let daemon = AuditDaemon::start(
+        ServiceConfig {
+            workers: 1,
+            round_latency: Duration::from_millis(2),
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(&truth)),
+    );
+    // The blocker occupies the only worker while the rest queue up.
+    let blocker = daemon
+        .submit(
+            JobSpec::new(
+                "blocker",
+                pool.clone(),
+                AuditKind::GroupCoverage { target: female() },
+            )
+            .tau(40),
+        )
+        .unwrap();
+    poll_until(|| (daemon.status(blocker) == Some(JobStatus::Running)).then_some(()));
+    // Queued behind it: priorities 2, 9, 9, 5 over disjoint slices.
+    let specs = disjoint_workload(&truth, 4, 10);
+    let priorities = [2u32, 9, 9, 5];
+    let queued: Vec<JobId> = specs
+        .into_iter()
+        .zip(priorities)
+        .map(|(spec, priority)| daemon.submit(spec.priority(priority)).unwrap())
+        .collect();
+    daemon.drain();
+    let finished = daemon.finished_order();
+    assert_eq!(finished[0], blocker);
+    // 9 before 9 by submission order, then 5, then 2.
+    assert_eq!(
+        &finished[1..],
+        &[queued[1], queued[2], queued[3], queued[0]],
+        "stats: {:?}",
+        daemon.stats()
+    );
+    daemon.shutdown().unwrap();
+}
+
+/// The acceptance loop, end to end over the real socket: three prioritized
+/// jobs over HTTP, live `Running`/`Queued` statuses, one cancelled
+/// mid-run, drained — and every surviving report byte-identical to the
+/// scoped `run()` path.
+#[test]
+fn http_jobs_match_scoped_run_with_mid_run_cancel() {
+    let truth = Arc::new(synth_truth(9_000, 5, 23));
+    let pool = truth.all_ids();
+    let daemon = Arc::new(AuditDaemon::start(
+        ServiceConfig {
+            workers: 1,
+            round_latency: Duration::from_millis(2),
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(&truth)),
+    ));
+    let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+    let addr = server.local_addr();
+    let post = |spec: &JobSpec| {
+        let (code, body) = http_request(
+            addr,
+            "POST",
+            "/jobs",
+            Some(&serde_json::to_string(spec).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(code, 201, "{body}");
+    };
+
+    // Job 0: a long, low-priority audit over the first two thirds of the
+    // dataset — the one we will cancel mid-run.
+    let doomed = JobSpec::new(
+        "doomed",
+        pool[..6_000].to_vec(),
+        AuditKind::GroupCoverage { target: female() },
+    )
+    .tau(200)
+    .priority(0);
+    // Jobs 1 and 2: disjoint slices of the remaining third, distinct
+    // priorities — the survivors compared against the scoped path.
+    let low = JobSpec::new(
+        "survivor-low",
+        pool[6_000..7_500].to_vec(),
+        AuditKind::GroupCoverage { target: female() },
+    )
+    .tau(15)
+    .seed(1)
+    .priority(3);
+    let high = JobSpec::new(
+        "survivor-high",
+        pool[7_500..].to_vec(),
+        AuditKind::GroupCoverage { target: female() },
+    )
+    .tau(15)
+    .seed(2)
+    .priority(8);
+
+    post(&doomed);
+    // Live status: the doomed job reaches `Running` before anything else
+    // is even submitted (one worker, empty queue).
+    poll_until(|| {
+        let (code, body) = http_request(addr, "GET", "/jobs/0", None).unwrap();
+        assert_eq!(code, 200);
+        body.contains("\"Running\"").then_some(())
+    });
+    post(&low);
+    post(&high);
+    // Both survivors queue behind the running blocker.
+    let (_, body) = http_request(addr, "GET", "/jobs/1", None).unwrap();
+    assert!(body.contains("\"Queued\""), "{body}");
+    // Cancel the running job over HTTP, mid-run.
+    let (code, body) = http_request(addr, "DELETE", "/jobs/0", None).unwrap();
+    assert_eq!(code, 200, "{body}");
+    daemon.drain();
+
+    // The cancelled job stopped mid-run with a partial outcome.
+    let cancelled = daemon.report(JobId(0)).unwrap();
+    assert!(cancelled.status.is_cancelled(), "{}", cancelled.to_json());
+    assert!(
+        cancelled.outcome.is_some(),
+        "mid-run cancel keeps the partial result"
+    );
+    assert!(
+        cancelled.ledger.total_tasks() > 0,
+        "the job must have been genuinely mid-run when cancelled"
+    );
+    // The high-priority survivor ran before the low-priority one.
+    assert_eq!(
+        daemon.finished_order(),
+        vec![JobId(0), JobId(2), JobId(1)],
+        "stats: {:?}",
+        daemon.stats()
+    );
+    // Statuses over HTTP are terminal now.
+    let (_, body) = http_request(addr, "GET", "/jobs", None).unwrap();
+    assert!(body.contains("\"Cancelled\""), "{body}");
+    assert!(body.contains("\"Done\""), "{body}");
+
+    // Byte-identity of the survivors against the scoped batch path.
+    let scoped = scoped_reports_on(&truth, &[low, high], 1);
+    for (daemon_id, scoped_report) in [(JobId(1), &scoped[0]), (JobId(2), &scoped[1])] {
+        let daemon_report = daemon.report(daemon_id).unwrap();
+        assert!(daemon_report.status.is_done());
+        assert_eq!(
+            normalized(&daemon_report),
+            normalized(scoped_report),
+            "daemon and scoped reports must be byte-identical"
+        );
+    }
+
+    server.shutdown();
+    let (summary, _) = daemon.shutdown().unwrap();
+    assert_eq!(summary.jobs.len(), 3);
+    assert!(daemon.shutdown().is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrent daemon submissions report byte-identically to the serial
+    /// scoped batch: any worker count, any priority assignment, any pool
+    /// carve — same specs, same reports.
+    #[test]
+    fn daemon_reports_match_scoped_serial(
+        n_total in 1_200usize..3_000,
+        density_pct in 2u64..30,
+        jobs in 2usize..5,
+        workers in 1usize..4,
+        tau in 5usize..25,
+        priorities in proptest::collection::vec(0u32..10, 4),
+        seed in 0u64..1_000,
+    ) {
+        let truth = Arc::new(synth_truth(n_total, density_pct, seed));
+        let workload: Vec<JobSpec> = disjoint_workload(&truth, jobs, tau)
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| spec.priority(priorities[i % priorities.len()]))
+            .collect();
+
+        let daemon = AuditDaemon::start(
+            ServiceConfig { workers, ..ServiceConfig::default() },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        let ids: Vec<JobId> = workload
+            .iter()
+            .map(|spec| daemon.submit(spec.clone()).unwrap())
+            .collect();
+        daemon.drain();
+        let daemon_reports: Vec<JobReport> =
+            ids.iter().map(|id| daemon.report(*id).unwrap()).collect();
+        let (summary, _) = daemon.shutdown().unwrap();
+        prop_assert_eq!(summary.jobs.len(), workload.len());
+
+        let scoped = scoped_reports_on(&truth, &workload, 1);
+        for (daemon_report, scoped_report) in daemon_reports.iter().zip(&scoped) {
+            prop_assert_eq!(
+                normalized(daemon_report),
+                normalized(scoped_report),
+                "spec {} drifted between daemon and scoped run",
+                scoped_report.name
+            );
+        }
+    }
+}
