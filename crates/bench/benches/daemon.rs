@@ -81,8 +81,10 @@ fn loaded_daemon(
 }
 
 /// Submits the probe at `priority` into a loaded daemon and returns the
-/// submit-to-first-result latency in microseconds.
-fn probe_latency_us(truth: &Arc<VecGroundTruth>, priority: u32) -> u64 {
+/// submit-to-first-result latency in microseconds, plus the daemon's own
+/// telemetry view of that distribution across *all* jobs of the run
+/// (p50/p99 in milliseconds, from the `/metrics` histogram).
+fn probe_latency_us(truth: &Arc<VecGroundTruth>, priority: u32) -> (u64, u64, u64) {
     let (daemon, pool) = loaded_daemon(truth);
     let spec = JobSpec::new(
         "probe",
@@ -102,8 +104,14 @@ fn probe_latency_us(truth: &Arc<VecGroundTruth>, priority: u32) -> u64 {
         "probe must complete"
     );
     daemon.drain();
+    let p50_ms = daemon
+        .telemetry()
+        .submit_to_first_result_percentile_ms(50.0);
+    let p99_ms = daemon
+        .telemetry()
+        .submit_to_first_result_percentile_ms(99.0);
     daemon.shutdown().expect("first shutdown");
-    latency
+    (latency, p50_ms, p99_ms)
 }
 
 /// Not a timing benchmark: one instrumented run recorded as the
@@ -112,8 +120,8 @@ fn probe_latency_us(truth: &Arc<VecGroundTruth>, priority: u32) -> u64 {
 /// step.
 fn emit_daemon_report(_c: &mut Criterion) {
     let truth = truth();
-    let in_line_us = probe_latency_us(&truth, 5);
-    let jump_us = probe_latency_us(&truth, 9);
+    let (in_line_us, p50_ms, p99_ms) = probe_latency_us(&truth, 5);
+    let (jump_us, _, _) = probe_latency_us(&truth, 9);
     assert!(
         jump_us < in_line_us,
         "a queue-jumping probe ({jump_us} µs) must beat one waiting in line ({in_line_us} µs)"
@@ -127,6 +135,11 @@ fn emit_daemon_report(_c: &mut Criterion) {
         ),
         ("submit_to_first_result_us_in_line", Value::UInt(in_line_us)),
         ("submit_to_first_result_us_priority", Value::UInt(jump_us)),
+        // The daemon's own histogram over every job in the loaded run
+        // (12 background + probe), read from the telemetry plane. Bucketed
+        // log-scale, so these are upper bounds at the bucket resolution.
+        ("submit_to_first_result_ms_p50", Value::UInt(p50_ms)),
+        ("submit_to_first_result_ms_p99", Value::UInt(p99_ms)),
         (
             "priority_speedup",
             Value::Float(in_line_us as f64 / jump_us.max(1) as f64),
@@ -136,7 +149,7 @@ fn emit_daemon_report(_c: &mut Criterion) {
         .expect("write BENCH_daemon.json");
     println!(
         "daemon submit-to-first-result under load: in line {in_line_us} µs, priority {jump_us} µs \
-         ({:.1}x), recorded in {}",
+         ({:.1}x); fleet-wide p50 {p50_ms} ms / p99 {p99_ms} ms, recorded in {}",
         in_line_us as f64 / jump_us.max(1) as f64,
         bench_daemon_path().display(),
     );

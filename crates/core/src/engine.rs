@@ -432,6 +432,7 @@ pub struct Engine<S> {
     ledger: TaskLedger,
     point_batch: usize,
     cancel: Option<CancelToken>,
+    probe: crate::probe::ProbeHandle,
 }
 
 impl<S: AnswerSource> Engine<S> {
@@ -452,6 +453,7 @@ impl<S: AnswerSource> Engine<S> {
             ledger: TaskLedger::new(),
             point_batch,
             cancel: None,
+            probe: crate::probe::ProbeHandle::none(),
         }
     }
 
@@ -472,6 +474,25 @@ impl<S: AnswerSource> Engine<S> {
     /// drivers can propagate cancellation into their worker engines.
     pub fn cancel_token(&self) -> Option<CancelToken> {
         self.cancel.clone()
+    }
+
+    /// Attaches an observability probe: algorithm drivers emit coarse phase
+    /// events through it (see [`crate::probe`]). Strictly read-only — a
+    /// probe never changes an answer, a ledger entry or a verdict.
+    pub fn set_probe(&mut self, probe: crate::probe::ProbeHandle) {
+        self.probe = probe;
+    }
+
+    /// Builder form of [`Engine::set_probe`].
+    pub fn with_probe(mut self, probe: crate::probe::ProbeHandle) -> Self {
+        self.set_probe(probe);
+        self
+    }
+
+    /// The attached probe handle (the absent handle when none was set) —
+    /// drivers emit phase events through this.
+    pub fn probe(&self) -> &crate::probe::ProbeHandle {
+        &self.probe
     }
 
     /// `Err(Cancelled)` once the installed token has been flipped.

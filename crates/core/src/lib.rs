@@ -78,6 +78,7 @@ pub mod multiple;
 pub mod mup;
 pub mod pattern;
 pub mod pattern_graph;
+pub mod probe;
 pub mod report;
 pub mod sampling;
 pub mod schema;
@@ -115,6 +116,7 @@ pub mod prelude {
     pub use crate::mup::{mups_from_counts, mups_from_counts_baseline, mups_from_labels};
     pub use crate::pattern::Pattern;
     pub use crate::pattern_graph::{PatternGraph, PatternId};
+    pub use crate::probe::{EngineProbe, ProbeHandle};
     pub use crate::report::CoverageReport;
     pub use crate::sampling::{label_samples, LabeledStore};
     pub use crate::schema::{Attribute, AttributeSchema, Labels, MAX_ATTRS};

@@ -359,6 +359,14 @@ fn phase_one<S: AnswerSource, R: Rng + ?Sized>(
 
     // Line 2: form the super-groups.
     let super_groups = aggregate(&labeled, n_total, cfg.tau, groups, cfg.multi);
+    engine.probe().emit("phase1", || {
+        format!(
+            "sampled {} labels; {} group(s) aggregated into {} super-group(s)",
+            labeled.len(),
+            groups.len(),
+            super_groups.len()
+        )
+    });
     Ok(PhaseOne {
         labeled,
         pool,
@@ -383,6 +391,26 @@ fn finish_scan<S: AnswerSource>(
         super_groups: phase1.super_groups,
         tasks: engine.ledger().since(&phase1.before),
     };
+    // One event per super-group, emitted deterministically in super-group
+    // order after any parallel scan has joined — so a job's timeline reads
+    // the same whatever `IntraJobParallelism` it ran at.
+    if engine.probe().is_attached() {
+        let total = report.super_groups.len();
+        for (index, sg) in report.super_groups.iter().enumerate() {
+            let decided = report
+                .results
+                .iter()
+                .filter(|r| sg.members.contains(&r.group))
+                .count();
+            engine.probe().emit("scan_group", || {
+                format!(
+                    "super-group {}/{total}: {} member group(s), {decided} decided",
+                    index + 1,
+                    sg.members.len()
+                )
+            });
+        }
+    }
     match first_error {
         None => Ok(report),
         Some(error) => Err(Interrupted {

@@ -77,6 +77,7 @@ use crate::governor::{GlobalBudget, JobBudget};
 use crate::job::{JobId, JobReport, JobSpec, JobStatus};
 use crate::scheduler::PriorityQueue;
 use crate::service::{lock, run_job, ServiceConfig, ServiceReport};
+use crate::telemetry::Telemetry;
 use coverage_core::engine::{BatchAnswerSource, CancelToken};
 use coverage_core::ledger::TaskLedger;
 use coverage_core::memo::{ReuseStats, SharedKnowledgeSource};
@@ -108,8 +109,18 @@ pub struct DaemonStats {
     pub queued: u64,
     /// Jobs executing right now.
     pub running: u64,
-    /// Jobs with a terminal status (done, exhausted, cancelled or failed).
+    /// Jobs with a terminal status — always the sum of the four split
+    /// counters below, kept as its own field for wire compatibility (the
+    /// pre-split `GET /stats` shape had only `finished`).
     pub finished: u64,
+    /// Jobs that ran to completion ([`JobStatus::Done`]).
+    pub done: u64,
+    /// Jobs stopped by a budget cap ([`JobStatus::Exhausted`]).
+    pub exhausted: u64,
+    /// Jobs cancelled before or during execution ([`JobStatus::Cancelled`]).
+    pub cancelled: u64,
+    /// Jobs that failed ([`JobStatus::Failed`]).
+    pub failed: u64,
     /// Worker threads in the pool.
     pub workers: u64,
     /// Crowd tasks charged past the knowledge store since start.
@@ -129,6 +140,7 @@ struct WorkerContext {
     global_budget: Arc<GlobalBudget>,
     per_job_budget: Option<u64>,
     intra_job_parallelism: usize,
+    telemetry: Telemetry,
 }
 
 #[derive(Debug)]
@@ -139,6 +151,9 @@ struct JobSlot {
     status: JobStatus,
     report: Option<JobReport>,
     cancel: CancelToken,
+    /// When the submission landed — the anchor for the queue-wait and
+    /// submit-to-first-result histograms and the `phases_ms` breakdown.
+    submitted_at: Instant,
 }
 
 #[derive(Debug)]
@@ -184,6 +199,7 @@ pub struct AuditDaemon<S> {
     workers: Mutex<Vec<JoinHandle<()>>>,
     dispatcher: Mutex<Option<JoinHandle<(crate::dispatch::DispatchStats, S)>>>,
     started: Instant,
+    telemetry: Telemetry,
 }
 
 impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
@@ -208,10 +224,12 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             }),
             wakeup: Condvar::new(),
         });
+        let telemetry = config.build_telemetry();
         let (dispatch_handle, dispatch_rx) = dispatch_channel();
         let dispatcher_config = DispatcherConfig {
             point_batch: config.point_batch,
             round_latency: config.round_latency,
+            telemetry: telemetry.clone(),
         };
         let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
         let memo_root: SharedKnowledgeSource<()> =
@@ -231,6 +249,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
                     global_budget: Arc::clone(&global_budget),
                     per_job_budget: config.budget.per_job,
                     intra_job_parallelism: config.intra_job_parallelism,
+                    telemetry: telemetry.clone(),
                 };
                 std::thread::spawn(move || worker_loop(context))
             })
@@ -245,7 +264,16 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             workers: Mutex::new(workers),
             dispatcher: Mutex::new(Some(dispatcher)),
             started: Instant::now(),
+            telemetry,
         }
+    }
+
+    /// The daemon's telemetry plane: the live metrics registry and trace
+    /// ring behind `GET /metrics`, `GET /trace/{id}` and `GET /events`.
+    /// The inert [`Telemetry::disabled`] plane when
+    /// [`ServiceConfig::telemetry`] is off.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The refusal message for submissions after [`AuditDaemon::shutdown`]
@@ -270,11 +298,22 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             }
             let id = JobId(state.jobs.len() as u64);
             state.queue.push(id.0 as usize, priority);
+            let spec = Arc::new(spec);
+            self.telemetry.job_submitted();
+            self.telemetry.job_queued_delta(1);
+            self.telemetry.trace(Some(id.0), "submit", || {
+                format!(
+                    "{} ({}) queued at priority {priority}",
+                    spec.name,
+                    spec.kind.name()
+                )
+            });
             state.jobs.push(JobSlot {
-                spec: Arc::new(spec),
+                spec,
                 status: JobStatus::Queued,
                 report: None,
                 cancel: CancelToken::new(),
+                submitted_at: Instant::now(),
             });
             id
         };
@@ -371,20 +410,40 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
 
     /// A live snapshot of the daemon's counters.
     pub fn stats(&self) -> DaemonStats {
-        let (submitted, queued, running, finished) = {
+        let (submitted, queued, running, done, exhausted, cancelled, failed) = {
             let state = self.shared.lock();
+            let (mut done, mut exhausted, mut cancelled, mut failed) = (0u64, 0u64, 0u64, 0u64);
+            for job in &state.jobs {
+                match job.status {
+                    JobStatus::Done => done += 1,
+                    JobStatus::Exhausted { .. } => exhausted += 1,
+                    JobStatus::Cancelled => cancelled += 1,
+                    JobStatus::Failed => failed += 1,
+                    JobStatus::Queued | JobStatus::Running => {}
+                }
+            }
             (
                 state.jobs.len() as u64,
                 state.queue.len() as u64,
                 state.running as u64,
-                state.finished_order.len() as u64,
+                done,
+                exhausted,
+                cancelled,
+                failed,
             )
         };
         DaemonStats {
             submitted,
             queued,
             running,
-            finished,
+            // Derived, not independently tracked: the split counters are
+            // the source of truth, `finished` keeps the pre-split wire
+            // field alive.
+            finished: done + exhausted + cancelled + failed,
+            done,
+            exhausted,
+            cancelled,
+            failed,
             workers: self.config.workers as u64,
             crowd_tasks: self.global_budget.tasks_spent(),
             reuse: self.memo_root.reuse_stats(),
@@ -458,7 +517,7 @@ impl<S> Drop for AuditDaemon<S> {
 /// the queue.
 fn worker_loop(context: WorkerContext) {
     loop {
-        let (index, spec, cancel) = {
+        let (index, spec, cancel, submitted_at) = {
             let mut state = context.shared.lock();
             loop {
                 if let Some(index) = state.queue.pop() {
@@ -472,7 +531,12 @@ fn worker_loop(context: WorkerContext) {
                     }
                     state.running += 1;
                     let job = &state.jobs[index];
-                    break (index, Arc::clone(&job.spec), job.cancel.clone());
+                    break (
+                        index,
+                        Arc::clone(&job.spec),
+                        job.cancel.clone(),
+                        job.submitted_at,
+                    );
                 }
                 if !state.accepting {
                     return;
@@ -486,6 +550,9 @@ fn worker_loop(context: WorkerContext) {
         };
         // `status` now answers `Running`; the next submission or cancel can
         // land concurrently — the job table lock is free while we work.
+        let queued_ms = submitted_at.elapsed().as_millis() as u64;
+        context.telemetry.job_queued_delta(-1);
+        context.telemetry.job_running_delta(1);
         let budget = JobBudget::new(
             spec.budget.or(context.per_job_budget),
             Arc::clone(&context.global_budget),
@@ -498,7 +565,13 @@ fn worker_loop(context: WorkerContext) {
             budget,
             cancel,
             context.intra_job_parallelism,
+            queued_ms,
+            &context.telemetry,
         );
+        context.telemetry.job_running_delta(-1);
+        context
+            .telemetry
+            .record_submit_to_first_result_ms(submitted_at.elapsed().as_millis() as u64);
         {
             let mut state = context.shared.lock();
             state.jobs[index].status = report.status;
@@ -557,6 +630,78 @@ mod tests {
         let (summary, _source) = daemon.shutdown().expect("first shutdown");
         assert_eq!(summary.jobs.len(), 2);
         assert!(daemon.shutdown().is_none(), "second shutdown is a no-op");
+    }
+
+    /// The `finished` wire field stays the derived sum of the split
+    /// status counters, and the daemon's telemetry plane sees the same
+    /// lifecycle: counters, per-job timelines and the Prometheus render
+    /// all agree with the job table.
+    #[test]
+    fn stats_split_terminal_statuses_and_telemetry_agrees() {
+        let truth = truth(400, 60);
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        // The starved job runs first (single worker, submission order): a
+        // zero budget refuses its very first question while the knowledge
+        // store is still cold — submitted later it could be answered
+        // entirely from the twin job's cached facts and finish `Done`.
+        let starved = daemon
+            .submit(group_job("t/b", truth.all_ids()).budget(0))
+            .unwrap();
+        let done = daemon.submit(group_job("t/a", truth.all_ids())).unwrap();
+        let doomed = daemon.submit(group_job("u/c", truth.all_ids())).unwrap();
+        daemon.cancel(doomed);
+        daemon.drain();
+        let stats = daemon.stats();
+        assert_eq!(stats.done, 1, "{stats:?}");
+        assert_eq!(stats.exhausted, 1, "{stats:?}");
+        assert_eq!(stats.cancelled, 1, "{stats:?}");
+        assert_eq!(stats.failed, 0, "{stats:?}");
+        assert_eq!(
+            stats.finished,
+            stats.done + stats.exhausted + stats.cancelled + stats.failed
+        );
+        // The split survives the wire.
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"exhausted\":1"), "{json}");
+
+        let telemetry = daemon.telemetry();
+        assert!(telemetry.is_enabled(), "daemon default enables telemetry");
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("audit_jobs_submitted_total 3"), "{text}");
+        assert!(
+            text.contains(r#"audit_jobs_finished_total{status="done"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"audit_jobs_finished_total{status="exhausted"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"audit_tenant_crowd_tasks_total{tenant="t"}"#),
+            "{text}"
+        );
+        // Each job's timeline starts at submission and ends terminal.
+        for (id, terminal) in [
+            (done, "done"),
+            (starved, "exhausted"),
+            (doomed, "cancelled"),
+        ] {
+            let timeline = telemetry.timeline(id.0);
+            assert_eq!(timeline.first().unwrap().phase, "submit", "{timeline:?}");
+            assert_eq!(timeline.last().unwrap().phase, terminal, "{timeline:?}");
+        }
+        // The report's lifecycle breakdown is present alongside wall_ms.
+        let report = daemon.report(done).unwrap();
+        assert!(report.phases_ms.get("queued").is_some());
+        assert!(report.phases_ms.get("run").is_some());
+        let (summary, _) = daemon.shutdown().unwrap();
+        assert_eq!(summary.jobs.len(), 3);
     }
 
     #[test]

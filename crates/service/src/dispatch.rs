@@ -31,6 +31,12 @@ pub struct DispatcherConfig {
     /// Simulated platform round-trip per dispatch round (publish HITs, wait
     /// for the crowd, collect). Zero disables the simulation.
     pub round_latency: Duration,
+    /// The telemetry plane the loop reports into: per-round question
+    /// counts, HIT round-trip latency, coalesced batch sizes. The default
+    /// [`Telemetry::disabled`](crate::telemetry::Telemetry::disabled) plane
+    /// records nothing — telemetry observes the dispatcher, it never
+    /// steers it.
+    pub telemetry: crate::telemetry::Telemetry,
 }
 
 impl Default for DispatcherConfig {
@@ -38,6 +44,7 @@ impl Default for DispatcherConfig {
         Self {
             point_batch: coverage_core::engine::DEFAULT_POINT_BATCH,
             round_latency: Duration::ZERO,
+            telemetry: crate::telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -167,12 +174,14 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
     assert!(cfg.point_batch > 0, "point batch must be positive");
     let mut stats = DispatchStats::default();
     while let Ok(first) = rx.recv() {
+        let round_start = std::time::Instant::now();
         let mut pending = vec![first];
         while let Ok(more) = rx.try_recv() {
             pending.push(more);
         }
         stats.rounds += 1;
         stats.max_round_questions = stats.max_round_questions.max(pending.len() as u64);
+        let round_questions = pending.len() as u64;
 
         // The crowd answers the whole round's HITs in parallel: one
         // simulated round trip covers everything drained this round.
@@ -240,6 +249,7 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
         }
 
         for chunk in point_replies.chunks(cfg.point_batch) {
+            cfg.telemetry.record_point_batch(chunk.len() as u64);
             let objects: Vec<ObjectId> = chunk.iter().map(|(o, _)| *o).collect();
             match source.try_answer_point_labels_batch(&objects) {
                 Ok(labels) => {
@@ -258,6 +268,18 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
                 }
             }
         }
+
+        // Close the round's books after every reply has gone out: the
+        // round-trip histogram measures what the asking jobs experienced.
+        let round_ms = round_start.elapsed().as_millis() as u64;
+        cfg.telemetry
+            .record_dispatch_round(round_questions, round_ms);
+        cfg.telemetry.trace(None, "dispatch_round", || {
+            format!(
+                "round {}: {round_questions} question(s) in {round_ms} ms",
+                stats.rounds
+            )
+        });
     }
     stats
 }
@@ -312,6 +334,7 @@ mod tests {
         let cfg = DispatcherConfig {
             point_batch: 50,
             round_latency: Duration::from_millis(2),
+            ..DispatcherConfig::default()
         };
         let stats = std::thread::scope(|scope| {
             let dispatcher = scope.spawn(|| {

@@ -14,6 +14,9 @@
 //! | `GET /jobs/{id}`   | —              | `200` `{"id","name","status","report"}`; `404`      |
 //! | `DELETE /jobs/{id}`| —              | `200` `{"id","cancelled"}` (cooperative); `404`     |
 //! | `GET /stats`       | —              | `200` [`DaemonStats`]                               |
+//! | `GET /metrics`     | —              | `200` Prometheus text exposition (`text/plain`)     |
+//! | `GET /trace/{id}`  | —              | `200` `{"id","events"}` timeline; `404` unknown id  |
+//! | `GET /events?since=N` | —           | `200` `{"next","events"}` incremental trace drain   |
 //!
 //! Errors are **structured bodies**, never bare status lines: a validation
 //! failure arrives as `400 {"error": "<JobSpec::validate message>"}`, an
@@ -70,6 +73,15 @@
 //! assert!(body.contains("error"), "{body}");
 //! let (code, _) = http_request(addr, "DELETE", "/jobs/77", None).unwrap();
 //! assert_eq!(code, 404);
+//!
+//! // The telemetry plane rides the same socket: Prometheus text and a
+//! // per-job phase timeline.
+//! let (code, body) = http_request(addr, "GET", "/metrics", None).unwrap();
+//! assert_eq!(code, 200);
+//! assert!(body.contains("audit_jobs_submitted_total"), "{body}");
+//! let (code, body) = http_request(addr, "GET", "/trace/0", None).unwrap();
+//! assert_eq!(code, 200);
+//! assert!(body.contains("\"submit\""), "{body}");
 //!
 //! server.shutdown();
 //! daemon.shutdown();
@@ -156,6 +168,10 @@ impl HttpServer {
                     // fast 503s, never unbounded OS threads.
                     if live.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
                         live.fetch_sub(1, Ordering::AcqRel);
+                        // Overload refusals are counted too — a connect
+                        // flood must be visible at /metrics, not only in
+                        // the clients' error logs.
+                        daemon.telemetry().count_http_request("?", "overload", 503);
                         let _ = respond(stream, 503, error_body("too many connections"));
                         continue;
                     }
@@ -271,6 +287,9 @@ fn handle_connection<S: BatchAnswerSource + Send + 'static>(
     reader.read_line(&mut request_line)?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        // Even an unparseable request is a counted one: floods of garbage
+        // must show up in the per-route/status counters at /metrics.
+        daemon.telemetry().count_http_request("?", "malformed", 400);
         return respond(
             into_stream(reader),
             400,
@@ -295,6 +314,9 @@ fn handle_connection<S: BatchAnswerSource + Send + 'static>(
                 match value.trim().parse() {
                     Ok(length) => content_length = length,
                     Err(_) => {
+                        daemon
+                            .telemetry()
+                            .count_http_request(&method, route_class(&path), 400);
                         return respond(
                             into_stream(reader),
                             400,
@@ -308,6 +330,9 @@ fn handle_connection<S: BatchAnswerSource + Send + 'static>(
     // The length is client-controlled: refuse before allocating, or one
     // request could pin (or fail to allocate) gigabytes.
     if content_length > MAX_BODY_BYTES {
+        daemon
+            .telemetry()
+            .count_http_request(&method, route_class(&path), 413);
         return respond(
             into_stream(reader),
             413,
@@ -322,7 +347,27 @@ fn handle_connection<S: BatchAnswerSource + Send + 'static>(
     let body = String::from_utf8_lossy(&body).into_owned();
 
     let (code, reply) = route(daemon, &method, &path, &body);
+    daemon
+        .telemetry()
+        .count_http_request(&method, route_class(&path), code);
     respond(into_stream(reader), code, reply)
+}
+
+/// The bounded-cardinality route label of a request path: ids collapse
+/// (`/jobs/17` → `/jobs/{id}`), query strings drop, and anything
+/// unroutable is `other` — `audit_http_requests_total`'s label set stays
+/// small however creative the clients get.
+fn route_class(path: &str) -> &'static str {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/jobs" => "/jobs",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/events" => "/events",
+        p if p.starts_with("/jobs/") => "/jobs/{id}",
+        p if p.starts_with("/trace/") => "/trace/{id}",
+        _ => "other",
+    }
 }
 
 /// Unwraps the limited reader back to the raw stream for the reply.
@@ -337,16 +382,18 @@ fn route<S: BatchAnswerSource + Send + 'static>(
     method: &str,
     path: &str,
     body: &str,
-) -> (u16, Value) {
+) -> (u16, Body) {
+    // `/events?since=7`: the query string routes with the path.
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     match (method, path) {
         ("POST", "/jobs") => match serde_json::from_str::<JobSpec>(body) {
             Ok(spec) => match daemon.submit(spec) {
                 Ok(id) => (
                     201,
-                    Value::Object(vec![
+                    Body::Json(Value::Object(vec![
                         ("id".to_string(), id.to_value()),
                         ("status".to_string(), Value::Str("Queued".to_string())),
-                    ]),
+                    ])),
                 ),
                 // A refusal because the daemon is stopping is a *server*
                 // condition (retry elsewhere), not a client error.
@@ -361,22 +408,82 @@ fn route<S: BatchAnswerSource + Send + 'static>(
             let jobs: Vec<JobSummary> = daemon.jobs();
             (
                 200,
-                Value::Object(vec![("jobs".to_string(), jobs.to_value())]),
+                Body::Json(Value::Object(vec![("jobs".to_string(), jobs.to_value())])),
             )
         }
         ("GET", "/stats") => {
             let stats: DaemonStats = daemon.stats();
-            (200, stats.to_value())
+            (200, Body::Json(stats.to_value()))
         }
-        (_, "/jobs") | (_, "/stats") => (405, error_body("method not allowed")),
-        (method, path) => match path.strip_prefix("/jobs/") {
-            Some(rest) => match rest.parse::<u64>() {
-                Ok(id) => job_route(daemon, method, JobId(id)),
-                Err(_) => (400, error_body(&format!("malformed job id `{rest}`"))),
-            },
-            None => (404, error_body(&format!("no such route: {method} {path}"))),
-        },
+        // The whole metrics registry in Prometheus text exposition format —
+        // counters, gauges, labeled families, histograms. Served as plain
+        // text (the scrape format), not JSON.
+        ("GET", "/metrics") => (200, Body::Text(daemon.telemetry().render_prometheus())),
+        // Incremental trace drain: events with `seq >= since`, plus the
+        // `next` cursor to resume from. Survives ring wraparound — a
+        // consumer that slept through a wrap resumes at the oldest
+        // surviving event and sees the gap in the numbering.
+        ("GET", "/events") => {
+            let since = match query.strip_prefix("since=") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(since) => since,
+                    Err(_) => return (400, error_body(&format!("malformed since cursor `{raw}`"))),
+                },
+                None if query.is_empty() => 0,
+                None => return (400, error_body(&format!("unknown query `{query}`"))),
+            };
+            let (events, next) = daemon.telemetry().events_since(since);
+            (
+                200,
+                Body::Json(Value::Object(vec![
+                    ("next".to_string(), next.to_value()),
+                    ("events".to_string(), events.to_value()),
+                ])),
+            )
+        }
+        (_, "/jobs") | (_, "/stats") | (_, "/metrics") | (_, "/events") => {
+            (405, error_body("method not allowed"))
+        }
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                return match rest.parse::<u64>() {
+                    Ok(id) => job_route(daemon, method, JobId(id)),
+                    Err(_) => (400, error_body(&format!("malformed job id `{rest}`"))),
+                };
+            }
+            if let Some(rest) = path.strip_prefix("/trace/") {
+                return match rest.parse::<u64>() {
+                    Ok(id) => trace_route(daemon, method, JobId(id)),
+                    Err(_) => (400, error_body(&format!("malformed job id `{rest}`"))),
+                };
+            }
+            (404, error_body(&format!("no such route: {method} {path}")))
+        }
     }
+}
+
+/// `GET /trace/{id}`: the job's surviving timeline from the trace ring.
+fn trace_route<S: BatchAnswerSource + Send + 'static>(
+    daemon: &AuditDaemon<S>,
+    method: &str,
+    id: JobId,
+) -> (u16, Body) {
+    // Unknown job before wrong method: a timeline for a job the daemon
+    // never issued is a 404 whatever the verb.
+    if daemon.status(id).is_none() {
+        return (404, error_body(&format!("no such job: {id}")));
+    }
+    if method != "GET" {
+        return (405, error_body("method not allowed"));
+    }
+    let events = daemon.telemetry().timeline(id.0);
+    (
+        200,
+        Body::Json(Value::Object(vec![
+            ("id".to_string(), id.to_value()),
+            ("events".to_string(), events.to_value()),
+        ])),
+    )
 }
 
 /// `GET`/`DELETE /jobs/{id}`.
@@ -384,7 +491,7 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
     daemon: &AuditDaemon<S>,
     method: &str,
     id: JobId,
-) -> (u16, Value) {
+) -> (u16, Body) {
     match method {
         "GET" => {
             // One consistent snapshot: status and report come from a single
@@ -395,7 +502,7 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
             };
             (
                 200,
-                Value::Object(vec![
+                Body::Json(Value::Object(vec![
                     ("id".to_string(), id.to_value()),
                     ("name".to_string(), Value::Str(summary.name)),
                     ("algorithm".to_string(), Value::Str(summary.algorithm)),
@@ -407,7 +514,7 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
                             None => Value::Null,
                         },
                     ),
-                ]),
+                ])),
             )
         }
         "DELETE" => {
@@ -416,10 +523,10 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
             }
             (
                 200,
-                Value::Object(vec![
+                Body::Json(Value::Object(vec![
                     ("id".to_string(), id.to_value()),
                     ("cancelled".to_string(), Value::Bool(true)),
-                ]),
+                ])),
             )
         }
         _ if daemon.status(id).is_none() => (404, error_body(&format!("no such job: {id}"))),
@@ -427,11 +534,22 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
     }
 }
 
-fn error_body(message: &str) -> Value {
-    Value::Object(vec![("error".to_string(), Value::Str(message.to_string()))])
+fn error_body(message: &str) -> Body {
+    Body::Json(Value::Object(vec![(
+        "error".to_string(),
+        Value::Str(message.to_string()),
+    )]))
 }
 
-fn respond(mut stream: TcpStream, code: u16, body: Value) -> io::Result<()> {
+/// A response payload: the API's JSON bodies, or plain text for the
+/// Prometheus exposition format (`GET /metrics` is scraped by tools that
+/// expect `text/plain`, not JSON).
+enum Body {
+    Json(Value),
+    Text(String),
+}
+
+fn respond(mut stream: TcpStream, code: u16, body: Body) -> io::Result<()> {
     let reason = match code {
         200 => "OK",
         201 => "Created",
@@ -442,10 +560,17 @@ fn respond(mut stream: TcpStream, code: u16, body: Value) -> io::Result<()> {
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let body = serde_json::to_string_pretty(&Raw(body)).expect("reply serializes");
+    let (content_type, body) = match body {
+        Body::Json(value) => (
+            "application/json",
+            serde_json::to_string_pretty(&Raw(value)).expect("reply serializes"),
+        ),
+        // The Prometheus text exposition format, version 0.0.4.
+        Body::Text(text) => ("text/plain; version=0.0.4", text),
+    };
     write!(
         stream,
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -633,6 +758,103 @@ mod tests {
 
         let (code, _) = http_request(addr, "GET", "/stats", None).unwrap();
         assert_eq!(code, 200, "server healthy after the flood");
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+
+    /// The telemetry surface: Prometheus text on `/metrics` (including the
+    /// per-route request counters this very test generates), per-job
+    /// timelines on `/trace/{id}`, and a resumable `/events` cursor.
+    #[test]
+    fn telemetry_surface_over_a_socket() {
+        let (daemon, pool) = daemon(300, 40);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let body = serde_json::to_string(&spec("acme/wire", pool)).unwrap();
+        let (code, _) = http_request(addr, "POST", "/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 201);
+        daemon.drain();
+
+        // A few requests with known outcomes so the request counters have
+        // something to show: a 200 GET, a 404, a 400.
+        let (code, _) = http_request(addr, "GET", "/jobs/0", None).unwrap();
+        assert_eq!(code, 200);
+        let (code, _) = http_request(addr, "GET", "/jobs/9", None).unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_request(addr, "GET", "/jobs/xyz", None).unwrap();
+        assert_eq!(code, 400);
+
+        // /metrics is text exposition, not JSON.
+        let (code, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(
+            metrics.contains("audit_jobs_submitted_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("audit_jobs_finished_total{status=\"done\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("audit_tenant_crowd_tasks_total{tenant=\"acme\"}"),
+            "{metrics}"
+        );
+        // Requests are counted by (method, route-class, status) — ids are
+        // collapsed into a class so cardinality stays bounded.
+        assert!(
+            metrics.contains(
+                "audit_http_requests_total{method=\"GET\",route=\"/jobs/{id}\",status=\"200\"} 1"
+            ),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(
+                "audit_http_requests_total{method=\"GET\",route=\"/jobs/{id}\",status=\"404\"} 1"
+            ),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("audit_submit_to_first_result_ms_bucket"),
+            "{metrics}"
+        );
+
+        // /trace/{id}: a full timeline for a known job, 404 for a ghost.
+        let (code, trace) = http_request(addr, "GET", "/trace/0", None).unwrap();
+        assert_eq!(code, 200);
+        for phase in ["\"submit\"", "\"scheduled\"", "\"done\""] {
+            assert!(trace.contains(phase), "missing {phase} in {trace}");
+        }
+        let (code, reply) = http_request(addr, "GET", "/trace/9", None).unwrap();
+        assert_eq!(code, 404);
+        assert!(reply.contains("no such job"), "{reply}");
+
+        // /events: drain everything, then resume from the cursor — the
+        // second read from `next` sees nothing new.
+        let (code, events) = http_request(addr, "GET", "/events", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(events.contains("\"next\""), "{events}");
+        assert!(events.contains("\"submit\""), "{events}");
+        let next = {
+            let cursor = events.split("\"next\": ").nth(1).unwrap();
+            cursor[..cursor.find(',').unwrap()].trim().to_string()
+        };
+        let (code, tail) =
+            http_request(addr, "GET", &format!("/events?since={next}"), None).unwrap();
+        assert_eq!(code, 200);
+        assert!(tail.contains("\"events\": []"), "{tail}");
+
+        // Wrong method and malformed cursor are structured errors.
+        let (code, _) = http_request(addr, "POST", "/metrics", None).unwrap();
+        assert_eq!(code, 405);
+        let (code, _) = http_request(addr, "DELETE", "/events", None).unwrap();
+        assert_eq!(code, 405);
+        let (code, _) = http_request(addr, "POST", "/trace/0", None).unwrap();
+        assert_eq!(code, 405);
+        let (code, reply) = http_request(addr, "GET", "/events?since=banana", None).unwrap();
+        assert_eq!(code, 400);
+        assert!(reply.contains("malformed since"), "{reply}");
+
         server.shutdown();
         daemon.shutdown().unwrap();
     }

@@ -469,6 +469,60 @@ impl Deserialize for AuditOutcome {
     }
 }
 
+/// An ordered phase → duration breakdown of a job's wall-clock: how long
+/// it waited in the queue, how long it executed. Serialized as a JSON
+/// object whose key order is the phase order (`{"queued": 3, "run": 41}`),
+/// so reports diff cleanly and a second round trip is byte-identical.
+///
+/// Like [`JobReport::wall_ms`], this is *wall-clock observability*, not
+/// part of the audit verdict: the telemetry byte-identity proptest
+/// (`tests/telemetry.rs`) compares reports modulo `wall_ms` and
+/// `phases_ms` only.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseDurations(pub Vec<(String, u64)>);
+
+impl PhaseDurations {
+    /// The duration recorded for `phase`, if any.
+    pub fn get(&self, phase: &str) -> Option<u64> {
+        self.0.iter().find(|(p, _)| p == phase).map(|(_, ms)| *ms)
+    }
+
+    /// Appends one phase duration (phases are recorded in lifecycle order).
+    pub fn push(&mut self, phase: impl Into<String>, ms: u64) {
+        self.0.push((phase.into(), ms));
+    }
+}
+
+// A map with meaningful key *order* — the vendored derive only handles
+// named-field structs, so serialize the object shape by hand.
+impl Serialize for PhaseDurations {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.0
+                .iter()
+                .map(|(phase, ms)| (phase.clone(), ms.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for PhaseDurations {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (phase, ms) in pairs {
+                    out.push((phase.clone(), u64::from_value(ms)?));
+                }
+                Ok(Self(out))
+            }
+            other => Err(Error::new(format!(
+                "expected phases_ms object, found {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Terminal report for one job.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobReport {
@@ -501,6 +555,10 @@ pub struct JobReport {
     pub reuse: ReuseStats,
     /// Wall-clock milliseconds from first schedule to completion.
     pub wall_ms: u64,
+    /// Ordered phase → duration breakdown of the job's lifecycle
+    /// (`queued` wait, `run` execution). Wall-clock observability like
+    /// [`JobReport::wall_ms`] — never part of the audit verdict.
+    pub phases_ms: PhaseDurations,
 }
 
 impl JobReport {
@@ -616,9 +674,11 @@ mod tests {
             crowd_tasks: 71,
             reuse: ReuseStats::default(),
             wall_ms: 12,
+            phases_ms: PhaseDurations(vec![("queued".into(), 1), ("run".into(), 11)]),
         };
         let json = report.to_json();
         assert!(json.contains("\"status\": \"Done\""), "{json}");
+        assert!(json.contains("\"queued\": 1"), "{json}");
         let back: JobReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.status, JobStatus::Done);
         assert_eq!(back.outcome.unwrap().covered(), Some(true));
@@ -690,6 +750,7 @@ mod tests {
                     objects_pruned: 12,
                 },
                 wall_ms: 7,
+                phases_ms: PhaseDurations(vec![("queued".into(), 0), ("run".into(), 7)]),
             };
             let json = report.to_json();
             let back: JobReport = serde_json::from_str(&json).unwrap();
@@ -725,6 +786,7 @@ mod tests {
             crowd_tasks: 9,
             reuse: ReuseStats::default(),
             wall_ms: 2,
+            phases_ms: PhaseDurations::default(),
         };
         let json = report.to_json();
         assert!(json.contains("\"status\": \"Cancelled\""), "{json}");
@@ -734,6 +796,25 @@ mod tests {
         assert!(back.outcome.is_some());
         let json2 = serde_json::to_string_pretty(&back).unwrap();
         assert_eq!(json, json2);
+    }
+
+    /// `phases_ms` serializes as an order-preserving JSON object and
+    /// round-trips losslessly — including the empty breakdown.
+    #[test]
+    fn phase_durations_round_trip_in_order() {
+        let mut phases = PhaseDurations::default();
+        assert_eq!(phases.get("queued"), None);
+        phases.push("queued", 3);
+        phases.push("run", 41);
+        assert_eq!(phases.get("queued"), Some(3));
+        assert_eq!(phases.get("run"), Some(41));
+        let json = serde_json::to_string(&phases).unwrap();
+        assert_eq!(json, r#"{"queued":3,"run":41}"#);
+        let back: PhaseDurations = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, phases);
+        let empty: PhaseDurations = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, PhaseDurations::default());
+        assert!(PhaseDurations::from_value(&Value::Int(3)).is_err());
     }
 
     #[test]

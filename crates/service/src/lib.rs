@@ -99,13 +99,15 @@ pub mod http;
 pub mod job;
 pub mod scheduler;
 pub mod service;
+pub mod telemetry;
 
 pub use daemon::{AuditDaemon, DaemonStats, JobSummary};
 pub use dispatch::{DispatchStats, DispatcherConfig};
 pub use governor::{BudgetPolicy, BudgetScope};
 pub use http::HttpServer;
-pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
+pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus, PhaseDurations};
 pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport};
+pub use telemetry::{Telemetry, TraceEvent};
 
 #[cfg(test)]
 mod tests {

@@ -52,7 +52,8 @@
 
 use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchStats, DispatcherConfig};
 use crate::governor::{BudgetPolicy, BudgetScope, GlobalBudget, GovernedSource, JobBudget};
-use crate::job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus};
+use crate::job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus, PhaseDurations};
+use crate::telemetry::{tenant_of, Telemetry};
 use coverage_core::base_coverage::base_coverage;
 use coverage_core::classifier::{classifier_coverage, ClassifierConfig};
 use coverage_core::engine::{BatchAnswerSource, CancelToken, Engine, ForkableSource};
@@ -100,6 +101,17 @@ pub struct ServiceConfig {
     /// scoped [`AuditService::run`] batches see pure (priority,
     /// submission-order) scheduling whatever the value.
     pub priority_aging: u64,
+    /// Enables the telemetry plane ([`crate::telemetry`]): the metrics
+    /// registry, the trace ring and the daemon's `/metrics`–`/trace`
+    /// surface. Strictly read-only — with this on or off every
+    /// [`JobReport`] field except `wall_ms`/`phases_ms` is byte-identical
+    /// (pinned by the `tests/telemetry.rs` proptest). Off makes every
+    /// record call a no-op.
+    pub telemetry: bool,
+    /// Trace-ring capacity: how many of the most recent [`crate::TraceEvent`]s
+    /// survive for `/trace/{id}` and `/events`. Only read when
+    /// [`ServiceConfig::telemetry`] is on.
+    pub trace_capacity: usize,
 }
 
 impl ServiceConfig {
@@ -117,6 +129,20 @@ impl ServiceConfig {
             self.intra_job_parallelism > 0,
             "intra-job parallelism must be positive"
         );
+        assert!(
+            !self.telemetry || self.trace_capacity > 0,
+            "trace capacity must be positive when telemetry is on"
+        );
+    }
+
+    /// The telemetry plane this config asks for: a live registry + trace
+    /// ring, or the inert [`Telemetry::disabled`] plane.
+    pub(crate) fn build_telemetry(&self) -> Telemetry {
+        if self.telemetry {
+            Telemetry::new(self.trace_capacity)
+        } else {
+            Telemetry::disabled()
+        }
     }
 }
 
@@ -131,6 +157,8 @@ impl Default for ServiceConfig {
             intra_job_parallelism: 1,
             default_priority: 0,
             priority_aging: 1,
+            telemetry: true,
+            trace_capacity: 1024,
         }
     }
 }
@@ -260,10 +288,25 @@ impl AuditService {
         let jobs = self.jobs;
         let cancel_tokens: Vec<CancelToken> = lock(&self.cancel_tokens).clone();
 
+        let telemetry = config.build_telemetry();
+        for (index, spec) in jobs.iter().enumerate() {
+            telemetry.job_submitted();
+            telemetry.job_queued_delta(1);
+            telemetry.trace(Some(index as u64), "submit", || {
+                format!(
+                    "{} ({}) queued at priority {}",
+                    spec.name,
+                    spec.kind.name(),
+                    spec.priority.unwrap_or(config.default_priority)
+                )
+            });
+        }
+
         let (dispatch_handle, dispatch_rx) = dispatch_channel();
         let dispatcher_config = DispatcherConfig {
             point_batch: config.point_batch,
             round_latency: config.round_latency,
+            telemetry: telemetry.clone(),
         };
         let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
         let memo_root: SharedKnowledgeSource<()> =
@@ -292,8 +335,10 @@ impl AuditService {
             let runners: Vec<_> = (0..config.workers.min(jobs.len().max(1)))
                 .map(|_| {
                     let dispatch_handle = dispatch_handle.clone();
+                    let telemetry = telemetry.clone();
                     scope.spawn(|| {
                         let dispatch_handle = dispatch_handle;
+                        let telemetry = telemetry;
                         loop {
                             let index = match lock(&queue).pop() {
                                 Some(index) => index,
@@ -301,6 +346,12 @@ impl AuditService {
                             };
                             let spec = &jobs[index];
                             let id = JobId(index as u64);
+                            // Scoped jobs are all "submitted" when the run
+                            // starts: queue wait is time-to-first-schedule
+                            // from there.
+                            let queued_ms = start.elapsed().as_millis() as u64;
+                            telemetry.job_queued_delta(-1);
+                            telemetry.job_running_delta(1);
                             let budget = JobBudget::new(
                                 spec.budget.or(config.budget.per_job),
                                 Arc::clone(&global_budget),
@@ -313,6 +364,12 @@ impl AuditService {
                                 budget,
                                 cancel_tokens[index].clone(),
                                 config.intra_job_parallelism,
+                                queued_ms,
+                                &telemetry,
+                            );
+                            telemetry.job_running_delta(-1);
+                            telemetry.record_submit_to_first_result_ms(
+                                start.elapsed().as_millis() as u64
                             );
                             lock(&reports)[index] = Some(report);
                         }
@@ -365,6 +422,7 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// [`AuditService::run`] pool and the [`crate::daemon::AuditDaemon`]
 /// workers — one execution path is what makes daemon reports byte-identical
 /// to scoped ones.
+#[allow(clippy::too_many_arguments)] // one execution path shared by both front doors
 pub(crate) fn run_job(
     id: JobId,
     spec: &JobSpec,
@@ -373,8 +431,24 @@ pub(crate) fn run_job(
     budget: JobBudget,
     cancel: CancelToken,
     default_parallelism: usize,
+    queued_ms: u64,
+    telemetry: &Telemetry,
 ) -> JobReport {
     let start = Instant::now();
+    telemetry.record_queue_wait_ms(queued_ms);
+    telemetry.trace(Some(id.0), "scheduled", || {
+        format!("{} picked up after {queued_ms} ms queued", spec.name)
+    });
+    // The lifecycle breakdown is plain wall-clock bookkeeping: always
+    // computed, telemetry on or off (only the trace/metrics calls are
+    // gated). It joins `wall_ms` in the set of fields the byte-identity
+    // proptest ignores.
+    let phases = |run_ms: u64| {
+        let mut phases = PhaseDurations::default();
+        phases.push("queued", queued_ms);
+        phases.push("run", run_ms);
+        phases
+    };
     let base = JobReport {
         id,
         name: spec.name.clone(),
@@ -386,26 +460,65 @@ pub(crate) fn run_job(
         crowd_tasks: 0,
         reuse: ReuseStats::default(),
         wall_ms: 0,
+        phases_ms: PhaseDurations::default(),
+    };
+    let finish = |report: JobReport| {
+        telemetry.trace(Some(id.0), "store", || {
+            format!(
+                "{} hit(s), {} narrowed, {} forwarded, {} object(s) pruned",
+                report.reuse.hits,
+                report.reuse.narrowed,
+                report.reuse.forwarded,
+                report.reuse.objects_pruned
+            )
+        });
+        telemetry.trace(
+            Some(id.0),
+            crate::telemetry::status_label(&report.status),
+            || {
+                format!(
+                    "{} finished: {} crowd task(s), {} logical",
+                    report.name,
+                    report.crowd_tasks,
+                    report.ledger.total_tasks()
+                )
+            },
+        );
+        telemetry.job_finished(&report.status, tenant_of(&report.name), report.crowd_tasks);
+        report
     };
     if let Err(message) = spec.validate() {
-        return JobReport {
+        let wall_ms = start.elapsed().as_millis() as u64;
+        return finish(JobReport {
             error: Some(message),
-            wall_ms: start.elapsed().as_millis() as u64,
+            wall_ms,
+            phases_ms: phases(wall_ms),
             ..base
-        };
+        });
     }
     if cancel.is_cancelled() {
         // Cancelled while still queued: report without running.
-        return JobReport {
+        let wall_ms = start.elapsed().as_millis() as u64;
+        return finish(JobReport {
             status: JobStatus::Cancelled,
-            wall_ms: start.elapsed().as_millis() as u64,
+            wall_ms,
+            phases_ms: phases(wall_ms),
             ..base
-        };
+        });
     }
 
     let governed = GovernedSource::new(dispatch_handle.clone(), budget.clone());
     let source = memo_root.with_inner(governed);
     let mut engine = Engine::with_point_batch(source, spec.n).with_cancel_token(cancel);
+    if telemetry.is_enabled() {
+        // Forward the core engine's phase events ("phase1", "scan_group")
+        // into this job's trace timeline. The probe observes only — the
+        // engine cannot hear anything back through it.
+        engine.set_probe(coverage_core::probe::ProbeHandle::new(Arc::new(JobProbe {
+            telemetry: telemetry.clone(),
+            job: id.0,
+        })));
+    }
     let parallelism = IntraJobParallelism(spec.intra_parallelism.unwrap_or(default_parallelism));
     let result = execute_algorithm(spec, &mut engine, parallelism);
     let ledger = *engine.ledger();
@@ -417,9 +530,10 @@ pub(crate) fn run_job(
         crowd_tasks,
         reuse,
         wall_ms,
+        phases_ms: phases(wall_ms),
         ..base
     };
-    match result {
+    finish(match result {
         Ok(outcome) => JobReport {
             status: JobStatus::Done,
             outcome: Some(outcome),
@@ -446,6 +560,21 @@ pub(crate) fn run_job(
                 ..base
             },
         },
+    })
+}
+
+/// The bridge from the core engine's [`EngineProbe`](coverage_core::probe)
+/// seam to the service's trace ring: every phase event an algorithm driver
+/// emits lands in the job's timeline.
+struct JobProbe {
+    telemetry: Telemetry,
+    job: u64,
+}
+
+impl coverage_core::probe::EngineProbe for JobProbe {
+    fn on_phase(&self, phase: &str, detail: &str) {
+        self.telemetry
+            .trace(Some(self.job), phase, || detail.to_string());
     }
 }
 

@@ -15,8 +15,10 @@
 //!    wall-clock and id) to the same specs run through the scoped
 //!    `AuditService::run` path;
 //! 6. measure submit-to-first-result latency of a priority-9 probe under
-//!    load (recorded in `results/BENCH_daemon.json`) and shut everything
-//!    down cleanly.
+//!    load (recorded in `results/BENCH_daemon.json`);
+//! 7. read the run back through the telemetry plane — the human summary,
+//!    the Prometheus `/metrics` scrape and the cancelled job's `/trace`
+//!    timeline — then shut everything down cleanly.
 //!
 //! ```sh
 //! cargo run --release -p cvg-examples --bin daemon_audit
@@ -88,6 +90,7 @@ fn normalized(report: &JobReport) -> String {
     let mut report = report.clone();
     report.id = JobId(0);
     report.wall_ms = 0;
+    report.phases_ms = coverage_service::PhaseDurations::default();
     report.to_json()
 }
 
@@ -252,10 +255,26 @@ fn main() {
     let probe_ms = started.elapsed().as_millis() as u64;
     println!("priority-9 probe: first result after {probe_ms} ms under 4-job load");
 
-    println!("\n=== stats, clean shutdown ===");
-    let (code, stats_body) = http_request(addr, "GET", "/stats", None).unwrap();
+    println!("\n=== telemetry: human summary, /metrics, /trace ===");
+    let (code, _stats_body) = http_request(addr, "GET", "/stats", None).unwrap();
     assert_eq!(code, 200);
-    println!("{stats_body}");
+    // The raw DaemonStats JSON is still on /stats; what a human wants is
+    // the telemetry plane's digest of the same run.
+    println!("{}", daemon.telemetry().human_summary());
+    let (code, metrics) = http_request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(code, 200);
+    assert!(metrics.contains("audit_jobs_submitted_total"), "{metrics}");
+    let prom_lines = metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    println!("GET /metrics: {prom_lines} Prometheus samples");
+    let (code, trace) = http_request(addr, "GET", &format!("/trace/{doomed}"), None).unwrap();
+    assert_eq!(code, 200);
+    assert!(trace.contains("\"cancelled\""), "{trace}");
+    println!("GET /trace/{doomed}: cancelled job's phase timeline served");
+
+    println!("\n=== clean shutdown ===");
     daemon.drain();
     server.shutdown();
     let (summary, _source) = daemon.shutdown().expect("first shutdown succeeds");

@@ -49,6 +49,7 @@ fn normalized(report: &JobReport) -> String {
     let mut report = report.clone();
     report.id = JobId(0);
     report.wall_ms = 0;
+    report.phases_ms = coverage_service::PhaseDurations::default();
     report.to_json()
 }
 
