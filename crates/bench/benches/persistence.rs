@@ -1,0 +1,198 @@
+//! Persistence costs: what does durability charge, and what does it buy?
+//!
+//! Two numbers matter for the durable knowledge plane. **Cold-start
+//! recovery time** — how long [`AuditDaemon::start`] takes when the data
+//! directory already holds a snapshot + WAL from a prior run (the restarted
+//! daemon must then answer the same workload with *zero* crowd questions,
+//! which this target asserts). And the **spill tax** — crowd spend with the
+//! LRU disk spill enabled vs disabled, which must be exactly zero: a
+//! spilled fact still counts as known, so spilling trades memory for disk
+//! reads, never for crowd money. Both are recorded as the
+//! `persistence_bench` section of `results/BENCH_persistence.json` so CI
+//! tracks the recovery-latency trajectory across PRs.
+//!
+//! [`AuditDaemon::start`]: coverage_service::AuditDaemon::start
+
+use coverage_core::prelude::*;
+use coverage_service::{AuditDaemon, AuditKind, JobSpec, ServiceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvg_bench::report::{bench_persistence_path, json_object, update_json_report};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 404;
+const POOL: usize = 12_000;
+const JOBS: usize = 6;
+const WORKERS: usize = 2;
+
+/// Deterministic single-attribute truth: ~7% minority.
+fn truth() -> Arc<VecGroundTruth> {
+    let mut state = SEED;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    Arc::new(VecGroundTruth::new(
+        (0..POOL)
+            .map(|_| Labels::single(u8::from(next() % 100 < 7)))
+            .collect(),
+    ))
+}
+
+fn female() -> Target {
+    Target::group(Pattern::parse("1").unwrap())
+}
+
+/// A fresh scratch data directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cvg_bench_persistence_{tag}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn start_daemon(
+    truth: &Arc<VecGroundTruth>,
+    data_dir: &Path,
+    spill: Option<usize>,
+) -> AuditDaemon<SharedTruthSource<VecGroundTruth>> {
+    AuditDaemon::start(
+        ServiceConfig {
+            workers: WORKERS,
+            round_latency: Duration::from_micros(200),
+            data_dir: Some(data_dir.to_path_buf()),
+            spill_high_watermark: spill,
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(truth)),
+    )
+}
+
+/// Submits `JOBS` disjoint base-coverage audits (one point query per
+/// object, so the label base grows with the pool), drains, and returns the
+/// total crowd spend of the run.
+fn run_workload(daemon: &AuditDaemon<SharedTruthSource<VecGroundTruth>>, pool: &[ObjectId]) -> u64 {
+    let slice = POOL / JOBS;
+    let ids: Vec<_> = (0..JOBS)
+        .map(|i| {
+            daemon
+                .submit(
+                    JobSpec::new(
+                        format!("persistence-{i}"),
+                        pool[i * slice..(i + 1) * slice].to_vec(),
+                        AuditKind::BaseCoverage { target: female() },
+                    )
+                    .tau(25)
+                    .seed(i as u64),
+                )
+                .expect("workload spec is valid")
+        })
+        .collect();
+    daemon.drain();
+    ids.iter()
+        .map(|id| {
+            daemon
+                .report(*id)
+                .expect("drained job has a report")
+                .crowd_tasks
+        })
+        .sum()
+}
+
+/// Reads one counter back out of the daemon's own Prometheus surface.
+fn counter(daemon: &AuditDaemon<SharedTruthSource<VecGroundTruth>>, name: &str) -> u64 {
+    daemon
+        .telemetry()
+        .render_prometheus()
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")).map(str::to_string))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Not a timing benchmark: one instrumented run recorded as the
+/// `persistence_bench` section of `results/BENCH_persistence.json`.
+fn emit_persistence_report(_c: &mut Criterion) {
+    let truth = truth();
+    let pool = truth.all_ids();
+
+    // Pass 1: populate a data directory, shut down cleanly (final snapshot).
+    let dir = scratch_dir("recovery");
+    let cold = start_daemon(&truth, &dir, None);
+    let cold_spend = run_workload(&cold, &pool);
+    cold.shutdown().expect("clean shutdown cuts a snapshot");
+    assert!(cold_spend > 0, "a cold run must ask the crowd something");
+
+    // Pass 2: cold-start recovery from that directory, timed. The recovered
+    // daemon already knows every committed fact, so the same workload costs
+    // zero crowd tasks — durability's whole point.
+    let started = Instant::now();
+    let warm = start_daemon(&truth, &dir, None);
+    let recovery_us = started.elapsed().as_micros() as u64;
+    let recovered_facts = counter(&warm, "audit_recovered_facts_total");
+    let warm_spend = run_workload(&warm, &pool);
+    warm.shutdown().expect("second shutdown");
+    assert_eq!(warm_spend, 0, "a recovered daemon re-asks nothing");
+    assert!(recovered_facts > 0, "recovery must load the fact base");
+
+    // Pass 3 + 4: the spill tax. Same workload on fresh directories with the
+    // LRU spill off vs aggressively on — crowd spend must be identical
+    // because a spilled fact is still a known fact.
+    let off_dir = scratch_dir("spill_off");
+    let off = start_daemon(&truth, &off_dir, None);
+    let spend_off = run_workload(&off, &pool);
+    off.shutdown().expect("spill-off shutdown");
+
+    let on_dir = scratch_dir("spill_on");
+    let on = start_daemon(&truth, &on_dir, Some(64));
+    let spend_on = run_workload(&on, &pool);
+    let spilled = counter(&on, "audit_spilled_labels_total");
+    on.shutdown().expect("spill-on shutdown");
+    assert_eq!(
+        spend_on, spend_off,
+        "spilling trades memory for disk, never for crowd money"
+    );
+    assert!(spilled > 0, "a 64-label watermark must evict cold labels");
+
+    for d in [&dir, &off_dir, &on_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+
+    let section = json_object(vec![
+        ("pool", Value::UInt(POOL as u64)),
+        ("jobs", Value::UInt(JOBS as u64)),
+        ("workers", Value::UInt(WORKERS as u64)),
+        ("cold_start_recovery_us", Value::UInt(recovery_us)),
+        ("recovered_facts", Value::UInt(recovered_facts)),
+        ("cold_run_crowd_tasks", Value::UInt(cold_spend)),
+        ("recovered_run_crowd_tasks", Value::UInt(warm_spend)),
+        ("spill_off_crowd_tasks", Value::UInt(spend_off)),
+        ("spill_on_crowd_tasks", Value::UInt(spend_on)),
+        ("spilled_labels", Value::UInt(spilled)),
+    ]);
+    update_json_report(bench_persistence_path(), "persistence_bench", section)
+        .expect("write BENCH_persistence.json");
+    println!(
+        "persistence: recovered {recovered_facts} facts in {recovery_us} µs; \
+         crowd spend cold {cold_spend} / recovered {warm_spend}; \
+         spill off {spend_off} vs on {spend_on} ({spilled} labels spilled), recorded in {}",
+        bench_persistence_path().display(),
+    );
+}
+
+// No wall-clock Criterion group: recovery latency is measured directly
+// around the one `start` call that matters, and the spend equalities are
+// correctness pins — re-sampling them would re-run four daemon lifecycles
+// per iteration for no extra signal.
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = emit_persistence_report
+}
+criterion_main!(benches);

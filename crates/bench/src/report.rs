@@ -32,6 +32,14 @@ pub fn bench_daemon_path() -> PathBuf {
     results_dir().join("BENCH_daemon.json")
 }
 
+/// The canonical persistence report file: `results/BENCH_persistence.json`,
+/// written by the `persistence` bench — cold-start recovery time from a
+/// populated data directory and spill-on vs spill-off crowd spend (the two
+/// must be equal; persistence is an observer, never an oracle).
+pub fn bench_persistence_path() -> PathBuf {
+    results_dir().join("BENCH_persistence.json")
+}
+
 /// Upserts `key` in the JSON object stored at `path`, creating the file
 /// (and its parent directory) if needed. Other writers' keys are preserved,
 /// so several harnesses can share one report file; a corrupt or non-object

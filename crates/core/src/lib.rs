@@ -106,8 +106,8 @@ pub mod prelude {
     };
     pub use crate::ledger::{PricingModel, TaskLedger};
     pub use crate::memo::{
-        KnowledgeSource, KnowledgeStore, MemoizedSource, ReuseStats, SetResolution,
-        SharedKnowledgeSource,
+        FactSink, FactSpill, KnowledgeSource, KnowledgeStore, MemoizedSource, ReuseStats,
+        SetResolution, SharedKnowledgeSource,
     };
     pub use crate::multiple::{
         multiple_coverage, multiple_coverage_par, GroupResult, IntraJobParallelism, MultipleConfig,

@@ -49,11 +49,11 @@ use crate::engine::{AnswerSource, BatchAnswerSource, ForkableSource, ObjectId};
 use crate::error::AskError;
 use crate::schema::Labels;
 use crate::target::Target;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// How a reuse layer disposed of the questions it saw.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -115,7 +115,7 @@ pub enum SetResolution {
 /// The store is plain data (no interior mutability); see [`KnowledgeSource`]
 /// for the single-owner wrapper and [`SharedKnowledgeSource`] for the
 /// platform-wide, thread-safe one.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct KnowledgeStore {
     labels: HashMap<ObjectId, Labels>,
     members: HashMap<Target, HashSet<ObjectId>>,
@@ -243,6 +243,125 @@ impl KnowledgeStore {
     pub fn stats(&self) -> ReuseStats {
         self.stats
     }
+
+    /// True when the store holds no facts of any kind.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+            && self.members.is_empty()
+            && self.non_members.is_empty()
+            && self.set_verdicts.is_empty()
+    }
+}
+
+/// A `Target → object set` map as a pair array with the set flattened to a
+/// **sorted** id vector, so serialized stores are stable for a fixed fact
+/// base regardless of hash-set iteration order.
+fn object_sets_to_value(map: &HashMap<Target, HashSet<ObjectId>>) -> Value {
+    Value::Array(
+        map.iter()
+            .map(|(target, objects)| {
+                let mut sorted: Vec<ObjectId> = objects.iter().copied().collect();
+                sorted.sort_unstable();
+                Value::Array(vec![target.to_value(), sorted.to_value()])
+            })
+            .collect(),
+    )
+}
+
+fn object_sets_from_value(
+    value: &Value,
+) -> Result<HashMap<Target, HashSet<ObjectId>>, serde::Error> {
+    let pairs = Vec::<(Target, Vec<ObjectId>)>::from_value(value)?;
+    Ok(pairs
+        .into_iter()
+        .map(|(target, objects)| (target, objects.into_iter().collect()))
+        .collect())
+}
+
+/// The serialization surface of the persistence layer: snapshots, the
+/// `/store/export` response body and the `/store/import` request body all
+/// carry one `KnowledgeStore` in this shape. Hand-written because the
+/// membership sets serialize through sorted vectors (the vendored serde has
+/// no `HashSet` impl, and sorting keeps the output stable).
+impl Serialize for KnowledgeStore {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("labels".into(), self.labels.to_value()),
+            ("members".into(), object_sets_to_value(&self.members)),
+            (
+                "non_members".into(),
+                object_sets_to_value(&self.non_members),
+            ),
+            ("set_verdicts".into(), self.set_verdicts.to_value()),
+            ("stats".into(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for KnowledgeStore {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            labels: HashMap::from_value(value.get_field("labels")?)?,
+            members: object_sets_from_value(value.get_field("members")?)?,
+            non_members: object_sets_from_value(value.get_field("non_members")?)?,
+            set_verdicts: HashMap::from_value(value.get_field("set_verdicts")?)?,
+            stats: ReuseStats::from_value(value.get_field("stats")?)?,
+        })
+    }
+}
+
+/// An observer of **committed** facts, attached to a
+/// [`SharedKnowledgeSource`] via [`SharedKnowledgeSource::set_fact_sink`].
+///
+/// The shared store invokes the sink once per freshly delivered crowd
+/// answer — after the fact is visible in the store and after every stripe
+/// lock is released, so a sink may block (e.g. on a WAL write) without
+/// stalling readers. Facts arriving through
+/// [`SharedKnowledgeSource::seed_store`] (recovery, import) are **not**
+/// replayed into the sink: they are already durable wherever they came
+/// from.
+pub trait FactSink: Send + Sync + std::fmt::Debug {
+    /// A point-query label was delivered and committed.
+    fn on_labels(&self, object: ObjectId, labels: Labels);
+
+    /// A set-query verdict was delivered and committed, together with the
+    /// residual actually asked (whose per-object consequences were
+    /// absorbed).
+    fn on_set_verdict(
+        &self,
+        objects: &[ObjectId],
+        residual: &[ObjectId],
+        target: &Target,
+        answer: bool,
+    );
+}
+
+/// A disk home for **cold label facts**, attached via
+/// [`SharedKnowledgeSource::set_fact_spill`].
+///
+/// When a fact shard outgrows its share of the configured high watermark,
+/// its least-recently-touched labels are handed to [`FactSpill::spill`];
+/// lookups that miss the in-memory shard consult [`FactSpill::recall`],
+/// which removes the entry so the caller can re-promote it. Spill calls run
+/// under the owning shard's lock, so a label is always in exactly one of
+/// the two places — a spilled fact can never be missed and re-bought.
+pub trait FactSpill: Send + Sync + std::fmt::Debug {
+    /// Takes ownership of evicted cold labels.
+    fn spill(&self, victims: Vec<(ObjectId, Labels)>);
+
+    /// Looks up (and removes) a previously spilled label, if present.
+    fn recall(&self, object: ObjectId) -> Option<Labels>;
+
+    /// Every label currently spilled, for snapshots and exports.
+    fn contents(&self) -> Vec<(ObjectId, Labels)>;
+}
+
+/// A spill implementation plus the per-shard eviction threshold derived
+/// from the configured store-wide high watermark.
+#[derive(Debug)]
+struct SpillHook {
+    spill: Arc<dyn FactSpill>,
+    per_shard_high: usize,
 }
 
 /// A single-owner reuse wrapper: one engine, one store, no locking.
@@ -492,6 +611,20 @@ impl<T> Stripe<T> {
 struct FactShardState {
     facts: KnowledgeStore,
     label_in_flight: HashSet<ObjectId>,
+    /// Monotone per-shard clock driving the LRU spill policy: bumped on
+    /// every label commit, re-promotion and point lookup.
+    label_clock: u64,
+    /// Last touch time per in-memory label (spilled labels have no entry).
+    label_touch: HashMap<ObjectId, u64>,
+}
+
+impl FactShardState {
+    /// Marks `object`'s label as freshly used for the LRU spill policy.
+    fn touch(&mut self, object: ObjectId) {
+        self.label_clock += 1;
+        let now = self.label_clock;
+        self.label_touch.insert(object, now);
+    }
 }
 
 /// One stripe of the whole-query state: exact `(objects, target)` verdicts
@@ -556,6 +689,10 @@ struct ShardedKnowledge {
     fact_shards: Vec<Stripe<FactShardState>>,
     set_stripes: Vec<Stripe<SetStripeState>>,
     stats: SharedStats,
+    /// Observer of committed facts (WAL append), set at most once.
+    sink: OnceLock<Arc<dyn FactSink>>,
+    /// Disk home for cold labels, set at most once.
+    spill: OnceLock<SpillHook>,
 }
 
 impl ShardedKnowledge {
@@ -565,7 +702,53 @@ impl ShardedKnowledge {
             fact_shards: (0..shards).map(|_| Stripe::default()).collect(),
             set_stripes: (0..shards).map(|_| Stripe::default()).collect(),
             stats: SharedStats::default(),
+            sink: OnceLock::new(),
+            spill: OnceLock::new(),
         }
+    }
+
+    /// Consults the spill for `object` and, on a find, re-promotes the
+    /// label into the in-memory shard. Runs under the shard lock so the
+    /// label is in exactly one place at every instant.
+    fn recall_spilled(&self, state: &mut FactShardState, object: ObjectId) -> Option<Labels> {
+        let hook = self.spill.get()?;
+        let labels = hook.spill.recall(object)?;
+        state.facts.labels.insert(object, labels);
+        state.touch(object);
+        Some(labels)
+    }
+
+    /// Evicts the coldest labels of one shard to the spill once the shard
+    /// outgrows its share of the high watermark. Called after label
+    /// commits, under the shard lock.
+    fn enforce_watermark(&self, state: &mut FactShardState) {
+        let Some(hook) = self.spill.get() else {
+            return;
+        };
+        if state.facts.labels.len() <= hook.per_shard_high {
+            return;
+        }
+        let mut by_age: Vec<(u64, ObjectId)> = state
+            .facts
+            .labels
+            .keys()
+            .map(|o| (state.label_touch.get(o).copied().unwrap_or(0), *o))
+            .collect();
+        by_age.sort_unstable();
+        let excess = state.facts.labels.len() - hook.per_shard_high;
+        let victims: Vec<(ObjectId, Labels)> = by_age[..excess]
+            .iter()
+            .map(|(_, object)| {
+                state.label_touch.remove(object);
+                let labels = state
+                    .facts
+                    .labels
+                    .remove(object)
+                    .expect("victim key came from the label map");
+                (*object, labels)
+            })
+            .collect();
+        hook.spill.spill(victims);
     }
 
     fn fact_shard(&self, object: ObjectId) -> &Stripe<FactShardState> {
@@ -592,10 +775,15 @@ impl ShardedKnowledge {
             if objects.iter().all(|o| o.index() % shards != shard_index) {
                 continue;
             }
-            let state = shard.lock();
+            let mut state = shard.lock();
             for (slot, object) in objects.iter().enumerate() {
                 if object.index() % shards != shard_index {
                     continue;
+                }
+                // A spilled label is still paid-for knowledge: recall it so
+                // narrowing never regresses when the store spills to disk.
+                if state.facts.label_of(*object).is_none() {
+                    self.recall_spilled(&mut state, *object);
                 }
                 if state.facts.is_known_member(*object, target) {
                     return SetResolution::Known(true);
@@ -683,6 +871,13 @@ impl ShardedKnowledge {
                     .entry(target.clone())
                     .or_default()
                     .extend(verdicts.iter().map(|(k, v)| (k.clone(), *v)));
+            }
+        }
+        // Spilled cold labels are part of the fact base: snapshots (and
+        // therefore exports and persistence) must never lose them.
+        if let Some(hook) = self.spill.get() {
+            for (object, labels) in hook.spill.contents() {
+                store.labels.entry(object).or_insert(labels);
             }
         }
         store.stats = self.stats.snapshot();
@@ -839,9 +1034,93 @@ impl<S> SharedKnowledgeSource<S> {
         self.local
     }
 
-    /// A snapshot of the shared fact base, merged across every shard.
+    /// A snapshot of the shared fact base, merged across every shard
+    /// (spilled cold labels included).
     pub fn store_snapshot(&self) -> KnowledgeStore {
         self.shared.snapshot()
+    }
+
+    /// Attaches an observer of committed facts (e.g. a write-ahead log).
+    /// The sink fires once per freshly delivered crowd answer, outside all
+    /// stripe locks; seeded facts are never replayed into it.
+    ///
+    /// # Panics
+    /// Panics when a sink is already attached.
+    pub fn set_fact_sink(&self, sink: Arc<dyn FactSink>) {
+        self.shared
+            .sink
+            .set(sink)
+            .expect("fact sink already attached");
+    }
+
+    /// Attaches a disk home for cold labels and arms LRU eviction: once the
+    /// in-memory label count passes `high_watermark` (split evenly across
+    /// shards), the least-recently-touched labels move to `spill` and are
+    /// re-promoted on their next touch. Spilling never changes an answer
+    /// and never increases crowd spend — a spilled label still answers and
+    /// narrows queries, at the price of a disk read.
+    ///
+    /// # Panics
+    /// Panics when `high_watermark == 0` or a spill is already attached.
+    pub fn set_fact_spill(&self, spill: Arc<dyn FactSpill>, high_watermark: usize) {
+        assert!(high_watermark > 0, "spill watermark must be positive");
+        let per_shard_high = high_watermark
+            .div_ceil(self.shared.fact_shards.len())
+            .max(1);
+        self.shared
+            .spill
+            .set(SpillHook {
+                spill,
+                per_shard_high,
+            })
+            .expect("fact spill already attached");
+    }
+
+    /// Seeds the shared store with recovered or imported facts. Seeded
+    /// facts behave exactly like facts bought in this lifetime — they
+    /// answer and narrow queries — but bypass both the [`ReuseStats`]
+    /// tally and any attached [`FactSink`] (they are already durable
+    /// wherever they came from). The seed's own `stats` field is ignored.
+    pub fn seed_store(&self, store: &KnowledgeStore) {
+        for (object, labels) in &store.labels {
+            let mut state = self.shared.fact_shard(*object).lock();
+            state.facts.labels.insert(*object, *labels);
+        }
+        for (map, pick) in [(&store.members, true), (&store.non_members, false)] {
+            for (target, objects) in map {
+                for object in objects {
+                    let mut state = self.shared.fact_shard(*object).lock();
+                    let sets = if pick {
+                        &mut state.facts.members
+                    } else {
+                        &mut state.facts.non_members
+                    };
+                    sets.entry(target.clone()).or_default().insert(*object);
+                }
+            }
+        }
+        for (target, verdicts) in &store.set_verdicts {
+            for (objects, answer) in verdicts {
+                let stripe = self.shared.set_stripe(objects, target);
+                let mut state = stripe.lock();
+                state
+                    .verdicts
+                    .entry(target.clone())
+                    .or_default()
+                    .insert(objects.clone(), *answer);
+            }
+        }
+        // A seed can land an over-watermark label population in one go.
+        self.enforce_spill_watermark();
+    }
+
+    /// Applies the attached spill's high watermark to every shard at once
+    /// (no-op without a spill). Called automatically after seeding.
+    pub fn enforce_spill_watermark(&self) {
+        for shard in &self.shared.fact_shards {
+            let mut state = shard.lock();
+            self.shared.enforce_watermark(&mut state);
+        }
     }
 
     /// Questions answered from shared knowledge (including coalesced waits
@@ -969,6 +1248,9 @@ impl<S: AnswerSource> AnswerSource for SharedKnowledgeSource<S> {
         if let Ok(ans) = &result {
             shared.absorb_set_consequences(&residual, target, *ans);
             self.record_forwarded(1, pruned as u64);
+            if let Some(sink) = shared.sink.get() {
+                sink.on_set_verdict(objects, &residual, target, *ans);
+            }
         }
         result
     }
@@ -979,6 +1261,12 @@ impl<S: AnswerSource> AnswerSource for SharedKnowledgeSource<S> {
         let mut state = shard.lock();
         loop {
             if let Some(l) = state.facts.label_of(object) {
+                state.touch(object);
+                drop(state);
+                self.record_hit();
+                return Ok(l);
+            }
+            if let Some(l) = shared.recall_spilled(&mut state, object) {
                 drop(state);
                 self.record_hit();
                 return Ok(l);
@@ -1002,12 +1290,17 @@ impl<S: AnswerSource> AnswerSource for SharedKnowledgeSource<S> {
         state.label_in_flight.remove(&object);
         if let Ok(l) = &result {
             state.facts.record_labels(object, *l);
+            state.touch(object);
+            shared.enforce_watermark(&mut state);
         }
         drop(state);
         guard.disarm();
         shard.ready.notify_all();
-        if result.is_ok() {
+        if let Ok(l) = &result {
             self.record_forwarded(1, 0);
+            if let Some(sink) = shared.sink.get() {
+                sink.on_labels(object, *l);
+            }
         }
         result
     }
@@ -1045,6 +1338,10 @@ impl<S: BatchAnswerSource> BatchAnswerSource for SharedKnowledgeSource<S> {
         for (i, o) in objects.iter().enumerate() {
             let mut state = shared.fact_shard(*o).lock();
             if let Some(l) = state.facts.label_of(*o) {
+                state.touch(*o);
+                hits += 1;
+                answers[i] = Some(l);
+            } else if let Some(l) = shared.recall_spilled(&mut state, *o) {
                 hits += 1;
                 answers[i] = Some(l);
             } else if state.label_in_flight.contains(o) || claimed.iter().any(|(_, c)| c == o) {
@@ -1064,17 +1361,26 @@ impl<S: BatchAnswerSource> BatchAnswerSource for SharedKnowledgeSource<S> {
             // On Err the guard's Drop releases every claimed key and wakes
             // the waiters, who then re-claim those objects themselves.
             let fresh = self.inner.try_answer_point_labels_batch(&fresh_ids)?;
+            let mut committed: Vec<(ObjectId, Labels)> = Vec::with_capacity(fresh.len());
             for ((i, o), l) in claimed.into_iter().zip(fresh) {
                 let shard = shared.fact_shard(o);
                 let mut state = shard.lock();
                 state.label_in_flight.remove(&o);
                 state.facts.record_labels(o, l);
+                state.touch(o);
+                shared.enforce_watermark(&mut state);
                 drop(state);
                 shard.ready.notify_all();
                 answers[i] = Some(l);
+                committed.push((o, l));
             }
             guard.disarm();
             self.record_forwarded(fresh_ids.len() as u64, 0);
+            if let Some(sink) = shared.sink.get() {
+                for (o, l) in committed {
+                    sink.on_labels(o, l);
+                }
+            }
         }
         // Objects someone else had in flight: the single path waits for the
         // committed answer (or re-claims it if that flight failed).
@@ -1559,6 +1865,210 @@ mod tests {
         assert_eq!(local.hits, 1);
         assert_eq!(local.forwarded, 2);
         assert_eq!(root.reuse_stats(), local, "one handle saw all traffic");
+    }
+
+    /// The serde surface round-trips every kind of fact exactly.
+    #[test]
+    fn store_serde_round_trips() {
+        let t = truth(40, 8);
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let mut src = KnowledgeSource::new(PerfectSource::new(&t));
+        src.try_answer_point_labels(ObjectId(0)).unwrap();
+        src.try_answer_point_labels(ObjectId(20)).unwrap();
+        src.try_answer_set(&[ObjectId(3)], &female).unwrap();
+        src.try_answer_set(&ids[10..30], &female).unwrap();
+        src.try_answer_set(&ids[30..], &female.negated()).unwrap();
+        let store = src.store().clone();
+        assert!(!store.is_empty());
+        let json = serde_json::to_string(&store).unwrap();
+        let back: KnowledgeStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, store);
+        // And the round-tripped store resolves queries identically.
+        for chunk in ids.chunks(7) {
+            assert_eq!(
+                back.resolve_set(chunk, &female),
+                store.resolve_set(chunk, &female)
+            );
+        }
+    }
+
+    /// A sink observing an in-memory store that replays every observed
+    /// fact into a second store via the public record methods — the
+    /// WAL-replay contract, minus the file.
+    #[derive(Debug, Default)]
+    struct ReplaySink {
+        replayed: Mutex<KnowledgeStore>,
+    }
+
+    impl FactSink for ReplaySink {
+        fn on_labels(&self, object: ObjectId, labels: Labels) {
+            let mut store = self.replayed.lock().unwrap();
+            store.record_labels(object, labels);
+        }
+
+        fn on_set_verdict(
+            &self,
+            objects: &[ObjectId],
+            residual: &[ObjectId],
+            target: &Target,
+            answer: bool,
+        ) {
+            let mut store = self.replayed.lock().unwrap();
+            store.record_set_answer(objects, residual, target, answer);
+        }
+    }
+
+    /// Every committed fact reaches the sink; replaying the sink's log
+    /// rebuilds the exact fact base (modulo stats, which are not facts).
+    #[test]
+    fn sink_sees_every_committed_fact() {
+        let t = truth(60, 9);
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let root = SharedKnowledgeSource::new(PerfectSource::new(&t));
+        let sink = Arc::new(ReplaySink::default());
+        root.set_fact_sink(Arc::clone(&sink) as Arc<dyn FactSink>);
+        let mut handle = root.clone();
+        handle.try_answer_point_labels(ObjectId(2)).unwrap();
+        handle.try_answer_point_labels_batch(&ids[10..20]).unwrap();
+        for chunk in ids.chunks(13) {
+            handle.try_answer_set(chunk, &female).unwrap();
+        }
+        let mut live = root.store_snapshot();
+        let mut replayed = sink.replayed.lock().unwrap().clone();
+        live.stats = ReuseStats::default();
+        replayed.stats = ReuseStats::default();
+        assert_eq!(replayed, live);
+        // Repeating the questions adds no sink traffic: hits don't commit.
+        let before = serde_json::to_string(&replayed).unwrap();
+        handle.try_answer_point_labels(ObjectId(2)).unwrap();
+        handle.try_answer_set(&ids[..13], &female).unwrap();
+        assert_eq!(
+            serde_json::to_string(&*sink.replayed.lock().unwrap()).unwrap(),
+            before
+        );
+    }
+
+    /// Seeded facts answer questions but reach neither stats-as-spend nor
+    /// the sink — recovery must never re-log or re-bill recovered facts.
+    #[test]
+    fn seeding_bypasses_sink_and_spend() {
+        let t = truth(30, 6);
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let mut donor = KnowledgeSource::new(PerfectSource::new(&t));
+        for id in &ids {
+            donor.try_answer_point_labels(*id).unwrap();
+        }
+        let root = SharedKnowledgeSource::new(PerfectSource::new(&t));
+        let sink = Arc::new(ReplaySink::default());
+        root.set_fact_sink(Arc::clone(&sink) as Arc<dyn FactSink>);
+        root.seed_store(donor.store());
+        assert!(sink.replayed.lock().unwrap().is_empty());
+        let mut handle = root.clone();
+        for chunk in ids.chunks(11) {
+            handle.try_answer_set(chunk, &female).unwrap();
+        }
+        for id in &ids {
+            handle.try_answer_point_labels(*id).unwrap();
+        }
+        let stats = root.reuse_stats();
+        assert_eq!(stats.forwarded, 0, "everything answered from the seed");
+        assert!(sink.replayed.lock().unwrap().is_empty());
+    }
+
+    /// An in-memory spill with call counters, for watermark tests.
+    #[derive(Debug, Default)]
+    struct MapSpill {
+        cold: Mutex<HashMap<ObjectId, Labels>>,
+        spills: AtomicU64,
+        recalls: AtomicU64,
+    }
+
+    impl FactSpill for MapSpill {
+        fn spill(&self, victims: Vec<(ObjectId, Labels)>) {
+            self.spills
+                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+            self.cold.lock().unwrap().extend(victims);
+        }
+
+        fn recall(&self, object: ObjectId) -> Option<Labels> {
+            let found = self.cold.lock().unwrap().remove(&object);
+            if found.is_some() {
+                self.recalls.fetch_add(1, Ordering::Relaxed);
+            }
+            found
+        }
+
+        fn contents(&self) -> Vec<(ObjectId, Labels)> {
+            self.cold
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(o, l)| (*o, *l))
+                .collect()
+        }
+    }
+
+    /// Over-watermark labels spill to disk and come back on touch; answers,
+    /// crowd spend and snapshots are identical to the spill-less run.
+    #[test]
+    fn spill_bounds_memory_without_changing_answers_or_spend() {
+        let t = truth(200, 25);
+        let female = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+
+        let run = |watermark: Option<usize>| {
+            let src = SharedKnowledgeSource::with_shards(PerfectSource::new(&t), 4);
+            let spill = Arc::new(MapSpill::default());
+            if let Some(w) = watermark {
+                src.set_fact_spill(Arc::clone(&spill) as Arc<dyn FactSpill>, w);
+            }
+            let mut handle = src.clone();
+            let mut answers = Vec::new();
+            for id in &ids {
+                handle.try_answer_point_labels(*id).unwrap();
+            }
+            for chunk in ids.chunks(17) {
+                answers.push(handle.try_answer_set(chunk, &female).unwrap());
+            }
+            // Touch every label again: recalls re-promote.
+            for id in &ids {
+                handle.try_answer_point_labels(*id).unwrap();
+            }
+            let mut snapshot = src.store_snapshot();
+            snapshot.stats = ReuseStats::default();
+            (answers, src.reuse_stats(), snapshot, spill)
+        };
+
+        let (answers_off, stats_off, snapshot_off, _) = run(None);
+        let (answers_on, stats_on, snapshot_on, spill) = run(Some(40));
+        assert_eq!(answers_on, answers_off);
+        assert_eq!(stats_on, stats_off, "spill must not change crowd spend");
+        assert_eq!(
+            snapshot_on, snapshot_off,
+            "snapshots must include cold labels"
+        );
+        assert!(
+            spill.spills.load(Ordering::Relaxed) > 0,
+            "the watermark must actually evict"
+        );
+        assert!(
+            spill.recalls.load(Ordering::Relaxed) > 0,
+            "touched cold labels must be recalled"
+        );
+        // The in-memory population respects the watermark bound right
+        // after an eviction pass.
+        let src = SharedKnowledgeSource::with_shards(PerfectSource::new(&t), 4);
+        let spill = Arc::new(MapSpill::default());
+        src.set_fact_spill(Arc::clone(&spill) as Arc<dyn FactSpill>, 40);
+        let mut handle = src.clone();
+        for id in &ids {
+            handle.try_answer_point_labels(*id).unwrap();
+        }
+        let in_memory = ids.len() - spill.cold.lock().unwrap().len();
+        assert!(in_memory <= 40 + 4, "in-memory labels: {in_memory}");
     }
 
     #[test]

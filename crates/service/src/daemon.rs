@@ -75,12 +75,13 @@
 use crate::dispatch::{dispatch_channel, run_dispatcher, DispatchHandle, DispatcherConfig};
 use crate::governor::{GlobalBudget, JobBudget};
 use crate::job::{JobId, JobReport, JobSpec, JobStatus};
+use crate::persist::{Persistence, SpillFile};
 use crate::scheduler::PriorityQueue;
 use crate::service::{lock, run_job, ServiceConfig, ServiceReport};
 use crate::telemetry::Telemetry;
 use coverage_core::engine::{BatchAnswerSource, CancelToken};
 use coverage_core::ledger::TaskLedger;
-use coverage_core::memo::{ReuseStats, SharedKnowledgeSource};
+use coverage_core::memo::{FactSink, FactSpill, KnowledgeStore, ReuseStats, SharedKnowledgeSource};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -141,6 +142,7 @@ struct WorkerContext {
     per_job_budget: Option<u64>,
     intra_job_parallelism: usize,
     telemetry: Telemetry,
+    persist: Option<Arc<Persistence>>,
 }
 
 #[derive(Debug)]
@@ -200,6 +202,10 @@ pub struct AuditDaemon<S> {
     dispatcher: Mutex<Option<JoinHandle<(crate::dispatch::DispatchStats, S)>>>,
     started: Instant,
     telemetry: Telemetry,
+    /// The durable knowledge plane, when [`ServiceConfig::data_dir`] is
+    /// set: WAL sink, snapshot cadence, shutdown sync (see
+    /// [`crate::persist`]).
+    persist: Option<Arc<Persistence>>,
 }
 
 impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
@@ -235,6 +241,30 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
         let memo_root: SharedKnowledgeSource<()> =
             SharedKnowledgeSource::with_shards((), config.store_shards);
 
+        // The durable knowledge plane: recover facts from the data dir,
+        // seed them into the store (bypassing reuse stats and the sink),
+        // then attach the WAL sink — and optionally the disk spill —
+        // before the first worker can commit a fact.
+        let persist = config.data_dir.as_ref().map(|dir| {
+            let (persistence, recovered) =
+                Persistence::open(dir, config.snapshot_every, telemetry.clone())
+                    .expect("persistence data_dir must be usable");
+            // The spill attaches after open (which discards any stale
+            // segment) but before seeding, so a recovered store bigger
+            // than the watermark spills down right away.
+            if let Some(high_watermark) = config.spill_high_watermark {
+                let spill = SpillFile::create(dir, telemetry.clone())
+                    .expect("persistence data_dir must be usable");
+                memo_root.set_fact_spill(Arc::new(spill) as Arc<dyn FactSpill>, high_watermark);
+            }
+            if !recovered.is_empty() {
+                memo_root.seed_store(&recovered);
+            }
+            let persistence = Arc::new(persistence);
+            memo_root.set_fact_sink(Arc::clone(&persistence) as Arc<dyn FactSink>);
+            persistence
+        });
+
         let dispatcher = std::thread::spawn(move || {
             let mut source = source;
             let stats = run_dispatcher(&mut source, dispatch_rx, &dispatcher_config);
@@ -250,6 +280,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
                     per_job_budget: config.budget.per_job,
                     intra_job_parallelism: config.intra_job_parallelism,
                     telemetry: telemetry.clone(),
+                    persist: persist.clone(),
                 };
                 std::thread::spawn(move || worker_loop(context))
             })
@@ -265,6 +296,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             dispatcher: Mutex::new(Some(dispatcher)),
             started: Instant::now(),
             telemetry,
+            persist,
         }
     }
 
@@ -451,6 +483,37 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
         }
     }
 
+    /// A consistent copy of the platform-wide fact base — everything the
+    /// crowd has been paid for so far (labels, membership facts, set
+    /// verdicts), merged across store shards and the disk spill. This is
+    /// what `GET /store/export` serves: the whole knowledge plane as one
+    /// JSON document a fresh daemon can [`import`](Self::import_store).
+    pub fn export_store(&self) -> KnowledgeStore {
+        self.memo_root.store_snapshot()
+    }
+
+    /// Seeds a previously exported fact base into this daemon's store and
+    /// returns how many facts it now holds. Backs `POST /store/import`.
+    ///
+    /// Imported facts behave exactly like recovered ones: they bypass
+    /// [`ReuseStats`] and the WAL sink (so reports stay comparable to an
+    /// uninterrupted run), and — when this daemon persists — are made
+    /// durable by an immediate snapshot rather than per-fact WAL frames.
+    /// Importing while jobs run is safe; in-flight queries see the new
+    /// facts at their next store lookup.
+    pub fn import_store(&self, store: &KnowledgeStore) {
+        if !store.is_empty() {
+            self.memo_root.seed_store(store);
+            self.telemetry.record_recovered_facts(
+                (store.labels_known() + store.membership_facts() + store.set_verdicts_known())
+                    as u64,
+            );
+        }
+        if let Some(persist) = &self.persist {
+            let _ = persist.snapshot(&self.memo_root);
+        }
+    }
+
     /// Graceful stop: refuses further submissions, lets the workers drain
     /// the queue, joins every thread and returns the lifetime
     /// [`ServiceReport`] together with the answer source (e.g. to read
@@ -467,6 +530,14 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
         let workers: Vec<_> = std::mem::take(&mut *lock(&self.workers));
         for worker in workers {
             worker.join().expect("daemon worker never panics");
+        }
+        // Workers are gone, so no fact can commit past this point: fsync
+        // the WAL and cut a final compacted snapshot, making shutdown →
+        // restart lossless by construction. Best-effort on I/O error —
+        // the in-flight reports below are returned regardless.
+        if let Some(persist) = &self.persist {
+            let _ = persist.sync();
+            let _ = persist.snapshot(&self.memo_root);
         }
         // Workers are gone; dropping the daemon's own handle disconnects
         // the dispatcher's channel and lets it exit with its stats.
@@ -572,6 +643,11 @@ fn worker_loop(context: WorkerContext) {
         context
             .telemetry
             .record_submit_to_first_result_ms(submitted_at.elapsed().as_millis() as u64);
+        // Job boundaries are the snapshot cadence check: compacting here
+        // keeps the rotation off the per-fact hot path.
+        if let Some(persist) = &context.persist {
+            persist.maybe_snapshot(&context.memo_root);
+        }
         {
             let mut state = context.shared.lock();
             state.jobs[index].status = report.status;

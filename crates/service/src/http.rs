@@ -17,6 +17,8 @@
 //! | `GET /metrics`     | —              | `200` Prometheus text exposition (`text/plain`)     |
 //! | `GET /trace/{id}`  | —              | `200` `{"id","events"}` timeline; `404` unknown id  |
 //! | `GET /events?since=N` | —           | `200` `{"next","events"}` incremental trace drain   |
+//! | `GET /store/export` | —             | `200` the whole fact base as one `KnowledgeStore`   |
+//! | `POST /store/import`| `KnowledgeStore` | `200` `{"labels","membership","set_verdicts"}`   |
 //!
 //! Errors are **structured bodies**, never bare status lines: a validation
 //! failure arrives as `400 {"error": "<JobSpec::validate message>"}`, an
@@ -364,6 +366,8 @@ fn route_class(path: &str) -> &'static str {
         "/stats" => "/stats",
         "/metrics" => "/metrics",
         "/events" => "/events",
+        "/store/export" => "/store/export",
+        "/store/import" => "/store/import",
         p if p.starts_with("/jobs/") => "/jobs/{id}",
         p if p.starts_with("/trace/") => "/trace/{id}",
         _ => "other",
@@ -441,9 +445,38 @@ fn route<S: BatchAnswerSource + Send + 'static>(
                 ])),
             )
         }
-        (_, "/jobs") | (_, "/stats") | (_, "/metrics") | (_, "/events") => {
-            (405, error_body("method not allowed"))
+        // The durable-knowledge doors: export the whole fact base as one
+        // JSON document, import a previously exported one. Together they
+        // let a fresh daemon inherit a prior run's crowd-bought facts over
+        // the wire — the HTTP twin of `data_dir` recovery.
+        ("GET", "/store/export") => (200, Body::Json(daemon.export_store().to_value())),
+        ("POST", "/store/import") => {
+            match serde_json::from_str::<coverage_core::memo::KnowledgeStore>(body) {
+                Ok(store) => {
+                    let (labels, membership, set_verdicts) = (
+                        store.labels_known(),
+                        store.membership_facts(),
+                        store.set_verdicts_known(),
+                    );
+                    daemon.import_store(&store);
+                    (
+                        200,
+                        Body::Json(Value::Object(vec![
+                            ("labels".to_string(), labels.to_value()),
+                            ("membership".to_string(), membership.to_value()),
+                            ("set_verdicts".to_string(), set_verdicts.to_value()),
+                        ])),
+                    )
+                }
+                Err(e) => (400, error_body(&format!("invalid knowledge store: {e}"))),
+            }
         }
+        (_, "/jobs")
+        | (_, "/stats")
+        | (_, "/metrics")
+        | (_, "/events")
+        | (_, "/store/export")
+        | (_, "/store/import") => (405, error_body("method not allowed")),
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/jobs/") {
                 return match rest.parse::<u64>() {
@@ -844,6 +877,18 @@ mod tests {
         assert_eq!(code, 200);
         assert!(tail.contains("\"events\": []"), "{tail}");
 
+        // Regression (ISSUE 7): `GET /events` with no query string at all
+        // — and with a bare trailing `?` — must default to cursor 0, not
+        // reject. Both shapes drain the full ring, identical to since=0.
+        let (code, from_zero) = http_request(addr, "GET", "/events?since=0", None).unwrap();
+        assert_eq!(code, 200);
+        let (code, bare) = http_request(addr, "GET", "/events", None).unwrap();
+        assert_eq!(code, 200, "missing query must mean cursor 0: {bare}");
+        assert_eq!(bare, from_zero);
+        let (code, trailing) = http_request(addr, "GET", "/events?", None).unwrap();
+        assert_eq!(code, 200, "empty query must mean cursor 0: {trailing}");
+        assert_eq!(trailing, from_zero);
+
         // Wrong method and malformed cursor are structured errors.
         let (code, _) = http_request(addr, "POST", "/metrics", None).unwrap();
         assert_eq!(code, 405);
@@ -857,5 +902,51 @@ mod tests {
 
         server.shutdown();
         daemon.shutdown().unwrap();
+    }
+
+    /// The knowledge plane over the wire: what one daemon exports, a
+    /// fresh daemon imports — and its first identical audit then forwards
+    /// zero questions to the crowd.
+    #[test]
+    fn store_export_import_transfers_the_fact_base() {
+        let (first, pool) = daemon(300, 40);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&first)).unwrap();
+        let addr = server.local_addr();
+
+        let body = serde_json::to_string(&spec("payer", pool.clone())).unwrap();
+        let (code, _) = http_request(addr, "POST", "/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 201);
+        first.drain();
+        let (code, exported) = http_request(addr, "GET", "/store/export", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(exported.contains("\"labels\""), "{exported}");
+        let (code, _) = http_request(addr, "DELETE", "/store/export", None).unwrap();
+        assert_eq!(code, 405);
+        server.shutdown();
+        first.shutdown().unwrap();
+
+        let (second, _) = daemon(300, 40);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&second)).unwrap();
+        let addr = server.local_addr();
+        let (code, reply) = http_request(addr, "POST", "/store/import", Some("{nope")).unwrap();
+        assert_eq!(code, 400);
+        assert!(reply.contains("invalid knowledge store"), "{reply}");
+        let (code, reply) = http_request(addr, "POST", "/store/import", Some(&exported)).unwrap();
+        assert_eq!(code, 200, "{reply}");
+        assert!(reply.contains("\"set_verdicts\""), "{reply}");
+
+        // The inherited facts answer the twin audit without the crowd.
+        let body = serde_json::to_string(&spec("freeloader", pool)).unwrap();
+        let (code, _) = http_request(addr, "POST", "/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 201);
+        second.drain();
+        let stats = second.stats();
+        assert_eq!(
+            stats.reuse.forwarded, 0,
+            "imported facts must answer everything: {stats:?}"
+        );
+        assert_eq!(stats.crowd_tasks, 0, "{stats:?}");
+        server.shutdown();
+        second.shutdown().unwrap();
     }
 }

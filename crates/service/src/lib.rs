@@ -97,6 +97,7 @@ pub mod dispatch;
 pub mod governor;
 pub mod http;
 pub mod job;
+pub mod persist;
 pub mod scheduler;
 pub mod service;
 pub mod telemetry;
@@ -106,6 +107,7 @@ pub use dispatch::{DispatchStats, DispatcherConfig};
 pub use governor::{BudgetPolicy, BudgetScope};
 pub use http::HttpServer;
 pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus, PhaseDurations};
+pub use persist::{Persistence, SpillFile, WalRecord};
 pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport};
 pub use telemetry::{Telemetry, TraceEvent};
 

@@ -112,6 +112,23 @@ pub struct ServiceConfig {
     /// survive for `/trace/{id}` and `/events`. Only read when
     /// [`ServiceConfig::telemetry`] is on.
     pub trace_capacity: usize,
+    /// Root of the durable knowledge plane ([`crate::persist`]): the WAL,
+    /// snapshots and spill segment live here. `None` (the default) keeps
+    /// the store purely in-memory — the pre-persistence behaviour. Only
+    /// the daemon front door persists; scoped [`AuditService::run`]
+    /// batches ignore this knob.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL records between compacted snapshots. Snapshots are cut at job
+    /// boundaries (and once at shutdown), so this is a floor on cadence,
+    /// not an exact period. Only read when [`ServiceConfig::data_dir`] is
+    /// set. Purely a durability/recovery-time knob: like every
+    /// persistence setting, it never changes an answer.
+    pub snapshot_every: u64,
+    /// In-memory cap on per-object label facts before the coldest are
+    /// spilled to the on-disk segment (re-promoted on touch). `None`
+    /// disables spilling. Requires [`ServiceConfig::data_dir`]. A spilled
+    /// fact still counts as known — spilling can never re-ask the crowd.
+    pub spill_high_watermark: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -132,6 +149,15 @@ impl ServiceConfig {
         assert!(
             !self.telemetry || self.trace_capacity > 0,
             "trace capacity must be positive when telemetry is on"
+        );
+        assert!(self.snapshot_every > 0, "snapshot cadence must be positive");
+        assert!(
+            self.spill_high_watermark.is_none() || self.data_dir.is_some(),
+            "spill_high_watermark requires data_dir (the spill segment lives there)"
+        );
+        assert!(
+            self.spill_high_watermark != Some(0),
+            "spill watermark must be positive"
         );
     }
 
@@ -159,6 +185,9 @@ impl Default for ServiceConfig {
             priority_aging: 1,
             telemetry: true,
             trace_capacity: 1024,
+            data_dir: None,
+            snapshot_every: 10_000,
+            spill_high_watermark: None,
         }
     }
 }

@@ -381,6 +381,12 @@ struct Inner {
     jobs_submitted: Counter,
     crowd_tasks: Counter,
     dispatch_rounds: Counter,
+    // Persistence plane (WAL, snapshots, recovery, spill).
+    wal_records: Counter,
+    snapshot_writes: Counter,
+    recovered_facts: Counter,
+    spilled_labels: Counter,
+    spill_recalls: Counter,
     // Gauges.
     jobs_queued: Gauge,
     jobs_running: Gauge,
@@ -451,6 +457,11 @@ impl Telemetry {
                 jobs_submitted: Counter::default(),
                 crowd_tasks: Counter::default(),
                 dispatch_rounds: Counter::default(),
+                wal_records: Counter::default(),
+                snapshot_writes: Counter::default(),
+                recovered_facts: Counter::default(),
+                spilled_labels: Counter::default(),
+                spill_recalls: Counter::default(),
                 jobs_queued: Gauge::default(),
                 jobs_running: Gauge::default(),
                 jobs_finished: LabeledCounter::new(&["status"]),
@@ -573,6 +584,44 @@ impl Telemetry {
         }
     }
 
+    // ---- persistence ----------------------------------------------------
+
+    /// `n` fact records appended to the write-ahead log.
+    pub fn record_wal_records(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.wal_records.add(n);
+        }
+    }
+
+    /// One compacted snapshot written (rotation included).
+    pub fn record_snapshot_write(&self) {
+        if let Some(inner) = &self.inner {
+            inner.snapshot_writes.inc();
+        }
+    }
+
+    /// `n` facts recovered at startup (snapshot load + WAL replay) or
+    /// imported over HTTP.
+    pub fn record_recovered_facts(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.recovered_facts.add(n);
+        }
+    }
+
+    /// `n` cold labels evicted to the on-disk spill segment.
+    pub fn record_spilled_labels(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.spilled_labels.add(n);
+        }
+    }
+
+    /// `n` spilled labels recalled (re-promoted) on touch.
+    pub fn record_spill_recalls(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.spill_recalls.add(n);
+        }
+    }
+
     // ---- HTTP -----------------------------------------------------------
 
     /// One HTTP request, by method, route class (`/jobs/{id}`, not
@@ -672,6 +721,36 @@ impl Telemetry {
             "audit_http_requests_total",
             "HTTP requests by method, route class and status.",
             &mut out,
+        );
+        render_counter(
+            &mut out,
+            "audit_wal_records_total",
+            "Fact records appended to the write-ahead log.",
+            &inner.wal_records,
+        );
+        render_counter(
+            &mut out,
+            "audit_snapshot_writes_total",
+            "Compacted knowledge snapshots written.",
+            &inner.snapshot_writes,
+        );
+        render_counter(
+            &mut out,
+            "audit_recovered_facts_total",
+            "Facts recovered at startup or imported over HTTP.",
+            &inner.recovered_facts,
+        );
+        render_counter(
+            &mut out,
+            "audit_spilled_labels_total",
+            "Cold labels evicted to the on-disk spill segment.",
+            &inner.spilled_labels,
+        );
+        render_counter(
+            &mut out,
+            "audit_spill_recalls_total",
+            "Spilled labels re-promoted on touch.",
+            &inner.spill_recalls,
         );
         inner.queue_wait_ms.render(
             "audit_queue_wait_ms",
@@ -810,6 +889,48 @@ mod tests {
         // Everything beyond the finite range answers with the exact max.
         h.record_ms(5_000_000);
         assert_eq!(h.percentile(100.0), 5_000_000);
+    }
+
+    /// Regression pin (ISSUE 7 satellite): a histogram with zero recorded
+    /// samples answers **0** for every percentile — it must not fall
+    /// through to the `+Inf` overflow branch or report a bucket bound.
+    #[test]
+    fn empty_histogram_percentile_is_zero_at_every_p() {
+        let h = Histogram::new();
+        for p in [0.001, 1.0, 50.0, 90.0, 99.0, 99.999, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p={p} on an empty histogram");
+        }
+        // The same holds through the public Telemetry accessors.
+        let telemetry = Telemetry::new(4);
+        assert_eq!(telemetry.submit_to_first_result_percentile_ms(50.0), 0);
+        assert_eq!(telemetry.queue_wait_percentile_ms(99.0), 0);
+        // One observation flips it to a real bucket bound.
+        h.record_ms(3);
+        assert_eq!(h.percentile(50.0), 4);
+    }
+
+    #[test]
+    fn persistence_counters_render() {
+        let telemetry = Telemetry::new(4);
+        telemetry.record_wal_records(7);
+        telemetry.record_snapshot_write();
+        telemetry.record_recovered_facts(42);
+        telemetry.record_spilled_labels(5);
+        telemetry.record_spill_recalls(2);
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("audit_wal_records_total 7"), "{text}");
+        assert!(text.contains("audit_snapshot_writes_total 1"), "{text}");
+        assert!(text.contains("audit_recovered_facts_total 42"), "{text}");
+        assert!(text.contains("audit_spilled_labels_total 5"), "{text}");
+        assert!(text.contains("audit_spill_recalls_total 2"), "{text}");
+        // The disabled plane swallows them silently.
+        let disabled = Telemetry::disabled();
+        disabled.record_wal_records(1);
+        disabled.record_snapshot_write();
+        disabled.record_recovered_facts(1);
+        disabled.record_spilled_labels(1);
+        disabled.record_spill_recalls(1);
+        assert_eq!(disabled.render_prometheus(), "# telemetry disabled\n");
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!    load (recorded in `results/BENCH_daemon.json`);
 //! 7. read the run back through the telemetry plane — the human summary,
 //!    the Prometheus `/metrics` scrape and the cancelled job's `/trace`
-//!    timeline — then shut everything down cleanly.
+//!    timeline — then shut everything down cleanly;
+//! 8. prove durability: a second daemon with a `data_dir` pays for an
+//!    audit, shuts down, restarts from its snapshot + WAL and answers the
+//!    same audit with **zero** crowd tasks, serving the recovered fact
+//!    base over `GET /store/export`.
 //!
 //! ```sh
 //! cargo run --release -p cvg-examples --bin daemon_audit
@@ -293,6 +297,63 @@ fn main() {
         summary.crowd_tasks,
         summary.reuse.hits
     );
+
+    println!("\n=== durability: restart from disk, re-ask nothing ===");
+    let data_dir = std::env::temp_dir().join(format!("daemon_audit_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&data_dir).ok();
+    let durable_config = || ServiceConfig {
+        data_dir: Some(data_dir.clone()),
+        ..config()
+    };
+    let durable_spec = || {
+        JobSpec::new(
+            "durable/slice-audit",
+            pool[6_000..7_500].to_vec(),
+            AuditKind::GroupCoverage {
+                target: target.clone(),
+            },
+        )
+        .tau(25)
+        .seed(1)
+    };
+    let payer = AuditDaemon::start(durable_config(), SharedTruthSource::new(Arc::clone(&data)));
+    let paid_id = payer.submit(durable_spec()).expect("valid spec");
+    payer.drain();
+    let paid = payer.report(paid_id).expect("terminal report");
+    assert!(paid.crowd_tasks > 0, "the first run pays the crowd");
+    payer
+        .shutdown()
+        .expect("durable shutdown cuts a final snapshot");
+
+    let restarted = Arc::new(AuditDaemon::start(
+        durable_config(),
+        SharedTruthSource::new(Arc::clone(&data)),
+    ));
+    let export_server = HttpServer::serve("127.0.0.1:0", Arc::clone(&restarted)).expect("bind");
+    let replay_id = restarted.submit(durable_spec()).expect("valid spec");
+    restarted.drain();
+    let replayed = restarted.report(replay_id).expect("terminal report");
+    assert_eq!(
+        replayed.crowd_tasks, 0,
+        "a recovered daemon re-asks nothing for committed facts"
+    );
+    assert_eq!(
+        replayed.outcome.as_ref().map(|o| o.covered()),
+        paid.outcome.as_ref().map(|o| o.covered()),
+        "recovery never changes a verdict"
+    );
+    let (code, export) =
+        http_request(export_server.local_addr(), "GET", "/store/export", None).unwrap();
+    assert_eq!(code, 200);
+    assert!(export.contains("\"labels\""), "{export}");
+    println!(
+        "restart: {} crowd tasks paid once, 0 re-asked; /store/export served {} bytes",
+        paid.crowd_tasks,
+        export.len()
+    );
+    export_server.shutdown();
+    restarted.shutdown().expect("restarted daemon shuts down");
+    std::fs::remove_dir_all(&data_dir).ok();
 
     let section = json_object(vec![
         ("jobs_total", Value::UInt(summary.jobs.len() as u64)),

@@ -1,0 +1,405 @@
+//! The durable knowledge plane must never change an answer — it only
+//! changes who pays for it.
+//!
+//! The contract under test (ISSUE 7):
+//!
+//! * a daemon **killed at an arbitrary WAL prefix** and restarted produces
+//!   `JobReport`s byte-identical (modulo `wall_ms`/`phases_ms`, and the
+//!   reuse/spend tally, which by design can only improve) to an
+//!   uninterrupted run, across **all five drivers** — with crowd spend
+//!   never higher (proptested over the cut point);
+//! * running *with* persistence is byte-identical (including spend) to
+//!   running without it — the WAL sink is a pure observer;
+//! * `shutdown()` fsyncs the WAL and cuts a final snapshot, so a
+//!   restarted daemon **forwards zero** already-answered questions;
+//! * the `KnowledgeStore` serde surface round-trips: snapshot JSON and
+//!   WAL replay both reconstruct the exact fact base.
+
+use coverage_core::prelude::*;
+use coverage_service::{AuditDaemon, AuditKind, JobId, JobReport, JobSpec, ServiceConfig};
+use integration_tests::female;
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic pseudo-random single-attribute labeling (the
+/// `daemon_service` fixture).
+fn synth_truth(n_total: usize, density_pct: u64, seed: u64) -> VecGroundTruth {
+    let mut labels = Vec::with_capacity(n_total);
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for _ in 0..n_total {
+        labels.push(Labels::single(u8::from(next() % 100 < density_pct)));
+    }
+    VecGroundTruth::new(labels)
+}
+
+/// A fresh scratch directory under the system temp dir; unique per call so
+/// concurrent tests (and proptest cases) never share state.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cvg-persistence-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One job per driver — the full five-algorithm matrix, with fixed seeds
+/// so any two runs over the same store state are deterministic.
+fn five_driver_workload(truth: &VecGroundTruth) -> Vec<JobSpec> {
+    let pool = truth.all_ids();
+    let schema = AttributeSchema::single_binary("gender", "male", "female");
+    vec![
+        JobSpec::new(
+            "base",
+            pool[..pool.len() / 4].to_vec(),
+            AuditKind::BaseCoverage { target: female() },
+        )
+        .tau(10)
+        .seed(1),
+        JobSpec::new(
+            "group",
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .tau(20)
+        .seed(2),
+        JobSpec::new(
+            "multiple",
+            pool.clone(),
+            AuditKind::MultipleCoverage {
+                groups: vec![Pattern::parse("0").unwrap(), Pattern::parse("1").unwrap()],
+            },
+        )
+        .tau(20)
+        .seed(3),
+        JobSpec::new(
+            "intersectional",
+            pool.clone(),
+            AuditKind::IntersectionalCoverage { schema },
+        )
+        .tau(20)
+        .seed(4),
+        JobSpec::new(
+            "classifier",
+            pool.clone(),
+            AuditKind::ClassifierCoverage {
+                target: female(),
+                predicted: pool[..pool.len() / 8].to_vec(),
+            },
+        )
+        .tau(20)
+        .seed(5),
+    ]
+}
+
+/// The verdict surface of a report: everything except wall-clock, the
+/// daemon's id sequence, and the reuse/spend tally (which recovery is
+/// *supposed* to improve). Status, outcome, error and the logical ledger
+/// must match byte for byte.
+fn verdict_surface(report: &JobReport) -> String {
+    let mut report = report.clone();
+    report.id = JobId(0);
+    report.wall_ms = 0;
+    report.phases_ms = coverage_service::PhaseDurations::default();
+    report.crowd_tasks = 0;
+    report.reuse = ReuseStats::default();
+    report.to_json()
+}
+
+/// The *full* normalized report — only wall-clock and id removed. Used
+/// where spend itself must be identical (persistence as a pure observer).
+fn full_surface(report: &JobReport) -> String {
+    let mut report = report.clone();
+    report.id = JobId(0);
+    report.wall_ms = 0;
+    report.phases_ms = coverage_service::PhaseDurations::default();
+    report.to_json()
+}
+
+/// Serializes a store canonically, with its (run-dependent) reuse tally
+/// stripped: two stores holding the same fact base fingerprint
+/// identically. Hash maps serialize as `[key, value]` pair arrays in
+/// iteration order, so every all-pairs array level is sorted; genuinely
+/// ordered arrays (label vectors, object lists) contain no pairs and are
+/// left alone.
+fn store_fingerprint(store: &KnowledgeStore) -> String {
+    struct Raw(Value);
+    impl Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    fn canonical(value: Value) -> Value {
+        match value {
+            Value::Object(pairs) => {
+                Value::Object(pairs.into_iter().map(|(k, v)| (k, canonical(v))).collect())
+            }
+            Value::Array(items) => {
+                let mut items: Vec<Value> = items.into_iter().map(canonical).collect();
+                let all_pairs = !items.is_empty()
+                    && items
+                        .iter()
+                        .all(|item| matches!(item, Value::Array(pair) if pair.len() == 2));
+                if all_pairs {
+                    items.sort_by_key(|item| serde_json::to_string(&Raw(item.clone())).unwrap());
+                }
+                Value::Array(items)
+            }
+            other => other,
+        }
+    }
+    let Value::Object(pairs) = store.to_value() else {
+        panic!("a store serializes as an object");
+    };
+    let facts: Vec<(String, Value)> = pairs
+        .into_iter()
+        .filter(|(k, _)| k != "stats")
+        .map(|(k, v)| (k, canonical(v)))
+        .collect();
+    serde_json::to_string(&Raw(Value::Object(facts))).unwrap()
+}
+
+/// Runs the workload on a fresh daemon over `truth` and returns the
+/// reports plus the lifetime crowd spend. `data_dir` opts into
+/// persistence; `spill` opts into the disk spill.
+fn run_workload(
+    truth: &Arc<VecGroundTruth>,
+    workload: &[JobSpec],
+    data_dir: Option<&Path>,
+    spill: Option<usize>,
+) -> (Vec<JobReport>, u64) {
+    let daemon = start_daemon(truth, data_dir, spill);
+    let reports = run_on(&daemon, workload);
+    let spend = daemon.stats().crowd_tasks;
+    drop(daemon); // a crash, not a shutdown: no final snapshot
+    (reports, spend)
+}
+
+fn start_daemon(
+    truth: &Arc<VecGroundTruth>,
+    data_dir: Option<&Path>,
+    spill: Option<usize>,
+) -> AuditDaemon<SharedTruthSource<VecGroundTruth>> {
+    AuditDaemon::start(
+        ServiceConfig {
+            workers: 1, // deterministic scheduling: submission order
+            data_dir: data_dir.map(Path::to_path_buf),
+            spill_high_watermark: spill,
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(truth)),
+    )
+}
+
+fn run_on(
+    daemon: &AuditDaemon<SharedTruthSource<VecGroundTruth>>,
+    workload: &[JobSpec],
+) -> Vec<JobReport> {
+    let ids: Vec<JobId> = workload
+        .iter()
+        .map(|spec| daemon.submit(spec.clone()).unwrap())
+        .collect();
+    daemon.drain();
+    ids.iter().map(|id| daemon.report(*id).unwrap()).collect()
+}
+
+/// Truncates the current-generation WAL to `permille`/1000 of its length —
+/// the crash injection. A mid-frame cut leaves a torn tail the next open
+/// must discard cleanly.
+fn cut_wal(dir: &Path, permille: u64) -> (u64, u64) {
+    let wal = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            path.file_name()?
+                .to_str()?
+                .starts_with("wal-")
+                .then_some(path)
+        })
+        .max()
+        .expect("a persisting daemon leaves a WAL");
+    let full = fs::metadata(&wal).unwrap().len();
+    let keep = full * permille / 1000;
+    let file = fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    file.set_len(keep).unwrap();
+    (full, keep)
+}
+
+/// Persistence is a pure observer: with a `data_dir` (and even with the
+/// disk spill squeezing the store), every report — spend and reuse tally
+/// included — is byte-identical to a plain in-memory run.
+#[test]
+fn persistence_and_spill_never_change_a_report() {
+    let truth = Arc::new(synth_truth(2_000, 9, 41));
+    let workload = five_driver_workload(&truth);
+    let (plain, plain_spend) = run_workload(&truth, &workload, None, None);
+
+    let dir = scratch_dir("observer");
+    let (persisted, persisted_spend) = run_workload(&truth, &workload, Some(&dir), None);
+    let spill_dir = scratch_dir("observer-spill");
+    let (spilled, spilled_spend) = run_workload(&truth, &workload, Some(&spill_dir), Some(64));
+
+    for ((a, b), c) in plain.iter().zip(&persisted).zip(&spilled) {
+        assert_eq!(full_surface(a), full_surface(b), "WAL changed a report");
+        assert_eq!(full_surface(a), full_surface(c), "spill changed a report");
+    }
+    assert_eq!(plain_spend, persisted_spend);
+    assert_eq!(plain_spend, spilled_spend, "spill must never re-buy a fact");
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&spill_dir);
+}
+
+/// Satellite 3: `shutdown()` fsyncs the WAL and writes a final snapshot,
+/// so a restarted daemon re-asks **zero** crowd questions — every fact
+/// survives the restart, and the fact base round-trips exactly.
+#[test]
+fn shutdown_then_restart_forwards_zero_questions() {
+    let truth = Arc::new(synth_truth(2_500, 7, 13));
+    let workload = five_driver_workload(&truth);
+    let dir = scratch_dir("shutdown");
+
+    let first = start_daemon(&truth, Some(&dir), None);
+    let first_reports = run_on(&first, &workload);
+    let exported = first.export_store();
+    first.shutdown().expect("first shutdown");
+    assert!(
+        fs::read_dir(&dir).unwrap().any(|e| {
+            e.unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("snapshot-")
+        }),
+        "shutdown must leave a final snapshot"
+    );
+
+    let second = start_daemon(&truth, Some(&dir), None);
+    assert_eq!(
+        store_fingerprint(&second.export_store()),
+        store_fingerprint(&exported),
+        "the recovered fact base must equal the one shut down"
+    );
+    let second_reports = run_on(&second, &workload);
+    let stats = second.stats();
+    assert_eq!(
+        stats.reuse.forwarded, 0,
+        "every question was already answered before the restart: {stats:?}"
+    );
+    assert_eq!(stats.crowd_tasks, 0, "{stats:?}");
+    for (a, b) in first_reports.iter().zip(&second_reports) {
+        assert_eq!(verdict_surface(a), verdict_surface(b));
+    }
+    second.shutdown().expect("second shutdown");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The snapshot cadence compacts and rotates without losing a fact: a tiny
+/// `snapshot_every` forces a rotation at every job boundary, and a daemon
+/// crash-dropped right after still recovers the full fact base.
+#[test]
+fn snapshot_rotation_loses_nothing() {
+    let truth = Arc::new(synth_truth(1_500, 11, 29));
+    let workload = five_driver_workload(&truth);
+    let dir = scratch_dir("rotation");
+
+    let first = AuditDaemon::start(
+        ServiceConfig {
+            workers: 1,
+            data_dir: Some(dir.clone()),
+            snapshot_every: 1, // rotate at every job boundary
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(&truth)),
+    );
+    run_on(&first, &workload);
+    let exported = first.export_store();
+    drop(first); // crash: the last snapshot + its WAL must suffice
+
+    let second = start_daemon(&truth, Some(&dir), None);
+    assert_eq!(
+        store_fingerprint(&second.export_store()),
+        store_fingerprint(&exported),
+    );
+    run_on(&second, &workload);
+    let stats = second.stats();
+    assert_eq!(stats.reuse.forwarded, 0, "{stats:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `KnowledgeStore` serde round-trips through real JSON — the same path
+/// `GET /store/export`, snapshots and the import door all share.
+#[test]
+fn knowledge_store_serde_round_trips() {
+    let truth = Arc::new(synth_truth(1_200, 12, 3));
+    let daemon = start_daemon(&truth, None, None);
+    run_on(&daemon, &five_driver_workload(&truth));
+    let store = daemon.export_store();
+    assert!(!store.is_empty());
+    let json = serde_json::to_string(&store).unwrap();
+    let back: KnowledgeStore = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, store);
+    assert_eq!(store_fingerprint(&back), store_fingerprint(&store));
+    daemon.shutdown().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: a daemon killed at an **arbitrary WAL
+    /// prefix** — any cut point, torn frames included — and restarted
+    /// produces, for every one of the five drivers, a report verdict-
+    /// identical to the uninterrupted run, and never spends more than it.
+    /// A full prefix (nothing lost) re-asks nothing at all.
+    #[test]
+    fn killed_at_any_wal_prefix_recovers_equivalent_reports(
+        cut_permille in 0u64..1001,
+        n_total in 900usize..1_800,
+        density_pct in 3u64..25,
+        seed in 0u64..1_000,
+    ) {
+        let truth = Arc::new(synth_truth(n_total, density_pct, seed));
+        let workload = five_driver_workload(&truth);
+        let dir = scratch_dir("crash");
+
+        // The uninterrupted run, persisting as it goes… then the crash:
+        // the WAL keeps only an arbitrary prefix.
+        let (uninterrupted, full_spend) = run_workload(&truth, &workload, Some(&dir), None);
+        let (wal_len, kept) = cut_wal(&dir, cut_permille);
+
+        let restarted = start_daemon(&truth, Some(&dir), None);
+        let recovered = run_on(&restarted, &workload);
+        let stats = restarted.stats();
+
+        for (before, after) in uninterrupted.iter().zip(&recovered) {
+            prop_assert_eq!(
+                verdict_surface(before),
+                verdict_surface(after),
+                "driver {} drifted after crash recovery (wal {} -> {} bytes)",
+                before.name, wal_len, kept
+            );
+        }
+        prop_assert!(
+            stats.crowd_tasks <= full_spend,
+            "recovery re-bought knowledge: {} > {} (wal {} -> {} bytes)",
+            stats.crowd_tasks, full_spend, wal_len, kept
+        );
+        if cut_permille == 1000 {
+            prop_assert_eq!(
+                stats.reuse.forwarded, 0,
+                "a full WAL prefix answers everything: {:?}", stats
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
