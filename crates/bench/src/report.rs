@@ -32,6 +32,15 @@ pub fn bench_daemon_path() -> PathBuf {
     results_dir().join("BENCH_daemon.json")
 }
 
+/// The canonical HTTP-plane report file: `results/BENCH_http.json`,
+/// written by the `http_plane` bench — requests/s of the connection
+/// engine under close-per-request vs keep-alive vs keep-alive+pipelining
+/// at the same worker count, plus the per-tenant WFQ queue-wait split
+/// under a 10-tenant load with one 10×-weighted tenant.
+pub fn bench_http_path() -> PathBuf {
+    results_dir().join("BENCH_http.json")
+}
+
 /// The canonical persistence report file: `results/BENCH_persistence.json`,
 /// written by the `persistence` bench — cold-start recovery time from a
 /// populated data directory and spill-on vs spill-off crowd spend (the two

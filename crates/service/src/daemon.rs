@@ -77,15 +77,101 @@ use crate::governor::{GlobalBudget, JobBudget};
 use crate::job::{JobId, JobReport, JobSpec, JobStatus};
 use crate::persist::{Persistence, SpillFile};
 use crate::scheduler::PriorityQueue;
-use crate::service::{lock, run_job, ServiceConfig, ServiceReport};
-use crate::telemetry::Telemetry;
+use crate::service::{lock, run_job, ServiceConfig, ServiceReport, TenantRateLimit};
+use crate::telemetry::{tenant_of, Telemetry};
 use coverage_core::engine::{BatchAnswerSource, CancelToken};
 use coverage_core::ledger::TaskLedger;
 use coverage_core::memo::{FactSink, FactSpill, KnowledgeStore, ReuseStats, SharedKnowledgeSource};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Why the daemon's submit door refused a spec. The HTTP front-end maps
+/// each variant to its status line: `Invalid` → 400, `ShuttingDown` → 503,
+/// `RateLimited` → 429 with a `Retry-After` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitRefusal {
+    /// The spec failed [`JobSpec::validate`] — tenant error.
+    Invalid(String),
+    /// [`AuditDaemon::shutdown`] has begun; intake is closed.
+    ShuttingDown,
+    /// The tenant exhausted its token bucket or queue quota
+    /// ([`ServiceConfig::tenant_rate_limit`]). `retry_after_secs` is the
+    /// earliest time a retry can succeed (≥ 1, whole seconds — the
+    /// `Retry-After` wire granularity).
+    RateLimited {
+        /// Seconds until the tenant's bucket refills enough for one job.
+        retry_after_secs: u64,
+    },
+}
+
+impl std::fmt::Display for SubmitRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitRefusal::Invalid(message) => f.write_str(message),
+            SubmitRefusal::ShuttingDown => f.write_str(SHUTTING_DOWN_MSG),
+            SubmitRefusal::RateLimited { retry_after_secs } => write!(
+                f,
+                "tenant rate limit exceeded; retry after {retry_after_secs}s"
+            ),
+        }
+    }
+}
+
+/// The refusal message after shutdown began (also
+/// [`AuditDaemon::SHUTTING_DOWN`]; a free const so `SubmitRefusal` can
+/// print it without naming the generic daemon type).
+const SHUTTING_DOWN_MSG: &str = "daemon is shutting down";
+
+/// One tenant's token bucket: `tokens` refill continuously at
+/// `per_second`, capped at `burst`; each admitted submission spends one.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+/// The submit door's admission state when
+/// [`ServiceConfig::tenant_rate_limit`] is set.
+#[derive(Debug)]
+struct RateGate {
+    limit: TenantRateLimit,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+}
+
+impl RateGate {
+    fn new(limit: TenantRateLimit) -> Self {
+        Self {
+            limit,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Spends one token from `tenant`'s bucket, or answers how many whole
+    /// seconds until one is available.
+    fn admit(&self, tenant: &str) -> Result<(), u64> {
+        let mut buckets = lock(&self.buckets);
+        let now = Instant::now();
+        let bucket = buckets.entry(tenant.to_string()).or_insert(TokenBucket {
+            tokens: f64::from(self.limit.burst),
+            refilled_at: now,
+        });
+        let elapsed = now.duration_since(bucket.refilled_at).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * f64::from(self.limit.per_second))
+            .min(f64::from(self.limit.burst));
+        bucket.refilled_at = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / f64::from(self.limit.per_second)).ceil().max(1.0);
+            Err(secs as u64)
+        }
+    }
+}
 
 /// One line of the daemon's job table, as served by `GET /jobs`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -206,6 +292,9 @@ pub struct AuditDaemon<S> {
     /// set: WAL sink, snapshot cadence, shutdown sync (see
     /// [`crate::persist`]).
     persist: Option<Arc<Persistence>>,
+    /// Per-tenant token buckets, when
+    /// [`ServiceConfig::tenant_rate_limit`] is set.
+    rate_gate: Option<RateGate>,
 }
 
 impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
@@ -223,7 +312,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
         let shared = Arc::new(Shared {
             state: Mutex::new(DaemonState {
                 jobs: Vec::new(),
-                queue: PriorityQueue::new(config.priority_aging),
+                queue: PriorityQueue::with_weights(config.priority_aging, &config.tenant_weights),
                 running: 0,
                 finished_order: Vec::new(),
                 accepting: true,
@@ -286,6 +375,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             })
             .collect();
 
+        let rate_gate = config.tenant_rate_limit.clone().map(RateGate::new);
         Self {
             shared,
             config,
@@ -297,7 +387,15 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             started: Instant::now(),
             telemetry,
             persist,
+            rate_gate,
         }
+    }
+
+    /// The daemon's configuration — the HTTP front-end reads its
+    /// connection-engine knobs (event-loop threads, keep-alive budget)
+    /// from here.
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.config
     }
 
     /// The daemon's telemetry plane: the live metrics registry and trace
@@ -311,25 +409,50 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
     /// The refusal message for submissions after [`AuditDaemon::shutdown`]
     /// began — the HTTP layer maps exactly this to `503 Service
     /// Unavailable` (a server condition), keeping `400` for spec errors.
-    pub const SHUTTING_DOWN: &'static str = "daemon is shutting down";
+    pub const SHUTTING_DOWN: &'static str = SHUTTING_DOWN_MSG;
 
     /// Submits a job for execution; callable from any thread at any time.
+    /// String-error convenience over [`AuditDaemon::try_submit`] — kept
+    /// for callers that don't branch on the refusal kind.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
+        self.try_submit(spec).map_err(|refusal| refusal.to_string())
+    }
+
+    /// Submits a job for execution with a typed refusal; callable from any
+    /// thread at any time.
     ///
     /// The spec is validated **at the door** ([`JobSpec::validate`]): the
     /// daemon's submission boundary is a tenant API, so an invalid spec is
     /// refused with the reason instead of occupying a queue slot (the HTTP
-    /// front-end maps the `Err` to a `400`). Also refused once
-    /// [`AuditDaemon::shutdown`] has begun.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
-        spec.validate()?;
+    /// front-end maps [`SubmitRefusal::Invalid`] to 400). Refused once
+    /// [`AuditDaemon::shutdown`] has begun (503), and — when
+    /// [`ServiceConfig::tenant_rate_limit`] is set — when the tenant's
+    /// token bucket or queue quota is exhausted (429 + `Retry-After`).
+    /// A token is only spent on an *admitted* submission.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitRefusal> {
+        spec.validate().map_err(SubmitRefusal::Invalid)?;
         let priority = spec.priority.unwrap_or(self.config.default_priority);
+        let tenant = tenant_of(&spec.name).to_string();
         let id = {
             let mut state = self.shared.lock();
             if !state.accepting {
-                return Err(Self::SHUTTING_DOWN.to_string());
+                return Err(SubmitRefusal::ShuttingDown);
+            }
+            if let Some(gate) = &self.rate_gate {
+                if let Some(max_queued) = gate.limit.max_queued {
+                    if state.queue.tenant_queued(&tenant) >= max_queued {
+                        // Quota, not rate: the earliest useful retry is
+                        // after a queued job drains — advertise 1s.
+                        return Err(SubmitRefusal::RateLimited {
+                            retry_after_secs: 1,
+                        });
+                    }
+                }
+                gate.admit(&tenant)
+                    .map_err(|retry_after_secs| SubmitRefusal::RateLimited { retry_after_secs })?;
             }
             let id = JobId(state.jobs.len() as u64);
-            state.queue.push(id.0 as usize, priority);
+            state.queue.push_tenant(id.0 as usize, priority, &tenant);
             let spec = Arc::new(spec);
             self.telemetry.job_submitted();
             self.telemetry.job_queued_delta(1);
@@ -802,6 +925,95 @@ mod tests {
             .submit(group_job("late", truth.all_ids()))
             .unwrap_err();
         assert!(err.contains("shutting down"), "{err}");
+    }
+
+    /// ISSUE 8: the submit door's QoS gate. A tenant that bursts past its
+    /// token bucket is refused with a typed `RateLimited` refusal carrying
+    /// a positive `Retry-After`; other tenants are unaffected (buckets are
+    /// per tenant); the queue quota caps simultaneous backlog; and no
+    /// limit configured means no behaviour change.
+    #[test]
+    fn tenant_rate_limit_refuses_with_retry_after() {
+        let truth = truth(60, 8);
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 1,
+                round_latency: std::time::Duration::from_millis(1),
+                tenant_rate_limit: Some(TenantRateLimit {
+                    per_second: 1,
+                    burst: 2,
+                    max_queued: Some(8),
+                }),
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        // Burst of 2 is admitted; the third submission in the same instant
+        // is rate-limited.
+        daemon
+            .try_submit(group_job("a/one", truth.all_ids()))
+            .unwrap();
+        daemon
+            .try_submit(group_job("a/two", truth.all_ids()))
+            .unwrap();
+        let refusal = daemon
+            .try_submit(group_job("a/three", truth.all_ids()))
+            .unwrap_err();
+        match refusal {
+            SubmitRefusal::RateLimited { retry_after_secs } => {
+                assert!(retry_after_secs >= 1, "{retry_after_secs}");
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // The string door carries the same information.
+        let err = daemon
+            .submit(group_job("a/four", truth.all_ids()))
+            .unwrap_err();
+        assert!(err.contains("rate limit"), "{err}");
+        // A different tenant has its own bucket.
+        daemon
+            .try_submit(group_job("b/one", truth.all_ids()))
+            .unwrap();
+        daemon.drain();
+        let (summary, _) = daemon.shutdown().unwrap();
+        assert_eq!(summary.jobs.len(), 3);
+    }
+
+    /// The queue quota refuses the (max_queued + 1)-th simultaneous
+    /// backlog entry even when the token bucket still has credit.
+    #[test]
+    fn tenant_queue_quota_caps_backlog() {
+        let truth = truth(60, 8);
+        let daemon = AuditDaemon::start(
+            ServiceConfig {
+                workers: 1,
+                round_latency: std::time::Duration::from_millis(5),
+                tenant_rate_limit: Some(TenantRateLimit {
+                    per_second: 1000,
+                    burst: 1000,
+                    max_queued: Some(2),
+                }),
+                ..ServiceConfig::default()
+            },
+            SharedTruthSource::new(Arc::clone(&truth)),
+        );
+        // Three rapid submissions: the worker may start the first, but
+        // with round latency holding it the next two fill the quota.
+        let mut refused = 0;
+        for i in 0..6 {
+            if daemon
+                .try_submit(group_job(&format!("t/{i}"), truth.all_ids()))
+                .is_err()
+            {
+                refused += 1;
+            }
+        }
+        assert!(
+            refused > 0,
+            "quota of 2 must refuse some of 6 instant submissions"
+        );
+        daemon.drain();
+        daemon.shutdown();
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!
 //! | Method & path      | Body           | Replies                                             |
 //! |--------------------|----------------|-----------------------------------------------------|
-//! | `POST /jobs`       | [`JobSpec`]    | `201` `{"id", "status"}`; `400` on an invalid spec  |
+//! | `POST /jobs`       | [`JobSpec`]    | `201` `{"id", "status"}`; `400` invalid; `429` + `Retry-After` rate-limited |
 //! | `GET /jobs`        | —              | `200` `{"jobs": [`[`JobSummary`]`…]}`               |
 //! | `GET /jobs/{id}`   | —              | `200` `{"id","name","status","report"}`; `404`      |
+//! | `GET /jobs/{id}/watch` | —          | `200` chunked ndjson: live trace events, then a final status line |
 //! | `DELETE /jobs/{id}`| —              | `200` `{"id","cancelled"}` (cooperative); `404`     |
 //! | `GET /stats`       | —              | `200` [`DaemonStats`]                               |
 //! | `GET /metrics`     | —              | `200` Prometheus text exposition (`text/plain`)     |
@@ -19,6 +20,33 @@
 //! | `GET /events?since=N` | —           | `200` `{"next","events"}` incremental trace drain   |
 //! | `GET /store/export` | —             | `200` the whole fact base as one `KnowledgeStore`   |
 //! | `POST /store/import`| `KnowledgeStore` | `200` `{"labels","membership","set_verdicts"}`   |
+//!
+//! # Connection engine
+//!
+//! Connections are served by a **fixed pool of nonblocking event-loop
+//! threads** ([`ServiceConfig::event_loop_threads`]), not a thread per
+//! connection: the acceptor hands each socket to a loop round-robin, and
+//! every loop drives its connections through a per-connection state machine
+//! (incremental head/body parsing, bounded write buffering with
+//! backpressure). The engine speaks **HTTP/1.1 keep-alive** — a client may
+//! send many requests down one connection (`Connection: close` or
+//! [`ServiceConfig::keep_alive_max_requests`] ends the reuse) — and
+//! **pipelining**: every complete request already in the connection's read
+//! buffer is parsed and answered in a single loop iteration, so a burst of
+//! pipelined requests costs one round trip.
+//!
+//! `GET /jobs/{id}/watch` streams **live job progress** as chunked
+//! transfer: each of the job's [`TraceEvent`]s is one ndjson chunk, drained
+//! incrementally from the telemetry ring, followed by a final
+//! `{"id","status"}` chunk and the chunked terminator once the job reaches
+//! a terminal state. The connection stays reusable afterwards.
+//!
+//! A connection that goes quiet mid-request is answered `408` and closed
+//! once [`ServiceConfig::keep_alive_idle`] elapses — measured from the
+//! first byte of the request, so a slow-loris trickle cannot hold a
+//! connection open by pacing single bytes. Idle *between* requests closes
+//! silently. Overload (more than the connection cap) and shutdown refusals
+//! carry `Retry-After`, as do per-tenant `429`s from the submit rate gate.
 //!
 //! Errors are **structured bodies**, never bare status lines: a validation
 //! failure arrives as `400 {"error": "<JobSpec::validate message>"}`, an
@@ -29,10 +57,9 @@
 //! *not* transport errors — they are regular [`JobStatus`] data inside the
 //! `200` report, exactly as the fallible ask path produced them.
 //!
-//! Connections are one-request-one-connection (`Connection: close`), each
-//! served on its own thread; [`http_request`] is the matching
-//! one-call client used by the tests, the doctests and the `daemon_audit`
-//! example.
+//! [`http_request`] is the one-call `Connection: close` client;
+//! [`HttpClient`] is the keep-alive client the tests and the bench use to
+//! exercise reuse, pipelining and the chunked watch stream.
 //!
 //! # Example: the whole API over a real socket
 //!
@@ -91,20 +118,30 @@
 //!
 //! [`JobStatus`]: crate::JobStatus
 //! [`JobReport`]: crate::JobReport
+//! [`TraceEvent`]: crate::telemetry::TraceEvent
+//! [`ServiceConfig::event_loop_threads`]: crate::ServiceConfig::event_loop_threads
+//! [`ServiceConfig::keep_alive_max_requests`]: crate::ServiceConfig::keep_alive_max_requests
+//! [`ServiceConfig::keep_alive_idle`]: crate::ServiceConfig::keep_alive_idle
 
-use crate::daemon::{AuditDaemon, DaemonStats, JobSummary};
-use crate::job::{JobId, JobSpec};
+use crate::daemon::{AuditDaemon, DaemonStats, JobSummary, SubmitRefusal};
+use crate::job::{JobId, JobSpec, JobStatus};
+use crate::telemetry::status_label;
 use coverage_core::engine::BatchAnswerSource;
 use serde::{Serialize, Value};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Per-connection socket timeout: a stalled client must not pin a handler
-/// thread forever.
+/// Socket timeout for the blocking *clients* ([`http_request`],
+/// [`HttpClient`]): a stalled server must not pin a test forever. The
+/// server side is nonblocking and uses [`ServiceConfig::keep_alive_idle`]
+/// instead.
+///
+/// [`ServiceConfig::keep_alive_idle`]: crate::ServiceConfig::keep_alive_idle
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Upper bound on an accepted request body. `Content-Length` is
@@ -116,15 +153,28 @@ const MAX_BODY_BYTES: usize = 16 << 20;
 
 /// Upper bound on the request line + header section. Headers are client
 /// input too: without a cap, a newline-free flood (or millions of header
-/// lines) grows `read_line`'s buffer without bound before the body cap is
-/// ever consulted.
+/// lines) grows the read buffer without bound before the body cap is ever
+/// consulted.
 const MAX_HEAD_BYTES: u64 = 64 << 10;
 
-/// Upper bound on concurrently-served connections. Each connection is a
-/// thread that an idle client can pin for the full [`IO_TIMEOUT`]; beyond
-/// the cap new connections get an immediate `503` instead of a thread —
-/// a connect burst must not be able to spawn unbounded OS threads.
+/// Upper bound on concurrently-served connections. Beyond the cap new
+/// connections get an immediate `503` + `Retry-After` instead of a slot —
+/// a connect burst must not be able to pin unbounded buffers.
 const MAX_CONNECTIONS: usize = 256;
+
+/// Write-buffer high-water mark. Once a connection has this many unflushed
+/// response bytes, the engine stops reading and parsing for it until the
+/// client drains — backpressure, so a client that never reads cannot make
+/// the server buffer unboundedly.
+const WRITE_BUF_HIGH: usize = 256 << 10;
+
+/// One nonblocking read's scratch size.
+const READ_CHUNK: usize = 8 << 10;
+
+/// How long an event loop sleeps when a full pass over its channel and
+/// connections made no progress. Small enough that a watch stream feels
+/// live; large enough that an idle daemon costs ~no CPU.
+const POLL_SLEEP: Duration = Duration::from_micros(500);
 
 /// The daemon's TCP front door. Construct with [`HttpServer::serve`]; stop
 /// with [`HttpServer::shutdown`] (stopping the server does **not** stop the
@@ -134,22 +184,22 @@ pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
-/// Decrements the live-connection count when a handler thread finishes,
-/// however it exits.
-struct ConnectionPermit(Arc<AtomicUsize>);
-
-impl Drop for ConnectionPermit {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
+/// The per-server slice of [`ServiceConfig`] the event loops need.
+///
+/// [`ServiceConfig`]: crate::ServiceConfig
+#[derive(Clone)]
+struct Engine {
+    keep_alive_max: usize,
+    idle: Duration,
 }
 
 impl HttpServer {
     /// Binds `addr` (use port `0` for an OS-assigned port, see
-    /// [`HttpServer::local_addr`]) and starts serving the daemon's API.
-    /// Each connection is handled on its own short-lived thread.
+    /// [`HttpServer::local_addr`]) and starts serving the daemon's API on
+    /// `ServiceConfig::event_loop_threads` nonblocking event loops.
     pub fn serve<S>(addr: impl ToSocketAddrs, daemon: Arc<AuditDaemon<S>>) -> io::Result<Self>
     where
         S: BatchAnswerSource + Send + 'static,
@@ -157,41 +207,71 @@ impl HttpServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+        let engine = Engine {
+            keep_alive_max: daemon.config().keep_alive_max_requests,
+            idle: daemon.config().keep_alive_idle,
+        };
+
+        let mut senders = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..daemon.config().event_loop_threads {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let daemon = Arc::clone(&daemon);
+            let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
+            let engine = engine.clone();
+            workers.push(std::thread::spawn(move || {
+                event_loop(daemon, rx, stop, live, engine);
+            }));
+        }
+
         let acceptor = {
             let stop = Arc::clone(&stop);
-            let live = Arc::new(AtomicUsize::new(0));
             std::thread::spawn(move || {
+                let mut next = 0usize;
                 for stream in listener.incoming() {
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    // Bound the handler-thread count: a connect burst gets
-                    // fast 503s, never unbounded OS threads.
-                    if live.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
-                        live.fetch_sub(1, Ordering::AcqRel);
-                        // Overload refusals are counted too — a connect
-                        // flood must be visible at /metrics, not only in
-                        // the clients' error logs.
+                    // Bound the live-connection count: a connect burst gets
+                    // fast 503s with Retry-After, never unbounded buffers.
+                    // Refusals are counted under their own route class — a
+                    // connect flood must be visible at /metrics, not only
+                    // in the clients' error logs.
+                    if live.load(Ordering::Acquire) >= MAX_CONNECTIONS {
                         daemon.telemetry().count_http_request("?", "overload", 503);
-                        let _ = respond(stream, 503, error_body("too many connections"));
+                        let reply = encode_response(
+                            503,
+                            error_body("too many connections"),
+                            Some(1),
+                            false,
+                        );
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                        let _ = stream.write_all(&reply);
                         continue;
                     }
-                    let permit = ConnectionPermit(Arc::clone(&live));
-                    let daemon = Arc::clone(&daemon);
-                    std::thread::spawn(move || {
-                        let _permit = permit;
-                        // Socket errors (reset, timeout) only end this
-                        // connection; the served state lives in the daemon.
-                        let _ = handle_connection(stream, &daemon);
-                    });
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    live.fetch_add(1, Ordering::AcqRel);
+                    if senders[next % senders.len()].send(stream).is_err() {
+                        live.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    next = next.wrapping_add(1);
                 }
+                // Dropping the senders lets drained event loops retire.
             })
         };
         Ok(Self {
             addr,
             stop,
             acceptor: Some(acceptor),
+            workers,
         })
     }
 
@@ -200,8 +280,8 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting connections and joins the acceptor thread.
-    /// In-flight connection handlers finish their single request.
+    /// Stops accepting connections, joins the acceptor and the event
+    /// loops. In-flight responses are flushed best-effort.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
         // The acceptor sits in `accept`; one throwaway connection wakes it
@@ -215,6 +295,9 @@ impl HttpServer {
         if let Some(acceptor) = self.acceptor.take() {
             if woke {
                 let _ = acceptor.join();
+                for worker in self.workers.drain(..) {
+                    let _ = worker.join();
+                }
             }
             // No wake-up reached the acceptor (firewalled loopback?): it
             // will observe `stop` on the next real connection; joining now
@@ -225,7 +308,7 @@ impl HttpServer {
 }
 
 /// Dropping the server without [`HttpServer::shutdown`] (early return,
-/// panic unwind) still stops the acceptor: best-effort flag + wake-up, no
+/// panic unwind) still stops the engine: best-effort flag + wake-up, no
 /// join — so the port is released and the `Arc<AuditDaemon>` is freed
 /// instead of leaking for the process lifetime.
 impl Drop for HttpServer {
@@ -237,11 +320,474 @@ impl Drop for HttpServer {
     }
 }
 
+/// One event loop: adopts sockets from its channel, drives every
+/// connection's state machine, and sleeps only when a full pass made no
+/// progress anywhere. Pipelined requests that arrive in one TCP segment
+/// are parsed and answered within a single pass.
+fn event_loop<S: BatchAnswerSource + Send + 'static>(
+    daemon: Arc<AuditDaemon<S>>,
+    rx: mpsc::Receiver<TcpStream>,
+    stop: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    engine: Engine,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let retire = |conns: &mut Vec<Conn>, daemon: &AuditDaemon<S>, live: &AtomicUsize| {
+        for conn in conns.drain(..) {
+            drop(conn);
+            daemon.telemetry().http_connection_delta(-1);
+            live.fetch_sub(1, Ordering::AcqRel);
+        }
+    };
+    loop {
+        if stop.load(Ordering::Acquire) {
+            retire(&mut conns, &daemon, &live);
+            return;
+        }
+        let mut progress = false;
+        while let Ok(stream) = rx.try_recv() {
+            conns.push(Conn::new(stream));
+            daemon.telemetry().http_connection_delta(1);
+            progress = true;
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            let (moved, done) = conns[i].drive(&daemon, &engine);
+            progress |= moved;
+            if done {
+                drop(conns.swap_remove(i));
+                daemon.telemetry().http_connection_delta(-1);
+                live.fetch_sub(1, Ordering::AcqRel);
+            } else {
+                i += 1;
+            }
+        }
+        if !progress {
+            // Nothing moved: block briefly on the channel — this is both
+            // the idle sleep and the new-connection wake-up.
+            match rx.recv_timeout(POLL_SLEEP) {
+                Ok(stream) => {
+                    conns.push(Conn::new(stream));
+                    daemon.telemetry().http_connection_delta(1);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    if conns.is_empty() {
+                        return;
+                    }
+                    std::thread::sleep(POLL_SLEEP);
+                }
+            }
+        }
+    }
+}
+
+/// An in-flight chunked `GET /jobs/{id}/watch` stream: which job, where in
+/// the trace ring the stream has read to, and whether the connection may
+/// be reused after the final chunk.
+struct Watch {
+    id: JobId,
+    cursor: u64,
+    keep: bool,
+}
+
+/// One connection's state machine. Lives inside a single event loop, so no
+/// locking: the stream is nonblocking, reads accumulate into `read_buf`,
+/// responses accumulate into `write_buf` and drain as the socket allows.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Requests fully served on this connection (keep-alive accounting).
+    served: usize,
+    /// When the first byte of the currently-incomplete request arrived.
+    /// `None` between requests. This is what defeats slow-loris pacing:
+    /// the deadline runs from the request's first byte, not its last.
+    started: Option<Instant>,
+    last_activity: Instant,
+    watch: Option<Watch>,
+    /// No further requests will be parsed; close once `write_buf` drains.
+    closing: bool,
+    peer_eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            served: 0,
+            started: None,
+            last_activity: Instant::now(),
+            watch: None,
+            closing: false,
+            peer_eof: false,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
+
+    fn enqueue(&mut self, code: u16, body: Body, retry_after: Option<u64>, keep: bool) {
+        let reply = encode_response(code, body, retry_after, keep);
+        self.write_buf.extend_from_slice(&reply);
+    }
+
+    /// One pass of the state machine: read what's there, parse and answer
+    /// every complete request (pipelining), pump an active watch stream,
+    /// flush, and apply the idle/slow-loris deadlines. Returns
+    /// `(made_progress, finished)`.
+    fn drive<S: BatchAnswerSource + Send + 'static>(
+        &mut self,
+        daemon: &AuditDaemon<S>,
+        engine: &Engine,
+    ) -> (bool, bool) {
+        let mut progress = false;
+
+        // 1. Read: greedy until WouldBlock, gated by backpressure.
+        if !self.peer_eof && !self.closing && self.pending() < WRITE_BUF_HIGH {
+            loop {
+                let mut buf = [0u8; READ_CHUNK];
+                match self.stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if self.read_buf.is_empty() {
+                            self.started = Some(Instant::now());
+                        }
+                        self.read_buf.extend_from_slice(&buf[..n]);
+                        self.last_activity = Instant::now();
+                        progress = true;
+                        if self.read_buf.len() > MAX_BODY_BYTES + MAX_HEAD_BYTES as usize {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return (true, true),
+                }
+            }
+        }
+
+        // 2. Parse + dispatch every complete request in the buffer.
+        while self.watch.is_none()
+            && !self.closing
+            && self.pending() < WRITE_BUF_HIGH
+            && !self.read_buf.is_empty()
+        {
+            match parse_request(&self.read_buf) {
+                Parse::NeedMore => break,
+                Parse::Invalid {
+                    code,
+                    message,
+                    method,
+                    route,
+                } => {
+                    // Even an unparseable request is a counted one: floods
+                    // of garbage must show up at /metrics.
+                    daemon.telemetry().count_http_request(&method, route, code);
+                    self.enqueue(code, error_body(&message), None, false);
+                    self.closing = true;
+                    progress = true;
+                }
+                Parse::Request(req) => {
+                    self.read_buf.drain(..req.consumed);
+                    self.started = if self.read_buf.is_empty() {
+                        None
+                    } else {
+                        // The next pipelined request's clock starts now.
+                        Some(Instant::now())
+                    };
+                    if self.served >= 1 {
+                        daemon.telemetry().record_keepalive_reuse();
+                    }
+                    self.served += 1;
+                    let keep = !req.close && self.served < engine.keep_alive_max;
+                    progress = true;
+
+                    let bare = req.path.split('?').next().unwrap_or(&req.path);
+                    if req.method == "GET" {
+                        if let Some(id) = watch_job_id(bare) {
+                            if daemon.status(id).is_some() {
+                                daemon.telemetry().count_http_request(
+                                    "GET",
+                                    "/jobs/{id}/watch",
+                                    200,
+                                );
+                                self.write_buf
+                                    .extend_from_slice(watch_head(keep).as_bytes());
+                                self.watch = Some(Watch {
+                                    id,
+                                    cursor: 0,
+                                    keep,
+                                });
+                                continue;
+                            }
+                            // Unknown id: fall through, route() serves 404.
+                        }
+                    }
+                    let reply = route(daemon, &req.method, &req.path, &req.body);
+                    daemon.telemetry().count_http_request(
+                        &req.method,
+                        route_class(&req.path),
+                        reply.code,
+                    );
+                    self.enqueue(reply.code, reply.body, reply.retry_after, keep);
+                    if !keep {
+                        self.closing = true;
+                    }
+                }
+            }
+        }
+
+        // 3. Pump an active watch stream from the trace ring. Status is
+        // read *before* the event drain: a job's terminal trace events are
+        // recorded before its status flips, so this order can observe a
+        // terminal status only after its last events are already drained.
+        if self.pending() < WRITE_BUF_HIGH {
+            if let Some(watch) = &mut self.watch {
+                let status = daemon.status(watch.id);
+                let (events, next) = daemon.telemetry().events_since(watch.cursor);
+                watch.cursor = next;
+                for event in events.iter().filter(|e| e.job == Some(watch.id.0)) {
+                    let line = serde_json::to_string(event).expect("trace event serializes");
+                    push_chunk(&mut self.write_buf, &format!("{line}\n"));
+                    progress = true;
+                }
+                let terminal =
+                    !matches!(status, Some(JobStatus::Queued) | Some(JobStatus::Running));
+                if terminal {
+                    let label = status.map_or("unknown", |s| status_label(&s));
+                    push_chunk(
+                        &mut self.write_buf,
+                        &format!("{{\"id\": {}, \"status\": \"{label}\"}}\n", watch.id.0),
+                    );
+                    self.write_buf.extend_from_slice(b"0\r\n\r\n");
+                    if !watch.keep {
+                        self.closing = true;
+                    }
+                    self.watch = None;
+                    progress = true;
+                }
+            }
+        }
+
+        // 4. Flush as much of the write buffer as the socket takes.
+        while self.pending() > 0 {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => return (true, true),
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = Instant::now();
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return (true, true),
+            }
+        }
+        if self.pending() == 0 && self.written > 0 {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+
+        // 5. Terminal states.
+        if self.closing && self.watch.is_none() && self.pending() == 0 {
+            return (progress, true);
+        }
+        if self.peer_eof {
+            if self.watch.is_some() {
+                // The watcher hung up mid-stream.
+                return (progress, true);
+            }
+            if !self.read_buf.is_empty() && !self.closing {
+                // Half-closed with a request that can never complete
+                // (mid-body disconnect): answer 400 to the half-open
+                // reader, then drain and close.
+                daemon.telemetry().count_http_request("?", "malformed", 400);
+                self.enqueue(400, error_body("incomplete request"), None, false);
+                self.closing = true;
+                return (true, false);
+            }
+            if self.pending() == 0 {
+                return (progress, true);
+            }
+        }
+
+        // 6. Deadlines.
+        let idle = self.last_activity.elapsed() > engine.idle;
+        if self.watch.is_some() {
+            // A live stream is exempt from the request deadline, but a
+            // watcher that stops draining its chunks is not.
+            if idle && self.pending() > 0 {
+                return (progress, true);
+            }
+        } else if let Some(started) = self.started {
+            if started.elapsed() > engine.idle && !self.closing {
+                // The request started but never completed in time — the
+                // slow-loris path gets a clean 408, then a close.
+                daemon.telemetry().count_http_request("?", "timeout", 408);
+                self.enqueue(408, error_body("request timed out"), None, false);
+                self.started = None;
+                self.closing = true;
+                return (true, false);
+            }
+        } else if idle {
+            // Keep-alive idle expiry between requests: silent close, like
+            // every production HTTP server.
+            return (progress, true);
+        }
+
+        (progress, false)
+    }
+}
+
+/// The chunked-response head of a watch stream.
+fn watch_head(keep: bool) -> String {
+    let connection = if keep { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {connection}\r\n\r\n"
+    )
+}
+
+/// Appends `data` as one HTTP/1.1 chunk: hex length, CRLF, data, CRLF.
+fn push_chunk(buf: &mut Vec<u8>, data: &str) {
+    buf.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    buf.extend_from_slice(data.as_bytes());
+    buf.extend_from_slice(b"\r\n");
+}
+
+/// `/jobs/{id}/watch` with a numeric id, or `None`.
+fn watch_job_id(path: &str) -> Option<JobId> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let id = rest.strip_suffix("/watch")?;
+    id.parse().ok().map(JobId)
+}
+
+/// The outcome of trying to parse one request off the front of a
+/// connection's read buffer.
+enum Parse {
+    /// The buffer holds a prefix of a request; read more.
+    NeedMore,
+    /// One complete request (and how many buffer bytes it consumed).
+    Request(Req),
+    /// The buffer can never become a servable request: answer and close.
+    Invalid {
+        code: u16,
+        message: String,
+        method: String,
+        route: &'static str,
+    },
+}
+
+struct Req {
+    method: String,
+    path: String,
+    body: String,
+    /// The client sent `Connection: close`.
+    close: bool,
+    consumed: usize,
+}
+
+/// Incremental HTTP/1.1 request parser over the raw buffer: finds the head
+/// terminator, applies the head/body caps, and only returns `Request` once
+/// the full body is buffered. Pure, so the framing tests drive it hard.
+fn parse_request(buf: &[u8]) -> Parse {
+    let head_end = buf.windows(4).position(|window| window == b"\r\n\r\n");
+    let Some(head_end) = head_end else {
+        if buf.len() as u64 >= MAX_HEAD_BYTES {
+            return Parse::Invalid {
+                code: 400,
+                message: format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
+                method: "?".to_string(),
+                route: "malformed",
+            };
+        }
+        return Parse::NeedMore;
+    };
+    if head_end as u64 + 4 > MAX_HEAD_BYTES {
+        return Parse::Invalid {
+            code: 400,
+            message: format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
+            method: "?".to_string(),
+            route: "malformed",
+        };
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Parse::Invalid {
+            code: 400,
+            message: "malformed request line".to_string(),
+            method: "?".to_string(),
+            route: "malformed",
+        };
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.parse() {
+                    Ok(length) => content_length = length,
+                    Err(_) => {
+                        return Parse::Invalid {
+                            code: 400,
+                            message: format!("malformed Content-Length `{value}`"),
+                            method,
+                            route: route_class(&path),
+                        }
+                    }
+                }
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    // The length is client-controlled: refuse before buffering further, or
+    // one request could pin (or fail to allocate) gigabytes.
+    if content_length > MAX_BODY_BYTES {
+        return Parse::Invalid {
+            code: 413,
+            message: format!(
+                "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            ),
+            method,
+            route: route_class(&path),
+        };
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Parse::NeedMore;
+    }
+    let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+    Parse::Request(Req {
+        method,
+        path,
+        body,
+        close,
+        consumed: total,
+    })
+}
+
 /// One-call HTTP/1.1 client for the daemon's API: sends `method path` with
-/// an optional JSON body, returns `(status code, response body)`. This is
-/// deliberately the same plain-socket dialect the server speaks — tests,
-/// doctests and the `daemon_audit` example drive the real wire format with
-/// it, no HTTP library required.
+/// an optional JSON body over a fresh `Connection: close` socket, returns
+/// `(status code, response body)`. This is deliberately the same
+/// plain-socket dialect the server speaks — tests, doctests and the
+/// `daemon_audit` example drive the real wire format with it, no HTTP
+/// library required. For keep-alive and pipelining, use [`HttpClient`].
 pub fn http_request(
     addr: SocketAddr,
     method: &str,
@@ -272,87 +818,133 @@ pub fn http_request(
     Ok((status, body))
 }
 
-/// Reads one request, routes it, writes one response, closes.
-fn handle_connection<S: BatchAnswerSource + Send + 'static>(
-    stream: TcpStream,
-    daemon: &AuditDaemon<S>,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    // The whole head (request line + headers) reads through a hard byte
-    // limit: a flood simply runs out of budget and parses as malformed,
-    // allocating at most MAX_HEAD_BYTES. The limit is raised to the
-    // (separately capped) body length once the head is parsed.
-    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES));
+/// A keep-alive HTTP/1.1 client: one TCP connection, many requests. Knows
+/// `Content-Length` and chunked framing, so it can read a `/watch` stream
+/// to the terminator and keep using the same socket. [`HttpClient::send`]
+/// and [`HttpClient::read_response`] decouple writing from reading, which
+/// is what lets the tests and the bench pipeline several requests into
+/// one segment before collecting any reply.
+#[derive(Debug)]
+pub struct HttpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
 
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        // Even an unparseable request is a counted one: floods of garbage
-        // must show up in the per-route/status counters at /metrics.
-        daemon.telemetry().count_http_request("?", "malformed", 400);
-        return respond(
-            into_stream(reader),
-            400,
-            error_body("malformed request line"),
-        );
-    };
-    let (method, path) = (method.to_string(), path.to_string());
+/// A fully read response: status code, lowercased `(name, value)` header
+/// pairs, and the (de-chunked) body.
+pub type DecodedResponse = (u16, Vec<(String, String)>, String);
 
-    // Headers: only Content-Length matters to this API.
-    let mut content_length = 0usize;
-    loop {
+impl HttpClient {
+    /// Connects to the daemon's front door.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Writes one request without reading its response — call
+    /// [`HttpClient::read_response`] once per send, in order. Back-to-back
+    /// sends pipeline.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: daemon\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()
+    }
+
+    /// One request-response round trip over the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Reads the next pipelined response: `(status, body)`. A chunked
+    /// response (the `/watch` stream) is read through its terminator and
+    /// returned de-chunked.
+    pub fn read_response(&mut self) -> io::Result<(u16, String)> {
+        self.read_response_with_headers()
+            .map(|(code, _, body)| (code, body))
+    }
+
+    /// Like [`HttpClient::read_response`], also returning the response
+    /// headers as lowercased `(name, value)` pairs — the tests assert on
+    /// `Retry-After` and `Connection` with this.
+    pub fn read_response_with_headers(&mut self) -> io::Result<DecodedResponse> {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            break;
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a response",
+            ));
         }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                match value.trim().parse() {
-                    Ok(length) => content_length = length,
-                    Err(_) => {
-                        daemon
-                            .telemetry()
-                            .count_http_request(&method, route_class(&path), 400);
-                        return respond(
-                            into_stream(reader),
-                            400,
-                            error_body(&format!("malformed Content-Length `{}`", value.trim())),
-                        );
-                    }
-                }
+        let code = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        };
+        let chunked =
+            header("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            let mut body = Vec::new();
+            loop {
+                let mut size = String::new();
+                self.reader.read_line(&mut size)?;
+                let size = usize::from_str_radix(size.trim(), 16).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed chunk size")
+                })?;
+                let mut chunk = vec![0u8; size + 2];
+                self.reader.read_exact(&mut chunk)?;
+                if size == 0 {
+                    break;
+                }
+                chunk.truncate(size);
+                body.extend_from_slice(&chunk);
+            }
+            body
+        } else {
+            let length = header("content-length")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            let mut body = vec![0u8; length];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
+        Ok((code, headers, String::from_utf8_lossy(&body).into_owned()))
     }
-    // The length is client-controlled: refuse before allocating, or one
-    // request could pin (or fail to allocate) gigabytes.
-    if content_length > MAX_BODY_BYTES {
-        daemon
-            .telemetry()
-            .count_http_request(&method, route_class(&path), 413);
-        return respond(
-            into_stream(reader),
-            413,
-            error_body(&format!(
-                "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-            )),
-        );
-    }
-    reader.get_mut().set_limit(content_length as u64);
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8_lossy(&body).into_owned();
-
-    let (code, reply) = route(daemon, &method, &path, &body);
-    daemon
-        .telemetry()
-        .count_http_request(&method, route_class(&path), code);
-    respond(into_stream(reader), code, reply)
 }
 
 /// The bounded-cardinality route label of a request path: ids collapse
@@ -368,31 +960,55 @@ fn route_class(path: &str) -> &'static str {
         "/events" => "/events",
         "/store/export" => "/store/export",
         "/store/import" => "/store/import",
+        p if p.starts_with("/jobs/") && p.ends_with("/watch") => "/jobs/{id}/watch",
         p if p.starts_with("/jobs/") => "/jobs/{id}",
         p if p.starts_with("/trace/") => "/trace/{id}",
         _ => "other",
     }
 }
 
-/// Unwraps the limited reader back to the raw stream for the reply.
-fn into_stream(reader: BufReader<io::Take<TcpStream>>) -> TcpStream {
-    reader.into_inner().into_inner()
+/// One routed response: status, payload, and (for `503`/`429` refusals)
+/// the `Retry-After` hint.
+struct Reply {
+    code: u16,
+    body: Body,
+    retry_after: Option<u64>,
+}
+
+impl Reply {
+    fn new(code: u16, body: Body) -> Self {
+        Self {
+            code,
+            body,
+            retry_after: None,
+        }
+    }
+
+    fn retry(code: u16, body: Body, secs: u64) -> Self {
+        Self {
+            code,
+            body,
+            retry_after: Some(secs),
+        }
+    }
 }
 
 /// Maps one parsed request onto the daemon API. Pure apart from the daemon
-/// calls, so unit tests can drive it without a socket.
+/// calls, so unit tests can drive it without a socket. (`GET` on a known
+/// `/jobs/{id}/watch` never reaches here — the connection handles the
+/// stream itself.)
 fn route<S: BatchAnswerSource + Send + 'static>(
     daemon: &AuditDaemon<S>,
     method: &str,
     path: &str,
     body: &str,
-) -> (u16, Body) {
+) -> Reply {
     // `/events?since=7`: the query string routes with the path.
     let (path, query) = path.split_once('?').unwrap_or((path, ""));
     match (method, path) {
         ("POST", "/jobs") => match serde_json::from_str::<JobSpec>(body) {
-            Ok(spec) => match daemon.submit(spec) {
-                Ok(id) => (
+            Ok(spec) => match daemon.try_submit(spec) {
+                Ok(id) => Reply::new(
                     201,
                     Body::Json(Value::Object(vec![
                         ("id".to_string(), id.to_value()),
@@ -400,29 +1016,37 @@ fn route<S: BatchAnswerSource + Send + 'static>(
                     ])),
                 ),
                 // A refusal because the daemon is stopping is a *server*
-                // condition (retry elsewhere), not a client error.
-                Err(message) if message == AuditDaemon::<S>::SHUTTING_DOWN => {
-                    (503, error_body(&message))
+                // condition (retry elsewhere), not a client error; a
+                // rate-gate refusal is a 429 with the computed wait.
+                Err(refusal @ SubmitRefusal::ShuttingDown) => {
+                    Reply::retry(503, error_body(&refusal.to_string()), 1)
                 }
-                Err(message) => (400, error_body(&message)),
+                Err(refusal @ SubmitRefusal::RateLimited { .. }) => {
+                    let secs = match refusal {
+                        SubmitRefusal::RateLimited { retry_after_secs } => retry_after_secs,
+                        _ => 1,
+                    };
+                    Reply::retry(429, error_body(&refusal.to_string()), secs)
+                }
+                Err(SubmitRefusal::Invalid(message)) => Reply::new(400, error_body(&message)),
             },
-            Err(e) => (400, error_body(&format!("invalid job spec: {e}"))),
+            Err(e) => Reply::new(400, error_body(&format!("invalid job spec: {e}"))),
         },
         ("GET", "/jobs") => {
             let jobs: Vec<JobSummary> = daemon.jobs();
-            (
+            Reply::new(
                 200,
                 Body::Json(Value::Object(vec![("jobs".to_string(), jobs.to_value())])),
             )
         }
         ("GET", "/stats") => {
             let stats: DaemonStats = daemon.stats();
-            (200, Body::Json(stats.to_value()))
+            Reply::new(200, Body::Json(stats.to_value()))
         }
         // The whole metrics registry in Prometheus text exposition format —
         // counters, gauges, labeled families, histograms. Served as plain
         // text (the scrape format), not JSON.
-        ("GET", "/metrics") => (200, Body::Text(daemon.telemetry().render_prometheus())),
+        ("GET", "/metrics") => Reply::new(200, Body::Text(daemon.telemetry().render_prometheus())),
         // Incremental trace drain: events with `seq >= since`, plus the
         // `next` cursor to resume from. Survives ring wraparound — a
         // consumer that slept through a wrap resumes at the oldest
@@ -431,13 +1055,18 @@ fn route<S: BatchAnswerSource + Send + 'static>(
             let since = match query.strip_prefix("since=") {
                 Some(raw) => match raw.parse::<u64>() {
                     Ok(since) => since,
-                    Err(_) => return (400, error_body(&format!("malformed since cursor `{raw}`"))),
+                    Err(_) => {
+                        return Reply::new(
+                            400,
+                            error_body(&format!("malformed since cursor `{raw}`")),
+                        )
+                    }
                 },
                 None if query.is_empty() => 0,
-                None => return (400, error_body(&format!("unknown query `{query}`"))),
+                None => return Reply::new(400, error_body(&format!("unknown query `{query}`"))),
             };
             let (events, next) = daemon.telemetry().events_since(since);
-            (
+            Reply::new(
                 200,
                 Body::Json(Value::Object(vec![
                     ("next".to_string(), next.to_value()),
@@ -449,7 +1078,7 @@ fn route<S: BatchAnswerSource + Send + 'static>(
         // JSON document, import a previously exported one. Together they
         // let a fresh daemon inherit a prior run's crowd-bought facts over
         // the wire — the HTTP twin of `data_dir` recovery.
-        ("GET", "/store/export") => (200, Body::Json(daemon.export_store().to_value())),
+        ("GET", "/store/export") => Reply::new(200, Body::Json(daemon.export_store().to_value())),
         ("POST", "/store/import") => {
             match serde_json::from_str::<coverage_core::memo::KnowledgeStore>(body) {
                 Ok(store) => {
@@ -459,7 +1088,7 @@ fn route<S: BatchAnswerSource + Send + 'static>(
                         store.set_verdicts_known(),
                     );
                     daemon.import_store(&store);
-                    (
+                    Reply::new(
                         200,
                         Body::Json(Value::Object(vec![
                             ("labels".to_string(), labels.to_value()),
@@ -468,7 +1097,7 @@ fn route<S: BatchAnswerSource + Send + 'static>(
                         ])),
                     )
                 }
-                Err(e) => (400, error_body(&format!("invalid knowledge store: {e}"))),
+                Err(e) => Reply::new(400, error_body(&format!("invalid knowledge store: {e}"))),
             }
         }
         (_, "/jobs")
@@ -476,21 +1105,35 @@ fn route<S: BatchAnswerSource + Send + 'static>(
         | (_, "/metrics")
         | (_, "/events")
         | (_, "/store/export")
-        | (_, "/store/import") => (405, error_body("method not allowed")),
+        | (_, "/store/import") => Reply::new(405, error_body("method not allowed")),
         (method, path) => {
+            // A watch path with a wrong method (or a malformed/unknown id)
+            // routes like every id route: unknown job before wrong method.
+            if let Some(raw) = path
+                .strip_prefix("/jobs/")
+                .and_then(|rest| rest.strip_suffix("/watch"))
+            {
+                return match raw.parse::<u64>() {
+                    Ok(id) if daemon.status(JobId(id)).is_none() => {
+                        Reply::new(404, error_body(&format!("no such job: {}", JobId(id))))
+                    }
+                    Ok(_) => Reply::new(405, error_body("method not allowed")),
+                    Err(_) => Reply::new(400, error_body(&format!("malformed job id `{raw}`"))),
+                };
+            }
             if let Some(rest) = path.strip_prefix("/jobs/") {
                 return match rest.parse::<u64>() {
                     Ok(id) => job_route(daemon, method, JobId(id)),
-                    Err(_) => (400, error_body(&format!("malformed job id `{rest}`"))),
+                    Err(_) => Reply::new(400, error_body(&format!("malformed job id `{rest}`"))),
                 };
             }
             if let Some(rest) = path.strip_prefix("/trace/") {
                 return match rest.parse::<u64>() {
                     Ok(id) => trace_route(daemon, method, JobId(id)),
-                    Err(_) => (400, error_body(&format!("malformed job id `{rest}`"))),
+                    Err(_) => Reply::new(400, error_body(&format!("malformed job id `{rest}`"))),
                 };
             }
-            (404, error_body(&format!("no such route: {method} {path}")))
+            Reply::new(404, error_body(&format!("no such route: {method} {path}")))
         }
     }
 }
@@ -500,17 +1143,17 @@ fn trace_route<S: BatchAnswerSource + Send + 'static>(
     daemon: &AuditDaemon<S>,
     method: &str,
     id: JobId,
-) -> (u16, Body) {
+) -> Reply {
     // Unknown job before wrong method: a timeline for a job the daemon
     // never issued is a 404 whatever the verb.
     if daemon.status(id).is_none() {
-        return (404, error_body(&format!("no such job: {id}")));
+        return Reply::new(404, error_body(&format!("no such job: {id}")));
     }
     if method != "GET" {
-        return (405, error_body("method not allowed"));
+        return Reply::new(405, error_body("method not allowed"));
     }
     let events = daemon.telemetry().timeline(id.0);
-    (
+    Reply::new(
         200,
         Body::Json(Value::Object(vec![
             ("id".to_string(), id.to_value()),
@@ -524,16 +1167,16 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
     daemon: &AuditDaemon<S>,
     method: &str,
     id: JobId,
-) -> (u16, Body) {
+) -> Reply {
     match method {
         "GET" => {
             // One consistent snapshot: status and report come from a single
             // lock acquisition, so `Running` is never served next to an
             // already-published report.
             let Some((summary, report)) = daemon.snapshot(id) else {
-                return (404, error_body(&format!("no such job: {id}")));
+                return Reply::new(404, error_body(&format!("no such job: {id}")));
             };
-            (
+            Reply::new(
                 200,
                 Body::Json(Value::Object(vec![
                     ("id".to_string(), id.to_value()),
@@ -552,9 +1195,9 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
         }
         "DELETE" => {
             if !daemon.cancel(id) {
-                return (404, error_body(&format!("no such job: {id}")));
+                return Reply::new(404, error_body(&format!("no such job: {id}")));
             }
-            (
+            Reply::new(
                 200,
                 Body::Json(Value::Object(vec![
                     ("id".to_string(), id.to_value()),
@@ -562,8 +1205,10 @@ fn job_route<S: BatchAnswerSource + Send + 'static>(
                 ])),
             )
         }
-        _ if daemon.status(id).is_none() => (404, error_body(&format!("no such job: {id}"))),
-        _ => (405, error_body("method not allowed")),
+        _ if daemon.status(id).is_none() => {
+            Reply::new(404, error_body(&format!("no such job: {id}")))
+        }
+        _ => Reply::new(405, error_body("method not allowed")),
     }
 }
 
@@ -582,14 +1227,19 @@ enum Body {
     Text(String),
 }
 
-fn respond(mut stream: TcpStream, code: u16, body: Body) -> io::Result<()> {
+/// Serializes one complete response, keep-alive aware. `Retry-After`
+/// travels on the refusal statuses so a polite client knows when to come
+/// back.
+fn encode_response(code: u16, body: Body, retry_after: Option<u64>, keep: bool) -> Vec<u8> {
     let reason = match code {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
@@ -601,12 +1251,18 @@ fn respond(mut stream: TcpStream, code: u16, body: Body) -> io::Result<()> {
         // The Prometheus text exposition format, version 0.0.4.
         Body::Text(text) => ("text/plain; version=0.0.4", text),
     };
-    write!(
-        stream,
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let connection = if keep { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
-    )?;
-    stream.flush()
+    );
+    if let Some(secs) = retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str(&format!("Connection: {connection}\r\n\r\n"));
+    let mut reply = head.into_bytes();
+    reply.extend_from_slice(body.as_bytes());
+    reply
 }
 
 /// A raw [`Value`] viewed through the vendored serde traits.
@@ -728,12 +1384,18 @@ mod tests {
         assert_eq!(code, 405);
 
         // A valid spec refused because the daemon is stopping is a server
-        // condition: 503, not 400.
+        // condition: 503, not 400 — and it tells the client when to retry.
         daemon.drain();
         daemon.shutdown().unwrap();
-        let (code, reply) = http_request(addr, "POST", "/jobs", Some(&ok)).unwrap();
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.send("POST", "/jobs", Some(&ok)).unwrap();
+        let (code, headers, reply) = client.read_response_with_headers().unwrap();
         assert_eq!(code, 503, "{reply}");
         assert!(reply.contains("shutting down"), "{reply}");
+        assert!(
+            headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
+            "503 must carry Retry-After: {headers:?}"
+        );
 
         server.shutdown();
     }
@@ -768,7 +1430,7 @@ mod tests {
 
     /// A newline-free flood in the request/header section runs out of the
     /// head byte budget and is answered as malformed — it cannot grow the
-    /// line buffer without bound.
+    /// read buffer without bound.
     #[test]
     fn header_flood_is_bounded_and_rejected() {
         let (daemon, _pool) = daemon(20, 2);
@@ -777,10 +1439,6 @@ mod tests {
 
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
-        // Exactly the head budget, no newline: the server consumes it all,
-        // hits the cap, and answers malformed. (Overshooting instead would
-        // leave unread bytes and turn the close into an RST — the request
-        // is still refused, just without a readable reply.)
         let flood = vec![b'A'; MAX_HEAD_BYTES as usize];
         stream.write_all(&flood).unwrap();
         stream.flush().unwrap();
@@ -849,6 +1507,15 @@ mod tests {
         );
         assert!(
             metrics.contains("audit_submit_to_first_result_ms_bucket"),
+            "{metrics}"
+        );
+        // The connection engine's own instruments are exported too.
+        assert!(
+            metrics.contains("audit_http_active_connections"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("audit_tenant_queue_wait_ms_bucket{tenant=\"acme\""),
             "{metrics}"
         );
 
@@ -948,5 +1615,134 @@ mod tests {
         assert_eq!(stats.crowd_tasks, 0, "{stats:?}");
         server.shutdown();
         second.shutdown().unwrap();
+    }
+
+    /// Keep-alive: many requests down one connection, each reply marked
+    /// `Connection: keep-alive`, and the reuse counter counts all but the
+    /// first request on the wire.
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let (daemon, _pool) = daemon(50, 5);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let mut client = HttpClient::connect(addr).unwrap();
+        for _ in 0..5 {
+            client.send("GET", "/stats", None).unwrap();
+            let (code, headers, body) = client.read_response_with_headers().unwrap();
+            assert_eq!(code, 200, "{body}");
+            assert!(
+                headers
+                    .iter()
+                    .any(|(n, v)| n == "connection" && v == "keep-alive"),
+                "{headers:?}"
+            );
+        }
+        assert_eq!(daemon.telemetry().keepalive_reuses(), 4);
+
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+
+    /// Pipelining: several requests written before any response is read
+    /// come back complete, in order, on the same connection.
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (daemon, pool) = daemon(100, 10);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let body = serde_json::to_string(&spec("pipe", pool)).unwrap();
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.send("POST", "/jobs", Some(&body)).unwrap();
+        client.send("GET", "/jobs", None).unwrap();
+        client.send("GET", "/stats", None).unwrap();
+        client.send("GET", "/nope", None).unwrap();
+
+        let (code, reply) = client.read_response().unwrap();
+        assert_eq!(code, 201, "{reply}");
+        let (code, reply) = client.read_response().unwrap();
+        assert_eq!(code, 200);
+        assert!(reply.contains("pipe"), "{reply}");
+        let (code, reply) = client.read_response().unwrap();
+        assert_eq!(code, 200);
+        assert!(reply.contains("\"submitted\""), "{reply}");
+        let (code, _) = client.read_response().unwrap();
+        assert_eq!(code, 404);
+
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+
+    /// The chunked watch stream: a job's trace events arrive as ndjson
+    /// chunks ending in a terminal-status line — and the connection is
+    /// still usable for a plain request afterwards.
+    #[test]
+    fn watch_streams_job_progress_and_keeps_the_connection() {
+        let (daemon, pool) = daemon(300, 40);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let body = serde_json::to_string(&spec("stream", pool)).unwrap();
+        let (code, _) = http_request(addr, "POST", "/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 201);
+
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.send("GET", "/jobs/0/watch", None).unwrap();
+        daemon.drain();
+        let (code, headers, stream) = client.read_response_with_headers().unwrap();
+        assert_eq!(code, 200, "{stream}");
+        assert!(
+            headers
+                .iter()
+                .any(|(n, v)| n == "transfer-encoding" && v == "chunked"),
+            "{headers:?}"
+        );
+        for phase in ["\"submit\"", "\"scheduled\"", "\"done\""] {
+            assert!(stream.contains(phase), "missing {phase} in {stream}");
+        }
+        assert!(
+            stream.contains("\"status\": \"done\""),
+            "terminal status line missing: {stream}"
+        );
+        // Keep-alive survives the stream.
+        let (code, _) = client.request("GET", "/stats", None).unwrap();
+        assert_eq!(code, 200);
+
+        // Unknown and malformed watch targets are plain errors.
+        let (code, reply) = client.request("GET", "/jobs/9/watch", None).unwrap();
+        assert_eq!(code, 404);
+        assert!(reply.contains("no such job"), "{reply}");
+        let (code, _) = client.request("GET", "/jobs/x/watch", None).unwrap();
+        assert_eq!(code, 400);
+        let (code, _) = client.request("DELETE", "/jobs/0/watch", None).unwrap();
+        assert_eq!(code, 405);
+
+        server.shutdown();
+        daemon.shutdown().unwrap();
+    }
+
+    /// `Connection: close` is honored on the last response of a burst.
+    #[test]
+    fn connection_close_is_honored() {
+        let (daemon, _pool) = daemon(20, 2);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        write!(
+            stream,
+            "GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+
+        server.shutdown();
+        daemon.shutdown().unwrap();
     }
 }

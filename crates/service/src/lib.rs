@@ -102,13 +102,13 @@ pub mod scheduler;
 pub mod service;
 pub mod telemetry;
 
-pub use daemon::{AuditDaemon, DaemonStats, JobSummary};
+pub use daemon::{AuditDaemon, DaemonStats, JobSummary, SubmitRefusal};
 pub use dispatch::{DispatchStats, DispatcherConfig};
 pub use governor::{BudgetPolicy, BudgetScope};
-pub use http::HttpServer;
+pub use http::{HttpClient, HttpServer};
 pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus, PhaseDurations};
 pub use persist::{Persistence, SpillFile, WalRecord};
-pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport};
+pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport, TenantRateLimit};
 pub use telemetry::{Telemetry, TraceEvent};
 
 #[cfg(test)]

@@ -129,6 +129,53 @@ pub struct ServiceConfig {
     /// disables spilling. Requires [`ServiceConfig::data_dir`]. A spilled
     /// fact still counts as known — spilling can never re-ask the crowd.
     pub spill_high_watermark: Option<usize>,
+    /// Event-loop threads of the HTTP connection engine
+    /// ([`crate::http::HttpServer`]): accepted sockets are spread
+    /// round-robin over this many readiness loops, each multiplexing many
+    /// nonblocking connections. Purely a front-end concurrency knob — it
+    /// never changes a response body.
+    pub event_loop_threads: usize,
+    /// Requests served on one keep-alive connection before the engine
+    /// closes it (`Connection: close` on the final response) — bounds how
+    /// long one client can monopolise an event-loop slot.
+    pub keep_alive_max_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the engine closes it (408 when a request is half-parsed,
+    /// silent close when the connection is between requests).
+    pub keep_alive_idle: Duration,
+    /// Weighted-fair-queueing weights per tenant (tenant = job-name
+    /// segment before `/`, the same keying as
+    /// `audit_tenant_crowd_tasks_total`). Unlisted tenants weigh 1. While
+    /// backlogged, a weight-`w` tenant receives `w` scheduling decisions
+    /// per decision of a weight-1 tenant. With every weight at 1 (the
+    /// default) cross-tenant WFQ switches off entirely and scheduling is
+    /// bit-for-bit the PR 5 priority+aging order — see
+    /// [`crate::scheduler`].
+    pub tenant_weights: Vec<(String, u64)>,
+    /// Token-bucket rate limit + queue quota applied per tenant at the
+    /// daemon's submit door. `None` (the default) admits everything — the
+    /// pre-QoS behaviour. Over-limit submissions are refused with
+    /// [`SubmitRefusal::RateLimited`](crate::SubmitRefusal) (HTTP 429 +
+    /// `Retry-After`); over-quota ones likewise. Scoped
+    /// [`AuditService::run`] batches ignore this knob (they are one
+    /// operator's workload, not a shared front door).
+    pub tenant_rate_limit: Option<TenantRateLimit>,
+}
+
+/// Per-tenant admission control at the daemon's submit door: a classic
+/// token bucket (sustained rate + burst depth) plus an optional cap on
+/// jobs simultaneously queued. Applied independently to every tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRateLimit {
+    /// Sustained submissions per second each tenant may make (tokens
+    /// refill at this rate, fractionally, up to `burst`).
+    pub per_second: u32,
+    /// Bucket depth: how many submissions a tenant may burst after an
+    /// idle spell. Also the initial fill.
+    pub burst: u32,
+    /// Jobs one tenant may have queued (not yet running) at once; `None`
+    /// leaves the queue unbounded.
+    pub max_queued: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -159,6 +206,30 @@ impl ServiceConfig {
             self.spill_high_watermark != Some(0),
             "spill watermark must be positive"
         );
+        assert!(
+            self.event_loop_threads > 0,
+            "need at least one event-loop thread"
+        );
+        assert!(
+            self.keep_alive_max_requests > 0,
+            "keep-alive request cap must be positive"
+        );
+        assert!(
+            self.keep_alive_idle > Duration::ZERO,
+            "keep-alive idle timeout must be positive"
+        );
+        assert!(
+            self.tenant_weights.iter().all(|(_, w)| *w >= 1),
+            "tenant weights must be >= 1"
+        );
+        if let Some(limit) = &self.tenant_rate_limit {
+            assert!(limit.per_second > 0, "rate limit must be positive");
+            assert!(limit.burst > 0, "rate-limit burst must be positive");
+            assert!(
+                limit.max_queued != Some(0),
+                "tenant queue quota must be positive"
+            );
+        }
     }
 
     /// The telemetry plane this config asks for: a live registry + trace
@@ -188,6 +259,11 @@ impl Default for ServiceConfig {
             data_dir: None,
             snapshot_every: 10_000,
             spill_high_watermark: None,
+            event_loop_threads: 2,
+            keep_alive_max_requests: 1024,
+            keep_alive_idle: Duration::from_secs(10),
+            tenant_weights: Vec::new(),
+            tenant_rate_limit: None,
         }
     }
 }
@@ -345,11 +421,20 @@ impl AuditService {
             Mutex::new((0..jobs.len()).map(|_| None).collect());
         // Priority dispatch: every queued spec competes on (priority,
         // submission order) each time a worker frees up — with default
-        // priorities this is exactly the old FIFO.
+        // priorities and uniform tenant weights this is exactly the old
+        // FIFO (asymmetric weights add WFQ across tenants, same as the
+        // daemon door).
         let queue = Mutex::new({
-            let mut queue = crate::scheduler::PriorityQueue::new(config.priority_aging);
+            let mut queue = crate::scheduler::PriorityQueue::with_weights(
+                config.priority_aging,
+                &config.tenant_weights,
+            );
             for (index, spec) in jobs.iter().enumerate() {
-                queue.push(index, spec.priority.unwrap_or(config.default_priority));
+                queue.push_tenant(
+                    index,
+                    spec.priority.unwrap_or(config.default_priority),
+                    tenant_of(&spec.name),
+                );
             }
             queue
         });
@@ -465,6 +550,7 @@ pub(crate) fn run_job(
 ) -> JobReport {
     let start = Instant::now();
     telemetry.record_queue_wait_ms(queued_ms);
+    telemetry.record_tenant_queue_wait_ms(tenant_of(&spec.name), queued_ms);
     telemetry.trace(Some(id.0), "scheduled", || {
         format!("{} picked up after {queued_ms} ms queued", spec.name)
     });

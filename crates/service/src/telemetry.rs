@@ -283,6 +283,83 @@ impl LabeledCounter {
     }
 }
 
+/// A histogram family keyed by one label value (per-tenant latencies).
+/// Tenant cardinality is modest, so one mutex guards the map of handles;
+/// the recording hot path only holds it long enough to clone an `Arc` —
+/// the bucket updates themselves stay lock-free.
+#[derive(Debug)]
+struct LabeledHistogram {
+    label_name: &'static str,
+    series: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+impl LabeledHistogram {
+    fn new(label_name: &'static str) -> Self {
+        Self {
+            label_name,
+            series: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn series(&self, label: &str) -> Arc<Histogram> {
+        let mut map = crate::service::lock(&self.series);
+        Arc::clone(
+            map.entry(label.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    fn record(&self, label: &str, value: u64) {
+        self.series(label).record(value);
+    }
+
+    fn percentile(&self, label: &str, p: f64) -> u64 {
+        crate::service::lock(&self.series)
+            .get(label)
+            .map(|h| h.percentile(p))
+            .unwrap_or(0)
+    }
+
+    fn render(&self, name: &str, help: &str, out: &mut String) {
+        let mut entries: Vec<(String, Arc<Histogram>)> = crate::service::lock(&self.series)
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        if entries.is_empty() {
+            return;
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let key = self.label_name;
+        for (label, histogram) in entries {
+            let label = escape_label(&label);
+            for (bound, cumulative) in histogram.cumulative_buckets() {
+                match bound {
+                    Some(le) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{{key}=\"{label}\",le=\"{le}\"}} {cumulative}"
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{{key}=\"{label}\",le=\"+Inf\"}} {cumulative}"
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum{{{key}=\"{label}\"}} {}", histogram.sum());
+            let _ = writeln!(
+                out,
+                "{name}_count{{{key}=\"{label}\"}} {}",
+                histogram.count()
+            );
+        }
+    }
+}
+
 /// Escapes a label value for the Prometheus text format.
 fn escape_label(value: &str) -> String {
     value
@@ -387,6 +464,9 @@ struct Inner {
     recovered_facts: Counter,
     spilled_labels: Counter,
     spill_recalls: Counter,
+    // HTTP connection engine.
+    keepalive_reuses: Counter,
+    http_active_connections: Gauge,
     // Gauges.
     jobs_queued: Gauge,
     jobs_running: Gauge,
@@ -394,6 +474,7 @@ struct Inner {
     jobs_finished: LabeledCounter,
     tenant_crowd_tasks: LabeledCounter,
     http_requests: LabeledCounter,
+    tenant_queue_wait_ms: LabeledHistogram,
     // Histograms.
     queue_wait_ms: Histogram,
     submit_to_first_result_ms: Histogram,
@@ -462,11 +543,14 @@ impl Telemetry {
                 recovered_facts: Counter::default(),
                 spilled_labels: Counter::default(),
                 spill_recalls: Counter::default(),
+                keepalive_reuses: Counter::default(),
+                http_active_connections: Gauge::default(),
                 jobs_queued: Gauge::default(),
                 jobs_running: Gauge::default(),
                 jobs_finished: LabeledCounter::new(&["status"]),
                 tenant_crowd_tasks: LabeledCounter::new(&["tenant"]),
                 http_requests: LabeledCounter::new(&["method", "route", "status"]),
+                tenant_queue_wait_ms: LabeledHistogram::new("tenant"),
                 queue_wait_ms: Histogram::new(),
                 submit_to_first_result_ms: Histogram::new(),
                 hit_round_trip_ms: Histogram::new(),
@@ -524,6 +608,23 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             inner.queue_wait_ms.record_ms(ms);
         }
+    }
+
+    /// The same wait, attributed to the job's tenant — the per-tenant QoS
+    /// signal the WFQ weights are judged against.
+    pub fn record_tenant_queue_wait_ms(&self, tenant: &str, ms: u64) {
+        if let Some(inner) = &self.inner {
+            inner.tenant_queue_wait_ms.record(tenant, ms);
+        }
+    }
+
+    /// The p-th percentile of one tenant's queue wait, in milliseconds
+    /// (bucket upper bound; 0 when the tenant never waited).
+    pub fn tenant_queue_wait_percentile_ms(&self, tenant: &str, p: f64) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.tenant_queue_wait_ms.percentile(tenant, p))
+            .unwrap_or(0)
     }
 
     /// Submit-to-first-result: the tenant-visible latency from submission
@@ -636,6 +737,38 @@ impl Telemetry {
         }
     }
 
+    /// Shifts the live-connection gauge (+1 on accept, −1 on close) —
+    /// the connection engine's load signal.
+    pub fn http_connection_delta(&self, delta: i64) {
+        if let Some(inner) = &self.inner {
+            inner.http_active_connections.add(delta);
+        }
+    }
+
+    /// Connections currently open against the HTTP front-end.
+    pub fn http_active_connections(&self) -> i64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.http_active_connections.get())
+            .unwrap_or(0)
+    }
+
+    /// One more request served on an already-open keep-alive connection —
+    /// the handshake the engine just saved.
+    pub fn record_keepalive_reuse(&self) {
+        if let Some(inner) = &self.inner {
+            inner.keepalive_reuses.inc();
+        }
+    }
+
+    /// Keep-alive reuses so far (0 when disabled).
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.keepalive_reuses.get())
+            .unwrap_or(0)
+    }
+
     // ---- tracing --------------------------------------------------------
 
     /// Appends one trace event. The `detail` closure is evaluated only
@@ -722,6 +855,18 @@ impl Telemetry {
             "HTTP requests by method, route class and status.",
             &mut out,
         );
+        render_gauge(
+            &mut out,
+            "audit_http_active_connections",
+            "Connections currently open against the HTTP front-end.",
+            &inner.http_active_connections,
+        );
+        render_counter(
+            &mut out,
+            "audit_http_keepalive_reuses_total",
+            "Requests served on an already-open keep-alive connection.",
+            &inner.keepalive_reuses,
+        );
         render_counter(
             &mut out,
             "audit_wal_records_total",
@@ -755,6 +900,11 @@ impl Telemetry {
         inner.queue_wait_ms.render(
             "audit_queue_wait_ms",
             "Submission-to-first-schedule wait per job, ms.",
+            &mut out,
+        );
+        inner.tenant_queue_wait_ms.render(
+            "audit_tenant_queue_wait_ms",
+            "Submission-to-first-schedule wait per job, by tenant, ms.",
             &mut out,
         );
         inner.submit_to_first_result_ms.render(
@@ -1054,6 +1204,56 @@ mod tests {
         let human = telemetry.human_summary();
         assert!(human.contains("1 submitted"), "{human}");
         assert!(human.contains("43 tasks total"), "{human}");
+    }
+
+    /// ISSUE 8: the connection-engine instruments — active-connection
+    /// gauge, keep-alive reuse counter, per-tenant queue-wait histograms —
+    /// record, read back, and render deterministically.
+    #[test]
+    fn connection_engine_instruments_record_and_render() {
+        let telemetry = Telemetry::new(8);
+        telemetry.http_connection_delta(1);
+        telemetry.http_connection_delta(1);
+        telemetry.http_connection_delta(-1);
+        assert_eq!(telemetry.http_active_connections(), 1);
+        telemetry.record_keepalive_reuse();
+        telemetry.record_keepalive_reuse();
+        assert_eq!(telemetry.keepalive_reuses(), 2);
+        telemetry.record_tenant_queue_wait_ms("press", 3);
+        telemetry.record_tenant_queue_wait_ms("press", 100);
+        telemetry.record_tenant_queue_wait_ms("ngo", 1);
+        assert_eq!(
+            telemetry.tenant_queue_wait_percentile_ms("press", 99.0),
+            128
+        );
+        assert_eq!(telemetry.tenant_queue_wait_percentile_ms("ngo", 50.0), 1);
+        assert_eq!(telemetry.tenant_queue_wait_percentile_ms("ghost", 50.0), 0);
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("audit_http_active_connections 1"), "{text}");
+        assert!(
+            text.contains("audit_http_keepalive_reuses_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"audit_tenant_queue_wait_ms_bucket{tenant="ngo",le="1"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"audit_tenant_queue_wait_ms_count{tenant="press"} 2"#),
+            "{text}"
+        );
+        // Sorted label order: ngo renders before press.
+        let ngo = text.find(r#"tenant="ngo""#).unwrap();
+        let press = text.find(r#"tenant="press""#).unwrap();
+        assert!(ngo < press);
+        // Disabled plane swallows everything.
+        let disabled = Telemetry::disabled();
+        disabled.http_connection_delta(1);
+        disabled.record_keepalive_reuse();
+        disabled.record_tenant_queue_wait_ms("press", 1);
+        assert_eq!(disabled.http_active_connections(), 0);
+        assert_eq!(disabled.keepalive_reuses(), 0);
+        assert_eq!(disabled.tenant_queue_wait_percentile_ms("press", 99.0), 0);
     }
 
     #[test]

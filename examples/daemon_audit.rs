@@ -10,7 +10,10 @@
 //! 3. watch live statuses (`GET /jobs/{id}`): `Running` for the job on the
 //!    worker, `Queued` for the ones behind it;
 //! 4. cancel the running job mid-flight (`DELETE /jobs/{id}`) — it reports
-//!    `Cancelled` with its partial result;
+//!    `Cancelled` with its partial result — then stream a finished job's
+//!    full life story over one keep-alive connection
+//!    (`GET /jobs/{id}/watch`, chunked ndjson) and reuse the same
+//!    connection for a plain request via the [`HttpClient`] helper;
 //! 5. drain, and check the surviving reports are **byte-identical** (up to
 //!    wall-clock and id) to the same specs run through the scoped
 //!    `AuditService::run` path;
@@ -29,7 +32,7 @@
 //! ```
 
 use coverage_core::prelude::*;
-use coverage_service::http::{http_request, HttpServer};
+use coverage_service::http::{http_request, HttpClient, HttpServer};
 use coverage_service::{
     AuditDaemon, AuditKind, AuditService, JobId, JobReport, JobSpec, ServiceConfig,
 };
@@ -200,6 +203,36 @@ fn main() {
         "priority 8 must run before priority 3"
     );
     println!("finished order: {:?} (8 before 3)", daemon.finished_order());
+
+    println!("\n=== watch: stream job {high}'s life story, keep the socket ===");
+    // One keep-alive connection: the chunked ndjson replay of the job's
+    // trace (submit → scheduled → done), the terminal status line, and
+    // then a plain request on the very same socket — the stream ends, the
+    // connection survives.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let (code, stream) = client
+        .request("GET", &format!("/jobs/{high}/watch"), None)
+        .expect("GET /jobs/{id}/watch");
+    assert_eq!(code, 200, "{stream}");
+    for phase in ["\"submit\"", "\"scheduled\"", "\"done\""] {
+        assert!(
+            stream.contains(phase),
+            "the watch replays the {phase} trace event: {stream}"
+        );
+    }
+    assert!(
+        stream
+            .lines()
+            .last()
+            .is_some_and(|l| l == format!("{{\"id\": {high}, \"status\": \"done\"}}")),
+        "the stream ends with the terminal status line: {stream}"
+    );
+    let (code, _) = client.request("GET", "/stats", None).expect("reuse");
+    assert_eq!(code, 200, "the connection must be reusable after a watch");
+    println!(
+        "job {high}: {} ndjson lines streamed, terminal status delivered, socket reused",
+        stream.lines().count()
+    );
 
     println!("\n=== byte-identity: daemon reports == scoped run() reports ===");
     let mut scoped = AuditService::new(config());

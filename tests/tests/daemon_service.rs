@@ -16,7 +16,7 @@
 //!   scoped path on every surviving job.
 
 use coverage_core::prelude::*;
-use coverage_service::http::{http_request, HttpServer};
+use coverage_service::http::{HttpClient, HttpServer};
 use coverage_service::{
     AuditDaemon, AuditKind, AuditService, JobId, JobReport, JobSpec, JobStatus, ServiceConfig,
 };
@@ -201,14 +201,14 @@ fn http_jobs_match_scoped_run_with_mid_run_cancel() {
     ));
     let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
     let addr = server.local_addr();
+    // One keep-alive connection carries the whole session: submissions,
+    // status polls, the cancel, the final listing.
+    let client = std::cell::RefCell::new(HttpClient::connect(addr).unwrap());
     let post = |spec: &JobSpec| {
-        let (code, body) = http_request(
-            addr,
-            "POST",
-            "/jobs",
-            Some(&serde_json::to_string(spec).unwrap()),
-        )
-        .unwrap();
+        let (code, body) = client
+            .borrow_mut()
+            .request("POST", "/jobs", Some(&serde_json::to_string(spec).unwrap()))
+            .unwrap();
         assert_eq!(code, 201, "{body}");
     };
 
@@ -244,17 +244,20 @@ fn http_jobs_match_scoped_run_with_mid_run_cancel() {
     // Live status: the doomed job reaches `Running` before anything else
     // is even submitted (one worker, empty queue).
     poll_until(|| {
-        let (code, body) = http_request(addr, "GET", "/jobs/0", None).unwrap();
+        let (code, body) = client.borrow_mut().request("GET", "/jobs/0", None).unwrap();
         assert_eq!(code, 200);
         body.contains("\"Running\"").then_some(())
     });
     post(&low);
     post(&high);
     // Both survivors queue behind the running blocker.
-    let (_, body) = http_request(addr, "GET", "/jobs/1", None).unwrap();
+    let (_, body) = client.borrow_mut().request("GET", "/jobs/1", None).unwrap();
     assert!(body.contains("\"Queued\""), "{body}");
     // Cancel the running job over HTTP, mid-run.
-    let (code, body) = http_request(addr, "DELETE", "/jobs/0", None).unwrap();
+    let (code, body) = client
+        .borrow_mut()
+        .request("DELETE", "/jobs/0", None)
+        .unwrap();
     assert_eq!(code, 200, "{body}");
     daemon.drain();
 
@@ -276,10 +279,15 @@ fn http_jobs_match_scoped_run_with_mid_run_cancel() {
         "stats: {:?}",
         daemon.stats()
     );
-    // Statuses over HTTP are terminal now.
-    let (_, body) = http_request(addr, "GET", "/jobs", None).unwrap();
+    // Statuses over HTTP are terminal now — still on the same connection,
+    // which by now has carried the whole session's worth of requests.
+    let (_, body) = client.borrow_mut().request("GET", "/jobs", None).unwrap();
     assert!(body.contains("\"Cancelled\""), "{body}");
     assert!(body.contains("\"Done\""), "{body}");
+    assert!(
+        daemon.telemetry().keepalive_reuses() > 0,
+        "the session must actually have reused the connection"
+    );
 
     // Byte-identity of the survivors against the scoped batch path.
     let scoped = scoped_reports_on(&truth, &[low, high], 1);
