@@ -1,0 +1,168 @@
+//! The chaos tax: what does resilient dispatch cost under transient
+//! faults?
+//!
+//! One instrumented workload runs at increasing fault rates (0 %, 1 %,
+//! 5 %, 20 % of questions failing up to twice before clearing) and records
+//! wall-clock time, dispatcher redeliveries and injected-fault counts as
+//! the `chaos_bench` section of `results/BENCH_chaos.json`. The
+//! correctness half rides along as assertions: every job still finishes
+//! `Done`, and the crowd bill is **identical at every rate** — a faulted
+//! attempt never reaches the platform and the governed ledger never
+//! re-charges a redelivery, so chaos costs time, not money.
+
+use coverage_core::prelude::*;
+use coverage_service::{AuditKind, AuditService, JobSpec, ServiceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_sim::{FaultInjector, FaultPlan, MTurkSim, PoolConfig, QualityControl, WorkerPool};
+use cvg_bench::report::{bench_chaos_path, json_object, update_json_report};
+use dataset_sim::{binary_dataset, Placement};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::time::Instant;
+
+const SEED: u64 = 909;
+const POOL: usize = 1_500;
+const MINORITY: usize = 120;
+const TAU: usize = 25;
+/// Transient-fault rates exercised, in percent of questions targeted.
+const RATES: [u8; 4] = [0, 1, 5, 20];
+
+fn dataset() -> dataset_sim::Dataset {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    binary_dataset(POOL, MINORITY, Placement::Shuffled, &mut rng)
+}
+
+fn female() -> Target {
+    Target::group(Pattern::parse("1").unwrap())
+}
+
+/// Per-question seeding, so a redelivered question answers identically and
+/// the equal-spend assertion is meaningful.
+fn platform(data: &dataset_sim::Dataset) -> MTurkSim<'_, dataset_sim::Dataset> {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let workers = WorkerPool::generate(&PoolConfig::default(), &mut rng);
+    MTurkSim::new_deterministic(
+        data,
+        AttributeSchema::single_binary("attr", "majority", "minority"),
+        workers,
+        QualityControl::with_rating(),
+        SEED,
+    )
+}
+
+/// One measured arm: the three-driver workload under `rate_pct`% transient
+/// faults. Single worker, so the crowd bill is schedule-independent and
+/// comparable across arms.
+fn arm(data: &dataset_sim::Dataset, rate_pct: u8) -> (Value, u64) {
+    let pool = data.all_ids();
+    let mut service = AuditService::new(ServiceConfig {
+        workers: 1,
+        retry_max_attempts: 3,
+        retry_base_ms: 1,
+        ..ServiceConfig::default()
+    });
+    service.submit(
+        JobSpec::new(
+            "chaos/group",
+            pool.clone(),
+            AuditKind::GroupCoverage { target: female() },
+        )
+        .tau(TAU)
+        .seed(1),
+    );
+    service.submit(
+        JobSpec::new(
+            "chaos/base",
+            pool[..400].to_vec(),
+            AuditKind::BaseCoverage { target: female() },
+        )
+        .tau(TAU)
+        .seed(2),
+    );
+    service.submit(
+        JobSpec::new(
+            "chaos/classifier",
+            pool.clone(),
+            AuditKind::ClassifierCoverage {
+                target: female(),
+                predicted: pool[..300].to_vec(),
+            },
+        )
+        .tau(TAU)
+        .seed(3),
+    );
+
+    let injector = FaultInjector::new(platform(data), FaultPlan::transient(7, rate_pct, 2));
+    let started = Instant::now();
+    let (report, injector) = service.run(injector);
+    let wall_us = started.elapsed().as_micros() as u64;
+
+    for job in &report.jobs {
+        assert!(
+            job.status.is_done(),
+            "transient chaos at {rate_pct}% must still converge: job `{}` → {:?}",
+            job.name,
+            job.error
+        );
+    }
+    assert_eq!(
+        report.dispatch.retry_exhausted, 0,
+        "no dead letters at {rate_pct}%"
+    );
+
+    let faults = injector.stats();
+    let section = json_object(vec![
+        ("rate_pct", Value::UInt(u64::from(rate_pct))),
+        ("wall_us", Value::UInt(wall_us)),
+        ("crowd_tasks", Value::UInt(report.crowd_tasks)),
+        ("dispatch_retries", Value::UInt(report.dispatch.retries)),
+        ("faults_injected", Value::UInt(faults.total())),
+        ("hit_timeouts", Value::UInt(faults.timeouts)),
+        ("platform_errors", Value::UInt(faults.platform_errors)),
+        ("worker_abandonments", Value::UInt(faults.abandonments)),
+    ]);
+    (section, report.crowd_tasks)
+}
+
+/// Not a timing benchmark in the Criterion sense: one instrumented run per
+/// fault rate, recorded as the `chaos_bench` section of
+/// `results/BENCH_chaos.json`, with the equal-spend invariant asserted.
+fn emit_chaos_report(_c: &mut Criterion) {
+    let data = dataset();
+    let mut arms = Vec::new();
+    let mut spends = Vec::new();
+    for rate in RATES {
+        let (section, spend) = arm(&data, rate);
+        arms.push((format!("rate_{rate}"), section));
+        spends.push(spend);
+    }
+    assert!(
+        spends.windows(2).all(|w| w[0] == w[1]),
+        "crowd spend must not vary with the fault rate: {spends:?}"
+    );
+
+    let section = json_object(vec![
+        ("pool", Value::UInt(POOL as u64)),
+        ("tau", Value::UInt(TAU as u64)),
+        ("crowd_tasks_all_rates", Value::UInt(spends[0])),
+        ("rates", Value::Object(arms)),
+    ]);
+    update_json_report(bench_chaos_path(), "chaos_bench", section).expect("write BENCH_chaos.json");
+    println!(
+        "chaos: crowd spend {} at every rate in {:?}%, recorded in {}",
+        spends[0],
+        RATES,
+        bench_chaos_path().display(),
+    );
+}
+
+// No wall-clock Criterion group: the wall time of each arm is measured
+// directly around the one `run` call that matters, and the equal-spend
+// assertions are correctness pins — re-sampling them adds no signal.
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = emit_chaos_report
+}
+criterion_main!(benches);

@@ -49,6 +49,14 @@ pub fn bench_persistence_path() -> PathBuf {
     results_dir().join("BENCH_persistence.json")
 }
 
+/// The canonical chaos report file: `results/BENCH_chaos.json`, written by
+/// the `chaos` bench — wall-clock and retry overhead of the resilient
+/// dispatch path at increasing transient-fault rates, with the byte-equal
+/// crowd spend across every rate pinned as a correctness assertion.
+pub fn bench_chaos_path() -> PathBuf {
+    results_dir().join("BENCH_chaos.json")
+}
+
 /// Upserts `key` in the JSON object stored at `path`, creating the file
 /// (and its parent directory) if needed. Other writers' keys are preserved,
 /// so several harnesses can share one report file; a corrupt or non-object

@@ -49,9 +49,36 @@ pub enum AskError {
     BudgetExhausted(BudgetSnapshot),
     /// The run's [`CancelToken`](crate::engine::CancelToken) was flipped.
     Cancelled,
-    /// The answer source itself failed (platform connection lost, invalid
-    /// object id reaching a simulator, ...).
+    /// The answer source itself failed in a way that retrying cannot fix
+    /// (an invalid object id reaching a simulator, a malformed question,
+    /// ...). Permanent: callers must not retry.
     SourceFailed(String),
+    /// The answer source failed *transiently* — a HIT timed out, the
+    /// platform hiccuped, a worker abandoned an assignment. Retrying the
+    /// same question may succeed; a resilient dispatcher does exactly
+    /// that, and surfaces this variant only once its retry budget is
+    /// spent. `attempt` records how many delivery attempts were made when
+    /// the error was raised (1 = the first try).
+    Transient {
+        /// Human-readable reason (`"hit timeout"`, `"platform error"`, ...).
+        reason: String,
+        /// Delivery attempts made so far, starting at 1.
+        attempt: u32,
+    },
+    /// The connection to the platform itself is gone (the dispatcher
+    /// thread hung up). Permanent by definition: there is nobody left to
+    /// retry against, so callers must fail fast rather than back off.
+    ConnectionLost,
+}
+
+impl AskError {
+    /// True for the one variant a resilient caller may retry:
+    /// [`AskError::Transient`]. Everything else — budget refusals,
+    /// cancellation, permanent source failures, a lost connection — must
+    /// surface immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Transient { .. })
+    }
 }
 
 impl fmt::Display for AskError {
@@ -60,6 +87,10 @@ impl fmt::Display for AskError {
             Self::BudgetExhausted(snap) => write!(f, "budget exhausted: {snap}"),
             Self::Cancelled => write!(f, "run cancelled"),
             Self::SourceFailed(msg) => write!(f, "answer source failed: {msg}"),
+            Self::Transient { reason, attempt } => {
+                write!(f, "transient source failure ({reason}, attempt {attempt})")
+            }
+            Self::ConnectionLost => write!(f, "platform connection lost (dispatcher gone)"),
         }
     }
 }
@@ -296,6 +327,36 @@ mod tests {
         assert!(AskError::SourceFailed("boom".into())
             .to_string()
             .contains("boom"));
+        let t = AskError::Transient {
+            reason: "hit timeout".into(),
+            attempt: 3,
+        };
+        assert_eq!(
+            t.to_string(),
+            "transient source failure (hit timeout, attempt 3)"
+        );
+        assert!(AskError::ConnectionLost.to_string().contains("dispatcher"));
+    }
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(AskError::Transient {
+            reason: "platform error".into(),
+            attempt: 1,
+        }
+        .is_transient());
+        for permanent in [
+            AskError::Cancelled,
+            AskError::ConnectionLost,
+            AskError::SourceFailed("bad id".into()),
+            AskError::BudgetExhausted(BudgetSnapshot {
+                spent: 1,
+                cap: 1,
+                shared: false,
+            }),
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must not retry");
+        }
     }
 
     #[test]

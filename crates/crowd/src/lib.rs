@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod latency;
 pub mod platform;
 pub mod pool;
@@ -27,6 +28,7 @@ pub mod quality;
 pub mod truth;
 pub mod worker;
 
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use latency::{LatencyModel, Round};
 pub use platform::{MTurkSim, PlatformStats, SeedMode};
 pub use pool::{PoolConfig, WorkerPool};

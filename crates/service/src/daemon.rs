@@ -218,6 +218,37 @@ pub struct DaemonStats {
     pub uptime_ms: u64,
 }
 
+/// One tenant's circuit-breaker state inside a [`Readiness`] body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BreakerSummary {
+    /// The tenant (job-name segment before `/`).
+    pub tenant: String,
+    /// `"closed"`, `"half_open"` or `"open"` (see
+    /// [`BreakerState::label`](crate::BreakerState::label)).
+    pub state: String,
+}
+
+/// The daemon's readiness verdict, as served by `GET /readyz` (200 when
+/// `ready`, 503 otherwise — liveness is the separate, always-200
+/// `GET /healthz`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Readiness {
+    /// The overall verdict: the dispatcher is alive **and** the durable
+    /// knowledge plane (when configured) has swallowed no I/O error.
+    pub ready: bool,
+    /// Is the dispatcher thread still serving questions? `false` once it
+    /// has exited (shutdown) or died.
+    pub dispatcher_alive: bool,
+    /// `false` once any persistence write path (WAL append, snapshot,
+    /// spill) has swallowed an I/O error — durability is degraded even
+    /// though serving continues. `true` when persistence is off.
+    pub persistence_healthy: bool,
+    /// Every tenant with circuit-breaker history and its current state.
+    /// Open breakers don't flip `ready` — they starve one tenant, not the
+    /// service — but operators see them here.
+    pub breakers: Vec<BreakerSummary>,
+}
+
 /// What each worker thread needs to run jobs forever.
 #[derive(Debug)]
 struct WorkerContext {
@@ -295,6 +326,9 @@ pub struct AuditDaemon<S> {
     /// Per-tenant token buckets, when
     /// [`ServiceConfig::tenant_rate_limit`] is set.
     rate_gate: Option<RateGate>,
+    /// Per-tenant circuit breakers, shared with the dispatcher — the
+    /// daemon reads states for [`AuditDaemon::readiness`] and `/readyz`.
+    breakers: crate::breaker::BreakerRegistry,
 }
 
 impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
@@ -321,10 +355,16 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
         });
         let telemetry = config.build_telemetry();
         let (dispatch_handle, dispatch_rx) = dispatch_channel();
+        // The daemon keeps its own clone of the breaker registry: the
+        // dispatcher records outcomes on it, `readiness()` and the
+        // `/readyz` body read tenant states from it.
+        let breakers = config.build_breakers();
         let dispatcher_config = DispatcherConfig {
             point_batch: config.point_batch,
             round_latency: config.round_latency,
             telemetry: telemetry.clone(),
+            retry: config.retry_policy(),
+            breakers: breakers.clone(),
         };
         let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
         let memo_root: SharedKnowledgeSource<()> =
@@ -388,6 +428,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             telemetry,
             persist,
             rate_gate,
+            breakers,
         }
     }
 
@@ -573,7 +614,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
                     JobStatus::Done => done += 1,
                     JobStatus::Exhausted { .. } => exhausted += 1,
                     JobStatus::Cancelled => cancelled += 1,
-                    JobStatus::Failed => failed += 1,
+                    JobStatus::Failed { .. } => failed += 1,
                     JobStatus::Queued | JobStatus::Running => {}
                 }
             }
@@ -603,6 +644,35 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             crowd_tasks: self.global_budget.tasks_spent(),
             reuse: self.memo_root.reuse_stats(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// The daemon's readiness verdict: dispatcher liveness, persistence
+    /// health, per-tenant breaker states. This is what `GET /readyz`
+    /// serves (200 when ready, 503 otherwise).
+    pub fn readiness(&self) -> Readiness {
+        let dispatcher_alive = lock(&self.dispatcher)
+            .as_ref()
+            .is_some_and(|handle| !handle.is_finished());
+        let persistence_healthy = self
+            .persist
+            .as_ref()
+            .is_none_or(|persist| !persist.is_degraded())
+            && self.telemetry.persist_errors_total() == 0;
+        let breakers = self
+            .breakers
+            .states()
+            .into_iter()
+            .map(|(tenant, state)| BreakerSummary {
+                tenant,
+                state: state.label().to_string(),
+            })
+            .collect();
+        Readiness {
+            ready: dispatcher_alive && persistence_healthy,
+            dispatcher_alive,
+            persistence_healthy,
+            breakers,
         }
     }
 

@@ -14,14 +14,104 @@
 //! **residuals** left after the shared knowledge store decided or narrowed
 //! each query — the dispatcher publishes exactly the crowd work that no
 //! accumulated fact could avoid.
+//!
+//! The dispatcher is also where the service absorbs a flaky platform.
+//! Every platform call runs under a [`RetryPolicy`]: a typed
+//! [`AskError::Transient`] failure (or an answer that lands past the
+//! per-HIT deadline) is retried with seeded exponential backoff and
+//! deterministic jitter, up to `max_attempts` deliveries; permanent
+//! errors surface immediately. Because the retry loop sits *below* the
+//! budget governor, a retried question is never charged twice. Questions
+//! whose retries exhaust become dead letters — typed `Transient` answers
+//! that fail only the asking job — and count against the tenant's
+//! [circuit breaker](crate::breaker): enough consecutive exhausted
+//! questions open the circuit, after which that tenant's questions fail
+//! fast until the cooldown's half-open probe succeeds.
 
+use crate::breaker::BreakerRegistry;
 use coverage_core::engine::{AnswerSource, BatchAnswerSource, ObjectId};
 use coverage_core::error::AskError;
 use coverage_core::schema::Labels;
 use coverage_core::target::Target;
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the dispatcher retries transient platform failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total delivery attempts per platform call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff base: attempt `n` waits roughly `base · 2^(n-1)` plus
+    /// deterministic jitter before redelivery.
+    pub base: Duration,
+    /// Per-HIT deadline: an answer that arrives later than this is
+    /// discarded as late and the call is retried (the consistent platform
+    /// redelivers the same answer, so correctness cannot drift).
+    pub hit_deadline: Duration,
+    /// Seed of the jitter stream, so backoff schedules are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base: Duration::from_millis(10),
+            hit_deadline: Duration::from_secs(30),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// The deterministic backoff schedule: attempt `n` (1-based) sleeps
+/// `base · 2^(n-1)` plus a jitter drawn by hashing
+/// `(policy.jitter_seed, salt, n)` — a pure function, so two runs with
+/// the same seeds back off identically. The exponential part is capped at
+/// ten doublings; jitter spans up to half of `base`.
+pub fn backoff_delay(policy: &RetryPolicy, attempt: u32, salt: u64) -> Duration {
+    let base_ms = policy.base.as_millis() as u64;
+    let exp = base_ms.saturating_mul(1 << attempt.saturating_sub(1).min(10));
+    let jitter_span = base_ms / 2 + 1;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in policy
+        .jitter_seed
+        .to_le_bytes()
+        .into_iter()
+        .chain(salt.to_le_bytes())
+        .chain(attempt.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Duration::from_millis(exp + h % jitter_span)
+}
+
+/// Maps a transient failure's reason to the stable `kind` label of the
+/// `audit_faults_injected_total` counter.
+fn fault_kind_label(reason: &str) -> &'static str {
+    for kind in [
+        "hit timeout",
+        "platform error",
+        "worker abandoned",
+        "late delivery",
+        "hit deadline",
+        "circuit breaker",
+    ] {
+        if reason.starts_with(kind) {
+            return match kind {
+                "hit timeout" => "hit_timeout",
+                "platform error" => "platform_error",
+                "worker abandoned" => "worker_abandoned",
+                "late delivery" => "late_delivery",
+                "hit deadline" => "hit_deadline",
+                _ => "circuit_open",
+            };
+        }
+    }
+    "other"
+}
 
 /// Dispatcher tuning.
 #[derive(Debug, Clone)]
@@ -37,6 +127,12 @@ pub struct DispatcherConfig {
     /// records nothing — telemetry observes the dispatcher, it never
     /// steers it.
     pub telemetry: crate::telemetry::Telemetry,
+    /// Retry/backoff/deadline policy for transient platform failures.
+    pub retry: RetryPolicy,
+    /// The per-tenant circuit breakers consulted on intake and fed with
+    /// question outcomes. Share this registry with the daemon to surface
+    /// breaker states on `/readyz`.
+    pub breakers: BreakerRegistry,
 }
 
 impl Default for DispatcherConfig {
@@ -45,6 +141,8 @@ impl Default for DispatcherConfig {
             point_batch: coverage_core::engine::DEFAULT_POINT_BATCH,
             round_latency: Duration::ZERO,
             telemetry: crate::telemetry::Telemetry::disabled(),
+            retry: RetryPolicy::default(),
+            breakers: BreakerRegistry::new(8, Duration::from_millis(500)),
         }
     }
 }
@@ -67,6 +165,16 @@ pub struct DispatchStats {
     pub memberships_served: u64,
     /// The largest number of questions drained in one round.
     pub max_round_questions: u64,
+    /// Redeliveries after transient failures (each is one extra platform
+    /// call that the governed ledger never re-charges).
+    pub retries: u64,
+    /// Platform calls that exhausted every retry and surfaced a typed
+    /// transient failure to the asking job (dead letters).
+    pub retry_exhausted: u64,
+    /// Answers discarded for arriving past the per-HIT deadline.
+    pub deadline_misses: u64,
+    /// Questions refused at intake because the tenant's circuit was open.
+    pub breaker_rejections: u64,
 }
 
 enum Question {
@@ -91,8 +199,27 @@ enum Answer {
     Failed(AskError),
 }
 
+/// Who asked a question: the tenant (for circuit breaking and per-tenant
+/// retry accounting) and the job (for trace events). Untagged handles —
+/// tests, direct users — carry an empty tenant and no job.
+#[derive(Debug, Clone)]
+pub(crate) struct Origin {
+    tenant: Arc<str>,
+    job: Option<u64>,
+}
+
+impl Origin {
+    fn untagged() -> Self {
+        Self {
+            tenant: Arc::from(""),
+            job: None,
+        }
+    }
+}
+
 pub(crate) struct Request {
     question: Question,
+    origin: Origin,
     reply: mpsc::Sender<Answer>,
 }
 
@@ -101,24 +228,40 @@ pub(crate) struct Request {
 #[derive(Debug, Clone)]
 pub(crate) struct DispatchHandle {
     tx: mpsc::Sender<Request>,
+    origin: Origin,
 }
 
 impl DispatchHandle {
+    /// A handle whose questions are attributed to `tenant`/`job` — the
+    /// dispatcher uses the tags for circuit breaking, per-tenant retry
+    /// counters and per-job trace events.
+    pub(crate) fn tagged(&self, tenant: &str, job: u64) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            origin: Origin {
+                tenant: Arc::from(tenant),
+                job: Some(job),
+            },
+        }
+    }
+
     fn ask(&self, question: Question) -> Result<Answer, AskError> {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.tx
             .send(Request {
                 question,
+                origin: self.origin.clone(),
                 reply: reply_tx,
             })
-            .map_err(|_| {
-                AskError::SourceFailed("platform connection lost (dispatcher gone)".into())
-            })?;
+            // The dispatcher thread hung up: there is nobody left to ask,
+            // let alone to retry against. Typed permanent.
+            .map_err(|_| AskError::ConnectionLost)?;
         // A dropped reply without an answer means the dispatcher died while
-        // serving this question; the error fails only this job.
-        reply_rx.recv().map_err(|_| {
-            AskError::SourceFailed("the platform failed to answer this question".into())
-        })
+        // serving this question — the same lost connection, observed one
+        // step later; the error fails only this job. (A *question* the
+        // platform refused arrives as `Answer::Failed`, never through this
+        // path, so connection loss and platform failures stay distinct.)
+        reply_rx.recv().map_err(|_| AskError::ConnectionLost)
     }
 }
 
@@ -161,7 +304,119 @@ impl AnswerSource for DispatchHandle {
 /// Spawn side: builds the channel pair for a dispatcher.
 pub(crate) fn dispatch_channel() -> (DispatchHandle, mpsc::Receiver<Request>) {
     let (tx, rx) = mpsc::channel();
-    (DispatchHandle { tx }, rx)
+    (
+        DispatchHandle {
+            tx,
+            origin: Origin::untagged(),
+        },
+        rx,
+    )
+}
+
+/// Runs one platform call under the retry policy: transient failures (and
+/// answers landing past the per-HIT deadline) are redelivered with seeded
+/// exponential backoff until `max_attempts` is spent; permanent errors
+/// surface immediately. `origins` are the questions riding in this call —
+/// their tenants take the retry counters and breaker outcomes, their jobs
+/// the trace events. With `terminal` false the caller has a fallback path
+/// (the coalesced set batch re-serves per question), so exhaustion is
+/// returned without being recorded as a dead letter.
+fn serve_with_retry<S, T>(
+    source: &mut S,
+    cfg: &DispatcherConfig,
+    stats: &mut DispatchStats,
+    origins: &[&Origin],
+    what: &str,
+    terminal: bool,
+    mut call: impl FnMut(&mut S) -> Result<T, AskError>,
+) -> Result<T, AskError> {
+    let policy = &cfg.retry;
+    let salt = stats.rounds;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let started = Instant::now();
+        let outcome = match call(source) {
+            Ok(value) if started.elapsed() <= policy.hit_deadline => Ok(value),
+            Ok(_) => {
+                // The answer exists but arrived too late to honor: discard
+                // it and redeliver. The consistent platform returns the
+                // same answer on the retry, so outcomes cannot drift.
+                stats.deadline_misses += 1;
+                Err(AskError::Transient {
+                    reason: format!("hit deadline exceeded serving {what}"),
+                    attempt,
+                })
+            }
+            Err(e) => Err(e),
+        };
+        let error = match outcome {
+            Ok(value) => {
+                for tenant in distinct_tenants(origins) {
+                    cfg.breakers.record_success(tenant);
+                    cfg.telemetry.record_breaker_state(tenant, 0);
+                }
+                return Ok(value);
+            }
+            Err(error) => error,
+        };
+        if let AskError::Transient { reason, .. } = &error {
+            cfg.telemetry.record_fault(fault_kind_label(reason));
+        }
+        if !error.is_transient() {
+            return Err(error);
+        }
+        if attempt >= policy.max_attempts {
+            if terminal {
+                stats.retry_exhausted += 1;
+                for origin in origins {
+                    let state = cfg.breakers.record_exhausted(&origin.tenant);
+                    cfg.telemetry
+                        .record_breaker_state(&origin.tenant, state.gauge());
+                }
+                for job in distinct_jobs(origins) {
+                    cfg.telemetry.trace(Some(job), "dead_letter", || {
+                        format!("{what} exhausted {attempt} delivery attempts: {error}")
+                    });
+                }
+            }
+            return Err(error);
+        }
+        stats.retries += 1;
+        for origin in origins {
+            cfg.telemetry.record_retry(&origin.tenant);
+        }
+        for job in distinct_jobs(origins) {
+            cfg.telemetry.trace(Some(job), "retry", || {
+                format!("attempt {attempt} of {what} failed transiently ({error}); backing off")
+            });
+        }
+        std::thread::sleep(backoff_delay(policy, attempt, salt));
+    }
+}
+
+/// The distinct tenants among `origins`, preserving first-seen order.
+fn distinct_tenants<'a>(origins: &[&'a Origin]) -> Vec<&'a str> {
+    let mut seen: Vec<&str> = Vec::new();
+    for origin in origins {
+        if !seen.contains(&&*origin.tenant) {
+            seen.push(&origin.tenant);
+        }
+    }
+    seen
+}
+
+/// The distinct job ids among `origins`, preserving first-seen order.
+fn distinct_jobs(origins: &[&Origin]) -> Vec<u64> {
+    let mut seen: Vec<u64> = Vec::new();
+    for origin in origins {
+        if let Some(job) = origin.job {
+            if !seen.contains(&job) {
+                seen.push(job);
+            }
+        }
+    }
+    seen
 }
 
 /// Runs the dispatch loop until every [`DispatchHandle`] is dropped.
@@ -194,17 +449,47 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
         // not the whole run: the fallible source returns `Err`, which is
         // relayed as `Answer::Failed` to exactly those jobs — the job
         // runner turns it into `JobStatus::Failed`.
-        let mut point_replies: Vec<(ObjectId, mpsc::Sender<Answer>)> = Vec::new();
-        let mut set_replies: Vec<(Vec<ObjectId>, Target, mpsc::Sender<Answer>)> = Vec::new();
+        let mut point_replies: Vec<(ObjectId, Origin, mpsc::Sender<Answer>)> = Vec::new();
+        let mut set_replies: Vec<(Vec<ObjectId>, Target, Origin, mpsc::Sender<Answer>)> =
+            Vec::new();
         for request in pending {
+            // Intake gate: a tenant whose circuit is open fails fast —
+            // its questions never reach the platform until the cooldown's
+            // half-open probe closes the circuit again.
+            if !cfg.breakers.admit(&request.origin.tenant) {
+                stats.breaker_rejections += 1;
+                let tenant = request.origin.tenant.clone();
+                cfg.telemetry.record_fault("circuit_open");
+                if let Some(job) = request.origin.job {
+                    cfg.telemetry.trace(Some(job), "dead_letter", || {
+                        format!("question refused: circuit breaker open for tenant `{tenant}`")
+                    });
+                }
+                let _ = request.reply.send(Answer::Failed(AskError::Transient {
+                    reason: format!("circuit breaker open for tenant `{tenant}`"),
+                    attempt: 1,
+                }));
+                continue;
+            }
             match request.question {
-                Question::Point { object } => point_replies.push((object, request.reply)),
+                Question::Point { object } => {
+                    point_replies.push((object, request.origin, request.reply));
+                }
                 Question::Set { objects, target } => {
-                    set_replies.push((objects, target, request.reply));
+                    set_replies.push((objects, target, request.origin, request.reply));
                 }
                 Question::Membership { object, target } => {
                     stats.memberships_served += 1;
-                    let answer = match source.try_answer_membership(object, &target) {
+                    let origin = request.origin;
+                    let answer = match serve_with_retry(
+                        source,
+                        cfg,
+                        &mut stats,
+                        &[&origin],
+                        "membership question",
+                        true,
+                        |s| s.try_answer_membership(object, &target),
+                    ) {
                         Ok(ans) => Answer::Bool(ans),
                         Err(e) => Answer::Failed(e),
                     };
@@ -222,16 +507,27 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
         // job's out-of-range id) to the asking job instead of failing
         // everyone coalesced into the batch.
         stats.set_queries_served += set_replies.len() as u64;
-        let mut individually: Vec<(Vec<ObjectId>, Target, mpsc::Sender<Answer>)> = Vec::new();
+        let mut individually: Vec<(Vec<ObjectId>, Target, Origin, mpsc::Sender<Answer>)> =
+            Vec::new();
         if set_replies.len() > 1 {
             let queries: Vec<(Vec<ObjectId>, Target)> = set_replies
                 .iter()
-                .map(|(objects, target, _)| (objects.clone(), target.clone()))
+                .map(|(objects, target, _, _)| (objects.clone(), target.clone()))
                 .collect();
-            match source.try_answer_sets_batch(&queries) {
+            let origins: Vec<&Origin> =
+                set_replies.iter().map(|(_, _, origin, _)| origin).collect();
+            match serve_with_retry(
+                source,
+                cfg,
+                &mut stats,
+                &origins,
+                "coalesced set batch",
+                false,
+                |s| s.try_answer_sets_batch(&queries),
+            ) {
                 Ok(answers) => {
                     stats.set_batches += 1;
-                    for ((_, _, reply), ans) in set_replies.into_iter().zip(answers) {
+                    for ((_, _, _, reply), ans) in set_replies.into_iter().zip(answers) {
                         let _ = reply.send(Answer::Bool(ans));
                     }
                 }
@@ -240,8 +536,16 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
         } else {
             individually = set_replies;
         }
-        for (objects, target, reply) in individually {
-            let answer = match source.try_answer_set(&objects, &target) {
+        for (objects, target, origin, reply) in individually {
+            let answer = match serve_with_retry(
+                source,
+                cfg,
+                &mut stats,
+                &[&origin],
+                "set question",
+                true,
+                |s| s.try_answer_set(&objects, &target),
+            ) {
                 Ok(ans) => Answer::Bool(ans),
                 Err(e) => Answer::Failed(e),
             };
@@ -250,19 +554,28 @@ pub(crate) fn run_dispatcher<S: BatchAnswerSource>(
 
         for chunk in point_replies.chunks(cfg.point_batch) {
             cfg.telemetry.record_point_batch(chunk.len() as u64);
-            let objects: Vec<ObjectId> = chunk.iter().map(|(o, _)| *o).collect();
-            match source.try_answer_point_labels_batch(&objects) {
+            let objects: Vec<ObjectId> = chunk.iter().map(|(o, _, _)| *o).collect();
+            let origins: Vec<&Origin> = chunk.iter().map(|(_, origin, _)| origin).collect();
+            match serve_with_retry(
+                source,
+                cfg,
+                &mut stats,
+                &origins,
+                "point-label HIT",
+                true,
+                |s| s.try_answer_point_labels_batch(&objects),
+            ) {
                 Ok(labels) => {
                     stats.point_hits += 1;
                     stats.points_served += labels.len() as u64;
-                    for ((_, reply), l) in chunk.iter().zip(labels) {
+                    for ((_, _, reply), l) in chunk.iter().zip(labels) {
                         let _ = reply.send(Answer::Labels(l));
                     }
                 }
                 Err(e) => {
                     // The batch is all-or-nothing: every job in the chunk
                     // receives the failure (see BatchAnswerSource docs).
-                    for (_, reply) in chunk {
+                    for (_, _, reply) in chunk {
                         let _ = reply.send(Answer::Failed(e.clone()));
                     }
                 }
@@ -366,5 +679,240 @@ mod tests {
             stats.rounds
         );
         assert!(stats.max_round_questions > 1, "no round ever coalesced");
+    }
+
+    /// A source that fails the first `faults` calls transiently, then
+    /// answers from truth. `permanent` switches the failure to a
+    /// non-retryable `SourceFailed`.
+    struct Flaky<'a> {
+        inner: PerfectSource<'a, VecGroundTruth>,
+        faults: u32,
+        calls: u32,
+        permanent: bool,
+    }
+
+    impl Flaky<'_> {
+        fn fail(&mut self) -> Option<AskError> {
+            self.calls += 1;
+            if self.calls <= self.faults {
+                Some(if self.permanent {
+                    AskError::SourceFailed("bad question".into())
+                } else {
+                    AskError::Transient {
+                        reason: "platform error".into(),
+                        attempt: self.calls,
+                    }
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    impl AnswerSource for Flaky<'_> {
+        fn try_answer_set(
+            &mut self,
+            objects: &[ObjectId],
+            target: &Target,
+        ) -> Result<bool, AskError> {
+            match self.fail() {
+                Some(e) => Err(e),
+                None => self.inner.try_answer_set(objects, target),
+            }
+        }
+
+        fn try_answer_point_labels(&mut self, object: ObjectId) -> Result<Labels, AskError> {
+            match self.fail() {
+                Some(e) => Err(e),
+                None => self.inner.try_answer_point_labels(object),
+            }
+        }
+    }
+
+    impl BatchAnswerSource for Flaky<'_> {}
+
+    fn fast_retry(max_attempts: u32) -> DispatcherConfig {
+        DispatcherConfig {
+            retry: RetryPolicy {
+                max_attempts,
+                base: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            ..DispatcherConfig::default()
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let t = truth(50, 10);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let (handle, rx) = dispatch_channel();
+        let cfg = fast_retry(4);
+        let stats = std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = Flaky {
+                    inner: PerfectSource::new(&t),
+                    faults: 3,
+                    calls: 0,
+                    permanent: false,
+                };
+                run_dispatcher(&mut source, rx, &cfg)
+            });
+            let mut h = handle;
+            assert!(
+                h.try_answer_set(&ids, &target).unwrap(),
+                "the answer survives three transient faults"
+            );
+            drop(h);
+            dispatcher.join().expect("dispatcher")
+        });
+        assert_eq!(stats.retries, 3, "exactly the three faulted deliveries");
+        assert_eq!(stats.retry_exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_typed_transient() {
+        let t = truth(50, 10);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let (handle, rx) = dispatch_channel();
+        let cfg = fast_retry(2);
+        let stats = std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = Flaky {
+                    inner: PerfectSource::new(&t),
+                    faults: u32::MAX,
+                    calls: 0,
+                    permanent: false,
+                };
+                run_dispatcher(&mut source, rx, &cfg)
+            });
+            let mut h = handle;
+            let err = h.try_answer_set(&ids, &target).unwrap_err();
+            assert!(err.is_transient(), "dead letters carry the typed error");
+            drop(h);
+            dispatcher.join().expect("dispatcher")
+        });
+        assert_eq!(stats.retries, 1, "two attempts = one redelivery");
+        assert_eq!(stats.retry_exhausted, 1);
+    }
+
+    #[test]
+    fn permanent_failures_are_never_retried() {
+        let t = truth(50, 10);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let (handle, rx) = dispatch_channel();
+        let cfg = fast_retry(5);
+        std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = Flaky {
+                    inner: PerfectSource::new(&t),
+                    faults: u32::MAX,
+                    calls: 0,
+                    permanent: true,
+                };
+                let stats = run_dispatcher(&mut source, rx, &cfg);
+                (stats, source.calls)
+            });
+            let mut h = handle;
+            let err = h.try_answer_set(&ids, &target).unwrap_err();
+            assert!(matches!(err, AskError::SourceFailed(_)));
+            drop(h);
+            let (stats, calls) = dispatcher.join().expect("dispatcher");
+            assert_eq!(calls, 1, "a permanent failure gets exactly one delivery");
+            assert_eq!(stats.retries, 0);
+        });
+    }
+
+    #[test]
+    fn dispatcher_gone_is_typed_connection_lost_and_permanent() {
+        let (handle, rx) = dispatch_channel();
+        drop(rx);
+        let mut h = handle;
+        let err = h.try_answer_point_labels(ObjectId(0)).unwrap_err();
+        assert_eq!(err, AskError::ConnectionLost);
+        assert!(
+            !err.is_transient(),
+            "a lost dispatcher must never be retried"
+        );
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_at_intake() {
+        let t = truth(50, 10);
+        let target = Target::group(Pattern::parse("1").unwrap());
+        let ids = t.all_ids();
+        let (handle, rx) = dispatch_channel();
+        let cfg = DispatcherConfig {
+            retry: RetryPolicy {
+                max_attempts: 1,
+                base: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            breakers: BreakerRegistry::new(2, Duration::from_secs(60)),
+            ..DispatcherConfig::default()
+        };
+        let stats = std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| {
+                let mut source = Flaky {
+                    inner: PerfectSource::new(&t),
+                    faults: u32::MAX,
+                    calls: 0,
+                    permanent: false,
+                };
+                run_dispatcher(&mut source, rx, &cfg)
+            });
+            let mut h = handle.tagged("noisy/job", 1);
+            drop(handle); // the tagged clone is the only live connection
+                          // Two exhausted questions trip the threshold-2 breaker…
+            assert!(h.try_answer_set(&ids, &target).is_err());
+            assert!(h.try_answer_set(&ids, &target).is_err());
+            // …after which questions are refused at intake, fast.
+            let err = h.try_answer_set(&ids, &target).unwrap_err();
+            match err {
+                AskError::Transient { reason, .. } => {
+                    assert!(reason.contains("circuit breaker open"), "{reason}");
+                    assert!(reason.contains("noisy"), "{reason}");
+                }
+                other => panic!("expected breaker refusal, got {other}"),
+            }
+            drop(h);
+            dispatcher.join().expect("dispatcher")
+        });
+        assert_eq!(stats.breaker_rejections, 1);
+        assert_eq!(stats.retry_exhausted, 2);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_monotone() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            jitter_seed: 1234,
+            ..RetryPolicy::default()
+        };
+        let first: Vec<Duration> = (1..6).map(|a| backoff_delay(&policy, a, 7)).collect();
+        let second: Vec<Duration> = (1..6).map(|a| backoff_delay(&policy, a, 7)).collect();
+        assert_eq!(first, second, "same seeds, same schedule");
+        for (a, pair) in first.windows(2).enumerate() {
+            assert!(
+                pair[1] > pair[0],
+                "backoff must grow: attempt {} gave {:?} then {:?}",
+                a + 1,
+                pair[0],
+                pair[1]
+            );
+        }
+        let other_seed = RetryPolicy {
+            jitter_seed: 99,
+            ..policy.clone()
+        };
+        assert_ne!(
+            backoff_delay(&policy, 2, 7),
+            backoff_delay(&other_seed, 2, 7),
+            "jitter must actually depend on the seed"
+        );
     }
 }

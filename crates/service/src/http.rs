@@ -20,6 +20,8 @@
 //! | `GET /events?since=N` | —           | `200` `{"next","events"}` incremental trace drain   |
 //! | `GET /store/export` | —             | `200` the whole fact base as one `KnowledgeStore`   |
 //! | `POST /store/import`| `KnowledgeStore` | `200` `{"labels","membership","set_verdicts"}`   |
+//! | `GET /healthz`     | —              | `200` `{"status":"ok"}` — liveness, always           |
+//! | `GET /readyz`      | —              | `200`/`503` [`Readiness`](crate::Readiness) body — dispatcher alive, persistence healthy, breaker states |
 //!
 //! # Connection engine
 //!
@@ -960,6 +962,8 @@ fn route_class(path: &str) -> &'static str {
         "/events" => "/events",
         "/store/export" => "/store/export",
         "/store/import" => "/store/import",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
         p if p.starts_with("/jobs/") && p.ends_with("/watch") => "/jobs/{id}/watch",
         p if p.starts_with("/jobs/") => "/jobs/{id}",
         p if p.starts_with("/trace/") => "/trace/{id}",
@@ -1100,12 +1104,33 @@ fn route<S: BatchAnswerSource + Send + 'static>(
                 Err(e) => Reply::new(400, error_body(&format!("invalid knowledge store: {e}"))),
             }
         }
+        // Liveness: the process answers, full stop. Load balancers and
+        // process supervisors probe this; it carries no judgement about
+        // the daemon's internals (that is `/readyz`).
+        ("GET", "/healthz") => Reply::new(
+            200,
+            Body::Json(Value::Object(vec![(
+                "status".to_string(),
+                Value::Str("ok".to_string()),
+            )])),
+        ),
+        // Readiness: 200 only while the dispatcher is alive and the
+        // durable knowledge plane has swallowed no I/O error; the body
+        // carries the verdict's ingredients, including every tenant's
+        // circuit-breaker state.
+        ("GET", "/readyz") => {
+            let readiness = daemon.readiness();
+            let code = if readiness.ready { 200 } else { 503 };
+            Reply::new(code, Body::Json(readiness.to_value()))
+        }
         (_, "/jobs")
         | (_, "/stats")
         | (_, "/metrics")
         | (_, "/events")
         | (_, "/store/export")
-        | (_, "/store/import") => Reply::new(405, error_body("method not allowed")),
+        | (_, "/store/import")
+        | (_, "/healthz")
+        | (_, "/readyz") => Reply::new(405, error_body("method not allowed")),
         (method, path) => {
             // A watch path with a wrong method (or a malformed/unknown id)
             // routes like every id route: unknown job before wrong method.
@@ -1348,6 +1373,41 @@ mod tests {
 
         server.shutdown();
         daemon.shutdown().unwrap();
+    }
+
+    /// `/healthz` answers whenever the process does; `/readyz` reports the
+    /// daemon's actual fitness and flips to 503 once the dispatcher stops.
+    #[test]
+    fn health_surfaces_over_a_socket() {
+        let (daemon, _pool) = daemon(20, 2);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let (code, reply) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(code, 200);
+        assert!(reply.contains("\"ok\""), "{reply}");
+
+        let (code, reply) = http_request(addr, "GET", "/readyz", None).unwrap();
+        assert_eq!(code, 200, "{reply}");
+        assert!(reply.contains("\"dispatcher_alive\": true"), "{reply}");
+        assert!(reply.contains("\"persistence_healthy\": true"), "{reply}");
+        assert!(reply.contains("\"breakers\""), "{reply}");
+
+        let (code, _) = http_request(addr, "POST", "/healthz", None).unwrap();
+        assert_eq!(code, 405);
+        let (code, _) = http_request(addr, "DELETE", "/readyz", None).unwrap();
+        assert_eq!(code, 405);
+
+        // Liveness keeps answering after shutdown; readiness flips to 503.
+        daemon.drain();
+        daemon.shutdown().unwrap();
+        let (code, _) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(code, 200);
+        let (code, reply) = http_request(addr, "GET", "/readyz", None).unwrap();
+        assert_eq!(code, 503, "{reply}");
+        assert!(reply.contains("\"dispatcher_alive\": false"), "{reply}");
+
+        server.shutdown();
     }
 
     #[test]

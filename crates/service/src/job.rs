@@ -333,7 +333,14 @@ pub enum JobStatus {
     Cancelled,
     /// The job failed: an invalid spec, or the platform could not answer
     /// one of its questions (the report's `error` has the message).
-    Failed,
+    Failed {
+        /// `true` when the failure was a dead-lettered question — the
+        /// dispatcher retried it up to the configured budget (or the
+        /// tenant's circuit breaker refused it) and gave up. `false` for
+        /// permanent failures that were never worth retrying: invalid
+        /// specs, typed permanent platform errors, a vanished dispatcher.
+        retries_exhausted: bool,
+    },
 }
 
 impl JobStatus {
@@ -354,7 +361,7 @@ impl JobStatus {
 
     /// Did the job fail?
     pub fn is_failed(&self) -> bool {
-        matches!(self, JobStatus::Failed)
+        matches!(self, JobStatus::Failed { .. })
     }
 
     /// Same lifecycle stage, ignoring any per-variant detail (an
@@ -374,7 +381,18 @@ impl Serialize for JobStatus {
             JobStatus::Running => Value::Str("Running".to_string()),
             JobStatus::Done => Value::Str("Done".to_string()),
             JobStatus::Cancelled => Value::Str("Cancelled".to_string()),
-            JobStatus::Failed => Value::Str("Failed".to_string()),
+            // A plain failure keeps the original wire shape (a bare string)
+            // so pre-resilience snapshots and clients round-trip unchanged;
+            // only the dead-letter flag needs the tagged-object form.
+            JobStatus::Failed {
+                retries_exhausted: false,
+            } => Value::Str("Failed".to_string()),
+            JobStatus::Failed {
+                retries_exhausted: true,
+            } => Value::Object(vec![
+                ("status".to_string(), Value::Str("Failed".to_string())),
+                ("retries_exhausted".to_string(), Value::Bool(true)),
+            ]),
             JobStatus::Exhausted { scope, spent, cap } => Value::Object(vec![
                 ("status".to_string(), Value::Str("Exhausted".to_string())),
                 ("scope".to_string(), scope.to_value()),
@@ -393,7 +411,9 @@ impl Deserialize for JobStatus {
                 "Running" => Ok(JobStatus::Running),
                 "Done" => Ok(JobStatus::Done),
                 "Cancelled" => Ok(JobStatus::Cancelled),
-                "Failed" => Ok(JobStatus::Failed),
+                "Failed" => Ok(JobStatus::Failed {
+                    retries_exhausted: false,
+                }),
                 other => Err(Error::unknown_variant("JobStatus", other)),
             },
             Value::Object(_) => {
@@ -403,6 +423,9 @@ impl Deserialize for JobStatus {
                         scope: BudgetScope::from_value(value.get_field("scope")?)?,
                         spent: u64::from_value(value.get_field("spent")?)?,
                         cap: u64::from_value(value.get_field("cap")?)?,
+                    }),
+                    "Failed" => Ok(JobStatus::Failed {
+                        retries_exhausted: bool::from_value(value.get_field("retries_exhausted")?)?,
                     }),
                     other => Err(Error::unknown_variant("JobStatus", other)),
                 }
@@ -833,6 +856,19 @@ mod tests {
         assert_ne!(a, b);
         assert!(!a.same_kind(&JobStatus::Done));
         assert!(JobStatus::Done.is_done());
-        assert!(JobStatus::Failed.is_failed());
+        assert!(JobStatus::Failed {
+            retries_exhausted: false
+        }
+        .is_failed());
+        assert!(JobStatus::Failed {
+            retries_exhausted: true
+        }
+        .is_failed());
+        assert!(JobStatus::Failed {
+            retries_exhausted: true
+        }
+        .same_kind(&JobStatus::Failed {
+            retries_exhausted: false
+        }));
     }
 }

@@ -92,6 +92,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod daemon;
 pub mod dispatch;
 pub mod governor;
@@ -102,12 +103,13 @@ pub mod scheduler;
 pub mod service;
 pub mod telemetry;
 
-pub use daemon::{AuditDaemon, DaemonStats, JobSummary, SubmitRefusal};
-pub use dispatch::{DispatchStats, DispatcherConfig};
+pub use breaker::{BreakerRegistry, BreakerState};
+pub use daemon::{AuditDaemon, BreakerSummary, DaemonStats, JobSummary, Readiness, SubmitRefusal};
+pub use dispatch::{DispatchStats, DispatcherConfig, RetryPolicy};
 pub use governor::{BudgetPolicy, BudgetScope};
 pub use http::{HttpClient, HttpServer};
 pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus, PhaseDurations};
-pub use persist::{Persistence, SpillFile, WalRecord};
+pub use persist::{DiskFaults, Persistence, SpillFile, WalRecord};
 pub use service::{AuditService, CancelHandle, ServiceConfig, ServiceReport, TenantRateLimit};
 pub use telemetry::{Telemetry, TraceEvent};
 
@@ -343,7 +345,12 @@ mod tests {
         );
         let (report, _) = service.run(PerfectSource::new(&truth));
         let bad = report.job(JobId(0)).unwrap();
-        assert_eq!(bad.status, JobStatus::Failed);
+        assert_eq!(
+            bad.status,
+            JobStatus::Failed {
+                retries_exhausted: false
+            }
+        );
         assert!(
             bad.error.as_ref().unwrap().contains("subset"),
             "panic message surfaced: {:?}",
@@ -421,7 +428,12 @@ mod tests {
         );
         let (report, _) = service.run(CheckedSource { truth: &truth });
         let poisoned = report.job(JobId(0)).unwrap();
-        assert_eq!(poisoned.status, JobStatus::Failed);
+        assert_eq!(
+            poisoned.status,
+            JobStatus::Failed {
+                retries_exhausted: false
+            }
+        );
         assert!(
             poisoned
                 .error

@@ -46,8 +46,8 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes` — the frame checksum.
 fn crc32(bytes: &[u8]) -> u32 {
@@ -204,6 +204,90 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Deterministic disk-fault injection for the durable knowledge plane —
+/// the chaos seam of the write paths. Each knob arms a *budget* of faults
+/// for one operation kind; an armed operation consumes one budget unit and
+/// fails exactly as the real disk would (ENOSPC refusal, a torn
+/// half-written frame, a failing fsync). All budgets start at zero, so a
+/// default `DiskFaults` injects nothing. Cloning shares the budgets:
+/// arm the clone returned by [`Persistence::disk_faults`] /
+/// [`SpillFile::disk_faults`] and the live write path sees it.
+///
+/// Injected failures exercise precisely the swallowed-error policy the
+/// module docs promise: durability degrades (`is_degraded`, the
+/// `audit_persist_errors_total` counters, a 503 `/readyz`) but answers
+/// never change and nothing panics.
+#[derive(Debug, Clone, Default)]
+pub struct DiskFaults {
+    inner: Arc<FaultBudgets>,
+}
+
+#[derive(Debug, Default)]
+struct FaultBudgets {
+    enospc: AtomicU32,
+    short_writes: AtomicU32,
+    fsync_failures: AtomicU32,
+    snapshot_failures: AtomicU32,
+    spill_failures: AtomicU32,
+    injected: AtomicU64,
+}
+
+impl DiskFaults {
+    /// A handle with every budget at zero — injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arms the next `n` WAL appends to fail as if the disk were full
+    /// (nothing reaches the file).
+    pub fn fail_wal_enospc(&self, n: u32) {
+        self.inner.enospc.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` WAL appends to tear mid-frame: half the frame
+    /// lands on disk — exactly what a crash mid-write leaves — and the
+    /// append reports failure. Recovery must truncate the torn tail.
+    pub fn tear_wal_writes(&self, n: u32) {
+        self.inner.short_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` [`Persistence::sync`] calls to fail.
+    pub fn fail_fsyncs(&self, n: u32) {
+        self.inner.fsync_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` snapshot cuts to fail before writing anything.
+    pub fn fail_snapshots(&self, n: u32) {
+        self.inner.snapshot_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Arms the next `n` spill batches to fail before writing anything
+    /// (the victims stay only in memory; recall finds nothing new).
+    pub fn fail_spills(&self, n: u32) {
+        self.inner.spill_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total faults actually fired so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consumes one unit of `counter`'s budget if any remains.
+    fn take(&self, counter: &AtomicU32) -> bool {
+        let armed = counter
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        if armed {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        armed
+    }
+
+    fn injected_error(what: &str) -> io::Error {
+        io::Error::other(format!("injected disk fault: {what}"))
+    }
+}
+
 /// The open WAL of the current generation.
 #[derive(Debug)]
 struct WalWriter {
@@ -227,6 +311,10 @@ pub struct Persistence {
     records_since_snapshot: AtomicU64,
     writer: Mutex<WalWriter>,
     telemetry: Telemetry,
+    /// Flipped (never cleared) by the first swallowed I/O error on any
+    /// write path — the `/readyz` degraded signal.
+    degraded: AtomicBool,
+    faults: DiskFaults,
 }
 
 impl Persistence {
@@ -312,22 +400,65 @@ impl Persistence {
             records_since_snapshot: AtomicU64::new(replayed),
             writer: Mutex::new(WalWriter { file, generation }),
             telemetry,
+            degraded: AtomicBool::new(false),
+            faults: DiskFaults::none(),
         };
         Ok((persistence, store))
     }
 
+    /// The fault-injection handle for this plane's write paths (shared:
+    /// arming the returned clone arms the live paths). All budgets start
+    /// at zero — production pays nothing for the seam.
+    pub fn disk_faults(&self) -> DiskFaults {
+        self.faults.clone()
+    }
+
+    /// Has any write path swallowed an I/O error since open? Durability is
+    /// then degraded (facts may be lost on crash) even though serving
+    /// continues — `GET /readyz` reports 503 on this flag.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The swallowed-error bookkeeping every best-effort path funnels
+    /// through: flip the degraded flag, count the op in
+    /// `audit_persist_errors_total`.
+    fn note_io_error(&self, op: &str) {
+        self.degraded.store(true, Ordering::Relaxed);
+        self.telemetry.record_persist_error(op);
+    }
+
     /// Appends one record to the WAL and flushes it. Best-effort: an I/O
-    /// failure degrades durability, never the audit (see module docs).
+    /// failure degrades durability, never the audit (see module docs) —
+    /// but it is *accounted*: the degraded flag flips and
+    /// `audit_persist_errors_total{op="wal_append"}` increments.
     fn append(&self, record: &WalRecord) {
         let Ok(payload) = serde_json::to_string(record) else {
             return;
         };
         let framed = frame(payload.as_bytes());
         let mut writer = lock(&self.writer);
-        if writer.file.write_all(&framed).is_ok() && writer.file.flush().is_ok() {
-            drop(writer);
-            self.records_since_snapshot.fetch_add(1, Ordering::Relaxed);
-            self.telemetry.record_wal_records(1);
+        let written = if self.faults.take(&self.faults.inner.enospc) {
+            Err(DiskFaults::injected_error("ENOSPC on WAL append"))
+        } else if self.faults.take(&self.faults.inner.short_writes) {
+            // A torn frame: half lands on disk, as a crash mid-write would
+            // leave it. The next open's checksum scan truncates it.
+            let _ = writer.file.write_all(&framed[..framed.len() / 2]);
+            let _ = writer.file.flush();
+            Err(DiskFaults::injected_error("short write on WAL append"))
+        } else {
+            writer
+                .file
+                .write_all(&framed)
+                .and_then(|()| writer.file.flush())
+        };
+        drop(writer);
+        match written {
+            Ok(()) => {
+                self.records_since_snapshot.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.record_wal_records(1);
+            }
+            Err(_) => self.note_io_error("wal_append"),
         }
     }
 
@@ -353,7 +484,22 @@ impl Persistence {
     /// (about-to-be-deleted) WAL is already inside the snapshot, and any
     /// commit racing this rotation lands its frame in the new WAL —
     /// either way, no fact is lost and replay stays idempotent.
+    ///
+    /// Failures are returned **and** accounted
+    /// (`audit_persist_errors_total{op="snapshot"}`, the degraded flag) —
+    /// callers on the hot path swallow the `Err`, not the evidence.
     pub fn snapshot(&self, memo_root: &SharedKnowledgeSource<()>) -> io::Result<()> {
+        let result = self.snapshot_inner(memo_root);
+        if result.is_err() {
+            self.note_io_error("snapshot");
+        }
+        result
+    }
+
+    fn snapshot_inner(&self, memo_root: &SharedKnowledgeSource<()>) -> io::Result<()> {
+        if self.faults.take(&self.faults.inner.snapshot_failures) {
+            return Err(DiskFaults::injected_error("snapshot write"));
+        }
         let mut writer = lock(&self.writer);
         let store = memo_root.store_snapshot();
         let next = writer.generation + 1;
@@ -386,9 +532,18 @@ impl Persistence {
 
     /// Fsyncs the current WAL — upgrades flushed records from crash-safe
     /// to power-loss-safe. Called by daemon shutdown before the final
-    /// snapshot.
+    /// snapshot. Failures are returned and accounted
+    /// (`audit_persist_errors_total{op="sync"}`, the degraded flag).
     pub fn sync(&self) -> io::Result<()> {
-        lock(&self.writer).file.sync_all()
+        let result = if self.faults.take(&self.faults.inner.fsync_failures) {
+            Err(DiskFaults::injected_error("fsync"))
+        } else {
+            lock(&self.writer).file.sync_all()
+        };
+        if result.is_err() {
+            self.note_io_error("sync");
+        }
+        result
     }
 
     /// The directory this plane persists into.
@@ -451,6 +606,7 @@ struct SpillState {
 pub struct SpillFile {
     state: Mutex<SpillState>,
     telemetry: Telemetry,
+    faults: DiskFaults,
 }
 
 impl SpillFile {
@@ -470,7 +626,14 @@ impl SpillFile {
                 end: 0,
             }),
             telemetry,
+            faults: DiskFaults::none(),
         })
+    }
+
+    /// The fault-injection handle for this segment's write path (shared:
+    /// arming the returned clone arms the live path).
+    pub fn disk_faults(&self) -> DiskFaults {
+        self.faults.clone()
     }
 
     fn read_slot(state: &mut SpillState, slot: SpillSlot) -> Option<(ObjectId, Labels)> {
@@ -486,9 +649,18 @@ impl SpillFile {
 impl FactSpill for SpillFile {
     fn spill(&self, victims: Vec<(ObjectId, Labels)>) {
         let count = victims.len() as u64;
+        if self.faults.take(&self.faults.inner.spill_failures) {
+            // The victims stay in memory only; a crash before the next
+            // snapshot would lose nothing (spill is scratch), but the
+            // degradation is accounted.
+            self.telemetry.record_persist_error("spill_write");
+            return;
+        }
         let mut state = lock(&self.state);
         let mut end = state.end;
         if state.file.seek(SeekFrom::Start(end)).is_err() {
+            drop(state);
+            self.telemetry.record_persist_error("spill_write");
             return;
         }
         for (object, labels) in victims {
@@ -497,6 +669,8 @@ impl FactSpill for SpillFile {
             };
             let framed = frame(payload.as_bytes());
             if state.file.write_all(&framed).is_err() {
+                drop(state);
+                self.telemetry.record_persist_error("spill_write");
                 return;
             }
             let slot = SpillSlot {
@@ -518,6 +692,12 @@ impl FactSpill for SpillFile {
         let fact = Self::read_slot(&mut state, slot);
         drop(state);
         self.telemetry.record_spill_recalls(1);
+        if fact.is_none() {
+            // The slot existed but its frame would not read back — a real
+            // read error, not a cache miss. The store re-asks the crowd;
+            // the degradation is accounted.
+            self.telemetry.record_persist_error("spill_read");
+        }
         fact.map(|(_, labels)| labels)
     }
 
@@ -668,6 +848,79 @@ mod tests {
             "5 seeded + 2 logged + 1 post-rotation"
         );
         assert_eq!(store.label_of(ObjectId(20)), Some(Labels::single(1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The chaos seam of the disk paths: every injected failure is
+    /// swallowed (no panic, no lost *recovered* fact beyond what the
+    /// fault itself destroyed), flips the degraded flag and lands in
+    /// `audit_persist_errors_total{op}` — the evidence `/readyz` serves.
+    #[test]
+    fn injected_disk_faults_flip_degraded_and_are_counted() {
+        let dir = dir("faults");
+        let telemetry = Telemetry::new(16);
+        let (persistence, _) = Persistence::open(&dir, 1000, telemetry.clone()).unwrap();
+        assert!(!persistence.is_degraded());
+        let faults = persistence.disk_faults();
+
+        faults.fail_wal_enospc(1);
+        persistence.on_labels(ObjectId(0), Labels::single(1)); // refused: full disk
+        assert!(persistence.is_degraded(), "one swallowed error degrades");
+        persistence.on_labels(ObjectId(1), Labels::single(0)); // budget spent: lands
+
+        faults.fail_fsyncs(1);
+        assert!(persistence.sync().is_err());
+        assert!(persistence.sync().is_ok(), "budget of one is consumed");
+
+        let memo_root: SharedKnowledgeSource<()> = SharedKnowledgeSource::with_shards((), 2);
+        faults.fail_snapshots(1);
+        assert!(persistence.snapshot(&memo_root).is_err());
+
+        // The torn write last: everything after garbage is unreachable on
+        // replay, exactly as a real crash mid-append would leave it.
+        faults.tear_wal_writes(1);
+        persistence.on_labels(ObjectId(2), Labels::single(1));
+        assert_eq!(faults.injected(), 4);
+        drop(persistence);
+
+        // Reopen: the torn tail truncates; the clean append survives.
+        let (_persistence, store) = Persistence::open(&dir, 1000, Telemetry::disabled()).unwrap();
+        assert_eq!(store.labels_known(), 1);
+        assert_eq!(store.label_of(ObjectId(1)), Some(Labels::single(0)));
+
+        let text = telemetry.render_prometheus();
+        assert!(
+            text.contains(r#"audit_persist_errors_total{op="wal_append"} 2"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"audit_persist_errors_total{op="sync"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"audit_persist_errors_total{op="snapshot"} 1"#),
+            "{text}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A failing spill batch is dropped silently (the facts stay in
+    /// memory; spill is scratch) but the degradation is counted.
+    #[test]
+    fn spill_write_fault_is_swallowed_and_counted() {
+        let dir = dir("spill-fault");
+        let telemetry = Telemetry::new(16);
+        let spill = SpillFile::create(&dir, telemetry.clone()).unwrap();
+        spill.disk_faults().fail_spills(1);
+        spill.spill(vec![(ObjectId(1), Labels::single(1))]); // dropped
+        assert_eq!(spill.recall(ObjectId(1)), None);
+        spill.spill(vec![(ObjectId(2), Labels::single(0))]); // budget spent: lands
+        assert_eq!(spill.recall(ObjectId(2)), Some(Labels::single(0)));
+        let text = telemetry.render_prometheus();
+        assert!(
+            text.contains(r#"audit_persist_errors_total{op="spill_write"} 1"#),
+            "{text}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

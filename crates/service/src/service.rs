@@ -152,6 +152,24 @@ pub struct ServiceConfig {
     /// bit-for-bit the PR 5 priority+aging order — see
     /// [`crate::scheduler`].
     pub tenant_weights: Vec<(String, u64)>,
+    /// Delivery attempts per platform question before the dispatcher
+    /// dead-letters it: the first ask plus up to `retry_max_attempts - 1`
+    /// retries. `1` disables retrying entirely (the pre-resilience
+    /// behaviour: every transient failure is terminal). See
+    /// [`RetryPolicy`](crate::RetryPolicy).
+    pub retry_max_attempts: u32,
+    /// Base backoff before the first retry, in milliseconds; attempt `k`
+    /// waits `retry_base_ms << (k-1)` plus deterministic seeded jitter.
+    pub retry_base_ms: u64,
+    /// Per-question delivery deadline, in milliseconds: an answer arriving
+    /// later (an injected late delivery, a wedged platform call) is
+    /// discarded and the question retried as if it had timed out.
+    pub hit_deadline_ms: u64,
+    /// Consecutive retry-exhausted questions a tenant may accrue before
+    /// its circuit breaker opens and the tenant's questions fail fast
+    /// without touching the platform. `0` disables circuit breaking. See
+    /// [`crate::breaker`].
+    pub breaker_threshold: u32,
     /// Token-bucket rate limit + queue quota applied per tenant at the
     /// daemon's submit door. `None` (the default) admits everything — the
     /// pre-QoS behaviour. Over-limit submissions are refused with
@@ -222,6 +240,14 @@ impl ServiceConfig {
             self.tenant_weights.iter().all(|(_, w)| *w >= 1),
             "tenant weights must be >= 1"
         );
+        assert!(
+            self.retry_max_attempts > 0,
+            "need at least one delivery attempt per question"
+        );
+        assert!(
+            self.hit_deadline_ms > 0,
+            "the per-question deadline must be positive"
+        );
         if let Some(limit) = &self.tenant_rate_limit {
             assert!(limit.per_second > 0, "rate limit must be positive");
             assert!(limit.burst > 0, "rate-limit burst must be positive");
@@ -230,6 +256,22 @@ impl ServiceConfig {
                 "tenant queue quota must be positive"
             );
         }
+    }
+
+    /// The dispatcher retry policy these knobs describe (the jitter seed is
+    /// fixed: retries must be reproducible across runs, not tunable).
+    pub(crate) fn retry_policy(&self) -> crate::dispatch::RetryPolicy {
+        crate::dispatch::RetryPolicy {
+            max_attempts: self.retry_max_attempts,
+            base: Duration::from_millis(self.retry_base_ms),
+            hit_deadline: Duration::from_millis(self.hit_deadline_ms),
+            ..crate::dispatch::RetryPolicy::default()
+        }
+    }
+
+    /// A fresh per-tenant breaker registry at this config's threshold.
+    pub(crate) fn build_breakers(&self) -> crate::breaker::BreakerRegistry {
+        crate::breaker::BreakerRegistry::new(self.breaker_threshold, Duration::from_millis(500))
     }
 
     /// The telemetry plane this config asks for: a live registry + trace
@@ -263,6 +305,10 @@ impl Default for ServiceConfig {
             keep_alive_max_requests: 1024,
             keep_alive_idle: Duration::from_secs(10),
             tenant_weights: Vec::new(),
+            retry_max_attempts: 3,
+            retry_base_ms: 10,
+            hit_deadline_ms: 30_000,
+            breaker_threshold: 8,
             tenant_rate_limit: None,
         }
     }
@@ -412,6 +458,8 @@ impl AuditService {
             point_batch: config.point_batch,
             round_latency: config.round_latency,
             telemetry: telemetry.clone(),
+            retry: config.retry_policy(),
+            breakers: config.build_breakers(),
         };
         let global_budget = GlobalBudget::new(config.budget.global, config.point_batch);
         let memo_root: SharedKnowledgeSource<()> =
@@ -568,7 +616,9 @@ pub(crate) fn run_job(
         id,
         name: spec.name.clone(),
         algorithm: spec.kind.name().to_string(),
-        status: JobStatus::Failed,
+        status: JobStatus::Failed {
+            retries_exhausted: false,
+        },
         outcome: None,
         error: None,
         ledger: TaskLedger::new(),
@@ -622,7 +672,13 @@ pub(crate) fn run_job(
         });
     }
 
-    let governed = GovernedSource::new(dispatch_handle.clone(), budget.clone());
+    // Tag the job's questions with (tenant, job id) so the dispatcher can
+    // meter retries per tenant, gate on the tenant's breaker, and land
+    // retry/dead-letter events in this job's trace timeline.
+    let governed = GovernedSource::new(
+        dispatch_handle.tagged(tenant_of(&spec.name), id.0),
+        budget.clone(),
+    );
     let source = memo_root.with_inner(governed);
     let mut engine = Engine::with_point_batch(source, spec.n).with_cancel_token(cancel);
     if telemetry.is_enabled() {
@@ -670,8 +726,28 @@ pub(crate) fn run_job(
                 ..base
             },
             AskError::SourceFailed(message) => JobReport {
-                status: JobStatus::Failed,
+                status: JobStatus::Failed {
+                    retries_exhausted: false,
+                },
                 error: Some(message),
+                ..base
+            },
+            // A transient error only escapes the dispatcher after the
+            // bounded retries (or a breaker refusal) gave up on it — the
+            // question was dead-lettered, so the flag lets operators tell
+            // "retried and lost" from "never worth retrying".
+            AskError::Transient { ref reason, .. } => JobReport {
+                status: JobStatus::Failed {
+                    retries_exhausted: true,
+                },
+                error: Some(format!("retries exhausted: {reason}")),
+                ..base
+            },
+            AskError::ConnectionLost => JobReport {
+                status: JobStatus::Failed {
+                    retries_exhausted: false,
+                },
+                error: Some(error.to_string()),
                 ..base
             },
         },

@@ -268,9 +268,25 @@ impl LabeledCounter {
         entries
     }
 
+    /// Overwrites the value of one label combination — gauge semantics on
+    /// the same striped storage (used by `audit_breaker_state`, whose
+    /// per-tenant value moves both ways).
+    fn set(&self, labels: Vec<String>, value: u64) {
+        debug_assert_eq!(labels.len(), self.label_names.len());
+        let mut hasher = DefaultHasher::new();
+        labels.hash(&mut hasher);
+        let stripe = (hasher.finish() as usize) % LABEL_STRIPES;
+        let mut map = crate::service::lock(&self.stripes[stripe]);
+        map.insert(labels, value);
+    }
+
     fn render(&self, name: &str, help: &str, out: &mut String) {
+        self.render_as(name, help, "counter", out);
+    }
+
+    fn render_as(&self, name: &str, help: &str, kind: &str, out: &mut String) {
         let _ = writeln!(out, "# HELP {name} {help}");
-        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
         for (values, count) in self.sorted_entries() {
             let labels: Vec<String> = self
                 .label_names
@@ -474,6 +490,12 @@ struct Inner {
     jobs_finished: LabeledCounter,
     tenant_crowd_tasks: LabeledCounter,
     http_requests: LabeledCounter,
+    // Resilience plane (retries, injected faults, persistence errors,
+    // breaker states).
+    retries: LabeledCounter,
+    faults_injected: LabeledCounter,
+    persist_errors: LabeledCounter,
+    breaker_state: LabeledCounter,
     tenant_queue_wait_ms: LabeledHistogram,
     // Histograms.
     queue_wait_ms: Histogram,
@@ -519,7 +541,7 @@ pub fn status_label(status: &JobStatus) -> &'static str {
         JobStatus::Done => "done",
         JobStatus::Exhausted { .. } => "exhausted",
         JobStatus::Cancelled => "cancelled",
-        JobStatus::Failed => "failed",
+        JobStatus::Failed { .. } => "failed",
     }
 }
 
@@ -550,6 +572,10 @@ impl Telemetry {
                 jobs_finished: LabeledCounter::new(&["status"]),
                 tenant_crowd_tasks: LabeledCounter::new(&["tenant"]),
                 http_requests: LabeledCounter::new(&["method", "route", "status"]),
+                retries: LabeledCounter::new(&["tenant"]),
+                faults_injected: LabeledCounter::new(&["kind"]),
+                persist_errors: LabeledCounter::new(&["op"]),
+                breaker_state: LabeledCounter::new(&["tenant"]),
                 tenant_queue_wait_ms: LabeledHistogram::new("tenant"),
                 queue_wait_ms: Histogram::new(),
                 submit_to_first_result_ms: Histogram::new(),
@@ -682,6 +708,57 @@ impl Telemetry {
     pub fn record_point_batch(&self, size: u64) {
         if let Some(inner) = &self.inner {
             inner.point_batch_size.record(size);
+        }
+    }
+
+    // ---- resilience -----------------------------------------------------
+
+    /// One redelivery of `tenant`'s question(s) after a transient platform
+    /// failure (`audit_retries_total{tenant}`).
+    pub fn record_retry(&self, tenant: &str) {
+        if let Some(inner) = &self.inner {
+            inner.retries.add(vec![tenant.to_string()], 1);
+        }
+    }
+
+    /// One fault observed on the dispatch path, by kind — injected chaos
+    /// (`hit_timeout`, `platform_error`, `worker_abandoned`), deadline
+    /// misses, breaker refusals (`audit_faults_injected_total{kind}`).
+    pub fn record_fault(&self, kind: &str) {
+        if let Some(inner) = &self.inner {
+            inner.faults_injected.add(vec![kind.to_string()], 1);
+        }
+    }
+
+    /// One swallowed-no-more persistence error, by operation
+    /// (`audit_persist_errors_total{op}`; `op` is `wal_append`,
+    /// `snapshot`, `spill_read`, `sync`, ...).
+    pub fn record_persist_error(&self, op: &str) {
+        if let Some(inner) = &self.inner {
+            inner.persist_errors.add(vec![op.to_string()], 1);
+        }
+    }
+
+    /// Total persistence errors recorded so far (0 when disabled).
+    pub fn persist_errors_total(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| {
+                i.persist_errors
+                    .sorted_entries()
+                    .iter()
+                    .map(|(_, n)| n)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Moves `tenant`'s breaker-state gauge
+    /// (`audit_breaker_state{tenant}`: 0 = closed, 1 = half-open,
+    /// 2 = open).
+    pub fn record_breaker_state(&self, tenant: &str, state: u64) {
+        if let Some(inner) = &self.inner {
+            inner.breaker_state.set(vec![tenant.to_string()], state);
         }
     }
 
@@ -866,6 +943,27 @@ impl Telemetry {
             "audit_http_keepalive_reuses_total",
             "Requests served on an already-open keep-alive connection.",
             &inner.keepalive_reuses,
+        );
+        inner.retries.render(
+            "audit_retries_total",
+            "Question redeliveries after transient platform failures, by tenant.",
+            &mut out,
+        );
+        inner.faults_injected.render(
+            "audit_faults_injected_total",
+            "Faults observed on the dispatch path, by kind.",
+            &mut out,
+        );
+        inner.persist_errors.render(
+            "audit_persist_errors_total",
+            "Persistence I/O errors absorbed on the hot path, by operation.",
+            &mut out,
+        );
+        inner.breaker_state.render_as(
+            "audit_breaker_state",
+            "Per-tenant circuit-breaker state (0 closed, 1 half-open, 2 open).",
+            "gauge",
+            &mut out,
         );
         render_counter(
             &mut out,
