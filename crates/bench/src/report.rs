@@ -57,6 +57,14 @@ pub fn bench_chaos_path() -> PathBuf {
     results_dir().join("BENCH_chaos.json")
 }
 
+/// The canonical fleet report file: `results/BENCH_fleet.json`, written by
+/// the `fleet` bench — wall-clock of the census giant audit partitioned by
+/// the consistent-hash ring over an M-node fleet vs a single 8-shard node,
+/// with the fleet-never-outspends invariant pinned as an assertion.
+pub fn bench_fleet_path() -> PathBuf {
+    results_dir().join("BENCH_fleet.json")
+}
+
 /// Upserts `key` in the JSON object stored at `path`, creating the file
 /// (and its parent directory) if needed. Other writers' keys are preserved,
 /// so several harnesses can share one report file; a corrupt or non-object

@@ -251,6 +251,91 @@ impl KnowledgeStore {
             && self.non_members.is_empty()
             && self.set_verdicts.is_empty()
     }
+
+    /// Total facts of all three kinds (labels + memberships + set
+    /// verdicts) — the size a `/fleet/delta` receipt reports.
+    pub fn fact_count(&self) -> usize {
+        self.labels_known() + self.membership_facts() + self.set_verdicts_known()
+    }
+
+    /// Unions `other`'s facts into `self` — the fleet's anti-entropy
+    /// merge. An already-held fact is never rewritten, so for stores
+    /// drawn from the same ground truth the merge is **commutative**,
+    /// **associative** and **idempotent** (the convergence invariant
+    /// pinned by `tests/store_merge.rs`). [`ReuseStats`] are untouched:
+    /// merging knowledge never rewrites who paid for it.
+    pub fn merge(&mut self, other: &KnowledgeStore) {
+        for (object, labels) in &other.labels {
+            self.labels.entry(*object).or_insert(*labels);
+        }
+        for (target, objects) in &other.members {
+            self.members
+                .entry(target.clone())
+                .or_default()
+                .extend(objects.iter().copied());
+        }
+        for (target, objects) in &other.non_members {
+            self.non_members
+                .entry(target.clone())
+                .or_default()
+                .extend(objects.iter().copied());
+        }
+        for (target, verdicts) in &other.set_verdicts {
+            let held = self.set_verdicts.entry(target.clone()).or_default();
+            for (objects, answer) in verdicts {
+                held.entry(objects.clone()).or_insert(*answer);
+            }
+        }
+    }
+
+    /// The facts `self` holds that `baseline` does not — what one
+    /// anti-entropy round actually ships, so a steady-state fleet
+    /// exchanges deltas, not whole stores. `merge(baseline, delta)`
+    /// equals `merge(baseline, self)` by construction. The result
+    /// carries default [`ReuseStats`] (a delta is knowledge in transit,
+    /// not an accounting record).
+    pub fn delta_since(&self, baseline: &KnowledgeStore) -> KnowledgeStore {
+        let mut delta = KnowledgeStore::new();
+        for (object, labels) in &self.labels {
+            if !baseline.labels.contains_key(object) {
+                delta.labels.insert(*object, *labels);
+            }
+        }
+        for (target, objects) in &self.members {
+            let held = baseline.members.get(target);
+            let fresh: HashSet<ObjectId> = objects
+                .iter()
+                .copied()
+                .filter(|o| !held.is_some_and(|h| h.contains(o)))
+                .collect();
+            if !fresh.is_empty() {
+                delta.members.insert(target.clone(), fresh);
+            }
+        }
+        for (target, objects) in &self.non_members {
+            let held = baseline.non_members.get(target);
+            let fresh: HashSet<ObjectId> = objects
+                .iter()
+                .copied()
+                .filter(|o| !held.is_some_and(|h| h.contains(o)))
+                .collect();
+            if !fresh.is_empty() {
+                delta.non_members.insert(target.clone(), fresh);
+            }
+        }
+        for (target, verdicts) in &self.set_verdicts {
+            let held = baseline.set_verdicts.get(target);
+            let fresh: HashMap<Vec<ObjectId>, bool> = verdicts
+                .iter()
+                .filter(|(objects, _)| !held.is_some_and(|h| h.contains_key(*objects)))
+                .map(|(objects, answer)| (objects.clone(), *answer))
+                .collect();
+            if !fresh.is_empty() {
+                delta.set_verdicts.insert(target.clone(), fresh);
+            }
+        }
+        delta
+    }
 }
 
 /// A `Target → object set` map as a pair array with the set flattened to a

@@ -228,6 +228,17 @@ pub struct BreakerSummary {
     pub state: String,
 }
 
+/// One fleet peer's last-observed state inside a [`Readiness`] body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerSummary {
+    /// The peer's address as configured ([`ServiceConfig::fleet_peers`])
+    /// or joined ([`crate::fleet::FleetNode::join`]).
+    pub peer: String,
+    /// `"up"` (last anti-entropy exchange succeeded) or `"down"` (the
+    /// peer refused the connection or errored).
+    pub state: String,
+}
+
 /// The daemon's readiness verdict, as served by `GET /readyz` (200 when
 /// `ready`, 503 otherwise — liveness is the separate, always-200
 /// `GET /healthz`).
@@ -247,6 +258,12 @@ pub struct Readiness {
     /// Open breakers don't flip `ready` — they starve one tenant, not the
     /// service — but operators see them here.
     pub breakers: Vec<BreakerSummary>,
+    /// Every fleet peer this node gossips with and its last-observed
+    /// state, sorted by address. Down peers don't flip `ready` — the
+    /// fleet is availability-first (residual questions go to the crowd,
+    /// never block on a peer) — but operators see the hole here. Empty
+    /// for a solo daemon.
+    pub peers: Vec<PeerSummary>,
 }
 
 /// What each worker thread needs to run jobs forever.
@@ -329,6 +346,12 @@ pub struct AuditDaemon<S> {
     /// Per-tenant circuit breakers, shared with the dispatcher — the
     /// daemon reads states for [`AuditDaemon::readiness`] and `/readyz`.
     breakers: crate::breaker::BreakerRegistry,
+    /// Last-observed state of each fleet peer (`true` = up), written by
+    /// the anti-entropy loop ([`crate::fleet`]), read by
+    /// [`AuditDaemon::readiness`] and `/readyz`. `BTreeMap` so the
+    /// readiness body lists peers in a stable order. Empty for a solo
+    /// daemon.
+    peer_states: Mutex<std::collections::BTreeMap<String, bool>>,
 }
 
 impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
@@ -429,6 +452,7 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
             persist,
             rate_gate,
             breakers,
+            peer_states: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -668,12 +692,51 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
                 state: state.label().to_string(),
             })
             .collect();
+        let peers = lock(&self.peer_states)
+            .iter()
+            .map(|(peer, up)| PeerSummary {
+                peer: peer.clone(),
+                state: if *up { "up" } else { "down" }.to_string(),
+            })
+            .collect();
         Readiness {
             ready: dispatcher_alive && persistence_healthy,
             dispatcher_alive,
             persistence_healthy,
             breakers,
+            peers,
         }
+    }
+
+    /// Is the daemon still accepting work? `false` once
+    /// [`AuditDaemon::shutdown`] has begun — the HTTP layer refuses
+    /// state-changing bodies (`/store/import`, `/fleet/delta`) with 503
+    /// instead of racing the teardown.
+    pub fn is_accepting(&self) -> bool {
+        self.shared.lock().accepting
+    }
+
+    /// Records the last-observed state of fleet peer `peer` (`true` =
+    /// up). Written by the anti-entropy loop after every exchange;
+    /// surfaced as [`Readiness::peers`] on `/readyz`. A down peer never
+    /// flips `ready` — degraded mode is availability-first.
+    pub fn set_peer_state(&self, peer: &str, up: bool) {
+        lock(&self.peer_states).insert(peer.to_string(), up);
+    }
+
+    /// Absorbs one anti-entropy delta from fleet peer `from`: seeds the
+    /// facts into the shared store (bypassing [`ReuseStats`] and the WAL
+    /// sink, exactly like recovery — a peer's facts are re-derivable
+    /// from *its* WAL, so this node doesn't pay to persist them) and
+    /// tallies `audit_fleet_deltas_total{peer}`. Backs
+    /// `POST /fleet/delta`.
+    pub fn absorb_fleet_delta(&self, from: &str, delta: &KnowledgeStore) {
+        if !delta.is_empty() {
+            self.memo_root.seed_store(delta);
+            self.telemetry
+                .record_recovered_facts(delta.fact_count() as u64);
+        }
+        self.telemetry.record_fleet_delta(from);
     }
 
     /// A consistent copy of the platform-wide fact base — everything the
@@ -697,10 +760,8 @@ impl<S: BatchAnswerSource + Send + 'static> AuditDaemon<S> {
     pub fn import_store(&self, store: &KnowledgeStore) {
         if !store.is_empty() {
             self.memo_root.seed_store(store);
-            self.telemetry.record_recovered_facts(
-                (store.labels_known() + store.membership_facts() + store.set_verdicts_known())
-                    as u64,
-            );
+            self.telemetry
+                .record_recovered_facts(store.fact_count() as u64);
         }
         if let Some(persist) = &self.persist {
             let _ = persist.snapshot(&self.memo_root);

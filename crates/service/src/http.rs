@@ -19,9 +19,10 @@
 //! | `GET /trace/{id}`  | —              | `200` `{"id","events"}` timeline; `404` unknown id  |
 //! | `GET /events?since=N` | —           | `200` `{"next","events"}` incremental trace drain   |
 //! | `GET /store/export` | —             | `200` the whole fact base as one `KnowledgeStore`   |
-//! | `POST /store/import`| `KnowledgeStore` | `200` `{"labels","membership","set_verdicts"}`   |
+//! | `POST /store/import`| `KnowledgeStore` | `200` `{"labels","membership","set_verdicts"}`; `503` shutting down |
+//! | `POST /fleet/delta`| [`FleetDelta`](crate::fleet::FleetDelta) | `200` `{"from","facts"}` anti-entropy receipt; `400` malformed; `503` shutting down |
 //! | `GET /healthz`     | —              | `200` `{"status":"ok"}` — liveness, always           |
-//! | `GET /readyz`      | —              | `200`/`503` [`Readiness`](crate::Readiness) body — dispatcher alive, persistence healthy, breaker states |
+//! | `GET /readyz`      | —              | `200`/`503` [`Readiness`](crate::Readiness) body — dispatcher alive, persistence healthy, breaker + fleet-peer states |
 //!
 //! # Connection engine
 //!
@@ -962,11 +963,16 @@ fn route_class(path: &str) -> &'static str {
         "/events" => "/events",
         "/store/export" => "/store/export",
         "/store/import" => "/store/import",
+        "/fleet/delta" => "/fleet/delta",
         "/healthz" => "/healthz",
         "/readyz" => "/readyz",
         p if p.starts_with("/jobs/") && p.ends_with("/watch") => "/jobs/{id}/watch",
         p if p.starts_with("/jobs/") => "/jobs/{id}",
         p if p.starts_with("/trace/") => "/trace/{id}",
+        // Any other fleet-prefixed path collapses to one label: when a
+        // router fronts many nodes, probing or misaddressed fleet
+        // traffic must not mint a Prometheus label per path.
+        p if p.starts_with("/fleet/") || p == "/fleet" => "/fleet/*",
         _ => "other",
     }
 }
@@ -1084,6 +1090,13 @@ fn route<S: BatchAnswerSource + Send + 'static>(
         // the wire — the HTTP twin of `data_dir` recovery.
         ("GET", "/store/export") => Reply::new(200, Body::Json(daemon.export_store().to_value())),
         ("POST", "/store/import") => {
+            // Same door policy as `POST /jobs`: once shutdown has begun
+            // the daemon mutates no more state, and a half-torn-down
+            // store must not race a multi-megabyte import. Checked
+            // before parsing — refusing is cheaper than deserializing.
+            if !daemon.is_accepting() {
+                return Reply::retry(503, error_body(AuditDaemon::<S>::SHUTTING_DOWN), 1);
+            }
             match serde_json::from_str::<coverage_core::memo::KnowledgeStore>(body) {
                 Ok(store) => {
                     let (labels, membership, set_verdicts) = (
@@ -1102,6 +1115,30 @@ fn route<S: BatchAnswerSource + Send + 'static>(
                     )
                 }
                 Err(e) => Reply::new(400, error_body(&format!("invalid knowledge store: {e}"))),
+            }
+        }
+        // The fleet's anti-entropy door: a peer ships the facts it holds
+        // that (it believes) this node doesn't. Same semantics as an
+        // import — seeded facts bypass reuse stats and the WAL — plus
+        // the per-peer delta tally; the receipt echoes the sender and
+        // the fact count so the gossip loop can assert delivery.
+        ("POST", "/fleet/delta") => {
+            if !daemon.is_accepting() {
+                return Reply::retry(503, error_body(AuditDaemon::<S>::SHUTTING_DOWN), 1);
+            }
+            match serde_json::from_str::<crate::fleet::FleetDelta>(body) {
+                Ok(delta) => {
+                    let facts = delta.store.fact_count();
+                    daemon.absorb_fleet_delta(&delta.from, &delta.store);
+                    Reply::new(
+                        200,
+                        Body::Json(Value::Object(vec![
+                            ("from".to_string(), Value::Str(delta.from)),
+                            ("facts".to_string(), facts.to_value()),
+                        ])),
+                    )
+                }
+                Err(e) => Reply::new(400, error_body(&format!("invalid fleet delta: {e}"))),
             }
         }
         // Liveness: the process answers, full stop. Load balancers and
@@ -1129,6 +1166,7 @@ fn route<S: BatchAnswerSource + Send + 'static>(
         | (_, "/events")
         | (_, "/store/export")
         | (_, "/store/import")
+        | (_, "/fleet/delta")
         | (_, "/healthz")
         | (_, "/readyz") => Reply::new(405, error_body("method not allowed")),
         (method, path) => {
@@ -1804,5 +1842,104 @@ mod tests {
 
         server.shutdown();
         daemon.shutdown().unwrap();
+    }
+
+    /// The ISSUE 10 cardinality regression pin: every id-carrying and
+    /// fleet-prefixed path must collapse to a fixed route label, so a
+    /// router fronting many nodes (or a creative client) cannot mint
+    /// unbounded Prometheus label values.
+    #[test]
+    fn route_class_collapses_fleet_and_id_routes() {
+        assert_eq!(route_class("/fleet/delta"), "/fleet/delta");
+        assert_eq!(route_class("/fleet/delta?retry=1"), "/fleet/delta");
+        for probe in [
+            "/fleet",
+            "/fleet/",
+            "/fleet/join",
+            "/fleet/delta/extra",
+            "/fleet/9971",
+            "/fleet/node-7/status?verbose=1",
+        ] {
+            assert_eq!(route_class(probe), "/fleet/*", "{probe}");
+        }
+        for id in ["0", "17", "123456789", "ghost", "x%2Fy"] {
+            assert_eq!(route_class(&format!("/jobs/{id}")), "/jobs/{id}");
+            assert_eq!(
+                route_class(&format!("/jobs/{id}/watch")),
+                "/jobs/{id}/watch"
+            );
+            assert_eq!(route_class(&format!("/trace/{id}")), "/trace/{id}");
+        }
+        assert_eq!(route_class("/jobs/42?fields=status"), "/jobs/{id}");
+        assert_eq!(route_class("/totally/unknown"), "other");
+    }
+
+    /// `POST /fleet/delta` over a live socket: facts are absorbed (and
+    /// visible on a later export), the receipt echoes sender and size,
+    /// the per-peer delta counter ticks, malformed bodies get a
+    /// structured 400, wrong methods 405 — and however many bogus fleet
+    /// paths a client probes, the metrics page carries exactly one
+    /// `/fleet/*` route label.
+    #[test]
+    fn fleet_delta_over_a_socket() {
+        let (daemon, pool) = daemon(50, 5);
+        let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+        let addr = server.local_addr();
+
+        let mut store = coverage_core::memo::KnowledgeStore::new();
+        store.record_labels(pool[0], Labels::single(1));
+        store.record_labels(pool[1], Labels::single(0));
+        let delta = crate::fleet::FleetDelta {
+            from: "node1".to_string(),
+            store,
+        };
+        let body = serde_json::to_string(&delta).unwrap();
+        let (code, reply) = http_request(addr, "POST", "/fleet/delta", Some(&body)).unwrap();
+        assert_eq!(code, 200, "{reply}");
+        assert!(reply.contains("\"from\": \"node1\""), "{reply}");
+        assert!(reply.contains("\"facts\": 2"), "{reply}");
+        assert_eq!(
+            daemon.export_store().label_of(pool[0]),
+            Some(Labels::single(1))
+        );
+        assert_eq!(
+            daemon.stats().crowd_tasks,
+            0,
+            "absorbed facts are seeded, never charged"
+        );
+
+        let (code, reply) = http_request(addr, "POST", "/fleet/delta", Some("{nope")).unwrap();
+        assert_eq!(code, 400);
+        assert!(reply.contains("invalid fleet delta"), "{reply}");
+        let (code, _) = http_request(addr, "GET", "/fleet/delta", None).unwrap();
+        assert_eq!(code, 405);
+
+        for probe in ["/fleet/join", "/fleet/node-3/x", "/fleet/9971"] {
+            let (code, _) = http_request(addr, "GET", probe, None).unwrap();
+            assert_eq!(code, 404);
+        }
+
+        let rendered = daemon.telemetry().render_prometheus();
+        assert!(
+            rendered.contains("audit_fleet_deltas_total{peer=\"node1\"} 1"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("route=\"/fleet/*\""),
+            "probed paths must collapse: {rendered}"
+        );
+        assert!(
+            !rendered.contains("route=\"/fleet/join\""),
+            "raw fleet paths must never become labels: {rendered}"
+        );
+
+        // Shutdown closes the anti-entropy door with a retryable 503,
+        // exactly like `/jobs` and `/store/import`.
+        daemon.drain();
+        daemon.shutdown().unwrap();
+        let (code, reply) = http_request(addr, "POST", "/fleet/delta", Some(&body)).unwrap();
+        assert_eq!(code, 503, "{reply}");
+
+        server.shutdown();
     }
 }

@@ -95,6 +95,7 @@
 pub mod breaker;
 pub mod daemon;
 pub mod dispatch;
+pub mod fleet;
 pub mod governor;
 pub mod http;
 pub mod job;
@@ -104,8 +105,11 @@ pub mod service;
 pub mod telemetry;
 
 pub use breaker::{BreakerRegistry, BreakerState};
-pub use daemon::{AuditDaemon, BreakerSummary, DaemonStats, JobSummary, Readiness, SubmitRefusal};
+pub use daemon::{
+    AuditDaemon, BreakerSummary, DaemonStats, JobSummary, PeerSummary, Readiness, SubmitRefusal,
+};
 pub use dispatch::{DispatchStats, DispatcherConfig, RetryPolicy};
+pub use fleet::{FleetDelta, FleetJobId, FleetNode, FleetRouter, HashRing};
 pub use governor::{BudgetPolicy, BudgetScope};
 pub use http::{HttpClient, HttpServer};
 pub use job::{AuditKind, AuditOutcome, JobId, JobReport, JobSpec, JobStatus, PhaseDurations};

@@ -467,6 +467,46 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
     }
 
+    /// ISSUE 10 satellite pin: a weight table naming a tenant that never
+    /// submits is inert, and a tenant the table doesn't know — whether it
+    /// was present at config load or appears only later — competes at
+    /// weight 1. Pops are compared against a queue configured without
+    /// the ghost entry, so the fallback is pinned as an exact identity,
+    /// not just "didn't crash".
+    #[test]
+    fn unknown_and_late_tenants_fall_back_to_weight_one() {
+        let with_ghost = vec![("ghost".to_string(), 9), ("vip".to_string(), 2)];
+        let without_ghost = vec![("vip".to_string(), 2)];
+        let mut haunted = PriorityQueue::with_weights(0, &with_ghost);
+        let mut plain = PriorityQueue::with_weights(0, &without_ghost);
+        assert_eq!(haunted.tenant_weight("ghost"), 9);
+        assert_eq!(haunted.tenant_weight("vip"), 2);
+        assert_eq!(haunted.tenant_weight("never-configured"), 1);
+
+        // vip is configured; "late" first appears after config load and
+        // must run at weight 1 — a 2:1 share while both are backlogged.
+        for q in [&mut haunted, &mut plain] {
+            for i in 0..6 {
+                q.push_tenant(i, 0, "vip");
+            }
+            for i in 6..12 {
+                q.push_tenant(i, 0, "late");
+            }
+        }
+        let order = drain(&mut haunted);
+        let vip_in_first_6 = order[..6].iter().filter(|&&j| j < 6).count();
+        assert_eq!(
+            vip_in_first_6, 4,
+            "vip (weight 2) vs late (fallback 1) must split 2:1: {order:?}"
+        );
+        assert_eq!(
+            order,
+            drain(&mut plain),
+            "a ghost weight entry must change nothing"
+        );
+        assert_eq!(order.len(), 12, "late tenant fully drains");
+    }
+
     #[test]
     fn tenant_queued_counts_only_that_tenant() {
         let mut q = PriorityQueue::new(1);

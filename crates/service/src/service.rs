@@ -178,6 +178,24 @@ pub struct ServiceConfig {
     /// [`AuditService::run`] batches ignore this knob (they are one
     /// operator's workload, not a shared front door).
     pub tenant_rate_limit: Option<TenantRateLimit>,
+    /// Fleet peers (`host:port` of the other nodes' HTTP front doors)
+    /// this daemon's anti-entropy loop ships `KnowledgeStore` deltas to.
+    /// Empty (the default) means a solo daemon: no gossip thread, no
+    /// peer states on `/readyz` — the pre-fleet behaviour. See
+    /// [`crate::fleet`].
+    pub fleet_peers: Vec<String>,
+    /// Virtual points per node on the fleet's consistent-hash ring
+    /// ([`crate::fleet::HashRing`]): more replicas smooth shard sizes at
+    /// the cost of a larger (still tiny) ring table. Purely a placement
+    /// knob — any count yields identical verdicts.
+    pub ring_replicas: usize,
+    /// Cadence of the anti-entropy loop in milliseconds: how often a
+    /// fleet node diffs its fact base against what it last shipped each
+    /// peer and POSTs the delta to `/fleet/delta`. Lower spreads facts
+    /// faster (less duplicate crowd spend across nodes); higher costs
+    /// less background traffic. Never changes a verdict. Only read when
+    /// [`ServiceConfig::fleet_peers`] is non-empty.
+    pub anti_entropy_ms: u64,
 }
 
 /// Per-tenant admission control at the daemon's submit door: a classic
@@ -248,6 +266,14 @@ impl ServiceConfig {
             self.hit_deadline_ms > 0,
             "the per-question deadline must be positive"
         );
+        assert!(
+            self.ring_replicas > 0,
+            "the consistent-hash ring needs at least one point per node"
+        );
+        assert!(
+            self.anti_entropy_ms > 0,
+            "the anti-entropy cadence must be positive"
+        );
         if let Some(limit) = &self.tenant_rate_limit {
             assert!(limit.per_second > 0, "rate limit must be positive");
             assert!(limit.burst > 0, "rate-limit burst must be positive");
@@ -310,6 +336,9 @@ impl Default for ServiceConfig {
             hit_deadline_ms: 30_000,
             breaker_threshold: 8,
             tenant_rate_limit: None,
+            fleet_peers: Vec::new(),
+            ring_replicas: 32,
+            anti_entropy_ms: 200,
         }
     }
 }

@@ -483,6 +483,9 @@ struct Inner {
     // HTTP connection engine.
     keepalive_reuses: Counter,
     http_active_connections: Gauge,
+    // Fleet plane (anti-entropy deltas, degraded-mode forwards).
+    fleet_deltas: LabeledCounter,
+    fleet_forwarded: Counter,
     // Gauges.
     jobs_queued: Gauge,
     jobs_running: Gauge,
@@ -567,6 +570,8 @@ impl Telemetry {
                 spill_recalls: Counter::default(),
                 keepalive_reuses: Counter::default(),
                 http_active_connections: Gauge::default(),
+                fleet_deltas: LabeledCounter::new(&["peer"]),
+                fleet_forwarded: Counter::default(),
                 jobs_queued: Gauge::default(),
                 jobs_running: Gauge::default(),
                 jobs_finished: LabeledCounter::new(&["status"]),
@@ -762,6 +767,34 @@ impl Telemetry {
         }
     }
 
+    // ---- fleet ----------------------------------------------------------
+
+    /// One anti-entropy `KnowledgeStore` delta absorbed from `peer`
+    /// (`audit_fleet_deltas_total{peer}`; `peer` is the sending node's
+    /// name, so cardinality is bounded by fleet size).
+    pub fn record_fleet_delta(&self, peer: &str) {
+        if let Some(inner) = &self.inner {
+            inner.fleet_deltas.add(vec![peer.to_string()], 1);
+        }
+    }
+
+    /// One job placed away from its ring owner because the owner was
+    /// unreachable — the router's degraded-mode tally
+    /// (`audit_fleet_forwarded_total`).
+    pub fn record_fleet_forwarded(&self) {
+        if let Some(inner) = &self.inner {
+            inner.fleet_forwarded.inc();
+        }
+    }
+
+    /// Total degraded-mode forwards so far (0 when disabled).
+    pub fn fleet_forwarded_total(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.fleet_forwarded.get())
+            .unwrap_or(0)
+    }
+
     // ---- persistence ----------------------------------------------------
 
     /// `n` fact records appended to the write-ahead log.
@@ -943,6 +976,17 @@ impl Telemetry {
             "audit_http_keepalive_reuses_total",
             "Requests served on an already-open keep-alive connection.",
             &inner.keepalive_reuses,
+        );
+        inner.fleet_deltas.render(
+            "audit_fleet_deltas_total",
+            "Anti-entropy knowledge deltas absorbed, by sending peer.",
+            &mut out,
+        );
+        render_counter(
+            &mut out,
+            "audit_fleet_forwarded_total",
+            "Jobs placed away from their ring owner because the owner was down.",
+            &inner.fleet_forwarded,
         );
         inner.retries.render(
             "audit_retries_total",

@@ -424,3 +424,64 @@ fn equal_weights_reproduce_pr5_finished_order() {
     );
     daemon.shutdown().unwrap();
 }
+
+/// ISSUE 10 satellite: `tenant_weights` naming a tenant that never
+/// submits ("ghost") and a tenant that only appears after config load
+/// ("late") must both degrade gracefully — the ghost entry is inert and
+/// the late arrival runs at weight 1. Pinned by the exact WFQ finished
+/// order: with `vip` at weight 2 and `late` at the implicit weight 1,
+/// three jobs each queued behind a blocker interleave as
+/// `vip, late, vip, vip, late, late`.
+#[test]
+fn ghost_and_late_tenants_run_at_weight_one_with_pinned_order() {
+    let truth = Arc::new(synth_truth(6_000, 6, 11));
+    let pool = truth.all_ids();
+    let daemon = AuditDaemon::start(
+        ServiceConfig {
+            workers: 1,
+            round_latency: Duration::from_millis(2),
+            // "ghost" never submits a job; "late" submits but is absent
+            // here and must fall back to weight 1.
+            tenant_weights: vec![("ghost".to_string(), 9), ("vip".to_string(), 2)],
+            ..ServiceConfig::default()
+        },
+        SharedTruthSource::new(Arc::clone(&truth)),
+    );
+    let blocker = daemon
+        .submit(spec("blocker/hold", pool.clone(), 40))
+        .unwrap();
+    poll_until(|| (daemon.status(blocker) == Some(JobStatus::Running)).then_some(()));
+    // Three vip jobs, then three late-tenant jobs, all equal priority
+    // over disjoint slices. Submission order breaks virtual-time ties,
+    // so the finished order is fully determined by the weights.
+    let slice = pool.len() / 6;
+    let queued: Vec<JobId> = (0..6)
+        .map(|i| {
+            let tenant = if i < 3 { "vip" } else { "late" };
+            let at = if i < 3 { i } else { i - 3 };
+            daemon
+                .submit(
+                    spec(
+                        &format!("{tenant}/job-{at}"),
+                        pool[i * slice..(i + 1) * slice].to_vec(),
+                        10,
+                    )
+                    .seed(i as u64),
+                )
+                .unwrap()
+        })
+        .collect();
+    daemon.drain();
+    let finished = daemon.finished_order();
+    assert_eq!(finished[0], blocker);
+    // Weight-2 vip vs weight-1 late: start tags interleave as
+    // v(0), l(0), v(½), v(1 tie→seq), l(1), l(2) — in job terms
+    // vip0, late0, vip1, vip2, late1, late2.
+    assert_eq!(
+        &finished[1..],
+        &[queued[0], queued[3], queued[1], queued[2], queued[4], queued[5]],
+        "stats: {:?}",
+        daemon.stats()
+    );
+    daemon.shutdown().unwrap();
+}

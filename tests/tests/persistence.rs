@@ -13,7 +13,10 @@
 //! * `shutdown()` fsyncs the WAL and cuts a final snapshot, so a
 //!   restarted daemon **forwards zero** already-answered questions;
 //! * the `KnowledgeStore` serde surface round-trips: snapshot JSON and
-//!   WAL replay both reconstruct the exact fact base.
+//!   WAL replay both reconstruct the exact fact base;
+//! * (ISSUE 10) the `POST /store/import` door under damage — a torn
+//!   body, truncated JSON, or a daemon already shutting down — answers a
+//!   structured `400`/`503` and leaves the fact base untouched.
 
 use coverage_core::prelude::*;
 use coverage_service::{AuditDaemon, AuditKind, JobId, JobReport, JobSpec, ServiceConfig};
@@ -402,4 +405,80 @@ proptest! {
         }
         let _ = fs::remove_dir_all(&dir);
     }
+}
+
+/// ISSUE 10 satellite: every way a `/store/import` can go wrong —
+/// truncated JSON, a body torn mid-transfer, a daemon already shutting
+/// down — must answer a structured `400`/`503` and leave the fact base
+/// fingerprint-identical, with the daemon healthy for the next client.
+#[test]
+fn damaged_imports_leave_the_fact_base_untouched() {
+    use coverage_service::http::{http_request, HttpServer};
+    use std::io::{Read, Write};
+
+    let truth = Arc::new(synth_truth(500, 15, 9));
+    let daemon = Arc::new(start_daemon(&truth, None, None));
+    // Buy some facts first, so "unchanged" is a non-trivial claim.
+    let report = &run_on(&daemon, &five_driver_workload(&truth)[1..2])[0];
+    assert!(report.crowd_tasks > 0, "{}", report.to_json());
+    let fingerprint = store_fingerprint(&daemon.export_store());
+
+    let server = HttpServer::serve("127.0.0.1:0", Arc::clone(&daemon)).unwrap();
+    let addr = server.local_addr();
+    let (code, full) = http_request(addr, "GET", "/store/export", None).unwrap();
+    assert_eq!(code, 200);
+
+    // Truncated JSON inside intact HTTP framing: a structured 400.
+    let (code, reply) =
+        http_request(addr, "POST", "/store/import", Some(&full[..full.len() / 2])).unwrap();
+    assert_eq!(code, 400, "{reply}");
+    assert!(reply.contains("\"error\""), "{reply}");
+    assert!(reply.contains("invalid knowledge store"), "{reply}");
+
+    // A torn body: the head promises the full export but the connection
+    // dies halfway through it. The engine's contract is a clean `400`
+    // close, a `408` deadline, or a silent close — never a wedged loop
+    // and never a partial import.
+    let mut torn = std::net::TcpStream::connect(addr).unwrap();
+    torn.write_all(
+        format!(
+            "POST /store/import HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            full.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    torn.write_all(&full.as_bytes()[..full.len() / 2]).unwrap();
+    torn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut leftovers = String::new();
+    let _ = torn.read_to_string(&mut leftovers);
+    assert!(
+        leftovers.is_empty()
+            || leftovers.starts_with("HTTP/1.1 400")
+            || leftovers.starts_with("HTTP/1.1 408"),
+        "a torn import must close cleanly, got: {leftovers}"
+    );
+
+    // Neither damaged import moved a fact, and the daemon still serves.
+    let (code, exported) = http_request(addr, "GET", "/store/export", None).unwrap();
+    assert_eq!(code, 200);
+    let after = serde_json::from_str::<KnowledgeStore>(&exported).unwrap();
+    assert_eq!(
+        store_fingerprint(&after),
+        fingerprint,
+        "a damaged import moved the fact base"
+    );
+    let (code, _) = http_request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(code, 200);
+
+    // Once shutdown has begun, even a pristine import is refused with a
+    // structured 503 — the door policy that keeps an import from racing
+    // the teardown.
+    daemon.drain();
+    daemon.shutdown().unwrap();
+    let (code, reply) = http_request(addr, "POST", "/store/import", Some(&full)).unwrap();
+    assert_eq!(code, 503, "{reply}");
+    assert!(reply.contains("\"error\""), "{reply}");
+
+    server.shutdown();
 }
